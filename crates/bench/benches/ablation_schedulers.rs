@@ -1,0 +1,237 @@
+//! Ablations beyond the paper's own tables, backing the claims its
+//! Section 2 recalls from [MS93]:
+//!
+//! 1. **Lock schedulers on a client-server pattern** — priority and
+//!    handoff scheduling beat FCFS for the server's lock latency.
+//! 2. **Phased workloads** — the adaptive lock tracks a pattern that
+//!    alternates between no-contention and heavy-contention phases, and
+//!    stays competitive with the best static configuration in each.
+//! 3. **Queue-lock baselines** — ticket and MCS locks vs the paper's
+//!    lock family under uniform contention (design-space context).
+
+use std::sync::Arc;
+
+use adaptive_locks::{with_lock, Lock};
+use bench::{print_header, print_rows_with_verdict, write_json, Row};
+use butterfly_sim::{self as sim, ctx, Duration, ProcId, SimConfig};
+use cthreads::fork_join_all;
+use serde::Serialize;
+use workloads::{
+    compare_phased, run_all_schedulers, ClientServerConfig, LockSpec, PhasedConfig,
+};
+
+#[derive(Serialize)]
+struct AblationRecord {
+    experiment: &'static str,
+    label: String,
+    value: f64,
+}
+
+fn uniform_contention(spec: LockSpec, threads: usize, iters: u32) -> Duration {
+    let (elapsed, _) = sim::run(SimConfig::butterfly(threads), move || {
+        let lock: Arc<dyn Lock> = spec.build(ctx::current_node());
+        let t0 = ctx::now();
+        let procs: Vec<ProcId> = (0..threads).map(ProcId).collect();
+        fork_join_all(&procs, "w", |_| {
+            let lock = Arc::clone(&lock);
+            move || {
+                for _ in 0..iters {
+                    with_lock(lock.as_ref(), || ctx::advance(Duration::micros(30)));
+                    ctx::advance(Duration::micros(60));
+                }
+            }
+        });
+        ctx::now().since(t0)
+    })
+    .unwrap();
+    elapsed
+}
+
+fn main() {
+    let mut records = Vec::new();
+
+    // 1. Scheduler comparison on client-server.
+    let cs_cfg = ClientServerConfig::default();
+    let cs = run_all_schedulers(&cs_cfg);
+    print_header("Ablation: lock schedulers, client-server pattern", "us");
+    // [MS93] reports priority best / FCFS worst; encode that ordering as
+    // the "paper" column (rank only).
+    let rows: Vec<Row> = cs
+        .iter()
+        .map(|r| {
+            let paper_rank = match r.scheduler.as_str() {
+                "fcfs" => 3.0,
+                "handoff" => 2.0,
+                _ => 1.0,
+            };
+            Row::new(
+                format!("{} (mean server wait)", r.scheduler),
+                paper_rank,
+                r.mean_server_wait_nanos as f64 / 1e3,
+            )
+        })
+        .collect();
+    print_rows_with_verdict(&rows);
+    for r in &cs {
+        records.push(AblationRecord {
+            experiment: "client-server",
+            label: r.scheduler.clone(),
+            value: r.mean_server_wait_nanos as f64 / 1e3,
+        });
+    }
+
+    // 2. Phased adaptation.
+    let phased = compare_phased(&PhasedConfig::default());
+    print_header("Ablation: phased workload (solo/storm alternation)", "ms");
+    let best_static = phased[..2]
+        .iter()
+        .map(|r| r.total_nanos)
+        .min()
+        .unwrap() as f64;
+    let rows: Vec<Row> = phased
+        .iter()
+        .map(|r| Row::new(r.lock.clone(), 0.0, r.total_nanos as f64 / 1e6))
+        .collect();
+    for r in &rows {
+        println!("{:<32} {:>14} {:>14.2}", r.label, "-", r.measured);
+    }
+    let adaptive = phased[2].total_nanos as f64;
+    println!(
+        "   adaptive within {:.0}% of best static ({} reconfigurations)",
+        (adaptive / best_static - 1.0) * 100.0,
+        phased[2].reconfigurations
+    );
+    for r in &phased {
+        records.push(AblationRecord {
+            experiment: "phased",
+            label: r.lock.clone(),
+            value: r.total_nanos as f64 / 1e6,
+        });
+    }
+
+    // 3. Queue-lock baselines under uniform contention.
+    print_header("Ablation: uniform contention, full lock family", "ms");
+    for spec in [
+        LockSpec::Spin,
+        LockSpec::SpinBackoff,
+        LockSpec::Ticket,
+        LockSpec::Mcs,
+        LockSpec::Blocking,
+        LockSpec::Combined(10),
+        LockSpec::Adaptive { threshold: 6, n: 10 },
+    ] {
+        let t = uniform_contention(spec, 6, 40);
+        println!("{:<32} {:>14} {:>14.2}", spec.label(), "-", t.as_millis_f64());
+        records.push(AblationRecord {
+            experiment: "uniform-contention",
+            label: spec.label(),
+            value: t.as_millis_f64(),
+        });
+    }
+
+    // 4. Scheduler *adaptation* (the paper's stated future work):
+    //    an adaptive lock driven by SchedulerAdapt installs the priority
+    //    scheduler when queues stay deep and reverts to FCFS when they
+    //    drain; measure a deep-contention burst's high-priority waiter
+    //    latency with and without it.
+    print_header("Ablation: closely-coupled scheduler adaptation", "us");
+    let (static_us, adaptive_us, switched) = scheduler_adaptation_run();
+    println!("{:<32} {:>14} {:>14.1}", "static FCFS, vip wait", "-", static_us);
+    println!("{:<32} {:>14} {:>14.1}", "SchedulerAdapt, vip wait", "-", adaptive_us);
+    println!(
+        "   scheduler was reconfigured at runtime: {switched}; vip latency {}",
+        if adaptive_us < static_us {
+            "improved, as the future-work hypothesis predicts"
+        } else {
+            "did not improve (burst too short for the policy)"
+        }
+    );
+    records.push(AblationRecord {
+        experiment: "scheduler-adaptation",
+        label: "fcfs-static".into(),
+        value: static_us,
+    });
+    records.push(AblationRecord {
+        experiment: "scheduler-adaptation",
+        label: "scheduler-adapt".into(),
+        value: adaptive_us,
+    });
+
+    let path = write_json("ablation_schedulers", &records);
+    println!("\nrecords written to {}", path.display());
+}
+
+/// Deep-contention burst with one high-priority ("vip") thread among
+/// uniform workers; returns (static FCFS vip wait, SchedulerAdapt vip
+/// wait, whether the adaptive run actually switched schedulers) in µs.
+fn scheduler_adaptation_run() -> (f64, f64, bool) {
+    use adaptive_locks::{priority, AdaptiveLock, SchedKind, SchedulerAdapt, WaitingPolicy};
+
+    fn run(adaptive: bool) -> (f64, bool) {
+        let ((wait_us, switched), _) = sim::run(SimConfig::butterfly(8), move || {
+            let lock = Arc::new(if adaptive {
+                AdaptiveLock::with_parts(
+                    ctx::current_node(),
+                    WaitingPolicy::pure_blocking(),
+                    SchedKind::Fcfs,
+                    adaptive_locks::LockCosts::default(),
+                    Box::new(SchedulerAdapt::new(3, 2)),
+                    1,
+                )
+            } else {
+                AdaptiveLock::with_parts(
+                    ctx::current_node(),
+                    WaitingPolicy::pure_blocking(),
+                    SchedKind::Fcfs,
+                    adaptive_locks::LockCosts::default(),
+                    Box::new(adaptive_core::FnPolicy::new("static", |_| {
+                        None::<adaptive_locks::LockDecision>
+                    })),
+                    1,
+                )
+            });
+            // Seven uniform workers keep the queue deep.
+            let workers: Vec<_> = (1..8)
+                .map(|p| {
+                    let lock = Arc::clone(&lock);
+                    cthreads::fork(ProcId(p), format!("w{p}"), move || {
+                        for _ in 0..30 {
+                            with_lock(lock.as_ref(), || ctx::advance(Duration::micros(300)));
+                        }
+                    })
+                })
+                .collect();
+            // Let the queue build and the policy observe it.
+            ctx::advance(Duration::millis(3));
+            // The vip thread measures its acquisition latency.
+            priority::set(10);
+            let mut total = 0u64;
+            let samples = 6;
+            for _ in 0..samples {
+                let t0 = ctx::now();
+                lock.lock();
+                total += ctx::now().since(t0).as_nanos();
+                ctx::advance(Duration::micros(50));
+                lock.unlock();
+                ctx::advance(Duration::micros(200));
+            }
+            priority::set(0);
+            for w in workers {
+                w.join();
+            }
+            let switched = lock
+                .inner()
+                .transition_log()
+                .transitions()
+                .iter()
+                .any(|t| t.to.starts_with("priority{"));
+            (total as f64 / samples as f64 / 1e3, switched)
+        })
+        .unwrap();
+        (wait_us, switched)
+    }
+
+    let (static_us, _) = run(false);
+    let (adaptive_us, switched) = run(true);
+    (static_us, adaptive_us, switched)
+}

@@ -1,0 +1,143 @@
+//! Figure 1: application execution time vs critical-section length, for
+//! pure spin, pure blocking, and combined(1)/(10)/(50) locks, with more
+//! runnable threads than processors.
+//!
+//! Shape targets (the figure's qualitative content):
+//! * for short critical sections, spinning-style locks beat blocking;
+//! * for long critical sections, blocking beats spinning (a spinning
+//!   waiter starves the other threads sharing its processor);
+//! * combined(10) beats combined(1) over a range of section lengths, and
+//!   combined(50) is worse than combined(10) on that same range — i.e.
+//!   the optimal initial spin count is workload-dependent, the paper's
+//!   motivation for adaptive locks.
+
+use bench::{write_csv, write_json, Scale};
+use butterfly_sim::Duration;
+use workloads::{figure1_locks, run_sweep, SweepConfig};
+
+fn main() {
+    let cfg = match bench::scale() {
+        Scale::Full => SweepConfig {
+            processors: 4,
+            threads: 8,
+            iters: 60,
+            ..SweepConfig::default()
+        },
+        Scale::Quick => SweepConfig {
+            processors: 4,
+            threads: 8,
+            iters: 25,
+            ..SweepConfig::default()
+        },
+    };
+    let cs_lengths: Vec<Duration> = [5u64, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000]
+        .into_iter()
+        .map(Duration::micros)
+        .collect();
+
+    println!(
+        "Figure 1 sweep: {} threads on {} processors, {} iterations/thread",
+        cfg.threads, cfg.processors, cfg.iters
+    );
+    let points = run_sweep(&cfg, &figure1_locks(), &cs_lengths);
+
+    // Print as a matrix: rows = cs length, columns = lock.
+    let locks: Vec<String> = figure1_locks().iter().map(|s| s.label()).collect();
+    print!("\n{:>10}", "cs (us)");
+    for l in &locks {
+        print!(" {l:>14}");
+    }
+    println!("  (total execution time, ms)");
+    for &cs in &cs_lengths {
+        print!("{:>10}", cs.as_micros_f64());
+        for l in &locks {
+            let p = points
+                .iter()
+                .find(|p| p.lock == *l && p.cs_nanos == cs.as_nanos())
+                .unwrap();
+            print!(" {:>14.2}", p.total_nanos as f64 / 1e6);
+        }
+        println!();
+    }
+
+    // Figure-level shape checks.
+    let total = |lock: &str, cs_us: u64| {
+        points
+            .iter()
+            .find(|p| p.lock == lock && p.cs_nanos == cs_us * 1_000)
+            .unwrap()
+            .total_nanos
+    };
+    let short = 5;
+    let long = 5_000;
+    println!();
+    println!(
+        "short sections ({short}us): spin {:.2}ms vs blocking {:.2}ms -> {}",
+        total("spin", short) as f64 / 1e6,
+        total("blocking", short) as f64 / 1e6,
+        if total("spin", short) < total("blocking", short) {
+            "spin wins (as in the paper)"
+        } else {
+            "UNEXPECTED"
+        }
+    );
+    println!(
+        "long sections ({long}us): spin {:.2}ms vs blocking {:.2}ms -> {}",
+        total("spin", long) as f64 / 1e6,
+        total("blocking", long) as f64 / 1e6,
+        if total("blocking", long) < total("spin", long) {
+            "blocking wins (as in the paper)"
+        } else {
+            "UNEXPECTED"
+        }
+    );
+    // The paper's combined-lock observation: "the lock spinning 10 times
+    // performs better than that spinning once for certain lengths of
+    // critical sections [and] the lock spinning 50 times performs worse
+    // than the lock spinning 10 times for critical sections of the same
+    // length" — i.e. there exist section lengths where combined(10)
+    // beats both neighbours.
+    let sweet_spots: Vec<u64> = [5u64, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000]
+        .into_iter()
+        .filter(|&cs| {
+            total("combined(10)", cs) < total("combined(1)", cs)
+                && total("combined(10)", cs) < total("combined(50)", cs)
+        })
+        .collect();
+    println!(
+        "combined(10) beats BOTH combined(1) and combined(50) at cs = {sweet_spots:?} us {}",
+        if sweet_spots.is_empty() {
+            "(UNEXPECTED: no sweet spot found)"
+        } else {
+            "(the paper's combined-lock observation)"
+        }
+    );
+    // And the optimum moves with the section length (no single winner).
+    let winners: std::collections::BTreeSet<&str> = [50u64, 200, 1_000]
+        .into_iter()
+        .map(|cs| {
+            ["combined(1)", "combined(10)", "combined(50)"]
+                .into_iter()
+                .min_by(|a, b| total(a, cs).cmp(&total(b, cs)))
+                .unwrap()
+        })
+        .collect();
+    println!(
+        "best combined lock varies across lengths: {winners:?} -> the optimal spin count is \
+         workload-dependent (the paper's case for adaptivity)"
+    );
+
+    // CSV for plotting.
+    let mut csv = String::from("lock,cs_us,total_ms\n");
+    for p in &points {
+        csv.push_str(&format!(
+            "{},{},{}\n",
+            p.lock,
+            p.cs_nanos as f64 / 1e3,
+            p.total_nanos as f64 / 1e6
+        ));
+    }
+    let cpath = write_csv("fig1_csweep", &csv);
+    let jpath = write_json("fig1_csweep", &points);
+    println!("\nwritten to {} and {}", cpath.display(), jpath.display());
+}

@@ -1,0 +1,105 @@
+//! Figures 4–9: locking patterns (number of waiting threads over time)
+//! for `qlock` and `glob-act-lock` in the centralized, distributed, and
+//! distributed+load-balancing TSP implementations.
+//!
+//! Shape targets: the centralized `qlock` shows sustained, high waiting
+//! counts (Figure 4); the distributed implementations show much lower
+//! `qlock` contention (Figures 6 and 8); `glob-act-lock` shows bursts
+//! around the start/drain phases (Figures 5, 7, 9).
+
+use bench::{write_csv, write_json, Scale};
+use butterfly_sim::{self as sim, SimConfig};
+use serde::Serialize;
+use thread_monitor::{pattern_series, to_long_csv, Series};
+use tsp_app::{solve_parallel, LockImpl, TspConfig, TspInstance, Variant};
+
+#[derive(Serialize)]
+struct PatternSummary {
+    figure: &'static str,
+    series: String,
+    samples: usize,
+    mean_waiting: f64,
+    max_waiting: f64,
+}
+
+fn main() {
+    let (cities, searchers, ns_per_cell) = match bench::scale() {
+        Scale::Full => (32usize, 10usize, 560u64),
+        Scale::Quick => (24, 10, 3600),
+    };
+    let seed = 1993;
+    let inst = TspInstance::random_euclidean(cities, 1000, seed);
+    println!("Locking patterns: {cities}-city TSP, {searchers} searchers, blocking locks (as in the paper's figures)");
+
+    let figures = [
+        (Variant::Centralized, "fig4", "fig5"),
+        (Variant::Distributed, "fig6", "fig7"),
+        (Variant::Balanced, "fig8", "fig9"),
+    ];
+
+    let mut all_series: Vec<Series> = Vec::new();
+    let mut summaries = Vec::new();
+
+    for (variant, qfig, afig) in figures {
+        let inst2 = inst.clone();
+        let cfg = TspConfig {
+            searchers,
+            lock_impl: LockImpl::Blocking,
+            expand_ns_per_cell: ns_per_cell,
+            trace_locks: true,
+            ..TspConfig::default()
+        };
+        let (res, _) = sim::run(SimConfig::butterfly(searchers), move || {
+            solve_parallel(&inst2, variant, cfg)
+        })
+        .unwrap();
+
+        let q = pattern_series(format!("{}/qlock", variant.label()), &res.qlock_trace);
+        let a = pattern_series(format!("{}/glob-act-lock", variant.label()), &res.act_trace);
+
+        for (fig, s) in [(qfig, &q), (afig, &a)] {
+            println!(
+                "\n{fig}: {:<28} mean waiting {:.2}, max {:.0}, {} samples",
+                s.name,
+                s.mean(),
+                s.max(),
+                s.len()
+            );
+            println!("  {}", s.sparkline(64));
+            summaries.push(PatternSummary {
+                figure: fig,
+                series: s.name.clone(),
+                samples: s.len(),
+                mean_waiting: s.mean(),
+                max_waiting: s.max(),
+            });
+        }
+        all_series.push(q);
+        all_series.push(a);
+    }
+
+    // Shape checks across figures.
+    let mean_of = |name: &str| {
+        all_series
+            .iter()
+            .find(|s| s.name == name)
+            .map(Series::mean)
+            .unwrap_or(0.0)
+    };
+    let qc = mean_of("centralized/qlock");
+    let qd = mean_of("distributed/qlock");
+    let qb = mean_of("distributed+lb/qlock");
+    println!();
+    println!(
+        "qlock mean waiting: centralized {qc:.2} vs distributed {qd:.2} vs lb {qb:.2} -> {}",
+        if qc > qd && qc > qb {
+            "centralized highest, as in the paper"
+        } else {
+            "UNEXPECTED ordering"
+        }
+    );
+
+    let cpath = write_csv("fig4_9_patterns", &to_long_csv(&all_series));
+    let jpath = write_json("fig4_9_patterns", &summaries);
+    println!("\nwritten to {} and {}", cpath.display(), jpath.display());
+}

@@ -1,0 +1,76 @@
+//! Table 8: costs of the basic adaptation mechanisms — explicit
+//! attribute-ownership acquisition, waiting-policy reconfiguration,
+//! scheduler reconfiguration, and monitoring one state variable — plus
+//! the paper's `n1 R n2 W` cost-model view of the two configure
+//! operations.
+//!
+//! Shape targets: monitor > acquisition > configure(scheduler) >
+//! configure(waiting policy); remote > local; waiting-policy change is
+//! `1R 1W` and scheduler change `5W` exactly (three sub-module pointers
+//! plus set/reset of the configuration-delay flag).
+
+use bench::{print_header, print_rows_with_verdict, write_json, Row};
+use butterfly_sim::NodeId;
+use serde::Serialize;
+use workloads::{config_op_costs, config_op_rw_costs};
+
+#[derive(Serialize)]
+struct ConfigCostRecord {
+    operation: String,
+    local_us: f64,
+    remote_us: f64,
+}
+
+fn main() {
+    let (acq_l, pol_l, sch_l, mon_l) = config_op_costs(NodeId(0));
+    let (acq_r, pol_r, sch_r, mon_r) = config_op_costs(NodeId(2));
+
+    let records = vec![
+        ConfigCostRecord {
+            operation: "acquisition".into(),
+            local_us: acq_l.as_micros_f64(),
+            remote_us: acq_r.as_micros_f64(),
+        },
+        ConfigCostRecord {
+            operation: "configure(waiting policy)".into(),
+            local_us: pol_l.as_micros_f64(),
+            remote_us: pol_r.as_micros_f64(),
+        },
+        ConfigCostRecord {
+            operation: "configure(scheduler)".into(),
+            local_us: sch_l.as_micros_f64(),
+            remote_us: sch_r.as_micros_f64(),
+        },
+        ConfigCostRecord {
+            operation: "monitor (one state variable)".into(),
+            local_us: mon_l.as_micros_f64(),
+            remote_us: mon_r.as_micros_f64(),
+        },
+    ];
+
+    print_header("Table 8: lock configuration operations (local)", "us");
+    print_rows_with_verdict(&[
+        Row::new("configure(waiting policy)", 9.87, pol_l.as_micros_f64()),
+        Row::new("configure(scheduler)", 12.51, sch_l.as_micros_f64()),
+        Row::new("acquisition", 30.75, acq_l.as_micros_f64()),
+        Row::new("monitor (one state variable)", 66.03, mon_l.as_micros_f64()),
+    ]);
+    print_header("Table 8: lock configuration operations (remote)", "us");
+    print_rows_with_verdict(&[
+        Row::new("configure(waiting policy)", 14.45, pol_r.as_micros_f64()),
+        Row::new("configure(scheduler)", 20.83, sch_r.as_micros_f64()),
+        Row::new("acquisition", 33.92, acq_r.as_micros_f64()),
+    ]);
+
+    let (policy_rw, sched_rw) = config_op_rw_costs();
+    println!("\nabstract costs (t = n1 R n2 W):");
+    println!("  configure(waiting policy): {policy_rw}   (paper: one read + one write)");
+    println!("  configure(scheduler):      {sched_rw}   (paper: 3 sub-modules + set flag + reset flag)");
+    assert_eq!(policy_rw.reads, 1);
+    assert_eq!(policy_rw.writes, 1);
+    assert_eq!(sched_rw.reads, 0);
+    assert_eq!(sched_rw.writes, 5);
+
+    let path = write_json("table8_config_costs", &records);
+    println!("\nrecords written to {}", path.display());
+}

@@ -1,0 +1,128 @@
+//! Tables 4 and 5: latencies of uncontended Lock and Unlock operations
+//! for each lock implementation, with the lock placed in local vs
+//! remote memory.
+//!
+//! Shape targets: `atomior` is the cheapest row; the spin locks cost a
+//! little more (package overhead on top of one RMW); the blocking lock
+//! costs the most (always registers through its guard; release interacts
+//! with the thread scheduler); the adaptive lock's Lock op is comparable
+//! to a spin lock (single-CAS fast path) while its Unlock sits between
+//! spin and blocking (amortized monitoring); every remote column exceeds
+//! its local column.
+
+use bench::{print_header, print_rows_with_verdict, write_json, Row};
+use butterfly_sim::NodeId;
+use serde::Serialize;
+use workloads::{atomior_cost, lock_unlock_cost, LockSpec};
+
+#[derive(Serialize)]
+struct CostRecord {
+    lock: String,
+    local_lock_us: f64,
+    remote_lock_us: f64,
+    local_unlock_us: f64,
+    remote_unlock_us: f64,
+}
+
+fn main() {
+    let iters = 64;
+    let local = NodeId(0);
+    let remote = NodeId(2);
+
+    let specs = [
+        LockSpec::Spin,
+        LockSpec::SpinBackoff,
+        LockSpec::Blocking,
+        LockSpec::Adaptive { threshold: 3, n: 5 },
+        // Extra baselines beyond the paper's rows:
+        LockSpec::Ticket,
+        LockSpec::Mcs,
+    ];
+
+    let atom_l = atomior_cost(local, iters);
+    let atom_r = atomior_cost(remote, iters);
+
+    let mut records = vec![CostRecord {
+        lock: "atomior".into(),
+        local_lock_us: atom_l.as_micros_f64(),
+        remote_lock_us: atom_r.as_micros_f64(),
+        local_unlock_us: 0.0,
+        remote_unlock_us: 0.0,
+    }];
+    for spec in specs {
+        let (ll, lu) = lock_unlock_cost(spec, local, iters);
+        let (rl, ru) = lock_unlock_cost(spec, remote, iters);
+        records.push(CostRecord {
+            lock: spec.label(),
+            local_lock_us: ll.as_micros_f64(),
+            remote_lock_us: rl.as_micros_f64(),
+            local_unlock_us: lu.as_micros_f64(),
+            remote_unlock_us: ru.as_micros_f64(),
+        });
+    }
+
+    // Table 4 (Lock op), paper values in microseconds.
+    let paper_lock: &[(&str, f64, f64)] = &[
+        ("atomior", 30.73, 33.86),
+        ("spin", 40.79, 41.10),
+        ("spin-backoff", 40.79, 41.15),
+        ("blocking", 88.59, 91.73),
+        ("adaptive", 40.79, 41.17),
+    ];
+    print_header("Table 4: cost of the Lock operation (local)", "us");
+    let rows: Vec<Row> = paper_lock
+        .iter()
+        .map(|&(name, p, _)| {
+            let m = records.iter().find(|r| r.lock == name).unwrap();
+            Row::new(name, p, m.local_lock_us)
+        })
+        .collect();
+    print_rows_with_verdict(&rows);
+    print_header("Table 4: cost of the Lock operation (remote)", "us");
+    let rows: Vec<Row> = paper_lock
+        .iter()
+        .map(|&(name, _, p)| {
+            let m = records.iter().find(|r| r.lock == name).unwrap();
+            Row::new(name, p, m.remote_lock_us)
+        })
+        .collect();
+    print_rows_with_verdict(&rows);
+
+    // Table 5 (Unlock op), paper values in microseconds.
+    let paper_unlock: &[(&str, f64, f64)] = &[
+        ("spin", 4.99, 7.23),
+        ("spin-backoff", 5.01, 7.25),
+        ("adaptive", 50.07, 61.69),
+        ("blocking", 62.32, 73.45),
+    ];
+    print_header("Table 5: cost of the Unlock operation (local)", "us");
+    let rows: Vec<Row> = paper_unlock
+        .iter()
+        .map(|&(name, p, _)| {
+            let m = records.iter().find(|r| r.lock == name).unwrap();
+            Row::new(name, p, m.local_unlock_us)
+        })
+        .collect();
+    print_rows_with_verdict(&rows);
+    print_header("Table 5: cost of the Unlock operation (remote)", "us");
+    let rows: Vec<Row> = paper_unlock
+        .iter()
+        .map(|&(name, _, p)| {
+            let m = records.iter().find(|r| r.lock == name).unwrap();
+            Row::new(name, p, m.remote_unlock_us)
+        })
+        .collect();
+    print_rows_with_verdict(&rows);
+
+    println!("\nextra baselines (not in the paper):");
+    for name in ["ticket", "mcs"] {
+        let m = records.iter().find(|r| r.lock == name).unwrap();
+        println!(
+            "  {:<14} lock {:>7.2}/{:<7.2} us  unlock {:>6.2}/{:<6.2} us (local/remote)",
+            m.lock, m.local_lock_us, m.remote_lock_us, m.local_unlock_us, m.remote_unlock_us
+        );
+    }
+
+    let path = write_json("tables4_5_lock_costs", &records);
+    println!("\nrecords written to {}", path.display());
+}

@@ -1,0 +1,96 @@
+//! Tables 6 and 7: cost of a successive Unlock-then-Lock (the "locking
+//! cycle") on an already locked lock — the idle gap between a release
+//! and the waiting thread's acquisition.
+//!
+//! Table 6 covers the static locks; Table 7 the adaptive lock explicitly
+//! configured as spin and as blocking (its cycle must span the two
+//! extremes). Shape targets: spin < spin-with-backoff < blocking;
+//! remote > local; adaptive-as-spin near the spin row, adaptive-as-
+//! blocking near (or above) the blocking row.
+
+use adaptive_locks::{
+    BlockingLock, LockCosts, ReconfigurableLock, SchedKind, SpinBackoffLock, SpinLock,
+    WaitingPolicy,
+};
+use bench::{print_header, print_rows_with_verdict, write_json, Row};
+use butterfly_sim::{Duration, NodeId};
+use serde::Serialize;
+use workloads::measure_cycle_on;
+
+#[derive(Serialize)]
+struct CycleRecord {
+    lock: String,
+    local_us: f64,
+    remote_us: f64,
+}
+
+fn main() {
+    let rounds = 24;
+    let local = NodeId(0);
+    let remote = NodeId(2);
+
+    let spin_l = measure_cycle_on(local, SpinLock::new_on, rounds);
+    let spin_r = measure_cycle_on(remote, SpinLock::new_on, rounds);
+    let back_l = measure_cycle_on(local, SpinBackoffLock::new_on, rounds);
+    let back_r = measure_cycle_on(remote, SpinBackoffLock::new_on, rounds);
+    let block_l = measure_cycle_on(local, BlockingLock::new_on, rounds);
+    let block_r = measure_cycle_on(remote, BlockingLock::new_on, rounds);
+
+    let adaptive = |policy: WaitingPolicy| {
+        move |n: NodeId| {
+            ReconfigurableLock::with_parts("adaptive", n, policy, SchedKind::Fcfs, LockCosts::default())
+        }
+    };
+    let aspin_l = measure_cycle_on(local, adaptive(WaitingPolicy::pure_spin()), rounds);
+    let aspin_r = measure_cycle_on(remote, adaptive(WaitingPolicy::pure_spin()), rounds);
+    let ablock_l = measure_cycle_on(local, adaptive(WaitingPolicy::pure_blocking()), rounds);
+    let ablock_r = measure_cycle_on(remote, adaptive(WaitingPolicy::pure_blocking()), rounds);
+
+    let records = vec![
+        CycleRecord { lock: "spin".into(), local_us: spin_l.as_micros_f64(), remote_us: spin_r.as_micros_f64() },
+        CycleRecord { lock: "spin-backoff".into(), local_us: back_l.as_micros_f64(), remote_us: back_r.as_micros_f64() },
+        CycleRecord { lock: "blocking".into(), local_us: block_l.as_micros_f64(), remote_us: block_r.as_micros_f64() },
+        CycleRecord { lock: "adaptive(spin)".into(), local_us: aspin_l.as_micros_f64(), remote_us: aspin_r.as_micros_f64() },
+        CycleRecord { lock: "adaptive(blocking)".into(), local_us: ablock_l.as_micros_f64(), remote_us: ablock_r.as_micros_f64() },
+    ];
+
+    print_header("Table 6: locking cycle, static locks (local)", "us");
+    print_rows_with_verdict(&[
+        Row::new("spin", 45.13, spin_l.as_micros_f64()),
+        Row::new("spin-with-backoff", 320.36, back_l.as_micros_f64()),
+        Row::new("blocking", 510.55, block_l.as_micros_f64()),
+    ]);
+    print_header("Table 6: locking cycle, static locks (remote)", "us");
+    print_rows_with_verdict(&[
+        Row::new("spin", 47.89, spin_r.as_micros_f64()),
+        Row::new("spin-with-backoff", 356.95, back_r.as_micros_f64()),
+        Row::new("blocking", 563.79, block_r.as_micros_f64()),
+    ]);
+
+    print_header("Table 7: locking cycle, adaptive lock (local)", "us");
+    print_rows_with_verdict(&[
+        Row::new("configured as spin", 90.21, aspin_l.as_micros_f64()),
+        Row::new("configured as blocking", 565.16, ablock_l.as_micros_f64()),
+    ]);
+    print_header("Table 7: locking cycle, adaptive lock (remote)", "us");
+    print_rows_with_verdict(&[
+        Row::new("configured as spin", 101.38, aspin_r.as_micros_f64()),
+        Row::new("configured as blocking", 625.63, ablock_r.as_micros_f64()),
+    ]);
+
+    // Cross-table shape checks.
+    assert!(spin_l < block_l, "spin cycle must undercut blocking cycle");
+    assert!(aspin_l < ablock_l, "adaptive-as-spin must undercut adaptive-as-blocking");
+    println!(
+        "\nadaptive cycle spans the static extremes: spin {:.1}us <= adaptive(spin) {:.1}us, \
+         adaptive(blocking) {:.1}us vs blocking {:.1}us",
+        spin_l.as_micros_f64(),
+        aspin_l.as_micros_f64(),
+        ablock_l.as_micros_f64(),
+        block_l.as_micros_f64()
+    );
+    let _ = Duration::ZERO;
+
+    let path = write_json("tables6_7_cycle", &records);
+    println!("\nrecords written to {}", path.display());
+}

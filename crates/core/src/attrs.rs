@@ -1,0 +1,384 @@
+//! Mutable object attributes (the paper's `CV` sub-state).
+//!
+//! An adaptive object's configuration is partly determined by a set of
+//! named attributes that "may be specified and changed orthogonally to
+//! the object's class". Attributes carry two time-dependent properties
+//! (Section 3):
+//!
+//! * **mutability** — whether the attribute's value may currently be
+//!   changed;
+//! * **ownership** — which agent currently holds the right to change it.
+//!   Ownership is acquired *implicitly* (by invoking one of a designated
+//!   set of object methods — e.g. the lock holder reconfigures its own
+//!   lock) or *explicitly* (an external agent invokes the `acquire`
+//!   method).
+
+use serde::{Deserialize, Serialize};
+
+use crate::cost::OpCost;
+
+/// Attribute names are interned static strings.
+pub type AttrName = &'static str;
+
+/// An agent (thread or external monitor) that can own attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OwnerId(pub u64);
+
+/// A dynamically typed attribute value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum AttrValue {
+    /// An integer attribute (e.g. `spin-time`).
+    Int(i64),
+    /// A boolean attribute.
+    Bool(bool),
+    /// A symbolic tag (e.g. a scheduler name).
+    Tag(&'static str),
+}
+
+impl AttrValue {
+    /// Integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            AttrValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            AttrValue::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Tag payload, if this is a `Tag`.
+    pub fn as_tag(&self) -> Option<&'static str> {
+        match self {
+            AttrValue::Tag(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttrValue::Int(v) => write!(f, "{v}"),
+            AttrValue::Bool(v) => write!(f, "{v}"),
+            AttrValue::Tag(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Errors from attribute operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttrError {
+    /// No attribute with that name exists on the object.
+    Unknown(AttrName),
+    /// The attribute is currently immutable.
+    Immutable(AttrName),
+    /// The attribute is owned by a different agent.
+    Owned {
+        /// The attribute in question.
+        attr: AttrName,
+        /// Who holds it.
+        owner: OwnerId,
+    },
+    /// A type-mismatched value was supplied.
+    TypeMismatch(AttrName),
+}
+
+impl std::fmt::Display for AttrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttrError::Unknown(a) => write!(f, "unknown attribute `{a}`"),
+            AttrError::Immutable(a) => write!(f, "attribute `{a}` is immutable"),
+            AttrError::Owned { attr, owner } => {
+                write!(f, "attribute `{attr}` is owned by agent {}", owner.0)
+            }
+            AttrError::TypeMismatch(a) => write!(f, "type mismatch for attribute `{a}`"),
+        }
+    }
+}
+
+impl std::error::Error for AttrError {}
+
+#[derive(Debug, Clone, Serialize)]
+struct AttrCell {
+    name: AttrName,
+    value: AttrValue,
+    mutable: bool,
+    owner: Option<OwnerId>,
+}
+
+/// An ordered set of attributes — one instance of the paper's `CV`.
+///
+/// Small and array-backed: adaptive objects have a handful of attributes
+/// and the set is consulted on hot paths.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct AttrSet {
+    cells: Vec<AttrCell>,
+}
+
+impl AttrSet {
+    /// An empty attribute set.
+    pub fn new() -> AttrSet {
+        AttrSet::default()
+    }
+
+    /// Add an attribute (builder style). Panics on duplicate names —
+    /// attribute vocabularies are static per object class.
+    pub fn with(mut self, name: AttrName, value: AttrValue) -> AttrSet {
+        assert!(
+            self.find(name).is_none(),
+            "duplicate attribute `{name}` in AttrSet"
+        );
+        self.cells.push(AttrCell {
+            name,
+            value,
+            mutable: true,
+            owner: None,
+        });
+        self
+    }
+
+    fn find(&self, name: AttrName) -> Option<usize> {
+        self.cells.iter().position(|c| c.name == name)
+    }
+
+    /// Current value of `name`.
+    pub fn get(&self, name: AttrName) -> Result<AttrValue, AttrError> {
+        self.find(name)
+            .map(|i| self.cells[i].value)
+            .ok_or(AttrError::Unknown(name))
+    }
+
+    /// Integer value of `name` (convenience for hot paths).
+    pub fn get_int(&self, name: AttrName) -> Result<i64, AttrError> {
+        self.get(name)?
+            .as_int()
+            .ok_or(AttrError::TypeMismatch(name))
+    }
+
+    /// Set `name` to `value` on behalf of `agent`, enforcing mutability,
+    /// ownership, and type stability. Returns the previous value.
+    ///
+    /// The paper costs a simple waiting-policy change as one read plus
+    /// one write; the corresponding [`OpCost`] is `set_cost()`.
+    pub fn set(
+        &mut self,
+        agent: OwnerId,
+        name: AttrName,
+        value: AttrValue,
+    ) -> Result<AttrValue, AttrError> {
+        let i = self.find(name).ok_or(AttrError::Unknown(name))?;
+        let cell = &mut self.cells[i];
+        if !cell.mutable {
+            return Err(AttrError::Immutable(name));
+        }
+        if let Some(owner) = cell.owner {
+            if owner != agent {
+                return Err(AttrError::Owned { attr: name, owner });
+            }
+        }
+        if std::mem::discriminant(&cell.value) != std::mem::discriminant(&value) {
+            return Err(AttrError::TypeMismatch(name));
+        }
+        Ok(std::mem::replace(&mut cell.value, value))
+    }
+
+    /// Cost of one simple attribute change (`1R 1W` in the paper).
+    pub const fn set_cost() -> OpCost {
+        OpCost::new(1, 1)
+    }
+
+    /// Freeze or thaw an attribute's mutability.
+    pub fn set_mutable(&mut self, name: AttrName, mutable: bool) -> Result<(), AttrError> {
+        let i = self.find(name).ok_or(AttrError::Unknown(name))?;
+        self.cells[i].mutable = mutable;
+        Ok(())
+    }
+
+    /// Whether `name` is currently mutable.
+    pub fn is_mutable(&self, name: AttrName) -> Result<bool, AttrError> {
+        self.find(name)
+            .map(|i| self.cells[i].mutable)
+            .ok_or(AttrError::Unknown(name))
+    }
+
+    /// Explicit ownership acquisition by an external agent (the paper's
+    /// rarely used `acquisition` method; cost comparable to test-and-set).
+    pub fn acquire(&mut self, agent: OwnerId, name: AttrName) -> Result<(), AttrError> {
+        let i = self.find(name).ok_or(AttrError::Unknown(name))?;
+        let cell = &mut self.cells[i];
+        match cell.owner {
+            None => {
+                cell.owner = Some(agent);
+                Ok(())
+            }
+            Some(o) if o == agent => Ok(()),
+            Some(o) => Err(AttrError::Owned { attr: name, owner: o }),
+        }
+    }
+
+    /// Release ownership previously acquired by `agent`.
+    pub fn release(&mut self, agent: OwnerId, name: AttrName) -> Result<(), AttrError> {
+        let i = self.find(name).ok_or(AttrError::Unknown(name))?;
+        let cell = &mut self.cells[i];
+        match cell.owner {
+            Some(o) if o == agent => {
+                cell.owner = None;
+                Ok(())
+            }
+            Some(o) => Err(AttrError::Owned { attr: name, owner: o }),
+            None => Ok(()),
+        }
+    }
+
+    /// Current owner of `name`, if any.
+    pub fn owner(&self, name: AttrName) -> Result<Option<OwnerId>, AttrError> {
+        self.find(name)
+            .map(|i| self.cells[i].owner)
+            .ok_or(AttrError::Unknown(name))
+    }
+
+    /// Attribute names in declaration order.
+    pub fn names(&self) -> impl Iterator<Item = AttrName> + '_ {
+        self.cells.iter().map(|c| c.name)
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+impl std::fmt::Display for AttrSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, c) in self.cells.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}={}", c.name, c.value)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lock_attrs() -> AttrSet {
+        AttrSet::new()
+            .with("spin-time", AttrValue::Int(10))
+            .with("delay-time", AttrValue::Int(0))
+            .with("sleep-time", AttrValue::Int(0))
+            .with("timeout", AttrValue::Int(0))
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut a = lock_attrs();
+        let agent = OwnerId(1);
+        assert_eq!(a.get_int("spin-time").unwrap(), 10);
+        let old = a.set(agent, "spin-time", AttrValue::Int(50)).unwrap();
+        assert_eq!(old, AttrValue::Int(10));
+        assert_eq!(a.get_int("spin-time").unwrap(), 50);
+    }
+
+    #[test]
+    fn unknown_attribute_is_error() {
+        let mut a = lock_attrs();
+        assert_eq!(a.get("nope"), Err(AttrError::Unknown("nope")));
+        assert_eq!(
+            a.set(OwnerId(1), "nope", AttrValue::Int(1)),
+            Err(AttrError::Unknown("nope"))
+        );
+    }
+
+    #[test]
+    fn immutability_blocks_set() {
+        let mut a = lock_attrs();
+        a.set_mutable("spin-time", false).unwrap();
+        assert_eq!(
+            a.set(OwnerId(1), "spin-time", AttrValue::Int(1)),
+            Err(AttrError::Immutable("spin-time"))
+        );
+        a.set_mutable("spin-time", true).unwrap();
+        assert!(a.set(OwnerId(1), "spin-time", AttrValue::Int(1)).is_ok());
+    }
+
+    #[test]
+    fn ownership_is_exclusive() {
+        let mut a = lock_attrs();
+        let (alice, bob) = (OwnerId(1), OwnerId(2));
+        a.acquire(alice, "spin-time").unwrap();
+        // Re-acquisition by the holder is idempotent.
+        a.acquire(alice, "spin-time").unwrap();
+        assert_eq!(
+            a.acquire(bob, "spin-time"),
+            Err(AttrError::Owned {
+                attr: "spin-time",
+                owner: alice
+            })
+        );
+        assert_eq!(
+            a.set(bob, "spin-time", AttrValue::Int(9)),
+            Err(AttrError::Owned {
+                attr: "spin-time",
+                owner: alice
+            })
+        );
+        // The owner can still set.
+        a.set(alice, "spin-time", AttrValue::Int(9)).unwrap();
+        a.release(alice, "spin-time").unwrap();
+        assert_eq!(a.owner("spin-time").unwrap(), None);
+        a.set(bob, "spin-time", AttrValue::Int(3)).unwrap();
+    }
+
+    #[test]
+    fn release_by_non_owner_is_error() {
+        let mut a = lock_attrs();
+        a.acquire(OwnerId(1), "timeout").unwrap();
+        assert!(matches!(
+            a.release(OwnerId(2), "timeout"),
+            Err(AttrError::Owned { .. })
+        ));
+    }
+
+    #[test]
+    fn type_stability_enforced() {
+        let mut a = lock_attrs();
+        assert_eq!(
+            a.set(OwnerId(1), "spin-time", AttrValue::Bool(true)),
+            Err(AttrError::TypeMismatch("spin-time"))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn duplicate_names_rejected() {
+        let _ = AttrSet::new()
+            .with("x", AttrValue::Int(0))
+            .with("x", AttrValue::Int(1));
+    }
+
+    #[test]
+    fn display_lists_attributes() {
+        let a = AttrSet::new()
+            .with("spin-time", AttrValue::Int(5))
+            .with("mode", AttrValue::Tag("fcfs"));
+        assert_eq!(format!("{a}"), "{spin-time=5, mode=fcfs}");
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+        assert_eq!(AttrSet::set_cost(), OpCost::new(1, 1));
+    }
+}

@@ -1,0 +1,189 @@
+//! The paper's operation cost model.
+//!
+//! Section 3.1 expresses the cost of every state-transition (Υ),
+//! reconfiguration (Ψ), and initialization (I) operation as
+//! `t = n1 R n2 W` — a count of memory reads and writes. [`OpCost`]
+//! carries that pair; [`CostLog`] accumulates per-operation records so
+//! that the cost of a *complex* reconfiguration ("obtained by adding
+//! costs of the individual operations") falls out by summation.
+
+use std::ops::{Add, AddAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// Cost of one primitive operation in memory reads and writes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCost {
+    /// `n1`: number of memory reads.
+    pub reads: u64,
+    /// `n2`: number of memory writes.
+    pub writes: u64,
+}
+
+impl OpCost {
+    /// Zero cost.
+    pub const ZERO: OpCost = OpCost { reads: 0, writes: 0 };
+
+    /// `n1 R n2 W`.
+    pub const fn new(reads: u64, writes: u64) -> OpCost {
+        OpCost { reads, writes }
+    }
+
+    /// A pure-read cost.
+    pub const fn reads(n: u64) -> OpCost {
+        OpCost { reads: n, writes: 0 }
+    }
+
+    /// A pure-write cost.
+    pub const fn writes(n: u64) -> OpCost {
+        OpCost { reads: 0, writes: n }
+    }
+
+    /// Total memory operations.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+impl Add for OpCost {
+    type Output = OpCost;
+    fn add(self, r: OpCost) -> OpCost {
+        OpCost {
+            reads: self.reads + r.reads,
+            writes: self.writes + r.writes,
+        }
+    }
+}
+
+impl AddAssign for OpCost {
+    fn add_assign(&mut self, r: OpCost) {
+        self.reads += r.reads;
+        self.writes += r.writes;
+    }
+}
+
+impl std::fmt::Display for OpCost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}R {}W", self.reads, self.writes)
+    }
+}
+
+/// Which of the paper's three configurable-method categories an operation
+/// belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Υ — a state-transition operation on the internal state `IV`.
+    StateTransition,
+    /// Ψ — a reconfiguration operation on the configuration `C = Γ × Φ`.
+    Reconfiguration,
+    /// I — an initialization operation.
+    Initialization,
+}
+
+impl std::fmt::Display for OpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            OpKind::StateTransition => "Υ",
+            OpKind::Reconfiguration => "Ψ",
+            OpKind::Initialization => "I",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One logged operation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CostRecord {
+    /// Operation name (e.g. `configure(waiting-policy)`).
+    pub op: String,
+    /// Operation category.
+    pub kind: OpKind,
+    /// Its `n1 R n2 W` cost.
+    pub cost: OpCost,
+}
+
+/// Accumulating log of operation costs.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct CostLog {
+    records: Vec<CostRecord>,
+}
+
+impl CostLog {
+    /// An empty log.
+    pub fn new() -> CostLog {
+        CostLog::default()
+    }
+
+    /// Append a record.
+    pub fn record(&mut self, op: impl Into<String>, kind: OpKind, cost: OpCost) {
+        self.records.push(CostRecord {
+            op: op.into(),
+            kind,
+            cost,
+        });
+    }
+
+    /// All records, in order.
+    pub fn records(&self) -> &[CostRecord] {
+        &self.records
+    }
+
+    /// Sum of all recorded costs (the paper's rule for complex
+    /// reconfigurations).
+    pub fn total(&self) -> OpCost {
+        self.records.iter().fold(OpCost::ZERO, |a, r| a + r.cost)
+    }
+
+    /// Sum of costs of one category.
+    pub fn total_of(&self, kind: OpKind) -> OpCost {
+        self.records
+            .iter()
+            .filter(|r| r.kind == kind)
+            .fold(OpCost::ZERO, |a, r| a + r.cost)
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_algebra() {
+        let a = OpCost::new(1, 2);
+        let b = OpCost::reads(3) + OpCost::writes(1);
+        assert_eq!(a + b, OpCost::new(4, 3));
+        assert_eq!((a + b).total(), 7);
+        assert_eq!(format!("{}", a), "1R 2W");
+    }
+
+    #[test]
+    fn log_sums_by_category() {
+        let mut log = CostLog::new();
+        log.record("init", OpKind::Initialization, OpCost::new(0, 4));
+        log.record("configure(waiting)", OpKind::Reconfiguration, OpCost::new(1, 1));
+        log.record("configure(scheduler)", OpKind::Reconfiguration, OpCost::new(0, 5));
+        log.record("lock", OpKind::StateTransition, OpCost::new(2, 1));
+        assert_eq!(log.total(), OpCost::new(3, 11));
+        assert_eq!(log.total_of(OpKind::Reconfiguration), OpCost::new(1, 6));
+        assert_eq!(log.total_of(OpKind::Initialization), OpCost::new(0, 4));
+        assert_eq!(log.len(), 4);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn opkind_display_is_greek() {
+        assert_eq!(format!("{}", OpKind::StateTransition), "Υ");
+        assert_eq!(format!("{}", OpKind::Reconfiguration), "Ψ");
+        assert_eq!(format!("{}", OpKind::Initialization), "I");
+    }
+}

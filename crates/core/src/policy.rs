@@ -1,0 +1,112 @@
+//! Adaptation policies.
+//!
+//! A policy is the user-provided `P` in the paper's feedback loop
+//! `M --v_i--> P --d_c--> Ψ`: it consumes monitored observations and
+//! produces reconfiguration decisions. Policies are object-specific —
+//! the lock crate instantiates [`AdaptationPolicy`] with lock
+//! observations and lock reconfiguration decisions.
+
+/// A user-provided adaptation policy.
+pub trait AdaptationPolicy<Obs>: Send {
+    /// The reconfiguration decision type this policy emits (`d_c`).
+    type Decision;
+
+    /// Consume one observation; `None` means "no change".
+    fn decide(&mut self, obs: Obs) -> Option<Self::Decision>;
+
+    /// Policy name for traces and reports.
+    fn name(&self) -> &'static str {
+        "policy"
+    }
+}
+
+impl<Obs, P> AdaptationPolicy<Obs> for Box<P>
+where
+    P: AdaptationPolicy<Obs> + ?Sized,
+{
+    type Decision = P::Decision;
+
+    fn decide(&mut self, obs: Obs) -> Option<Self::Decision> {
+        (**self).decide(obs)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// A policy that never adapts — turns an adaptive object back into a
+/// plain reconfigurable one. Useful as an experimental control.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullPolicy;
+
+impl<Obs> AdaptationPolicy<Obs> for NullPolicy {
+    type Decision = std::convert::Infallible;
+
+    fn decide(&mut self, _obs: Obs) -> Option<Self::Decision> {
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "null"
+    }
+}
+
+/// Adapt via a plain function (for tests and one-off experiments).
+pub struct FnPolicy<F> {
+    name: &'static str,
+    f: F,
+}
+
+impl<F> FnPolicy<F> {
+    /// Wrap `f` as a named policy.
+    pub fn new(name: &'static str, f: F) -> FnPolicy<F> {
+        FnPolicy { name, f }
+    }
+}
+
+impl<Obs, D, F> AdaptationPolicy<Obs> for FnPolicy<F>
+where
+    F: FnMut(Obs) -> Option<D> + Send,
+{
+    type Decision = D;
+
+    fn decide(&mut self, obs: Obs) -> Option<D> {
+        (self.f)(obs)
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_policy_never_decides() {
+        let mut p = NullPolicy;
+        for i in 0..10 {
+            assert!(AdaptationPolicy::<u32>::decide(&mut p, i).is_none());
+        }
+        assert_eq!(AdaptationPolicy::<u32>::name(&p), "null");
+    }
+
+    #[test]
+    fn fn_policy_threads_state() {
+        let mut seen = 0u32;
+        let mut p = FnPolicy::new("thresh", move |obs: u32| {
+            seen += obs;
+            if seen > 5 {
+                Some("block")
+            } else {
+                None
+            }
+        });
+        assert_eq!(p.decide(2), None);
+        assert_eq!(p.decide(2), None);
+        assert_eq!(p.decide(2), Some("block"));
+        assert_eq!(p.name(), "thresh");
+    }
+}

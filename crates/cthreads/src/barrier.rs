@@ -1,0 +1,191 @@
+//! A generation-counting barrier for simulated threads.
+
+use std::sync::{Arc, Mutex};
+
+use butterfly_sim::{ctx, NodeId, SimWord, ThreadId};
+
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+    waiters: Vec<ThreadId>,
+}
+
+/// A reusable barrier for a fixed party of `n` simulated threads.
+///
+/// Cloning yields another handle to the same barrier.
+#[derive(Clone)]
+pub struct Barrier {
+    n: usize,
+    /// Simulated word charged on arrival/inspection so barrier traffic is
+    /// visible to the NUMA cost model.
+    cell: SimWord,
+    state: Arc<Mutex<BarrierState>>,
+}
+
+/// Result of [`Barrier::wait`]: exactly one thread per generation is the
+/// leader (mirrors `std::sync::BarrierWaitResult`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierWaitResult {
+    /// Whether this thread was the last to arrive.
+    pub is_leader: bool,
+    /// The generation that completed.
+    pub generation: u64,
+}
+
+impl Barrier {
+    /// Create a barrier for `n` threads, homed on `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new_on(node: NodeId, n: usize) -> Barrier {
+        assert!(n > 0, "barrier party must be non-empty");
+        Barrier {
+            n,
+            cell: SimWord::new_on(node, 0),
+            state: Arc::new(Mutex::new(BarrierState {
+                arrived: 0,
+                generation: 0,
+                waiters: Vec::new(),
+            })),
+        }
+    }
+
+    /// Create a barrier homed on the caller's node.
+    pub fn new_local(n: usize) -> Barrier {
+        Barrier::new_on(ctx::current_node(), n)
+    }
+
+    /// Arrive at the barrier and block until all `n` parties have
+    /// arrived. The last arrival wakes everyone and is the leader.
+    pub fn wait(&self) -> BarrierWaitResult {
+        self.cell.fetch_add(1); // charged arrival
+        let my_gen;
+        {
+            let mut s = self.state.lock().unwrap();
+            my_gen = s.generation;
+            s.arrived += 1;
+            if s.arrived == self.n {
+                s.arrived = 0;
+                s.generation += 1;
+                let ws = std::mem::take(&mut s.waiters);
+                drop(s);
+                for w in ws {
+                    ctx::unpark(w);
+                }
+                return BarrierWaitResult {
+                    is_leader: true,
+                    generation: my_gen,
+                };
+            }
+            s.waiters.push(ctx::current());
+        }
+        loop {
+            ctx::park();
+            let s = self.state.lock().unwrap();
+            if s.generation > my_gen {
+                return BarrierWaitResult {
+                    is_leader: false,
+                    generation: my_gen,
+                };
+            }
+            // Spurious wake (stale unpark permit): re-register and wait.
+            drop(s);
+            let mut s = self.state.lock().unwrap();
+            if s.generation > my_gen {
+                return BarrierWaitResult {
+                    is_leader: false,
+                    generation: my_gen,
+                };
+            }
+            s.waiters.push(ctx::current());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::fork;
+    use butterfly_sim::{self as sim, Duration, ProcId, SimConfig, SimCell};
+
+    fn cfg(n: usize) -> SimConfig {
+        SimConfig {
+            processors: n,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn all_parties_pass_together() {
+        let (log, _) = sim::run(cfg(4), || {
+            let bar = Barrier::new_local(4);
+            let log = SimCell::new_local(Vec::<(usize, u8)>::new());
+            let handles: Vec<_> = (1..4)
+                .map(|p| {
+                    let (b2, l2) = (bar.clone(), log.clone());
+                    fork(ProcId(p), format!("w{p}"), move || {
+                        ctx::advance(Duration::micros(100 * p as u64));
+                        l2.poke(|v| v.push((p, 0)));
+                        b2.wait();
+                        l2.poke(|v| v.push((p, 1)));
+                    })
+                })
+                .collect();
+            log.poke(|v| v.push((0, 0)));
+            bar.wait();
+            log.poke(|v| v.push((0, 1)));
+            for h in handles {
+                h.join();
+            }
+            log.peek()
+        })
+        .unwrap();
+        // Every "before" entry must precede every "after" entry.
+        let last_before = log.iter().rposition(|&(_, ph)| ph == 0).unwrap();
+        let first_after = log.iter().position(|&(_, ph)| ph == 1).unwrap();
+        assert!(last_before < first_after, "barrier leaked: {log:?}");
+    }
+
+    #[test]
+    fn exactly_one_leader_per_generation() {
+        let (leaders, _) = sim::run(cfg(3), || {
+            let bar = Barrier::new_local(3);
+            let handles: Vec<_> = (1..3)
+                .map(|p| {
+                    let b2 = bar.clone();
+                    fork(ProcId(p), format!("w{p}"), move || {
+                        (0..4).map(|_| b2.wait().is_leader as u32).sum::<u32>()
+                    })
+                })
+                .collect();
+            let mine: u32 = (0..4).map(|_| bar.wait().is_leader as u32).sum();
+            let others: u32 = handles.into_iter().map(|h| h.join()).sum();
+            mine + others
+        })
+        .unwrap();
+        assert_eq!(leaders, 4, "one leader per each of the 4 generations");
+    }
+
+    #[test]
+    fn single_party_barrier_never_blocks() {
+        let (r, _) = sim::run(cfg(1), || {
+            let bar = Barrier::new_local(1);
+            let a = bar.wait();
+            let b = bar.wait();
+            (a, b)
+        })
+        .unwrap();
+        assert!(r.0.is_leader && r.1.is_leader);
+        assert_eq!(r.0.generation, 0);
+        assert_eq!(r.1.generation, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_party_barrier_rejected() {
+        // Constructing outside a sim is fine for new_on; validation fires
+        // before any ctx use.
+        let _ = Barrier::new_on(sim::NodeId(0), 0);
+    }
+}

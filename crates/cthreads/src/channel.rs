@@ -1,0 +1,289 @@
+//! A simulated multi-producer multi-consumer channel.
+//!
+//! Used by the thread-monitor substrate to stream trace records from
+//! application threads to a monitor thread, and generally useful for
+//! message-passing between simulated threads. Sends are charged one write
+//! against the channel's home node, receives one read — the cost shape of
+//! a shared mailbox on the Butterfly.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use butterfly_sim::{ctx, NodeId, SimWord, ThreadId};
+
+struct ChanState<T> {
+    queue: VecDeque<T>,
+    recv_waiters: VecDeque<ThreadId>,
+    senders: usize,
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and all
+/// senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "channel closed: all senders dropped")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Sending half; clone for additional producers.
+pub struct Sender<T> {
+    cell: SimWord,
+    state: Arc<Mutex<ChanState<T>>>,
+}
+
+/// Receiving half; clone for additional consumers.
+pub struct Receiver<T> {
+    cell: SimWord,
+    state: Arc<Mutex<ChanState<T>>>,
+}
+
+/// Create an unbounded channel homed on `node`.
+pub fn channel_on<T: Send>(node: NodeId) -> (Sender<T>, Receiver<T>) {
+    let state = Arc::new(Mutex::new(ChanState {
+        queue: VecDeque::new(),
+        recv_waiters: VecDeque::new(),
+        senders: 1,
+    }));
+    let cell = SimWord::new_on(node, 0);
+    (
+        Sender {
+            cell: cell.clone(),
+            state: Arc::clone(&state),
+        },
+        Receiver { cell, state },
+    )
+}
+
+/// Create an unbounded channel homed on the caller's node.
+pub fn channel<T: Send>() -> (Sender<T>, Receiver<T>) {
+    channel_on(ctx::current_node())
+}
+
+impl<T: Send> Sender<T> {
+    /// Enqueue a message (charged one write to the channel's home node)
+    /// and wake one blocked receiver, if any.
+    pub fn send(&self, value: T) {
+        self.cell.store(0); // charged mailbox write
+        let waiter = {
+            let mut s = self.state.lock().unwrap();
+            s.queue.push_back(value);
+            s.recv_waiters.pop_front()
+        };
+        if let Some(tid) = waiter {
+            ctx::unpark(tid);
+        }
+    }
+
+    /// Number of queued messages (monitor peek, no simulated cost).
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().queue.len()
+    }
+
+    /// Whether the queue is currently empty (monitor peek).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.state.lock().unwrap().senders += 1;
+        Sender {
+            cell: self.cell.clone(),
+            state: Arc::clone(&self.state),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let waiters = {
+            let mut s = self.state.lock().unwrap();
+            s.senders -= 1;
+            if s.senders == 0 {
+                std::mem::take(&mut s.recv_waiters)
+            } else {
+                VecDeque::new()
+            }
+        };
+        // Wake blocked receivers so they can observe closure. Drop can run
+        // outside the simulation (teardown), where unpark is unavailable.
+        if butterfly_sim::ctx::in_sim() {
+            for tid in waiters {
+                ctx::unpark(tid);
+            }
+        }
+    }
+}
+
+impl<T: Send> Receiver<T> {
+    /// Dequeue a message, blocking while the channel is empty. Returns
+    /// `Err(RecvError)` once empty with no remaining senders.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        loop {
+            self.cell.load(); // charged mailbox read
+            {
+                let mut s = self.state.lock().unwrap();
+                if let Some(v) = s.queue.pop_front() {
+                    return Ok(v);
+                }
+                if s.senders == 0 {
+                    return Err(RecvError);
+                }
+                s.recv_waiters.push_back(ctx::current());
+            }
+            ctx::park();
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<T> {
+        self.cell.load();
+        self.state.lock().unwrap().queue.pop_front()
+    }
+
+    /// Drain everything currently queued (single charged read).
+    pub fn drain(&self) -> Vec<T> {
+        self.cell.load();
+        self.state.lock().unwrap().queue.drain(..).collect()
+    }
+
+    /// Whether all senders have been dropped (the queue may still hold
+    /// undelivered messages). Monitor peek, no simulated cost.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().unwrap().senders == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Receiver {
+            cell: self.cell.clone(),
+            state: Arc::clone(&self.state),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::fork;
+    use butterfly_sim::{self as sim, Duration, ProcId, SimConfig};
+
+    fn cfg(n: usize) -> SimConfig {
+        SimConfig {
+            processors: n,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn send_then_recv() {
+        let (v, _) = sim::run(cfg(1), || {
+            let (tx, rx) = channel::<u32>();
+            tx.send(11);
+            tx.send(22);
+            (rx.recv().unwrap(), rx.recv().unwrap())
+        })
+        .unwrap();
+        assert_eq!(v, (11, 22));
+    }
+
+    #[test]
+    fn recv_blocks_until_send() {
+        let (v, _) = sim::run(cfg(2), || {
+            let (tx, rx) = channel::<u64>();
+            fork(ProcId(1), "producer", move || {
+                ctx::advance(Duration::millis(1));
+                tx.send(5);
+            });
+            let t0 = ctx::now();
+            let v = rx.recv().unwrap();
+            assert!(ctx::now().since(t0) >= Duration::millis(1) - Duration::micros(200));
+            v
+        })
+        .unwrap();
+        assert_eq!(v, 5);
+    }
+
+    #[test]
+    fn recv_errors_when_all_senders_dropped() {
+        let (r, _) = sim::run(cfg(2), || {
+            let (tx, rx) = channel::<u8>();
+            let h = fork(ProcId(1), "producer", move || {
+                tx.send(1);
+                // tx dropped here
+            });
+            h.join();
+            let first = rx.recv();
+            let second = rx.recv();
+            (first, second)
+        })
+        .unwrap();
+        assert_eq!(r.0, Ok(1));
+        assert_eq!(r.1, Err(RecvError));
+    }
+
+    #[test]
+    fn blocked_receiver_woken_by_sender_drop() {
+        let (r, _) = sim::run(cfg(2), || {
+            let (tx, rx) = channel::<u8>();
+            fork(ProcId(1), "producer", move || {
+                ctx::advance(Duration::millis(1));
+                drop(tx);
+            });
+            rx.recv()
+        })
+        .unwrap();
+        assert_eq!(r, Err(RecvError));
+    }
+
+    #[test]
+    fn try_recv_and_drain() {
+        let (out, _) = sim::run(cfg(1), || {
+            let (tx, rx) = channel::<u8>();
+            assert_eq!(rx.try_recv(), None);
+            tx.send(1);
+            tx.send(2);
+            tx.send(3);
+            let first = rx.try_recv();
+            let rest = rx.drain();
+            (first, rest)
+        })
+        .unwrap();
+        assert_eq!(out.0, Some(1));
+        assert_eq!(out.1, vec![2, 3]);
+    }
+
+    #[test]
+    fn multiple_producers() {
+        let (sum, _) = sim::run(cfg(4), || {
+            let (tx, rx) = channel::<u64>();
+            for p in 1..4 {
+                let txp = tx.clone();
+                fork(ProcId(p), format!("p{p}"), move || {
+                    for i in 0..10 {
+                        txp.send(p as u64 * 100 + i);
+                    }
+                });
+            }
+            drop(tx);
+            let mut sum = 0;
+            let mut n = 0;
+            while let Ok(v) = rx.recv() {
+                sum += v;
+                n += 1;
+            }
+            assert_eq!(n, 30);
+            sum
+        })
+        .unwrap();
+        let expected: u64 = (1..4u64).map(|p| (0..10).map(|i| p * 100 + i).sum::<u64>()).sum();
+        assert_eq!(sum, expected);
+    }
+}

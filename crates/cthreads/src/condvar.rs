@@ -1,0 +1,170 @@
+//! A condition variable for simulated threads.
+//!
+//! The Cthreads interface couples condition variables with a mutex held
+//! by the caller. Our lock types live in a higher-level crate, so this
+//! condition variable is *lock-agnostic*: [`Condvar::wait_with`] takes
+//! `release` / `reacquire` closures that unlock and relock whatever mutual
+//! exclusion the caller holds. As with POSIX condition variables, wakeups
+//! may be spurious; always re-check the predicate in a loop.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use butterfly_sim::{ctx, NodeId, SimWord, ThreadId};
+
+/// A simulated condition variable.
+///
+/// Cloning yields another handle to the same condition variable.
+#[derive(Clone)]
+pub struct Condvar {
+    /// One simulated word of state; waiter registration/deregistration is
+    /// charged against it so condvar traffic shows up in NUMA accounting.
+    cell: SimWord,
+    waiters: Arc<Mutex<VecDeque<ThreadId>>>,
+}
+
+impl Condvar {
+    /// Create a condition variable homed on `node`.
+    pub fn new_on(node: NodeId) -> Condvar {
+        Condvar {
+            cell: SimWord::new_on(node, 0),
+            waiters: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Create a condition variable homed on the caller's node.
+    pub fn new_local() -> Condvar {
+        Condvar::new_on(ctx::current_node())
+    }
+
+    /// Atomically (with respect to simulated threads) register as a
+    /// waiter, run `release` (dropping the caller's mutual exclusion),
+    /// block, and on wakeup run `reacquire` and return its result.
+    pub fn wait_with<R>(&self, release: impl FnOnce(), reacquire: impl FnOnce() -> R) -> R {
+        self.cell.fetch_add(1); // charged registration write
+        self.waiters.lock().unwrap().push_back(ctx::current());
+        release();
+        ctx::park();
+        reacquire()
+    }
+
+    /// Wake one waiter, if any. Returns whether a waiter was woken.
+    pub fn notify_one(&self) -> bool {
+        self.cell.load(); // charged inspection of waiter state
+        let w = self.waiters.lock().unwrap().pop_front();
+        match w {
+            Some(tid) => {
+                ctx::unpark(tid);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Wake all waiters. Returns how many were woken.
+    pub fn notify_all(&self) -> usize {
+        self.cell.load();
+        let ws = std::mem::take(&mut *self.waiters.lock().unwrap());
+        let n = ws.len();
+        for tid in ws {
+            ctx::unpark(tid);
+        }
+        n
+    }
+
+    /// Number of currently registered waiters (monitor peek, no cost).
+    pub fn waiter_count(&self) -> usize {
+        self.waiters.lock().unwrap().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::fork;
+    use butterfly_sim::{self as sim, Duration, ProcId, SimConfig, SimWord};
+
+    fn cfg(n: usize) -> SimConfig {
+        SimConfig {
+            processors: n,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn notify_one_wakes_single_waiter() {
+        let (v, _) = sim::run(cfg(2), || {
+            let cv = Condvar::new_local();
+            let flag = SimWord::new_local(0);
+            let (cv2, f2) = (cv.clone(), flag.clone());
+            let h = fork(ProcId(1), "waiter", move || {
+                while f2.load() == 0 {
+                    cv2.wait_with(|| {}, || {});
+                }
+                99u32
+            });
+            ctx::advance(Duration::millis(1));
+            flag.store(1);
+            cv.notify_one();
+            h.join()
+        })
+        .unwrap();
+        assert_eq!(v, 99);
+    }
+
+    #[test]
+    fn notify_all_wakes_everyone() {
+        let (n, _) = sim::run(cfg(4), || {
+            let cv = Condvar::new_local();
+            let go = SimWord::new_local(0);
+            let handles: Vec<_> = (1..4)
+                .map(|p| {
+                    let (cv2, g2) = (cv.clone(), go.clone());
+                    fork(ProcId(p), format!("w{p}"), move || {
+                        while g2.load() == 0 {
+                            cv2.wait_with(|| {}, || {});
+                        }
+                        1u32
+                    })
+                })
+                .collect();
+            ctx::advance(Duration::millis(1));
+            assert_eq!(cv.waiter_count(), 3);
+            go.store(1);
+            assert_eq!(cv.notify_all(), 3);
+            handles.into_iter().map(|h| h.join()).sum::<u32>()
+        })
+        .unwrap();
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn notify_one_without_waiters_is_false() {
+        let (ok, _) = sim::run(cfg(1), || {
+            let cv = Condvar::new_local();
+            !cv.notify_one() && cv.notify_all() == 0
+        })
+        .unwrap();
+        assert!(ok);
+    }
+
+    #[test]
+    fn wait_with_runs_release_before_blocking() {
+        let (order, _) = sim::run(cfg(2), || {
+            let cv = Condvar::new_local();
+            let released = SimWord::new_local(0);
+            let (cv2, r2) = (cv.clone(), released.clone());
+            let h = fork(ProcId(1), "w", move || {
+                cv2.wait_with(|| r2.store(1), || 5u32)
+            });
+            // Wait for the release side-effect, then notify.
+            while released.load() == 0 {
+                ctx::advance(Duration::micros(10));
+            }
+            cv.notify_one();
+            h.join()
+        })
+        .unwrap();
+        assert_eq!(order, 5);
+    }
+}

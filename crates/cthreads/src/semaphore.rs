@@ -1,0 +1,223 @@
+//! A counting semaphore for simulated threads.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use butterfly_sim::{ctx, NodeId, SimWord, ThreadId};
+
+struct SemState {
+    permits: u64,
+    waiters: VecDeque<ThreadId>,
+}
+
+/// A counting semaphore; clones share state.
+#[derive(Clone)]
+pub struct Semaphore {
+    /// Simulated word charged on acquire/release so semaphore traffic is
+    /// visible to the NUMA model.
+    cell: SimWord,
+    state: Arc<Mutex<SemState>>,
+}
+
+impl Semaphore {
+    /// Semaphore with `permits` initial permits, homed on `node`.
+    pub fn new_on(node: NodeId, permits: u64) -> Semaphore {
+        Semaphore {
+            cell: SimWord::new_on(node, permits),
+            state: Arc::new(Mutex::new(SemState {
+                permits,
+                waiters: VecDeque::new(),
+            })),
+        }
+    }
+
+    /// Semaphore homed on the caller's node.
+    pub fn new_local(permits: u64) -> Semaphore {
+        Semaphore::new_on(ctx::current_node(), permits)
+    }
+
+    /// Acquire one permit, blocking while none are available (FIFO).
+    pub fn acquire(&self) {
+        self.cell.fetch_sub(1); // charged accounting RMW
+        let me = ctx::current();
+        loop {
+            let next_to_wake = {
+                let mut s = self.state.lock().unwrap();
+                if !s.waiters.contains(&me) {
+                    // Fast path: permits available and nobody queued.
+                    if s.permits > 0 && s.waiters.is_empty() {
+                        s.permits -= 1;
+                        return;
+                    }
+                    s.waiters.push_back(me);
+                }
+                if s.permits > 0 && s.waiters.front() == Some(&me) {
+                    s.permits -= 1;
+                    s.waiters.pop_front();
+                    // Cascade: if more permits remain (several releases
+                    // landed before we woke), pass the wake along so the
+                    // next waiter is not stranded.
+                    if s.permits > 0 {
+                        s.waiters.front().copied()
+                    } else {
+                        None
+                    }
+                } else {
+                    drop(s);
+                    ctx::park();
+                    continue;
+                }
+            };
+            if let Some(t) = next_to_wake {
+                ctx::unpark(t);
+            }
+            return;
+        }
+    }
+
+    /// Try to acquire one permit without blocking.
+    pub fn try_acquire(&self) -> bool {
+        self.cell.load();
+        let mut s = self.state.lock().unwrap();
+        if s.permits > 0 && s.waiters.is_empty() {
+            s.permits -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Return one permit, waking the first waiter.
+    pub fn release(&self) {
+        self.cell.fetch_add(1); // charged accounting RMW
+        let waiter = {
+            let mut s = self.state.lock().unwrap();
+            s.permits += 1;
+            s.waiters.front().copied()
+        };
+        if let Some(tid) = waiter {
+            ctx::unpark(tid);
+        }
+    }
+
+    /// Current permit count (monitor peek).
+    pub fn permits(&self) -> u64 {
+        self.state.lock().unwrap().permits
+    }
+
+    /// Run `f` while holding one permit.
+    pub fn with<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.acquire();
+        let r = f();
+        self.release();
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::fork;
+    use butterfly_sim::{self as sim, Duration, ProcId, SimConfig, SimCell};
+
+    fn cfg(n: usize) -> SimConfig {
+        SimConfig {
+            processors: n,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn permits_bound_concurrency() {
+        // 2 permits, 4 workers with overlapping holds: at most 2 inside.
+        let (max_inside, _) = sim::run(cfg(4), || {
+            let sem = Semaphore::new_local(2);
+            let inside = SimCell::new_local((0i64, 0i64)); // (current, max)
+            let handles: Vec<_> = (0..4)
+                .map(|p| {
+                    let (sem, inside) = (sem.clone(), inside.clone());
+                    fork(ProcId(p), format!("w{p}"), move || {
+                        for _ in 0..5 {
+                            sem.with(|| {
+                                inside.poke(|v| {
+                                    v.0 += 1;
+                                    v.1 = v.1.max(v.0);
+                                });
+                                ctx::advance(Duration::micros(50));
+                                inside.poke(|v| v.0 -= 1);
+                            });
+                            ctx::advance(Duration::micros(10));
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+            inside.peek().1
+        })
+        .unwrap();
+        assert!(max_inside >= 2, "parallelism never reached the permit count");
+        assert!(max_inside <= 2, "semaphore admitted more than its permits");
+    }
+
+    #[test]
+    fn try_acquire_respects_exhaustion() {
+        let (out, _) = sim::run(cfg(1), || {
+            let sem = Semaphore::new_local(1);
+            let a = sem.try_acquire();
+            let b = sem.try_acquire();
+            sem.release();
+            let c = sem.try_acquire();
+            (a, b, c, sem.permits())
+        })
+        .unwrap();
+        assert!(out.0 && !out.1 && out.2);
+        assert_eq!(out.3, 0);
+    }
+
+    #[test]
+    fn blocked_acquirer_wakes_on_release() {
+        let (ok, _) = sim::run(cfg(2), || {
+            let sem = Semaphore::new_local(0);
+            let s2 = sem.clone();
+            fork(ProcId(1), "releaser", move || {
+                ctx::advance(Duration::millis(1));
+                s2.release();
+            });
+            let t0 = ctx::now();
+            sem.acquire();
+            // The releaser waits 1ms from *its* start; allow for the
+            // thread-creation charge between t0 and its clock.
+            ctx::now().since(t0) >= Duration::micros(700)
+        })
+        .unwrap();
+        assert!(ok, "acquire returned before the release");
+    }
+
+    #[test]
+    fn zero_permit_semaphore_as_signal() {
+        let (n, _) = sim::run(cfg(3), || {
+            let sem = Semaphore::new_local(0);
+            let done = SimCell::new_local(0u32);
+            let handles: Vec<_> = (1..3)
+                .map(|p| {
+                    let (sem, done) = (sem.clone(), done.clone());
+                    fork(ProcId(p), format!("w{p}"), move || {
+                        sem.acquire();
+                        done.poke(|v| *v += 1);
+                    })
+                })
+                .collect();
+            ctx::advance(Duration::millis(1));
+            sem.release();
+            sem.release();
+            for h in handles {
+                h.join();
+            }
+            done.peek()
+        })
+        .unwrap();
+        assert_eq!(n, 2);
+    }
+}

@@ -1,0 +1,201 @@
+//! The common lock interface and per-lock statistics.
+
+use butterfly_sim::{ctx, Duration, VirtualTime};
+
+/// Fixed software overheads of the lock package, mirroring the Cthreads
+/// wrapper costs that separate e.g. the raw `atomior` latency from the
+/// `spin-lock` latency in the paper's Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockCosts {
+    /// Charged at the top of every `lock` operation (call/registration
+    /// bookkeeping).
+    pub lock_overhead: Duration,
+    /// Charged at the top of every `unlock` operation.
+    pub unlock_overhead: Duration,
+    /// Extra processing cost of sensing one monitored state variable
+    /// (the paper's `monitor (one state variable)` row in Table 8 is much
+    /// more than a bare read).
+    pub monitor_overhead: Duration,
+}
+
+impl Default for LockCosts {
+    fn default() -> Self {
+        LockCosts {
+            lock_overhead: Duration::micros(8),
+            unlock_overhead: Duration::micros(3),
+            monitor_overhead: Duration::micros(10),
+        }
+    }
+}
+
+impl LockCosts {
+    /// A zero-overhead cost model (isolates the raw memory protocol, as
+    /// in the paper's `atomior` row).
+    pub const fn free() -> LockCosts {
+        LockCosts {
+            lock_overhead: Duration::ZERO,
+            unlock_overhead: Duration::ZERO,
+            monitor_overhead: Duration::ZERO,
+        }
+    }
+}
+
+/// Aggregate statistics kept by every lock (host-side: collecting them
+/// costs no simulated time; the *sampling* an adaptive lock performs is
+/// charged separately).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockStats {
+    /// Total successful acquisitions.
+    pub acquisitions: u64,
+    /// Acquisitions that found the lock held.
+    pub contended: u64,
+    /// Total unlock operations.
+    pub releases: u64,
+    /// Grants handed directly to a registered waiter.
+    pub handoffs: u64,
+    /// Sum of waiting time across contended acquisitions (ns).
+    pub total_wait_nanos: u64,
+    /// Largest number of simultaneous waiters observed.
+    pub max_waiting: u64,
+    /// Reconfigurations applied (adaptive/reconfigurable locks).
+    pub reconfigurations: u64,
+}
+
+impl LockStats {
+    /// Mean waiting time per contended acquisition.
+    pub fn mean_wait(&self) -> Duration {
+        Duration(
+            self.total_wait_nanos
+                .checked_div(self.contended)
+                .unwrap_or(0),
+        )
+    }
+
+    /// Fraction of acquisitions that were contended.
+    pub fn contention_ratio(&self) -> f64 {
+        if self.acquisitions == 0 {
+            0.0
+        } else {
+            self.contended as f64 / self.acquisitions as f64
+        }
+    }
+}
+
+/// A time-stamped sample of a lock's waiting-thread count — one point of
+/// the paper's "locking pattern" figures (4–9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatternSample {
+    /// When the sample was taken.
+    pub at: VirtualTime,
+    /// Number of threads waiting for the lock at that instant.
+    pub waiting: u64,
+}
+
+/// The mutual-exclusion interface shared by every lock in this crate.
+///
+/// All methods must be called from inside a simulated thread.
+pub trait Lock: Send + Sync {
+    /// Acquire the lock, waiting according to the lock's policy.
+    fn lock(&self);
+
+    /// Release the lock. Must be called by the current holder.
+    fn unlock(&self);
+
+    /// Attempt to acquire without waiting.
+    fn try_lock(&self) -> bool;
+
+    /// Lock-kind name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Current number of waiting threads (monitor peek, no simulated
+    /// cost). Locks without waiter bookkeeping report 0.
+    fn waiting_now(&self) -> u64 {
+        0
+    }
+
+    /// Statistics snapshot.
+    fn stats(&self) -> LockStats {
+        LockStats::default()
+    }
+
+    /// Enable locking-pattern tracing (records a [`PatternSample`] at
+    /// every unlock). Off by default; no-op for locks without waiter
+    /// bookkeeping.
+    fn enable_tracing(&self) {}
+
+    /// Drain collected pattern samples.
+    fn take_trace(&self) -> Vec<PatternSample> {
+        Vec::new()
+    }
+}
+
+/// Run `f` with the lock held (guard-style convenience).
+pub fn with_lock<R>(lock: &dyn Lock, f: impl FnOnce() -> R) -> R {
+    lock.lock();
+    let r = f();
+    lock.unlock();
+    r
+}
+
+/// Charge a lock operation's fixed software overhead.
+#[inline]
+pub(crate) fn charge_overhead(d: Duration) {
+    if d > Duration::ZERO {
+        ctx::advance(d);
+    }
+}
+
+/// Per-thread lock priority, consulted by priority lock schedulers at
+/// registration time. Defaults to 0; higher is more urgent.
+pub mod priority {
+    use std::cell::Cell;
+
+    thread_local! {
+        static PRIORITY: Cell<i32> = const { Cell::new(0) };
+    }
+
+    /// Set the calling simulated thread's lock priority.
+    pub fn set(p: i32) {
+        PRIORITY.with(|c| c.set(p));
+    }
+
+    /// The calling simulated thread's lock priority.
+    pub fn get() -> i32 {
+        PRIORITY.with(|c| c.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_derived_metrics() {
+        let s = LockStats {
+            acquisitions: 10,
+            contended: 4,
+            total_wait_nanos: 8_000,
+            ..LockStats::default()
+        };
+        assert_eq!(s.mean_wait(), Duration(2_000));
+        assert!((s.contention_ratio() - 0.4).abs() < 1e-9);
+        assert_eq!(LockStats::default().mean_wait(), Duration::ZERO);
+        assert_eq!(LockStats::default().contention_ratio(), 0.0);
+    }
+
+    #[test]
+    fn default_costs_are_ordered() {
+        let c = LockCosts::default();
+        assert!(c.lock_overhead > c.unlock_overhead);
+        assert!(c.monitor_overhead >= c.lock_overhead);
+        assert_eq!(LockCosts::free().lock_overhead, Duration::ZERO);
+    }
+
+    #[test]
+    fn priority_defaults_to_zero() {
+        assert_eq!(priority::get(), 0);
+        priority::set(7);
+        assert_eq!(priority::get(), 7);
+        priority::set(0);
+    }
+}

@@ -1,0 +1,290 @@
+//! An MCS queue lock (Mellor-Crummey & Scott), included as the classic
+//! local-spinning baseline: each waiter spins on a flag in its *own*
+//! memory module, so contention does not hammer the lock's home node.
+//! The paper's reconfigurable lock borrows exactly this idea for its
+//! registered waiters.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use butterfly_sim::{ctx, NodeId, SimWord};
+
+use crate::api::{charge_overhead, Lock, LockCosts, LockStats};
+
+/// One queue node: the waiter spins on `flag` (homed on its node);
+/// `next` is written by the successor during enqueue.
+struct QNode {
+    /// 0 = wait, 1 = granted.
+    flag: SimWord,
+    /// 0 = none, else successor record id.
+    next: SimWord,
+}
+
+/// The MCS list-based queue lock.
+pub struct McsLock {
+    /// 0 = free, else tail record id.
+    tail: SimWord,
+    nodes: Mutex<HashMap<u64, QNode>>,
+    next_id: SimWord,
+    costs: LockCosts,
+    stats: Mutex<LockStats>,
+}
+
+thread_local! {
+    /// Record id of this thread's in-flight acquisition, per lock
+    /// instance (keyed by the lock's address).
+    static MY_RECORD: std::cell::RefCell<HashMap<usize, u64>> =
+        std::cell::RefCell::new(HashMap::new());
+}
+
+impl McsLock {
+    /// Create on an explicit node.
+    pub fn new_on(node: NodeId) -> McsLock {
+        McsLock::with_costs(node, LockCosts::default())
+    }
+
+    /// Create on the caller's node.
+    pub fn new_local() -> McsLock {
+        McsLock::new_on(ctx::current_node())
+    }
+
+    /// Create with an explicit cost model.
+    pub fn with_costs(node: NodeId, costs: LockCosts) -> McsLock {
+        McsLock {
+            tail: SimWord::new_on(node, 0),
+            nodes: Mutex::new(HashMap::new()),
+            next_id: SimWord::new_on(node, 1),
+            costs,
+            stats: Mutex::new(LockStats::default()),
+        }
+    }
+
+    fn key(&self) -> usize {
+        self as *const McsLock as usize
+    }
+}
+
+impl Lock for McsLock {
+    fn lock(&self) {
+        charge_overhead(self.costs.lock_overhead);
+        let t0 = ctx::now();
+        // Allocate my queue node on my own memory module.
+        let me = self.next_id.peek();
+        self.next_id.poke(me + 1);
+        let my_node = ctx::current_node();
+        self.nodes.lock().unwrap().insert(
+            me,
+            QNode {
+                flag: SimWord::new_on(my_node, 0),
+                next: SimWord::new_on(my_node, 0),
+            },
+        );
+        MY_RECORD.with(|m| m.borrow_mut().insert(self.key(), me));
+
+        let pred = self.tail.swap(me);
+        if pred != 0 {
+            // Link behind the predecessor (remote write to its node).
+            let pred_next = self.nodes.lock().unwrap()[&pred].next.clone();
+            pred_next.store(me);
+            // Spin on my local flag.
+            let my_flag = self.nodes.lock().unwrap()[&me].flag.clone();
+            while my_flag.load() == 0 {}
+            let mut s = self.stats.lock().unwrap();
+            s.acquisitions += 1;
+            s.contended += 1;
+            s.handoffs += 1;
+            s.total_wait_nanos += ctx::now().since(t0).as_nanos();
+        } else {
+            self.stats.lock().unwrap().acquisitions += 1;
+        }
+    }
+
+    fn unlock(&self) {
+        charge_overhead(self.costs.unlock_overhead);
+        let me = MY_RECORD.with(|m| m.borrow_mut().remove(&self.key()))
+            .expect("McsLock::unlock by a thread that does not hold it");
+        let my_next = self.nodes.lock().unwrap()[&me].next.clone();
+        if my_next.load() == 0 {
+            // No known successor: try to swing tail back to free.
+            if self.tail.compare_exchange(me, 0).is_ok() {
+                self.nodes.lock().unwrap().remove(&me);
+                self.stats.lock().unwrap().releases += 1;
+                return;
+            }
+            // A successor is mid-enqueue; wait for the link.
+            while my_next.load() == 0 {}
+        }
+        let succ = my_next.peek();
+        let succ_flag = self.nodes.lock().unwrap()[&succ].flag.clone();
+        succ_flag.store(1); // remote write to the successor's node
+        self.nodes.lock().unwrap().remove(&me);
+        self.stats.lock().unwrap().releases += 1;
+    }
+
+    fn try_lock(&self) -> bool {
+        charge_overhead(self.costs.lock_overhead);
+        let me = self.next_id.peek();
+        // Succeed only when the queue is empty.
+        if self.tail.compare_exchange(0, me).is_err() {
+            return false;
+        }
+        self.next_id.poke(me + 1);
+        let my_node = ctx::current_node();
+        self.nodes.lock().unwrap().insert(
+            me,
+            QNode {
+                flag: SimWord::new_on(my_node, 0),
+                next: SimWord::new_on(my_node, 0),
+            },
+        );
+        MY_RECORD.with(|m| m.borrow_mut().insert(self.key(), me));
+        self.stats.lock().unwrap().acquisitions += 1;
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "mcs"
+    }
+
+    fn waiting_now(&self) -> u64 {
+        // Queue length minus the holder.
+        (self.nodes.lock().unwrap().len() as u64).saturating_sub(1)
+    }
+
+    fn stats(&self) -> LockStats {
+        *self.stats.lock().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::with_lock;
+    use butterfly_sim::{self as sim, Duration, ProcId, SimCell, SimConfig};
+    use cthreads::fork_join_all;
+
+    fn cfg(n: usize) -> SimConfig {
+        SimConfig {
+            processors: n,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn mutual_exclusion_holds() {
+        let (total, _) = sim::run(cfg(4), || {
+            let lock = std::sync::Arc::new(McsLock::new_local());
+            let counter = SimCell::new_local(0u64);
+            let procs: Vec<ProcId> = (0..4).map(ProcId).collect();
+            fork_join_all(&procs, "w", |_| {
+                let (l, c) = (lock.clone(), counter.clone());
+                move || {
+                    for _ in 0..25 {
+                        with_lock(l.as_ref(), || {
+                            let v = c.read();
+                            ctx::advance(Duration::micros(1));
+                            c.write(v + 1);
+                        });
+                    }
+                }
+            });
+            counter.read()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn grants_are_fifo() {
+        let (order, _) = sim::run(cfg(4), || {
+            let lock = std::sync::Arc::new(McsLock::new_local());
+            let order = SimCell::new_local(Vec::<usize>::new());
+            lock.lock();
+            let handles: Vec<_> = (1..4)
+                .map(|p| {
+                    let (l, o) = (lock.clone(), order.clone());
+                    cthreads::fork(ProcId(p), format!("w{p}"), move || {
+                        ctx::advance(Duration::micros(10 * p as u64));
+                        l.lock();
+                        o.poke(|v| v.push(p));
+                        l.unlock();
+                    })
+                })
+                .collect();
+            ctx::advance(Duration::millis(1));
+            lock.unlock();
+            for h in handles {
+                h.join();
+            }
+            order.peek()
+        })
+        .unwrap();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn contended_spinning_is_mostly_local() {
+        // The defining property of MCS: waiters spin on their own node,
+        // so under contention local reads dominate remote reads even when
+        // the lock itself is remote to every waiter.
+        let (_, report) = sim::run(cfg(4), || {
+            let lock = std::sync::Arc::new(McsLock::new_on(sim::NodeId(0)));
+            let procs: Vec<ProcId> = (1..4).map(ProcId).collect();
+            lock.lock();
+            let handles: Vec<_> = procs
+                .iter()
+                .map(|&p| {
+                    let l = lock.clone();
+                    cthreads::fork(p, format!("w{}", p.0), move || {
+                        l.lock();
+                        ctx::advance(Duration::millis(1));
+                        l.unlock();
+                    })
+                })
+                .collect();
+            ctx::advance(Duration::millis(5));
+            lock.unlock();
+            for h in handles {
+                h.join();
+            }
+        })
+        .unwrap();
+        assert!(
+            report.mem.reads_local > report.mem.reads_remote,
+            "MCS waiters must spin locally (local {} vs remote {})",
+            report.mem.reads_local,
+            report.mem.reads_remote
+        );
+    }
+
+    #[test]
+    fn try_lock_respects_queue() {
+        let (r, _) = sim::run(cfg(1), || {
+            let lock = McsLock::new_local();
+            assert!(lock.try_lock());
+            let while_held = lock.try_lock();
+            lock.unlock();
+            let after = lock.try_lock();
+            lock.unlock();
+            (while_held, after)
+        })
+        .unwrap();
+        assert!(!r.0);
+        assert!(r.1);
+    }
+
+    #[test]
+    fn unlock_without_lock_is_reported_as_thread_panic() {
+        let err = sim::run(cfg(1), || {
+            let lock = McsLock::new_local();
+            lock.unlock();
+        })
+        .unwrap_err();
+        match err {
+            sim::SimError::ThreadPanicked { message, .. } => {
+                assert!(message.contains("does not hold it"), "got: {message}");
+            }
+            other => panic!("expected thread panic, got {other}"),
+        }
+    }
+}

@@ -1,0 +1,637 @@
+//! Reader-writer locks, including an adaptive variant — an instance of
+//! the paper's closing future work ("use the concept of closely-coupled
+//! adaptation in other operating system components as well").
+//!
+//! [`RwPolicy`] is the mutable attribute: reader-preferring maximizes
+//! throughput for read-mostly phases but can starve writers;
+//! writer-preferring bounds writer latency at the cost of read
+//! throughput. [`AdaptiveRwLock`] monitors the waiting mix at release
+//! time (same sampling-gate structure as the adaptive mutex) and flips
+//! the preference to match the observed phase.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use adaptive_core::SamplingGate;
+use butterfly_sim::{ctx, NodeId, SimWord, ThreadId};
+
+use crate::api::{charge_overhead, LockCosts};
+
+/// Which side a reader-writer lock favours when both are waiting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RwPolicy {
+    /// Grant waiting readers whenever no writer holds the lock.
+    ReaderPreferring,
+    /// Stall new readers while a writer waits.
+    WriterPreferring,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Want {
+    Read,
+    Write,
+}
+
+struct RwWaiter {
+    tid: ThreadId,
+    want: Want,
+    /// Local grant flag (same handoff structure as the mutex family).
+    flag: SimWord,
+    parked: Arc<AtomicBool>,
+}
+
+struct RwState {
+    /// Active readers.
+    readers: u64,
+    /// Writer holding the lock.
+    writer: Option<ThreadId>,
+    queue: VecDeque<RwWaiter>,
+}
+
+/// Statistics for a reader-writer lock.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RwStats {
+    /// Read acquisitions.
+    pub read_acquisitions: u64,
+    /// Write acquisitions.
+    pub write_acquisitions: u64,
+    /// Policy flips performed (adaptive variant).
+    pub reconfigurations: u64,
+    /// Largest waiting queue seen.
+    pub max_waiting: u64,
+}
+
+/// A blocking reader-writer lock with a runtime-mutable preference
+/// attribute.
+pub struct RwLock {
+    node: NodeId,
+    guard: SimWord,
+    /// Current policy, stored in simulated memory (read on the contended
+    /// path, rewritten on reconfiguration: `1R 1W`).
+    policy_word: SimWord,
+    waiting_readers: SimWord,
+    waiting_writers: SimWord,
+    state: Mutex<RwState>,
+    costs: LockCosts,
+    stats: Mutex<RwStats>,
+}
+
+impl RwLock {
+    /// Create on `node` with the given initial preference.
+    pub fn new_on(node: NodeId, policy: RwPolicy) -> RwLock {
+        RwLock {
+            node,
+            guard: SimWord::new_on(node, 0),
+            policy_word: SimWord::new_on(node, encode(policy)),
+            waiting_readers: SimWord::new_on(node, 0),
+            waiting_writers: SimWord::new_on(node, 0),
+            state: Mutex::new(RwState {
+                readers: 0,
+                writer: None,
+                queue: VecDeque::new(),
+            }),
+            costs: LockCosts::default(),
+            stats: Mutex::new(RwStats::default()),
+        }
+    }
+
+    /// Create on the caller's node (reader-preferring).
+    pub fn new_local() -> RwLock {
+        RwLock::new_on(ctx::current_node(), RwPolicy::ReaderPreferring)
+    }
+
+    fn guard_acquire(&self) {
+        while self.guard.test_and_set() {}
+    }
+
+    fn guard_release(&self) {
+        self.guard.store(0);
+    }
+
+    /// Current preference (charged read).
+    pub fn policy(&self) -> RwPolicy {
+        decode(self.policy_word.load())
+    }
+
+    /// Current preference without simulated cost (monitor peek).
+    pub fn peek_policy(&self) -> RwPolicy {
+        decode(self.policy_word.peek())
+    }
+
+    /// Reconfigure the preference (Ψ, `1R 1W`).
+    pub fn set_policy(&self, policy: RwPolicy) {
+        charge_overhead(self.costs.unlock_overhead);
+        let old = self.policy_word.load();
+        if old != encode(policy) {
+            self.policy_word.store(encode(policy));
+            self.stats.lock().unwrap().reconfigurations += 1;
+        }
+        // A policy flip may unblock a different side.
+        self.guard_acquire();
+        self.grant_waiters();
+        self.guard_release();
+    }
+
+    /// Whether `want` can be admitted under `policy` given the current
+    /// state. Callers hold the guard.
+    fn admissible(&self, s: &RwState, want: Want, policy: RwPolicy) -> bool {
+        match want {
+            Want::Write => s.writer.is_none() && s.readers == 0,
+            Want::Read => {
+                if s.writer.is_some() {
+                    return false;
+                }
+                match policy {
+                    RwPolicy::ReaderPreferring => true,
+                    RwPolicy::WriterPreferring => {
+                        // Stall behind any queued writer.
+                        !s.queue.iter().any(|w| w.want == Want::Write)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Grant every currently admissible waiter (called under the guard).
+    fn grant_waiters(&self) {
+        let policy = decode(self.policy_word.peek());
+        loop {
+            let granted = {
+                let mut s = self.state.lock().unwrap();
+                // Scan in FIFO order; under writer preference a queued
+                // writer blocks later readers by `admissible`.
+                let idx = (0..s.queue.len()).find(|&i| {
+                    let want = s.queue[i].want;
+                    // A waiter is admissible only if every *earlier*
+                    // same-kind conflict resolution allows it; keep FIFO
+                    // within writers.
+                    match want {
+                        Want::Write => {
+                            self.admissible(&s, Want::Write, policy)
+                                && !s.queue.iter().take(i).any(|w| w.want == Want::Write)
+                        }
+                        Want::Read => self.admissible(&s, Want::Read, policy),
+                    }
+                });
+                match idx {
+                    Some(i) => {
+                        let w = s.queue.remove(i).expect("index in range");
+                        match w.want {
+                            Want::Read => s.readers += 1,
+                            Want::Write => s.writer = Some(w.tid),
+                        }
+                        Some(w)
+                    }
+                    None => None,
+                }
+            };
+            match granted {
+                Some(w) => {
+                    w.flag.store(1);
+                    if w.parked.load(Ordering::SeqCst) {
+                        ctx::unpark(w.tid);
+                    }
+                    // A granted writer excludes everything else.
+                    if w.want == Want::Write {
+                        break;
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn acquire(&self, want: Want) {
+        charge_overhead(self.costs.lock_overhead);
+        let policy = self.policy();
+        self.guard_acquire();
+        {
+            let mut s = self.state.lock().unwrap();
+            let no_conflicting_queue = match want {
+                Want::Read => self.admissible(&s, Want::Read, policy) && s.queue.is_empty()
+                    || (policy == RwPolicy::ReaderPreferring
+                        && self.admissible(&s, Want::Read, policy)),
+                Want::Write => {
+                    self.admissible(&s, Want::Write, policy) && s.queue.is_empty()
+                }
+            };
+            if no_conflicting_queue {
+                match want {
+                    Want::Read => {
+                        s.readers += 1;
+                        drop(s);
+                        self.guard_release();
+                        self.stats.lock().unwrap().read_acquisitions += 1;
+                        return;
+                    }
+                    Want::Write => {
+                        s.writer = Some(ctx::current());
+                        drop(s);
+                        self.guard_release();
+                        self.stats.lock().unwrap().write_acquisitions += 1;
+                        return;
+                    }
+                }
+            }
+        }
+        // Register and wait.
+        match want {
+            Want::Read => self.waiting_readers.fetch_add(1),
+            Want::Write => self.waiting_writers.fetch_add(1),
+        };
+        let flag = SimWord::new_on(ctx::current_node(), 0);
+        let parked = Arc::new(AtomicBool::new(false));
+        ctx::charge_mem(ctx::MemOp::Write, self.node); // registration
+        {
+            let mut s = self.state.lock().unwrap();
+            s.queue.push_back(RwWaiter {
+                tid: ctx::current(),
+                want,
+                flag: flag.clone(),
+                parked: parked.clone(),
+            });
+            let depth = s.queue.len() as u64;
+            let mut st = self.stats.lock().unwrap();
+            st.max_waiting = st.max_waiting.max(depth);
+        }
+        self.guard_release();
+        // Block until granted (short spin first, like combined(4)).
+        let mut probes = 0u32;
+        while flag.load() == 0 {
+            probes += 1;
+            if probes > 4 {
+                parked.store(true, Ordering::SeqCst);
+                if flag.load() == 1 {
+                    parked.store(false, Ordering::SeqCst);
+                    break;
+                }
+                ctx::park();
+                parked.store(false, Ordering::SeqCst);
+            }
+        }
+        match want {
+            Want::Read => {
+                self.waiting_readers.fetch_sub(1);
+                self.stats.lock().unwrap().read_acquisitions += 1;
+            }
+            Want::Write => {
+                self.waiting_writers.fetch_sub(1);
+                self.stats.lock().unwrap().write_acquisitions += 1;
+            }
+        }
+    }
+
+    /// Acquire for shared reading.
+    pub fn read_lock(&self) {
+        self.acquire(Want::Read);
+    }
+
+    /// Acquire for exclusive writing.
+    pub fn write_lock(&self) {
+        self.acquire(Want::Write);
+    }
+
+    /// Release a read acquisition.
+    pub fn read_unlock(&self) {
+        charge_overhead(self.costs.unlock_overhead);
+        self.guard_acquire();
+        {
+            let mut s = self.state.lock().unwrap();
+            assert!(s.readers > 0, "read_unlock without a read lock");
+            s.readers -= 1;
+        }
+        self.grant_waiters();
+        self.guard_release();
+    }
+
+    /// Release a write acquisition.
+    pub fn write_unlock(&self) {
+        charge_overhead(self.costs.unlock_overhead);
+        self.guard_acquire();
+        {
+            let mut s = self.state.lock().unwrap();
+            assert_eq!(
+                s.writer,
+                Some(ctx::current()),
+                "write_unlock by a thread that does not hold the write lock"
+            );
+            s.writer = None;
+        }
+        self.grant_waiters();
+        self.guard_release();
+    }
+
+    /// Run `f` under a read lock.
+    pub fn read<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.read_lock();
+        let r = f();
+        self.read_unlock();
+        r
+    }
+
+    /// Run `f` under the write lock.
+    pub fn write<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.write_lock();
+        let r = f();
+        self.write_unlock();
+        r
+    }
+
+    /// Currently waiting (readers, writers) — monitor peek.
+    pub fn waiting_now(&self) -> (u64, u64) {
+        (self.waiting_readers.peek(), self.waiting_writers.peek())
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> RwStats {
+        *self.stats.lock().unwrap()
+    }
+}
+
+fn encode(p: RwPolicy) -> u64 {
+    match p {
+        RwPolicy::ReaderPreferring => 0,
+        RwPolicy::WriterPreferring => 1,
+    }
+}
+
+fn decode(v: u64) -> RwPolicy {
+    if v == 0 {
+        RwPolicy::ReaderPreferring
+    } else {
+        RwPolicy::WriterPreferring
+    }
+}
+
+/// An adaptive reader-writer lock: monitors the waiting mix at release
+/// time (sampled through a gate, as the adaptive mutex does) and flips
+/// the preference attribute to match the phase — writer-preferring when
+/// writers queue up, reader-preferring when the workload is read-mostly.
+pub struct AdaptiveRwLock {
+    inner: RwLock,
+    gate: SamplingGate,
+    /// Flip when the waiting-writer share crosses these bounds (with
+    /// hysteresis to avoid thrashing).
+    writer_share_high: f64,
+    writer_share_low: f64,
+}
+
+impl AdaptiveRwLock {
+    /// Create on `node` with default thresholds (flip to
+    /// writer-preferring above 30% waiting writers, back below 10%).
+    pub fn new_on(node: NodeId) -> AdaptiveRwLock {
+        AdaptiveRwLock {
+            inner: RwLock::new_on(node, RwPolicy::ReaderPreferring),
+            gate: SamplingGate::every(2),
+            writer_share_high: 0.3,
+            writer_share_low: 0.1,
+        }
+    }
+
+    /// Create on the caller's node.
+    pub fn new_local() -> AdaptiveRwLock {
+        AdaptiveRwLock::new_on(ctx::current_node())
+    }
+
+    /// The wrapped lock (for inspection).
+    pub fn inner(&self) -> &RwLock {
+        &self.inner
+    }
+
+    fn adapt(&self) {
+        if !self.gate.tick() {
+            return;
+        }
+        charge_overhead(self.inner.costs.monitor_overhead);
+        let readers = self.inner.waiting_readers.load() as f64;
+        let writers = self.inner.waiting_writers.load() as f64;
+        let total = readers + writers;
+        if total < 1.0 {
+            return;
+        }
+        let share = writers / total;
+        let current = self.inner.peek_policy();
+        if share > self.writer_share_high && current == RwPolicy::ReaderPreferring {
+            self.inner.set_policy(RwPolicy::WriterPreferring);
+        } else if share < self.writer_share_low && current == RwPolicy::WriterPreferring {
+            self.inner.set_policy(RwPolicy::ReaderPreferring);
+        }
+    }
+
+    /// Acquire for shared reading.
+    pub fn read_lock(&self) {
+        self.inner.read_lock();
+    }
+
+    /// Release a read acquisition (runs the feedback loop).
+    pub fn read_unlock(&self) {
+        self.inner.read_unlock();
+        self.adapt();
+    }
+
+    /// Acquire for exclusive writing.
+    pub fn write_lock(&self) {
+        self.inner.write_lock();
+    }
+
+    /// Release a write acquisition (runs the feedback loop).
+    pub fn write_unlock(&self) {
+        self.inner.write_unlock();
+        self.adapt();
+    }
+
+    /// Run `f` under a read lock.
+    pub fn read<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.read_lock();
+        let r = f();
+        self.read_unlock();
+        r
+    }
+
+    /// Run `f` under the write lock.
+    pub fn write<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.write_lock();
+        let r = f();
+        self.write_unlock();
+        r
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> RwStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use butterfly_sim::{self as sim, Duration, ProcId, SimCell, SimConfig};
+    use cthreads::fork;
+
+    fn cfg(n: usize) -> SimConfig {
+        SimConfig {
+            processors: n,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn readers_share_writers_exclude() {
+        let (log, _) = sim::run(cfg(4), || {
+            let rw = Arc::new(RwLock::new_local());
+            // (concurrent readers now, max concurrent readers, writer overlap violations)
+            let log = SimCell::new_local((0i64, 0i64, 0i64));
+            let handles: Vec<_> = (0..4)
+                .map(|p| {
+                    let (rw, log) = (Arc::clone(&rw), log.clone());
+                    fork(ProcId(p), format!("w{p}"), move || {
+                        for i in 0..10 {
+                            if (p + i) % 4 == 0 {
+                                rw.write(|| {
+                                    log.poke(|v| {
+                                        if v.0 != 0 {
+                                            v.2 += 1; // writer saw readers
+                                        }
+                                    });
+                                    ctx::advance(Duration::micros(30));
+                                });
+                            } else {
+                                rw.read(|| {
+                                    log.poke(|v| {
+                                        v.0 += 1;
+                                        v.1 = v.1.max(v.0);
+                                    });
+                                    ctx::advance(Duration::micros(30));
+                                    log.poke(|v| v.0 -= 1);
+                                });
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+            log.peek()
+        })
+        .unwrap();
+        assert_eq!(log.2, 0, "a writer overlapped readers");
+        assert!(log.1 >= 2, "readers never actually shared (max {})", log.1);
+    }
+
+    #[test]
+    fn writer_preference_bounds_writer_wait() {
+        // Readers arrive continuously; a writer must still get in under
+        // writer preference.
+        let (got_in, _) = sim::run(cfg(3), || {
+            let rw = Arc::new(RwLock::new_on(ctx::current_node(), RwPolicy::WriterPreferring));
+            let stop = butterfly_sim::SimWord::new_local(0);
+            let readers: Vec<_> = (1..3)
+                .map(|p| {
+                    let (rw, stop) = (Arc::clone(&rw), stop.clone());
+                    fork(ProcId(p), format!("r{p}"), move || {
+                        while stop.load() == 0 {
+                            rw.read(|| ctx::advance(Duration::micros(50)));
+                        }
+                    })
+                })
+                .collect();
+            ctx::advance(Duration::micros(200));
+            let t0 = ctx::now();
+            rw.write(|| ctx::advance(Duration::micros(10)));
+            let waited = ctx::now().since(t0);
+            stop.store(1);
+            for r in readers {
+                r.join();
+            }
+            waited < Duration::millis(2)
+        })
+        .unwrap();
+        assert!(got_in, "writer starved despite writer preference");
+    }
+
+    #[test]
+    fn policy_flip_wakes_stalled_readers() {
+        let (ok, _) = sim::run(cfg(3), || {
+            let rw = Arc::new(RwLock::new_on(ctx::current_node(), RwPolicy::WriterPreferring));
+            // Hold a read lock, queue a writer (stalls), queue a reader
+            // (stalled behind the writer under writer preference).
+            rw.read_lock();
+            let rw_w = Arc::clone(&rw);
+            let writer = fork(ProcId(1), "writer", move || {
+                rw_w.write(|| ctx::advance(Duration::micros(10)));
+            });
+            ctx::advance(Duration::micros(100));
+            let rw_r = Arc::clone(&rw);
+            let reader = fork(ProcId(2), "reader", move || {
+                rw_r.read(|| ());
+            });
+            ctx::advance(Duration::micros(100));
+            assert_eq!(rw.waiting_now(), (1, 1));
+            rw.read_unlock(); // writer goes first, then the reader
+            writer.join();
+            reader.join();
+            true
+        })
+        .unwrap();
+        assert!(ok);
+    }
+
+    #[test]
+    fn adaptive_rwlock_flips_with_the_workload() {
+        let (flips, _) = sim::run(cfg(4), || {
+            let rw = Arc::new(AdaptiveRwLock::new_local());
+            assert_eq!(rw.inner().peek_policy(), RwPolicy::ReaderPreferring);
+            // Write-heavy phase: many writers queue.
+            let writers: Vec<_> = (1..4)
+                .map(|p| {
+                    let rw = Arc::clone(&rw);
+                    fork(ProcId(p), format!("w{p}"), move || {
+                        for _ in 0..15 {
+                            rw.write(|| ctx::advance(Duration::micros(100)));
+                        }
+                    })
+                })
+                .collect();
+            for _ in 0..15 {
+                rw.write(|| ctx::advance(Duration::micros(100)));
+            }
+            for w in writers {
+                w.join();
+            }
+            rw.stats().reconfigurations
+        })
+        .unwrap();
+        assert!(flips >= 1, "adaptive RW lock never flipped policy");
+    }
+
+    #[test]
+    fn rw_stats_count_both_sides() {
+        let (s, _) = sim::run(cfg(1), || {
+            let rw = RwLock::new_local();
+            rw.read(|| ());
+            rw.read(|| ());
+            rw.write(|| ());
+            rw.stats()
+        })
+        .unwrap();
+        assert_eq!(s.read_acquisitions, 2);
+        assert_eq!(s.write_acquisitions, 1);
+    }
+
+    #[test]
+    fn unlock_misuse_is_detected() {
+        let err = sim::run(cfg(1), || {
+            let rw = RwLock::new_local();
+            rw.read_unlock();
+        })
+        .unwrap_err();
+        match err {
+            sim::SimError::ThreadPanicked { message, .. } => {
+                assert!(message.contains("without a read lock"), "{message}");
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! Configurable lock schedulers.
+//!
+//! The paper decomposes a lock's scheduling into three sub-components
+//! (Section 5.1): **registration** (logging all threads desiring access —
+//! without it the lock cannot apply per-thread waiting policies),
+//! **acquisition** (the waiting mechanism applied to each registered
+//! thread — implemented by the lock's acquisition loop), and **release**
+//! (selecting the next thread to be granted the lock). This module
+//! implements the registration and release components for the three
+//! schedulers the paper compares: FCFS, Priority, and Handoff.
+
+use std::collections::VecDeque;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+use adaptive_core::MethodSetId;
+use butterfly_sim::{SimWord, ThreadId};
+
+/// Which scheduler implementation is installed (an element of Γ).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedKind {
+    /// First-come-first-served.
+    Fcfs,
+    /// Highest registered priority first (ties FCFS).
+    Priority,
+    /// Owner-designated successor first (Black's handoff scheduling),
+    /// FCFS fallback.
+    Handoff,
+}
+
+impl SchedKind {
+    /// The Γ identifier used in configuration descriptors.
+    pub fn method_set(self) -> MethodSetId {
+        MethodSetId(match self {
+            SchedKind::Fcfs => "fcfs",
+            SchedKind::Priority => "priority",
+            SchedKind::Handoff => "handoff",
+        })
+    }
+
+    /// Instantiate the scheduler.
+    pub fn build(self) -> Box<dyn LockScheduler> {
+        match self {
+            SchedKind::Fcfs => Box::new(FcfsScheduler::default()),
+            SchedKind::Priority => Box::new(PriorityScheduler::default()),
+            SchedKind::Handoff => Box::new(HandoffScheduler::default()),
+        }
+    }
+}
+
+impl std::fmt::Display for SchedKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.method_set().0)
+    }
+}
+
+/// A registered waiter.
+#[derive(Debug, Clone)]
+pub struct Waiter {
+    /// The waiting thread.
+    pub tid: ThreadId,
+    /// Its lock priority at registration time.
+    pub priority: i32,
+    /// Registration order (monotonic per lock).
+    pub seq: u64,
+    /// Grant flag, homed on the waiter's node (it spins/blocks on this).
+    pub flag: SimWord,
+    /// Whether the waiter is currently parked (the releaser unparks it
+    /// only in that case, avoiding stray permits).
+    pub parked: Arc<AtomicBool>,
+}
+
+/// Registration + release components of a lock's scheduler.
+///
+/// Implementations are driven under the lock's internal guard, so they
+/// need no interior synchronization of their own.
+pub trait LockScheduler: Send {
+    /// Which Γ element this is.
+    fn kind(&self) -> SchedKind;
+
+    /// Registration component: log a thread desiring lock access.
+    fn register(&mut self, w: Waiter);
+
+    /// Release component: pick the next thread to grant the lock to.
+    fn select(&mut self) -> Option<Waiter>;
+
+    /// Remove a specific waiter (timed-out conditional acquire).
+    fn remove(&mut self, tid: ThreadId) -> Option<Waiter>;
+
+    /// Registered waiters not yet granted.
+    fn len(&self) -> usize;
+
+    /// Whether no waiters are registered.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drain all waiters in grant order (used when swapping schedulers:
+    /// pre-registered threads are transferred to the new scheduler).
+    fn drain(&mut self) -> Vec<Waiter>;
+
+    /// Handoff hint from the current owner (ignored by non-handoff
+    /// schedulers).
+    fn set_successor(&mut self, _tid: Option<ThreadId>) {}
+}
+
+/// First-come-first-served release order.
+#[derive(Default)]
+pub struct FcfsScheduler {
+    queue: VecDeque<Waiter>,
+}
+
+impl LockScheduler for FcfsScheduler {
+    fn kind(&self) -> SchedKind {
+        SchedKind::Fcfs
+    }
+
+    fn register(&mut self, w: Waiter) {
+        self.queue.push_back(w);
+    }
+
+    fn select(&mut self) -> Option<Waiter> {
+        self.queue.pop_front()
+    }
+
+    fn remove(&mut self, tid: ThreadId) -> Option<Waiter> {
+        let i = self.queue.iter().position(|w| w.tid == tid)?;
+        self.queue.remove(i)
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn drain(&mut self) -> Vec<Waiter> {
+        self.queue.drain(..).collect()
+    }
+}
+
+/// Highest-priority-first release order; FCFS among equals.
+#[derive(Default)]
+pub struct PriorityScheduler {
+    // Linear scan on select: waiter sets are small and registration must
+    // stay O(1) on the acquire path.
+    queue: Vec<Waiter>,
+}
+
+impl LockScheduler for PriorityScheduler {
+    fn kind(&self) -> SchedKind {
+        SchedKind::Priority
+    }
+
+    fn register(&mut self, w: Waiter) {
+        self.queue.push(w);
+    }
+
+    fn select(&mut self) -> Option<Waiter> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        let mut best = 0;
+        for i in 1..self.queue.len() {
+            let (b, c) = (&self.queue[best], &self.queue[i]);
+            if (c.priority, std::cmp::Reverse(c.seq)) > (b.priority, std::cmp::Reverse(b.seq)) {
+                best = i;
+            }
+        }
+        Some(self.queue.remove(best))
+    }
+
+    fn remove(&mut self, tid: ThreadId) -> Option<Waiter> {
+        let i = self.queue.iter().position(|w| w.tid == tid)?;
+        Some(self.queue.remove(i))
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn drain(&mut self) -> Vec<Waiter> {
+        let mut out = Vec::with_capacity(self.queue.len());
+        while let Some(w) = self.select() {
+            out.push(w);
+        }
+        out
+    }
+}
+
+/// Handoff scheduling: the owner may designate its successor; otherwise
+/// FCFS.
+#[derive(Default)]
+pub struct HandoffScheduler {
+    queue: VecDeque<Waiter>,
+    successor: Option<ThreadId>,
+}
+
+impl LockScheduler for HandoffScheduler {
+    fn kind(&self) -> SchedKind {
+        SchedKind::Handoff
+    }
+
+    fn register(&mut self, w: Waiter) {
+        self.queue.push_back(w);
+    }
+
+    fn select(&mut self) -> Option<Waiter> {
+        if let Some(succ) = self.successor.take() {
+            if let Some(i) = self.queue.iter().position(|w| w.tid == succ) {
+                return self.queue.remove(i);
+            }
+        }
+        self.queue.pop_front()
+    }
+
+    fn remove(&mut self, tid: ThreadId) -> Option<Waiter> {
+        let i = self.queue.iter().position(|w| w.tid == tid)?;
+        self.queue.remove(i)
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn drain(&mut self) -> Vec<Waiter> {
+        self.queue.drain(..).collect()
+    }
+
+    fn set_successor(&mut self, tid: Option<ThreadId>) {
+        self.successor = tid;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use butterfly_sim::NodeId;
+
+    fn waiter(tid: usize, priority: i32, seq: u64) -> Waiter {
+        Waiter {
+            tid: ThreadId(tid),
+            priority,
+            seq,
+            flag: SimWord::new_on(NodeId(0), 0),
+            parked: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    #[test]
+    fn fcfs_selects_in_arrival_order() {
+        let mut s = FcfsScheduler::default();
+        s.register(waiter(1, 5, 0));
+        s.register(waiter(2, 9, 1));
+        s.register(waiter(3, 1, 2));
+        let order: Vec<usize> = std::iter::from_fn(|| s.select()).map(|w| w.tid.0).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn priority_selects_highest_then_fcfs() {
+        let mut s = PriorityScheduler::default();
+        s.register(waiter(1, 5, 0));
+        s.register(waiter(2, 9, 1));
+        s.register(waiter(3, 9, 2)); // same priority as 2, later arrival
+        s.register(waiter(4, 1, 3));
+        let order: Vec<usize> = std::iter::from_fn(|| s.select()).map(|w| w.tid.0).collect();
+        assert_eq!(order, vec![2, 3, 1, 4]);
+    }
+
+    #[test]
+    fn handoff_prefers_designated_successor() {
+        let mut s = HandoffScheduler::default();
+        s.register(waiter(1, 0, 0));
+        s.register(waiter(2, 0, 1));
+        s.register(waiter(3, 0, 2));
+        s.set_successor(Some(ThreadId(3)));
+        assert_eq!(s.select().unwrap().tid, ThreadId(3));
+        // Hint is consumed; back to FCFS.
+        assert_eq!(s.select().unwrap().tid, ThreadId(1));
+        assert_eq!(s.select().unwrap().tid, ThreadId(2));
+    }
+
+    #[test]
+    fn handoff_with_absent_successor_falls_back() {
+        let mut s = HandoffScheduler::default();
+        s.register(waiter(1, 0, 0));
+        s.set_successor(Some(ThreadId(42)));
+        assert_eq!(s.select().unwrap().tid, ThreadId(1));
+    }
+
+    #[test]
+    fn remove_extracts_specific_waiter() {
+        for kind in [SchedKind::Fcfs, SchedKind::Priority, SchedKind::Handoff] {
+            let mut s = kind.build();
+            s.register(waiter(1, 0, 0));
+            s.register(waiter(2, 0, 1));
+            assert_eq!(s.remove(ThreadId(1)).unwrap().tid, ThreadId(1));
+            assert!(s.remove(ThreadId(1)).is_none());
+            assert_eq!(s.len(), 1);
+            assert_eq!(s.select().unwrap().tid, ThreadId(2));
+        }
+    }
+
+    #[test]
+    fn drain_preserves_grant_order() {
+        let mut s = PriorityScheduler::default();
+        s.register(waiter(1, 1, 0));
+        s.register(waiter(2, 7, 1));
+        let order: Vec<usize> = s.drain().into_iter().map(|w| w.tid.0).collect();
+        assert_eq!(order, vec![2, 1]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn kinds_build_matching_schedulers() {
+        for kind in [SchedKind::Fcfs, SchedKind::Priority, SchedKind::Handoff] {
+            assert_eq!(kind.build().kind(), kind);
+        }
+        assert_eq!(SchedKind::Fcfs.method_set().0, "fcfs");
+        assert_eq!(format!("{}", SchedKind::Handoff), "handoff");
+    }
+}

@@ -1,0 +1,198 @@
+//! A ticket lock — FIFO-fair spinning, used as an extra baseline for the
+//! scheduler-comparison ablations (it is the degenerate "FCFS by
+//! hardware" point in the design space).
+
+use std::sync::Mutex;
+
+use butterfly_sim::{ctx, NodeId, SimWord};
+
+use crate::api::{charge_overhead, Lock, LockCosts, LockStats};
+
+/// Classic two-counter ticket lock.
+pub struct TicketLock {
+    next: SimWord,
+    serving: SimWord,
+    costs: LockCosts,
+    stats: Mutex<LockStats>,
+}
+
+impl TicketLock {
+    /// Create on an explicit node.
+    pub fn new_on(node: NodeId) -> TicketLock {
+        TicketLock::with_costs(node, LockCosts::default())
+    }
+
+    /// Create on the caller's node.
+    pub fn new_local() -> TicketLock {
+        TicketLock::new_on(ctx::current_node())
+    }
+
+    /// Create with an explicit cost model.
+    pub fn with_costs(node: NodeId, costs: LockCosts) -> TicketLock {
+        TicketLock {
+            next: SimWord::new_on(node, 0),
+            serving: SimWord::new_on(node, 0),
+            costs,
+            stats: Mutex::new(LockStats::default()),
+        }
+    }
+}
+
+impl Lock for TicketLock {
+    fn lock(&self) {
+        charge_overhead(self.costs.lock_overhead);
+        let t0 = ctx::now();
+        let ticket = self.next.fetch_add(1);
+        let mut contended = false;
+        while self.serving.load() != ticket {
+            contended = true;
+        }
+        let mut s = self.stats.lock().unwrap();
+        s.acquisitions += 1;
+        if contended {
+            s.contended += 1;
+            s.total_wait_nanos += ctx::now().since(t0).as_nanos();
+        }
+    }
+
+    fn unlock(&self) {
+        charge_overhead(self.costs.unlock_overhead);
+        self.serving.fetch_add(1);
+        self.stats.lock().unwrap().releases += 1;
+    }
+
+    fn try_lock(&self) -> bool {
+        charge_overhead(self.costs.lock_overhead);
+        // Take a ticket only if it would be served immediately.
+        let serving = self.serving.load();
+        match self.next.compare_exchange(serving, serving + 1) {
+            Ok(_) => {
+                self.stats.lock().unwrap().acquisitions += 1;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ticket"
+    }
+
+    fn waiting_now(&self) -> u64 {
+        // Tickets issued but not yet served, minus the holder.
+        let issued = self.next.peek();
+        let serving = self.serving.peek();
+        issued.saturating_sub(serving).saturating_sub(1)
+    }
+
+    fn stats(&self) -> LockStats {
+        *self.stats.lock().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::with_lock;
+    use butterfly_sim::{self as sim, Duration, ProcId, SimCell, SimConfig};
+    use cthreads::fork_join_all;
+
+    fn cfg(n: usize) -> SimConfig {
+        SimConfig {
+            processors: n,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn mutual_exclusion_holds() {
+        let (total, _) = sim::run(cfg(4), || {
+            let lock = std::sync::Arc::new(TicketLock::new_local());
+            let counter = SimCell::new_local(0u64);
+            let procs: Vec<ProcId> = (0..4).map(ProcId).collect();
+            fork_join_all(&procs, "w", |_| {
+                let (l, c) = (lock.clone(), counter.clone());
+                move || {
+                    for _ in 0..25 {
+                        with_lock(l.as_ref(), || {
+                            let v = c.read();
+                            ctx::advance(Duration::micros(1));
+                            c.write(v + 1);
+                        });
+                    }
+                }
+            });
+            counter.read()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn grants_are_fifo() {
+        // Three waiters arrive in a known order; they must acquire in
+        // that order.
+        let (order, _) = sim::run(cfg(4), || {
+            let lock = std::sync::Arc::new(TicketLock::new_local());
+            let order = SimCell::new_local(Vec::<usize>::new());
+            lock.lock(); // hold so waiters queue up
+            let handles: Vec<_> = (1..4)
+                .map(|p| {
+                    let (l, o) = (lock.clone(), order.clone());
+                    cthreads::fork(ProcId(p), format!("w{p}"), move || {
+                        // Stagger arrivals deterministically.
+                        ctx::advance(Duration::micros(10 * p as u64));
+                        l.lock();
+                        o.poke(|v| v.push(p));
+                        l.unlock();
+                    })
+                })
+                .collect();
+            ctx::advance(Duration::millis(1)); // all three are now queued
+            lock.unlock();
+            for h in handles {
+                h.join();
+            }
+            order.peek()
+        })
+        .unwrap();
+        assert_eq!(order, vec![1, 2, 3], "ticket lock must grant FIFO");
+    }
+
+    #[test]
+    fn try_lock_only_succeeds_when_free() {
+        let (r, _) = sim::run(cfg(1), || {
+            let lock = TicketLock::new_local();
+            assert!(lock.try_lock());
+            let while_held = lock.try_lock();
+            lock.unlock();
+            let after = lock.try_lock();
+            lock.unlock();
+            (while_held, after)
+        })
+        .unwrap();
+        assert!(!r.0);
+        assert!(r.1);
+    }
+
+    #[test]
+    fn waiting_now_counts_queued_tickets() {
+        let (w, _) = sim::run(cfg(3), || {
+            let lock = std::sync::Arc::new(TicketLock::new_local());
+            lock.lock();
+            for p in 1..3 {
+                let l = lock.clone();
+                cthreads::fork(ProcId(p), format!("w{p}"), move || {
+                    l.lock();
+                    l.unlock();
+                });
+            }
+            ctx::advance(Duration::millis(1));
+            let w = lock.waiting_now();
+            lock.unlock();
+            w
+        })
+        .unwrap();
+        assert_eq!(w, 2);
+    }
+}

@@ -1,0 +1,238 @@
+//! The central monitor: the top of the [GS93] pipeline.
+//!
+//! Application threads deposit observations with *local monitors* (one
+//! per processor group, each on its own processor); local monitors
+//! periodically forward per-sensor summaries to a single *central
+//! monitor* ("possibly running in a remote machine" in the paper — here,
+//! a thread on a designated node whose mailbox traffic pays remote
+//! reference costs). The central monitor merges summaries into a
+//! machine-wide view.
+
+use std::collections::HashMap;
+
+use butterfly_sim::{ctx, Duration, ProcId};
+use cthreads::{channel_on, JoinHandle, Receiver, Sender};
+use serde::Serialize;
+
+use crate::local::SensorSummary;
+use crate::trace::TraceEvent;
+
+/// A summary batch forwarded by one local monitor.
+#[derive(Debug, Clone, Serialize)]
+pub struct SummaryBatch {
+    /// Which local monitor sent it.
+    pub source: usize,
+    /// Per-sensor partial aggregates: (count, min, max, sum, last).
+    pub sensors: Vec<(&'static str, u64, i64, i64, i64, i64)>,
+}
+
+/// The machine-wide aggregation produced by the central monitor.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct CentralReport {
+    /// Merged aggregates keyed by sensor name.
+    pub sensors: HashMap<&'static str, SensorSummary>,
+    /// Batches received.
+    pub batches: u64,
+    /// Local monitors that reported.
+    pub sources: usize,
+}
+
+impl CentralReport {
+    /// Merged aggregate for one sensor.
+    pub fn sensor(&self, name: &str) -> Option<&SensorSummary> {
+        self.sensors.get(name)
+    }
+}
+
+/// A local monitor stage that forwards to the central monitor.
+pub struct ForwardingMonitor {
+    tx: Sender<TraceEvent>,
+}
+
+impl ForwardingMonitor {
+    /// Deposit an observation (one charged mailbox write).
+    pub fn record(&self, sensor: &'static str, value: i64) {
+        self.tx.send(TraceEvent::now(sensor, value));
+    }
+}
+
+impl Clone for ForwardingMonitor {
+    fn clone(&self) -> Self {
+        ForwardingMonitor {
+            tx: self.tx.clone(),
+        }
+    }
+}
+
+/// Spawn a two-level monitoring pipeline: one local monitor on each
+/// processor in `local_procs` (forwarding summaries every `period`) and
+/// the central monitor on `central_proc`. Returns one deposit port per
+/// local monitor and the central join handle.
+pub fn spawn_pipeline(
+    local_procs: &[ProcId],
+    central_proc: ProcId,
+    period: Duration,
+) -> (Vec<ForwardingMonitor>, JoinHandle<CentralReport>) {
+    let (ctx_tx, ctx_rx): (Sender<SummaryBatch>, Receiver<SummaryBatch>) =
+        channel_on(central_proc.node());
+
+    let mut ports = Vec::with_capacity(local_procs.len());
+    for (i, &proc) in local_procs.iter().enumerate() {
+        let (tx, rx): (Sender<TraceEvent>, Receiver<TraceEvent>) = channel_on(proc.node());
+        let up = ctx_tx.clone();
+        cthreads::fork(proc, format!("local-monitor{i}"), move || {
+            run_local(i, rx, up, period)
+        });
+        ports.push(ForwardingMonitor { tx });
+    }
+    drop(ctx_tx);
+
+    let central = cthreads::fork(central_proc, "central-monitor", move || {
+        run_central(ctx_rx)
+    });
+    (ports, central)
+}
+
+/// Local stage: drain deposits, accumulate, forward a batch per period.
+fn run_local(
+    id: usize,
+    rx: Receiver<TraceEvent>,
+    up: Sender<SummaryBatch>,
+    period: Duration,
+) {
+    let mut acc: HashMap<&'static str, (u64, i64, i64, i64, i64)> = HashMap::new();
+    loop {
+        let batch = rx.drain();
+        let closed = batch.is_empty() && rx.is_closed();
+        for ev in batch {
+            let e = acc.entry(ev.sensor).or_insert((0, i64::MAX, i64::MIN, 0, 0));
+            e.0 += 1;
+            e.1 = e.1.min(ev.value);
+            e.2 = e.2.max(ev.value);
+            e.3 += ev.value;
+            e.4 = ev.value;
+        }
+        if !acc.is_empty() {
+            up.send(SummaryBatch {
+                source: id,
+                sensors: acc
+                    .drain()
+                    .map(|(k, (c, mn, mx, sum, last))| (k, c, mn, mx, sum, last))
+                    .collect(),
+            });
+        }
+        if closed {
+            break;
+        }
+        ctx::sleep(period);
+    }
+}
+
+/// Central stage: merge batches until every local monitor is gone.
+fn run_central(rx: Receiver<SummaryBatch>) -> CentralReport {
+    struct Acc {
+        count: u64,
+        min: i64,
+        max: i64,
+        sum: i64,
+        last: i64,
+    }
+    let mut accs: HashMap<&'static str, Acc> = HashMap::new();
+    let mut batches = 0u64;
+    let mut sources = std::collections::HashSet::new();
+    while let Ok(batch) = rx.recv() {
+        batches += 1;
+        sources.insert(batch.source);
+        for (sensor, c, mn, mx, sum, last) in batch.sensors {
+            let a = accs.entry(sensor).or_insert(Acc {
+                count: 0,
+                min: i64::MAX,
+                max: i64::MIN,
+                sum: 0,
+                last: 0,
+            });
+            a.count += c;
+            a.min = a.min.min(mn);
+            a.max = a.max.max(mx);
+            a.sum += sum;
+            a.last = last;
+        }
+    }
+    CentralReport {
+        sensors: accs
+            .into_iter()
+            .map(|(k, a)| {
+                (
+                    k,
+                    SensorSummary {
+                        count: a.count,
+                        min: a.min,
+                        max: a.max,
+                        mean: a.sum as f64 / a.count.max(1) as f64,
+                        last: a.last,
+                        mean_lag_nanos: 0, // lag is a local-stage metric
+                    },
+                )
+            })
+            .collect(),
+        batches,
+        sources: sources.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use butterfly_sim::{self as sim, SimConfig};
+    use cthreads::fork;
+
+    #[test]
+    fn two_level_pipeline_aggregates_across_sources() {
+        let (report, _) = sim::run(SimConfig::butterfly(6), || {
+            // Local monitors on procs 3 and 4, central on proc 5.
+            let (ports, central) = spawn_pipeline(
+                &[ProcId(3), ProcId(4)],
+                ProcId(5),
+                Duration::micros(200),
+            );
+            let workers: Vec<_> = (0..3)
+                .map(|p| {
+                    let port = ports[p % 2].clone();
+                    fork(ProcId(p), format!("w{p}"), move || {
+                        for i in 0..10 {
+                            port.record("waiting", i);
+                            ctx::advance(Duration::micros(40));
+                        }
+                    })
+                })
+                .collect();
+            for w in workers {
+                w.join();
+            }
+            drop(ports);
+            central.join()
+        })
+        .unwrap();
+        let w = report.sensor("waiting").unwrap();
+        assert_eq!(w.count, 30, "all three workers' deposits must arrive");
+        assert_eq!(w.min, 0);
+        assert_eq!(w.max, 9);
+        assert!((w.mean - 4.5).abs() < 1e-9);
+        assert_eq!(report.sources, 2, "both local monitors must report");
+        assert!(report.batches >= 2);
+    }
+
+    #[test]
+    fn pipeline_with_single_stage_still_terminates() {
+        let (report, _) = sim::run(SimConfig::butterfly(3), || {
+            let (ports, central) =
+                spawn_pipeline(&[ProcId(1)], ProcId(2), Duration::micros(100));
+            ports[0].record("x", 7);
+            drop(ports);
+            central.join()
+        })
+        .unwrap();
+        assert_eq!(report.sensor("x").unwrap().count, 1);
+        assert_eq!(report.sensor("x").unwrap().last, 7);
+    }
+}

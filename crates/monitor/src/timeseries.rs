@@ -1,0 +1,208 @@
+//! Time series for the paper's locking-pattern figures.
+//!
+//! Figures 4–9 plot `no-of-waiting-threads` against time for specific
+//! locks in each TSP implementation. [`Series`] holds such a curve,
+//! supports bucketed resampling (the paper's plots are effectively
+//! smoothed), and renders to CSV or a quick ASCII sparkline for terminal
+//! reports.
+
+use serde::Serialize;
+
+/// A named (time, value) series; time in virtual nanoseconds.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Series label, e.g. `qlock/centralized`.
+    pub name: String,
+    /// Ordered samples `(at_nanos, value)`.
+    pub points: Vec<(u64, f64)>,
+}
+
+impl Series {
+    /// An empty series.
+    pub fn new(name: impl Into<String>) -> Series {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Build from `(at_nanos, value)` pairs.
+    pub fn from_points(name: impl Into<String>, points: Vec<(u64, f64)>) -> Series {
+        let mut s = Series {
+            name: name.into(),
+            points,
+        };
+        s.points.sort_by_key(|&(t, _)| t);
+        s
+    }
+
+    /// Append a sample (must be called in time order for plotting
+    /// helpers to be meaningful; out-of-order appends are sorted at use).
+    pub fn push(&mut self, at_nanos: u64, value: f64) {
+        self.points.push((at_nanos, value));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Mean value.
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64
+    }
+
+    /// Maximum value.
+    pub fn max(&self) -> f64 {
+        self.points.iter().map(|&(_, v)| v).fold(0.0_f64, f64::max)
+    }
+
+    /// Mean-of-bucket resampling with buckets of `bucket_nanos`. Empty
+    /// buckets are omitted.
+    pub fn bucket_mean(&self, bucket_nanos: u64) -> Series {
+        assert!(bucket_nanos > 0, "bucket width must be positive");
+        let mut out = Series::new(self.name.clone());
+        if self.points.is_empty() {
+            return out;
+        }
+        let mut pts = self.points.clone();
+        pts.sort_by_key(|&(t, _)| t);
+        let mut bucket = pts[0].0 / bucket_nanos;
+        let (mut sum, mut n) = (0.0, 0u64);
+        for (t, v) in pts {
+            let b = t / bucket_nanos;
+            if b != bucket {
+                out.push(bucket * bucket_nanos, sum / n as f64);
+                bucket = b;
+                sum = 0.0;
+                n = 0;
+            }
+            sum += v;
+            n += 1;
+        }
+        out.push(bucket * bucket_nanos, sum / n as f64);
+        out
+    }
+
+    /// Render as `time_ms,value` CSV (header included).
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from("time_ms,value\n");
+        for &(t, v) in &self.points {
+            s.push_str(&format!("{:.3},{}\n", t as f64 / 1e6, v));
+        }
+        s
+    }
+
+    /// A terminal sparkline of `width` buckets (for quick looks at
+    /// locking patterns in bench output).
+    pub fn sparkline(&self, width: usize) -> String {
+        const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        if self.points.is_empty() || width == 0 {
+            return String::new();
+        }
+        let t0 = self.points.iter().map(|&(t, _)| t).min().unwrap();
+        let t1 = self.points.iter().map(|&(t, _)| t).max().unwrap();
+        let span = (t1 - t0).max(1);
+        let mut sums = vec![0.0; width];
+        let mut counts = vec![0u64; width];
+        for &(t, v) in &self.points {
+            let i = (((t - t0) as u128 * (width as u128 - 1)) / span as u128) as usize;
+            sums[i] += v;
+            counts[i] += 1;
+        }
+        let vals: Vec<f64> = sums
+            .iter()
+            .zip(&counts)
+            .map(|(s, &c)| if c == 0 { f64::NAN } else { s / c as f64 })
+            .collect();
+        let max = vals.iter().copied().filter(|v| v.is_finite()).fold(0.0_f64, f64::max);
+        vals.iter()
+            .map(|&v| {
+                if !v.is_finite() {
+                    ' '
+                } else if max == 0.0 {
+                    BARS[0]
+                } else {
+                    BARS[((v / max * 7.0).round() as usize).min(7)]
+                }
+            })
+            .collect()
+    }
+}
+
+/// Write several series as a single long-format CSV
+/// (`series,time_ms,value`).
+pub fn to_long_csv(series: &[Series]) -> String {
+    let mut s = String::from("series,time_ms,value\n");
+    for sr in series {
+        for &(t, v) in &sr.points {
+            s.push_str(&format!("{},{:.3},{}\n", sr.name, t as f64 / 1e6, v));
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> Series {
+        Series::from_points("test", vec![(0, 1.0), (500, 3.0), (1_000, 5.0), (1_500, 7.0)])
+    }
+
+    #[test]
+    fn stats() {
+        let s = series();
+        assert_eq!(s.len(), 4);
+        assert!((s.mean() - 4.0).abs() < 1e-9);
+        assert_eq!(s.max(), 7.0);
+        assert!(!s.is_empty());
+        assert_eq!(Series::new("e").mean(), 0.0);
+    }
+
+    #[test]
+    fn bucketing_averages_within_buckets() {
+        let b = series().bucket_mean(1_000);
+        assert_eq!(b.points.len(), 2);
+        assert_eq!(b.points[0], (0, 2.0)); // mean of 1.0 and 3.0
+        assert_eq!(b.points[1], (1_000, 6.0)); // mean of 5.0 and 7.0
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let csv = series().to_csv();
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines[0], "time_ms,value");
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].starts_with("0.000,1"));
+    }
+
+    #[test]
+    fn long_csv_includes_series_names() {
+        let csv = to_long_csv(&[series(), Series::from_points("b", vec![(1, 9.0)])]);
+        assert!(csv.contains("test,"));
+        assert!(csv.contains("b,"));
+    }
+
+    #[test]
+    fn sparkline_has_requested_width() {
+        let sl = series().sparkline(8);
+        assert_eq!(sl.chars().count(), 8);
+        // Rising series: last bucket is the full bar.
+        assert_eq!(sl.chars().last().unwrap(), '█');
+    }
+
+    #[test]
+    fn from_points_sorts() {
+        let s = Series::from_points("x", vec![(10, 1.0), (5, 2.0)]);
+        assert_eq!(s.points[0].0, 5);
+    }
+}

@@ -1,0 +1,45 @@
+//! # adaptive-native
+//!
+//! The paper's adaptive lock as a real synchronization primitive:
+//! [`AdaptiveMutex`] is a spin-then-park mutex for actual threads whose
+//! spin count is a run-time-mutable attribute retuned by an adaptation
+//! policy (default: the paper's `simple-adapt`) from a built-in monitor
+//! of the waiting-thread count, sampled every other unlock.
+//!
+//! This is the lineage the paper started: adaptive mutexes later
+//! appeared in Solaris, glibc (`PTHREAD_MUTEX_ADAPTIVE_NP`), and JVM
+//! biased/adaptive locking. Unlike those, the policy here is pluggable
+//! ([`BoxedNativePolicy`]) and the adaptation trajectory observable
+//! ([`AdaptiveMutex::stats`], [`AdaptiveMutex::spin_limit`]).
+//!
+//! ```
+//! use adaptive_native::AdaptiveMutex;
+//! use std::sync::Arc;
+//!
+//! let counter = Arc::new(AdaptiveMutex::new(0u64));
+//! let handles: Vec<_> = (0..4)
+//!     .map(|_| {
+//!         let c = Arc::clone(&counter);
+//!         std::thread::spawn(move || {
+//!             for _ in 0..1000 {
+//!                 *c.lock() += 1;
+//!             }
+//!         })
+//!     })
+//!     .collect();
+//! for h in handles {
+//!     h.join().unwrap();
+//! }
+//! assert_eq!(*counter.lock(), 4000);
+//! ```
+
+#![warn(missing_docs)]
+
+mod mutex;
+mod parker;
+mod policy;
+
+pub use mutex::{
+    AdaptiveMutex, AdaptiveMutexGuard, BoxedNativePolicy, MutexStats, SPIN_FOREVER,
+};
+pub use policy::{FixedPolicy, NativeDecision, NativeObservation, NativeSimpleAdapt};

@@ -1,0 +1,435 @@
+//! A real-thread adaptive mutex with the paper's feedback loop.
+//!
+//! `AdaptiveMutex<T>` is a spin-then-park mutex whose spin count is a
+//! *mutable attribute* retuned at run time by an adaptation policy fed
+//! from a built-in monitor (waiter count, sampled every other unlock) —
+//! the paper's adaptive lock, thirty years on, on `std` atomics.
+//!
+//! Protocol (same shape as the simulator's reconfigurable lock, and as
+//! glibc's adaptive mutexes): a futex-style state word with an
+//! uncontended single-CAS fast path, a short internal guard around the
+//! wait queue, and direct handoff to the first queued waiter on release.
+
+#![allow(unsafe_code)] // UnsafeCell + Sync: the point of a mutex.
+
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex as StdMutex};
+
+use adaptive_core::{AdaptationPolicy, SamplingGate};
+
+use crate::parker::Waiter;
+use crate::policy::{NativeDecision, NativeObservation, NativeSimpleAdapt};
+
+const FREE: u32 = 0;
+const HELD: u32 = 1;
+const HELD_WAITERS: u32 = 2;
+
+/// Spin-limit value meaning "pure spin" (never park).
+pub const SPIN_FOREVER: u32 = u32::MAX;
+
+/// Counters published by the mutex (all relaxed; monitoring only).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MutexStats {
+    /// Successful acquisitions.
+    pub acquisitions: u64,
+    /// Acquisitions that had to wait.
+    pub contended: u64,
+    /// Acquisitions that parked at least once.
+    pub parked: u64,
+    /// Reconfigurations applied by the feedback loop.
+    pub reconfigurations: u64,
+}
+
+/// A boxed native lock adaptation policy.
+pub type BoxedNativePolicy =
+    Box<dyn AdaptationPolicy<NativeObservation, Decision = NativeDecision> + Send>;
+
+/// The adaptive mutex.
+pub struct AdaptiveMutex<T> {
+    state: AtomicU32,
+    /// Current spin attribute (`no-of-spins`); `SPIN_FOREVER` = pure
+    /// spin, `0` = pure blocking.
+    spin_limit: AtomicU32,
+    /// Current number of waiting threads (the monitored state variable).
+    waiters: AtomicU32,
+    queue: StdMutex<VecDeque<Arc<Waiter>>>,
+    gate: SamplingGate,
+    policy: StdMutex<BoxedNativePolicy>,
+    acquisitions: AtomicU64,
+    contended: AtomicU64,
+    parked: AtomicU64,
+    reconfigurations: AtomicU64,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: the mutex protocol guarantees at most one thread holds the
+// lock (single CAS winner or single handoff grantee), and only the
+// holder touches `value` through the guard.
+unsafe impl<T: Send> Send for AdaptiveMutex<T> {}
+unsafe impl<T: Send> Sync for AdaptiveMutex<T> {}
+
+/// RAII guard; releases (and runs the feedback loop) on drop.
+pub struct AdaptiveMutexGuard<'a, T> {
+    mutex: &'a AdaptiveMutex<T>,
+}
+
+impl<T> AdaptiveMutex<T> {
+    /// Mutex with the default `simple-adapt` policy (threshold 2,
+    /// increment 32 spins) sampling every other unlock, starting from a
+    /// moderate combined configuration.
+    pub fn new(value: T) -> AdaptiveMutex<T> {
+        AdaptiveMutex::with_policy(value, Box::new(NativeSimpleAdapt::new(2, 32)), 2)
+    }
+
+    /// Mutex with an explicit adaptation policy and sampling period.
+    pub fn with_policy(
+        value: T,
+        policy: BoxedNativePolicy,
+        sample_every: u64,
+    ) -> AdaptiveMutex<T> {
+        AdaptiveMutex {
+            state: AtomicU32::new(FREE),
+            spin_limit: AtomicU32::new(64),
+            waiters: AtomicU32::new(0),
+            queue: StdMutex::new(VecDeque::new()),
+            gate: SamplingGate::every(sample_every),
+            policy: StdMutex::new(policy),
+            acquisitions: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+            parked: AtomicU64::new(0),
+            reconfigurations: AtomicU64::new(0),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquire the mutex.
+    pub fn lock(&self) -> AdaptiveMutexGuard<'_, T> {
+        // Uncontended fast path: one CAS, like a raw spin lock.
+        if self
+            .state
+            .compare_exchange(FREE, HELD, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            self.acquisitions.fetch_add(1, Ordering::Relaxed);
+            return AdaptiveMutexGuard { mutex: self };
+        }
+        self.lock_contended();
+        AdaptiveMutexGuard { mutex: self }
+    }
+
+    #[cold]
+    fn lock_contended(&self) {
+        self.contended.fetch_add(1, Ordering::Relaxed);
+        self.waiters.fetch_add(1, Ordering::Relaxed);
+        let mut did_park = false;
+        'acquire: loop {
+            // Spin phase, bounded by the mutable spin attribute.
+            let limit = self.spin_limit.load(Ordering::Relaxed);
+            let mut spins = 0u32;
+            loop {
+                if self.state.load(Ordering::Relaxed) == FREE
+                    && self
+                        .state
+                        .compare_exchange(FREE, HELD, Ordering::Acquire, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    break 'acquire;
+                }
+                if limit != SPIN_FOREVER && spins >= limit {
+                    break;
+                }
+                spins = spins.saturating_add(1);
+                std::hint::spin_loop();
+            }
+            // Park phase: register under the guard, CAS-marking the
+            // waiters state so release cannot miss us.
+            let w = Arc::new(Waiter::new());
+            {
+                let q = self.queue.lock().unwrap();
+                let cur = self.state.load(Ordering::Relaxed);
+                if cur == FREE {
+                    drop(q);
+                    continue; // released meanwhile; re-spin
+                }
+                if self
+                    .state
+                    .compare_exchange(cur, HELD_WAITERS, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_err()
+                {
+                    drop(q);
+                    continue;
+                }
+                let mut q = q;
+                q.push_back(Arc::clone(&w));
+            }
+            did_park = true;
+            w.wait();
+            // Handoff: the releaser transferred ownership to us.
+            break 'acquire;
+        }
+        self.waiters.fetch_sub(1, Ordering::Relaxed);
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+        if did_park {
+            self.parked.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn unlock(&self) {
+        // Uncontended fast path.
+        if self
+            .state
+            .compare_exchange(HELD, FREE, Ordering::Release, Ordering::Relaxed)
+            .is_err()
+        {
+            self.unlock_contended();
+        }
+        self.adapt();
+    }
+
+    #[cold]
+    fn unlock_contended(&self) {
+        let mut q = self.queue.lock().unwrap();
+        match q.pop_front() {
+            Some(w) => {
+                if q.is_empty() {
+                    self.state.store(HELD, Ordering::Relaxed);
+                } else {
+                    self.state.store(HELD_WAITERS, Ordering::Relaxed);
+                }
+                drop(q);
+                // Release ordering on the grant makes our critical
+                // section visible to the new holder.
+                w.grant();
+            }
+            None => {
+                self.state.store(FREE, Ordering::Release);
+            }
+        }
+    }
+
+    /// The closely-coupled feedback loop, run inline by the unlocking
+    /// thread on sampled unlocks.
+    fn adapt(&self) {
+        if !self.gate.tick() {
+            return;
+        }
+        let obs = NativeObservation {
+            waiting: self.waiters.load(Ordering::Relaxed) as u64,
+        };
+        // Never contend on the policy: if another unlocker is adapting,
+        // skip this sample.
+        let Ok(mut policy) = self.policy.try_lock() else {
+            return;
+        };
+        if let Some(decision) = policy.decide(obs) {
+            let new_limit = match decision {
+                NativeDecision::PureSpin => SPIN_FOREVER,
+                NativeDecision::PureBlocking => 0,
+                NativeDecision::SetSpins(n) => n,
+            };
+            if self.spin_limit.swap(new_limit, Ordering::Relaxed) != new_limit {
+                self.reconfigurations.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Acquire without waiting.
+    pub fn try_lock(&self) -> Option<AdaptiveMutexGuard<'_, T>> {
+        if self
+            .state
+            .compare_exchange(FREE, HELD, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            self.acquisitions.fetch_add(1, Ordering::Relaxed);
+            Some(AdaptiveMutexGuard { mutex: self })
+        } else {
+            None
+        }
+    }
+
+    /// Current value of the spin attribute.
+    pub fn spin_limit(&self) -> u32 {
+        self.spin_limit.load(Ordering::Relaxed)
+    }
+
+    /// Current waiter count (monitoring).
+    pub fn waiting_now(&self) -> u32 {
+        self.waiters.load(Ordering::Relaxed)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> MutexStats {
+        MutexStats {
+            acquisitions: self.acquisitions.load(Ordering::Relaxed),
+            contended: self.contended.load(Ordering::Relaxed),
+            parked: self.parked.load(Ordering::Relaxed),
+            reconfigurations: self.reconfigurations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Consume the mutex and return the protected value.
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+
+    /// Exclusive access without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.value.get_mut()
+    }
+}
+
+impl<T> Deref for AdaptiveMutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: the guard proves exclusive ownership of the lock.
+        unsafe { &*self.mutex.value.get() }
+    }
+}
+
+impl<T> DerefMut for AdaptiveMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as above, plus `&mut self` for exclusive reborrow.
+        unsafe { &mut *self.mutex.value.get() }
+    }
+}
+
+impl<T> Drop for AdaptiveMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.mutex.unlock();
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for AdaptiveMutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_struct("AdaptiveMutex");
+        d.field("spin_limit", &self.spin_limit());
+        d.field("waiting", &self.waiting_now());
+        match self.try_lock() {
+            Some(g) => d.field("value", &*g).finish(),
+            None => d.field("value", &"<locked>").finish(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn guard_gives_exclusive_access() {
+        let m = AdaptiveMutex::new(5u32);
+        {
+            let mut g = m.lock();
+            *g += 1;
+            assert_eq!(*g, 6);
+        }
+        assert_eq!(*m.lock(), 6);
+        assert_eq!(m.into_inner(), 6);
+    }
+
+    #[test]
+    fn try_lock_fails_while_held() {
+        let m = AdaptiveMutex::new(());
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn counter_hammering_loses_no_updates() {
+        let m = Arc::new(AdaptiveMutex::new(0u64));
+        let threads = 8;
+        let iters = 2_000;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..iters {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), threads * iters);
+        let s = m.stats();
+        assert_eq!(s.acquisitions, threads * iters + 1);
+    }
+
+    #[test]
+    fn uncontended_usage_converges_to_pure_spin() {
+        let m = AdaptiveMutex::new(());
+        for _ in 0..16 {
+            drop(m.lock());
+        }
+        assert_eq!(m.spin_limit(), SPIN_FOREVER, "no waiters -> pure spin");
+    }
+
+    #[test]
+    fn long_holds_drive_spins_down() {
+        // Saturate with long critical sections: waiters accumulate and
+        // the policy must cut spinning (possibly to pure blocking).
+        let m = Arc::new(AdaptiveMutex::with_policy(
+            (),
+            Box::new(NativeSimpleAdapt::new(0, 16)),
+            1,
+        ));
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..30 {
+                        let g = m.lock();
+                        std::thread::sleep(Duration::from_micros(300));
+                        drop(g);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = m.stats();
+        assert!(s.reconfigurations > 0, "policy never fired");
+        assert!(s.parked > 0, "nobody ever parked despite long holds");
+    }
+
+    #[test]
+    fn guard_drop_wakes_waiters_promptly() {
+        let m = Arc::new(AdaptiveMutex::with_policy(
+            0u32,
+            Box::new(NativeSimpleAdapt::new(2, 4)),
+            2,
+        ));
+        // Force pure-blocking mode so the waiter definitely parks.
+        let warm = Arc::clone(&m);
+        drop(warm.lock());
+        m.spin_limit.store(0, Ordering::Relaxed);
+        let g = m.lock();
+        let m2 = Arc::clone(&m);
+        let waiter = std::thread::spawn(move || {
+            *m2.lock() += 1;
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        drop(g);
+        waiter.join().unwrap();
+        assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn debug_format_shows_state() {
+        let m = AdaptiveMutex::new(7u8);
+        let s = format!("{m:?}");
+        assert!(s.contains("spin_limit"));
+        assert!(s.contains('7'));
+    }
+}

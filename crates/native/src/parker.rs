@@ -1,0 +1,95 @@
+//! A small thread parker used for handoff grants.
+//!
+//! Built on `std::thread::park`/`unpark` with an explicit grant flag, in
+//! the style of chapter 4 of *Rust Atomics and Locks*: the flag carries
+//! the synchronization (Release store on grant, Acquire loads in the
+//! park loop), `park` is only the efficient way to wait, and spurious
+//! wakeups are filtered by re-checking the flag.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::thread::Thread;
+
+/// One waiter's handoff slot.
+#[derive(Debug)]
+pub(crate) struct Waiter {
+    thread: Thread,
+    granted: AtomicBool,
+}
+
+impl Waiter {
+    /// A slot for the calling thread.
+    pub(crate) fn new() -> Waiter {
+        Waiter {
+            thread: std::thread::current(),
+            granted: AtomicBool::new(false),
+        }
+    }
+
+    /// Grant the handoff and wake the waiter. Called by the releasing
+    /// thread; the Release store pairs with the Acquire load in
+    /// [`Waiter::wait`], making everything the releaser did visible to
+    /// the granted thread.
+    pub(crate) fn grant(&self) {
+        self.granted.store(true, Ordering::Release);
+        self.thread.unpark();
+    }
+
+    /// Whether the grant has landed (Acquire).
+    pub(crate) fn is_granted(&self) -> bool {
+        self.granted.load(Ordering::Acquire)
+    }
+
+    /// Block the calling thread until granted.
+    pub(crate) fn wait(&self) {
+        while !self.is_granted() {
+            std::thread::park();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn grant_before_wait_returns_immediately() {
+        let w = Waiter::new();
+        w.grant();
+        w.wait(); // must not hang
+        assert!(w.is_granted());
+    }
+
+    #[test]
+    fn wait_blocks_until_granted() {
+        let w = Arc::new(Waiter::new());
+        let w2 = Arc::clone(&w);
+        let granter = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            w2.grant();
+        });
+        let t0 = std::time::Instant::now();
+        w.wait();
+        assert!(w.is_granted());
+        assert!(t0.elapsed() >= Duration::from_millis(20), "returned before grant");
+        granter.join().unwrap();
+    }
+
+    #[test]
+    fn stale_unparks_are_filtered() {
+        // A spurious unpark (permit from elsewhere) must not end the
+        // wait before the grant.
+        let w = Arc::new(Waiter::new());
+        let w2 = Arc::clone(&w);
+        let me = std::thread::current();
+        me.unpark(); // leave a stale permit
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            w2.grant();
+        });
+        w.wait();
+        assert!(w.is_granted());
+        t.join().unwrap();
+    }
+}

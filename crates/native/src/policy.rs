@@ -1,0 +1,141 @@
+//! Native adaptation policies (real-thread counterparts of the
+//! simulator-side policies, built on the same [`AdaptationPolicy`]
+//! trait).
+
+use adaptive_core::AdaptationPolicy;
+
+/// What the native mutex's monitor reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NativeObservation {
+    /// Waiting threads at the sampled unlock.
+    pub waiting: u64,
+}
+
+/// Reconfiguration decision for the native mutex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NativeDecision {
+    /// Spin until granted.
+    PureSpin,
+    /// Park immediately.
+    PureBlocking,
+    /// Spin this many iterations, then park.
+    SetSpins(u32),
+}
+
+/// The paper's `simple-adapt`, scaled for spin-loop iterations instead
+/// of memory probes.
+#[derive(Debug, Clone)]
+pub struct NativeSimpleAdapt {
+    /// `Waiting-Threshold`.
+    pub waiting_threshold: u64,
+    /// Spin increment `n`.
+    pub n: u32,
+    /// Upper clamp.
+    pub max_spins: u32,
+    spins: i64,
+}
+
+impl NativeSimpleAdapt {
+    /// Policy with the given threshold and increment.
+    pub fn new(waiting_threshold: u64, n: u32) -> NativeSimpleAdapt {
+        NativeSimpleAdapt {
+            waiting_threshold,
+            n,
+            max_spins: 1 << 16,
+            spins: 64,
+        }
+    }
+}
+
+impl AdaptationPolicy<NativeObservation> for NativeSimpleAdapt {
+    type Decision = NativeDecision;
+
+    fn decide(&mut self, obs: NativeObservation) -> Option<NativeDecision> {
+        if obs.waiting == 0 {
+            return Some(NativeDecision::PureSpin);
+        }
+        if obs.waiting <= self.waiting_threshold {
+            self.spins = (self.spins + i64::from(self.n)).min(i64::from(self.max_spins));
+        } else {
+            self.spins -= 2 * i64::from(self.n);
+        }
+        if self.spins <= 0 {
+            self.spins = 0;
+            Some(NativeDecision::PureBlocking)
+        } else {
+            Some(NativeDecision::SetSpins(self.spins as u32))
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "native-simple-adapt"
+    }
+}
+
+/// A fixed (non-adaptive) policy, for using `AdaptiveMutex` as a plain
+/// spin-then-park mutex in comparisons.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedPolicy(
+    /// The decision to hold forever.
+    pub NativeDecision,
+);
+
+impl AdaptationPolicy<NativeObservation> for FixedPolicy {
+    type Decision = NativeDecision;
+
+    fn decide(&mut self, _obs: NativeObservation) -> Option<NativeDecision> {
+        Some(self.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_waiting_means_pure_spin() {
+        let mut p = NativeSimpleAdapt::new(2, 8);
+        assert_eq!(
+            p.decide(NativeObservation { waiting: 0 }),
+            Some(NativeDecision::PureSpin)
+        );
+    }
+
+    #[test]
+    fn light_waiting_grows_spins_heavy_cuts_double() {
+        let mut p = NativeSimpleAdapt::new(2, 8);
+        assert_eq!(
+            p.decide(NativeObservation { waiting: 1 }),
+            Some(NativeDecision::SetSpins(72))
+        );
+        assert_eq!(
+            p.decide(NativeObservation { waiting: 9 }),
+            Some(NativeDecision::SetSpins(56))
+        );
+    }
+
+    #[test]
+    fn sustained_pressure_reaches_pure_blocking() {
+        let mut p = NativeSimpleAdapt::new(0, 16);
+        let mut last = None;
+        for _ in 0..10 {
+            last = p.decide(NativeObservation { waiting: 5 });
+        }
+        assert_eq!(last, Some(NativeDecision::PureBlocking));
+    }
+
+    #[test]
+    fn fixed_policy_never_changes() {
+        let mut p = FixedPolicy(NativeDecision::SetSpins(7));
+        for w in 0..5 {
+            assert_eq!(
+                p.decide(NativeObservation { waiting: w }),
+                Some(NativeDecision::SetSpins(7))
+            );
+        }
+    }
+}

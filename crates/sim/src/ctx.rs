@@ -1,0 +1,308 @@
+//! The simulated-thread context API.
+//!
+//! Code running inside a simulated thread uses these free functions to
+//! spend virtual time, reference simulated memory, park/unpark, and spawn
+//! further threads. They all panic with a clear message when called from
+//! outside a simulation (use [`in_sim`] to probe).
+
+use std::cell::RefCell;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, MutexGuard};
+
+use crate::config::{NodeId, ProcId, SimConfig};
+use crate::engine::{spawn_thread, Shared, ShutdownToken};
+use crate::gate::Gate;
+use crate::tcb::{CostMeter, TState, ThreadId, WakeReason};
+use crate::time::{Duration, VirtualTime};
+use crate::world::{EvKind, World};
+
+struct Ctx {
+    shared: Arc<Shared>,
+    tid: ThreadId,
+    proc: ProcId,
+    gate: Arc<Gate>,
+    processors: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn install(shared: Arc<Shared>, tid: ThreadId, proc: ProcId, gate: Arc<Gate>) {
+    let processors = shared.world.lock().unwrap().cfg.processors;
+    CTX.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            shared,
+            tid,
+            proc,
+            gate,
+            processors,
+        });
+    });
+}
+
+pub(crate) fn clear() {
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+fn with_ctx<R>(f: impl FnOnce(&Ctx) -> R) -> R {
+    CTX.with(|c| {
+        let b = c.borrow();
+        let ctx = b
+            .as_ref()
+            .expect("this operation is only valid inside a simulated thread (butterfly_sim::run)");
+        f(ctx)
+    })
+}
+
+/// Whether the calling OS thread is currently a simulated thread.
+pub fn in_sim() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+/// Id of the current simulated thread.
+pub fn current() -> ThreadId {
+    with_ctx(|c| c.tid)
+}
+
+/// Processor the current thread is pinned to.
+pub fn current_proc() -> ProcId {
+    with_ctx(|c| c.proc)
+}
+
+/// Memory node local to the current thread's processor.
+pub fn current_node() -> NodeId {
+    with_ctx(|c| c.proc.node())
+}
+
+/// Number of processors in the simulated machine.
+pub fn num_processors() -> usize {
+    with_ctx(|c| c.processors)
+}
+
+/// Current virtual time.
+pub fn now() -> VirtualTime {
+    with_ctx(|c| c.shared.world.lock().unwrap().now)
+}
+
+/// A copy of the run's configuration.
+pub fn config() -> SimConfig {
+    with_ctx(|c| c.shared.world.lock().unwrap().cfg.clone())
+}
+
+/// Deterministic pseudo-random value from the run-wide stream.
+pub fn rand_u64() -> u64 {
+    with_ctx(|c| c.shared.world.lock().unwrap().rand_u64())
+}
+
+/// Snapshot of the current thread's memory-traffic counters.
+pub fn cost_meter() -> CostMeter {
+    with_ctx(|c| c.shared.world.lock().unwrap().tcb(c.tid).meter)
+}
+
+/// Hand control to the engine and wait to be resumed. Must be entered with
+/// the world lock released and the current thread's continuation already
+/// scheduled (event pushed / queued / waiting for unpark).
+fn yield_cpu(c: &Ctx) {
+    c.shared.engine_gate.open();
+    c.gate.pass();
+    if c.shared.shutdown.load(Ordering::Acquire) {
+        std::panic::resume_unwind(Box::new(ShutdownToken));
+    }
+}
+
+/// Core of `advance`: account `d`, then either bump the clock in place
+/// (fast path: nothing else can happen before we finish) or schedule a
+/// `Resume` and hand control back to the engine.
+fn advance_locked(c: &Ctx, mut w: MutexGuard<'_, World>, d: Duration) {
+    w.charge_time(c.tid, d);
+    let target = w.now + d;
+    let preempt = w.should_preempt(c.tid);
+    if !preempt && w.peek_time().is_none_or(|t| t > target) {
+        w.now = target;
+        w.stats.fast_advances += 1;
+        return;
+    }
+    w.push_event(target, EvKind::Resume(c.tid));
+    w.tcb_mut(c.tid).state = TState::Advancing;
+    drop(w);
+    yield_cpu(c);
+}
+
+/// Spend `d` of processor time (pure computation; the processor stays
+/// held). This is also the preemption point: a thread that has exhausted
+/// its quantum is moved to the back of its run queue here if another
+/// thread is ready on the same processor.
+pub fn advance(d: Duration) {
+    with_ctx(|c| {
+        let w = c.shared.world.lock().unwrap();
+        advance_locked(c, w, d);
+    })
+}
+
+/// Kind of simulated memory reference, for [`charge_mem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemOp {
+    /// A single-word read.
+    Read,
+    /// A single-word write.
+    Write,
+    /// An atomic read-modify-write (e.g. the Butterfly's `atomior`).
+    Rmw,
+}
+
+/// Charge the current thread for a memory reference against memory homed
+/// at `home`, applying the NUMA cost model and updating traffic meters.
+/// Custom data structures built on top of the simulator should call this
+/// once per simulated word they touch.
+pub fn charge_mem(op: MemOp, home: NodeId) {
+    with_ctx(|c| {
+        let mut w = c.shared.world.lock().unwrap();
+        let from = c.proc.node();
+        let local = from == home;
+        let mut d = match op {
+            MemOp::Read => w.cfg.memory.read_cost(from, home),
+            MemOp::Write => w.cfg.memory.write_cost(from, home),
+            MemOp::Rmw => w.cfg.memory.rmw_cost(from, home),
+        };
+        // Interconnect distance beyond the flat remote base cost.
+        d += w.cfg.topology.extra_latency(from, home);
+        // Memory-module queueing: wait for the module to drain, then
+        // occupy it (hot-spot contention, RMWs hold it longest).
+        if w.cfg.module_occupancy > Duration::ZERO && home.0 < w.module_busy.len() {
+            let wait = w.module_busy[home.0].saturating_since(w.now);
+            let occupancy = match op {
+                MemOp::Rmw => w.cfg.module_occupancy * 2,
+                _ => w.cfg.module_occupancy,
+            };
+            w.module_busy[home.0] = w.now + wait + occupancy;
+            d += wait;
+        }
+        {
+            let meter = &mut w.tcb_mut(c.tid).meter;
+            bump(meter, op, local);
+        }
+        bump(&mut w.mem_stats, op, local);
+        advance_locked(c, w, d);
+    })
+}
+
+fn bump(m: &mut CostMeter, op: MemOp, local: bool) {
+    match (op, local) {
+        (MemOp::Read, true) => m.reads_local += 1,
+        (MemOp::Read, false) => m.reads_remote += 1,
+        (MemOp::Write, true) => m.writes_local += 1,
+        (MemOp::Write, false) => m.writes_remote += 1,
+        (MemOp::Rmw, true) => {
+            m.reads_local += 1;
+            m.writes_local += 1;
+            m.rmws += 1;
+        }
+        (MemOp::Rmw, false) => {
+            m.reads_remote += 1;
+            m.writes_remote += 1;
+            m.rmws += 1;
+        }
+    }
+}
+
+/// Voluntarily yield the processor to the next ready thread on the same
+/// processor (no-op when the run queue is empty).
+pub fn yield_now() {
+    with_ctx(|c| {
+        let mut w = c.shared.world.lock().unwrap();
+        if w.procs[c.proc.0].ready.is_empty() {
+            return;
+        }
+        w.requeue(c.tid);
+        drop(w);
+        yield_cpu(c);
+    })
+}
+
+/// Release the processor and sleep for `d` of virtual time.
+pub fn sleep(d: Duration) {
+    with_ctx(|c| {
+        let mut w = c.shared.world.lock().unwrap();
+        let epoch = {
+            let tcb = w.tcb_mut(c.tid);
+            tcb.park_epoch += 1;
+            tcb.state = TState::Sleeping;
+            tcb.park_epoch
+        };
+        w.release_processor(c.tid);
+        let at = w.now + d;
+        w.push_event(at, EvKind::Wake { tid: c.tid, epoch });
+        drop(w);
+        yield_cpu(c);
+    })
+}
+
+/// Release the processor and block until another thread calls [`unpark`]
+/// for this thread. Consumes a pending unpark permit immediately, like
+/// `std::thread::park`.
+pub fn park() -> WakeReason {
+    park_inner(None)
+}
+
+/// [`park`] with a timeout: resumes after `d` even without an unpark.
+/// The returned [`WakeReason`] says which happened first.
+pub fn park_timeout(d: Duration) -> WakeReason {
+    park_inner(Some(d))
+}
+
+fn park_inner(timeout: Option<Duration>) -> WakeReason {
+    with_ctx(|c| {
+        let mut w = c.shared.world.lock().unwrap();
+        {
+            let tcb = w.tcb_mut(c.tid);
+            if tcb.park_permit {
+                tcb.park_permit = false;
+                return WakeReason::Unparked;
+            }
+            tcb.park_epoch += 1;
+            tcb.state = TState::Blocked;
+        }
+        let epoch = w.tcb(c.tid).park_epoch;
+        w.release_processor(c.tid);
+        if let Some(d) = timeout {
+            let at = w.now + d;
+            w.push_event(at, EvKind::Wake { tid: c.tid, epoch });
+        }
+        drop(w);
+        yield_cpu(c);
+        c.shared.world.lock().unwrap().tcb(c.tid).wake_reason
+    })
+}
+
+/// Make a blocked thread ready; if it is not currently parked, leave a
+/// permit that its next [`park`] will consume (semantics of
+/// `std::thread::Thread::unpark`).
+pub fn unpark(target: ThreadId) {
+    with_ctx(|c| {
+        let mut w = c.shared.world.lock().unwrap();
+        assert!(target.0 < w.tcbs.len(), "unpark of unknown thread {}", target);
+        match w.tcb(target).state {
+            TState::Blocked => w.make_ready(target, WakeReason::Unparked),
+            TState::Finished => {}
+            _ => w.tcb_mut(target).park_permit = true,
+        }
+    })
+}
+
+/// Spawn a new simulated thread pinned to `proc`. The spawning thread is
+/// charged the configured thread-creation cost. Returns the new thread's
+/// id (use higher-level join primitives from the `cthreads` crate to wait
+/// for completion and collect results).
+pub fn spawn<F>(proc: ProcId, name: impl Into<String>, f: F) -> ThreadId
+where
+    F: FnOnce() + Send + 'static,
+{
+    with_ctx(|c| {
+        let tid = spawn_thread(&c.shared, proc, name.into(), f);
+        let w = c.shared.world.lock().unwrap();
+        let d = w.cfg.thread_create;
+        advance_locked(c, w, d);
+        tid
+    })
+}

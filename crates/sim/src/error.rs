@@ -1,0 +1,68 @@
+//! Errors surfaced by a simulation run.
+
+use crate::tcb::{TState, ThreadId};
+use crate::time::VirtualTime;
+
+/// Why a simulation run failed.
+#[derive(Debug, Clone)]
+pub enum SimError {
+    /// The event queue drained while threads were still blocked: every
+    /// remaining thread is waiting for an unpark that can never arrive.
+    Deadlock {
+        /// Virtual time at which the simulation stalled.
+        at: VirtualTime,
+        /// The stuck threads (id, name, state).
+        blocked: Vec<(ThreadId, String, TState)>,
+    },
+    /// A simulated thread panicked; the run was torn down.
+    ThreadPanicked {
+        /// Name of the panicking thread.
+        thread: String,
+        /// Panic payload rendered as a string.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { at, blocked } => {
+                write!(f, "simulation deadlocked at {} with {} stuck thread(s):", at, blocked.len())?;
+                for (tid, name, state) in blocked {
+                    write!(f, " [{} {:?} {:?}]", tid, name, state)?;
+                }
+                Ok(())
+            }
+            SimError::ThreadPanicked { thread, message } => {
+                write!(f, "simulated thread {:?} panicked: {}", thread, message)
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_deadlock() {
+        let e = SimError::Deadlock {
+            at: VirtualTime(42),
+            blocked: vec![(ThreadId(1), "worker".into(), TState::Blocked)],
+        };
+        let s = format!("{}", e);
+        assert!(s.contains("deadlocked at 42ns"));
+        assert!(s.contains("worker"));
+    }
+
+    #[test]
+    fn display_panic() {
+        let e = SimError::ThreadPanicked {
+            thread: "root".into(),
+            message: "boom".into(),
+        };
+        assert_eq!(format!("{}", e), "simulated thread \"root\" panicked: boom");
+    }
+}

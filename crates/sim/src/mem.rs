@@ -1,0 +1,227 @@
+//! Simulated NUMA shared memory.
+//!
+//! Every value lives on a *home node* (a memory module co-located with one
+//! processor). References from other nodes traverse the simulated switch
+//! and cost more, per [`crate::config::MemoryParams`]. Two primitives are
+//! offered:
+//!
+//! * [`SimCell`] — a shared word/record of any `Clone` type, with read /
+//!   write / update operations charged as 1R / 1W / 1R+1W.
+//! * [`SimWord`] — a shared 64-bit word with the atomic operations the
+//!   Butterfly hardware provides (`atomior`, i.e. atomic fetch-or, plus
+//!   the usual fetch-add / compare-exchange family), charged as RMWs.
+//!
+//! Because the engine serializes simulated threads, interior state is kept
+//! behind a host `Mutex` purely to satisfy `Sync`; it is never contended
+//! for longer than one operation.
+
+use std::sync::{Arc, Mutex};
+
+use crate::config::NodeId;
+use crate::ctx::{self, MemOp};
+
+/// A shared value homed on a specific memory node.
+///
+/// Cloning a `SimCell` clones the *handle*; all clones refer to the same
+/// simulated memory.
+#[derive(Debug)]
+pub struct SimCell<T> {
+    inner: Arc<CellInner<T>>,
+}
+
+#[derive(Debug)]
+struct CellInner<T> {
+    home: NodeId,
+    val: Mutex<T>,
+}
+
+impl<T> Clone for SimCell<T> {
+    fn clone(&self) -> Self {
+        SimCell {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: Send> SimCell<T> {
+    /// Allocate on an explicit node.
+    pub fn new_on(home: NodeId, value: T) -> SimCell<T> {
+        SimCell {
+            inner: Arc::new(CellInner {
+                home,
+                val: Mutex::new(value),
+            }),
+        }
+    }
+
+    /// Allocate on the calling thread's node (must be inside a sim).
+    pub fn new_local(value: T) -> SimCell<T> {
+        SimCell::new_on(ctx::current_node(), value)
+    }
+
+    /// The node this cell's memory lives on.
+    pub fn home(&self) -> NodeId {
+        self.inner.home
+    }
+
+    /// Read the value (charged as one read).
+    pub fn read(&self) -> T
+    where
+        T: Clone,
+    {
+        ctx::charge_mem(MemOp::Read, self.inner.home);
+        self.inner.val.lock().unwrap().clone()
+    }
+
+    /// Overwrite the value (charged as one write).
+    pub fn write(&self, value: T) {
+        ctx::charge_mem(MemOp::Write, self.inner.home);
+        *self.inner.val.lock().unwrap() = value;
+    }
+
+    /// Read-modify-write under the engine's serialization (charged as one
+    /// read plus one write). Returns the closure's result.
+    ///
+    /// Note: this models a *record update by the exclusive holder* (e.g.
+    /// a queue manipulation inside a critical section), not a hardware
+    /// atomic; use [`SimWord`] for lock-free words.
+    pub fn update<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        ctx::charge_mem(MemOp::Read, self.inner.home);
+        ctx::charge_mem(MemOp::Write, self.inner.home);
+        f(&mut self.inner.val.lock().unwrap())
+    }
+
+    /// Inspect without charging simulated cost. For monitors/assertions
+    /// that are *about* the simulation rather than *in* it.
+    pub fn peek(&self) -> T
+    where
+        T: Clone,
+    {
+        self.inner.val.lock().unwrap().clone()
+    }
+
+    /// Mutate without charging simulated cost (out-of-band setup).
+    pub fn poke(&self, f: impl FnOnce(&mut T)) {
+        f(&mut self.inner.val.lock().unwrap());
+    }
+}
+
+/// A shared 64-bit word with Butterfly-style atomic operations.
+#[derive(Debug)]
+pub struct SimWord {
+    inner: Arc<WordInner>,
+}
+
+#[derive(Debug)]
+struct WordInner {
+    home: NodeId,
+    val: Mutex<u64>,
+}
+
+impl Clone for SimWord {
+    fn clone(&self) -> Self {
+        SimWord {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl SimWord {
+    /// Allocate on an explicit node.
+    pub fn new_on(home: NodeId, value: u64) -> SimWord {
+        SimWord {
+            inner: Arc::new(WordInner {
+                home,
+                val: Mutex::new(value),
+            }),
+        }
+    }
+
+    /// Allocate on the calling thread's node (must be inside a sim).
+    pub fn new_local(value: u64) -> SimWord {
+        SimWord::new_on(ctx::current_node(), value)
+    }
+
+    /// The node this word lives on.
+    pub fn home(&self) -> NodeId {
+        self.inner.home
+    }
+
+    /// Plain read (one read).
+    pub fn load(&self) -> u64 {
+        ctx::charge_mem(MemOp::Read, self.inner.home);
+        *self.inner.val.lock().unwrap()
+    }
+
+    /// Plain write (one write).
+    pub fn store(&self, value: u64) {
+        ctx::charge_mem(MemOp::Write, self.inner.home);
+        *self.inner.val.lock().unwrap() = value;
+    }
+
+    /// The Butterfly's `atomior`: atomically OR `mask` in, returning the
+    /// previous value. Test-and-set is `atomior(1) & 1`.
+    pub fn atomior(&self, mask: u64) -> u64 {
+        ctx::charge_mem(MemOp::Rmw, self.inner.home);
+        let mut v = self.inner.val.lock().unwrap();
+        let old = *v;
+        *v |= mask;
+        old
+    }
+
+    /// Test-and-set via `atomior`: returns `true` if the lock bit was
+    /// already set (i.e. the acquire failed).
+    pub fn test_and_set(&self) -> bool {
+        self.atomior(1) & 1 == 1
+    }
+
+    /// Atomic add, returning the previous value.
+    pub fn fetch_add(&self, n: u64) -> u64 {
+        ctx::charge_mem(MemOp::Rmw, self.inner.home);
+        let mut v = self.inner.val.lock().unwrap();
+        let old = *v;
+        *v = v.wrapping_add(n);
+        old
+    }
+
+    /// Atomic subtract, returning the previous value.
+    pub fn fetch_sub(&self, n: u64) -> u64 {
+        ctx::charge_mem(MemOp::Rmw, self.inner.home);
+        let mut v = self.inner.val.lock().unwrap();
+        let old = *v;
+        *v = v.wrapping_sub(n);
+        old
+    }
+
+    /// Atomic swap, returning the previous value.
+    pub fn swap(&self, value: u64) -> u64 {
+        ctx::charge_mem(MemOp::Rmw, self.inner.home);
+        let mut v = self.inner.val.lock().unwrap();
+        let old = *v;
+        *v = value;
+        old
+    }
+
+    /// Atomic compare-exchange: if the word equals `current`, store `new`
+    /// and return `Ok(current)`, else return `Err(actual)`.
+    pub fn compare_exchange(&self, current: u64, new: u64) -> Result<u64, u64> {
+        ctx::charge_mem(MemOp::Rmw, self.inner.home);
+        let mut v = self.inner.val.lock().unwrap();
+        if *v == current {
+            *v = new;
+            Ok(current)
+        } else {
+            Err(*v)
+        }
+    }
+
+    /// Inspect without charging simulated cost.
+    pub fn peek(&self) -> u64 {
+        *self.inner.val.lock().unwrap()
+    }
+
+    /// Set without charging simulated cost (out-of-band setup).
+    pub fn poke(&self, value: u64) {
+        *self.inner.val.lock().unwrap() = value;
+    }
+}

@@ -1,0 +1,111 @@
+//! End-of-run report.
+
+use crate::tcb::CostMeter;
+use crate::time::{Duration, VirtualTime};
+
+/// Lifetime record of one simulated thread.
+#[derive(Debug, Clone)]
+pub struct ThreadSpan {
+    /// Thread name.
+    pub name: String,
+    /// When it was created.
+    pub spawned_at: VirtualTime,
+    /// When it finished (`None` if torn down unfinished).
+    pub finished_at: Option<VirtualTime>,
+}
+
+/// Summary of a completed simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Virtual time at which the last event was processed.
+    pub end_time: VirtualTime,
+    /// Total events processed by the engine.
+    pub events: u64,
+    /// Engine <-> thread handshakes performed (a real-time cost metric).
+    pub handshakes: u64,
+    /// `advance` calls satisfied without a handshake.
+    pub fast_advances: u64,
+    /// Total threads spawned over the run.
+    pub threads: u64,
+    /// Busy virtual time per processor.
+    pub proc_busy: Vec<Duration>,
+    /// Thread-to-thread switches per processor.
+    pub proc_switches: Vec<u64>,
+    /// Aggregate simulated memory traffic.
+    pub mem: CostMeter,
+    /// Per-thread lifetimes, in spawn order.
+    pub thread_spans: Vec<ThreadSpan>,
+    /// Seed the run was configured with.
+    pub seed: u64,
+}
+
+impl SimReport {
+    /// Mean processor utilization over the run, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.end_time == VirtualTime::ZERO || self.proc_busy.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.proc_busy.iter().map(|d| d.as_nanos()).sum();
+        total as f64 / (self.end_time.as_nanos() as f64 * self.proc_busy.len() as f64)
+    }
+
+    /// Busy time of the busiest processor.
+    pub fn max_busy(&self) -> Duration {
+        self.proc_busy.iter().copied().max().unwrap_or(Duration::ZERO)
+    }
+}
+
+impl std::fmt::Display for SimReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "end={} events={} threads={} util={:.1}% mem={}",
+            Duration(self.end_time.as_nanos()),
+            self.events,
+            self.threads,
+            self.utilization() * 100.0,
+            self.mem
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_math() {
+        let r = SimReport {
+            end_time: VirtualTime(1_000),
+            events: 10,
+            handshakes: 5,
+            fast_advances: 5,
+            threads: 2,
+            proc_busy: vec![Duration(500), Duration(1_000)],
+            proc_switches: vec![1, 2],
+            mem: CostMeter::default(),
+            thread_spans: vec![],
+            seed: 0,
+        };
+        assert!((r.utilization() - 0.75).abs() < 1e-9);
+        assert_eq!(r.max_busy(), Duration(1_000));
+    }
+
+    #[test]
+    fn utilization_of_empty_run_is_zero() {
+        let r = SimReport {
+            end_time: VirtualTime::ZERO,
+            events: 0,
+            handshakes: 0,
+            fast_advances: 0,
+            threads: 0,
+            proc_busy: vec![],
+            proc_switches: vec![],
+            mem: CostMeter::default(),
+            thread_spans: vec![],
+            seed: 0,
+        };
+        assert_eq!(r.utilization(), 0.0);
+        assert_eq!(r.max_busy(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,196 @@
+//! Thread control blocks for simulated threads.
+
+use std::ops::{Add, Sub};
+use std::sync::Arc;
+
+use crate::config::ProcId;
+use crate::gate::Gate;
+use crate::time::{Duration, VirtualTime};
+
+/// Identifies a simulated thread within one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(pub usize);
+
+impl std::fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Scheduling state of a simulated thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TState {
+    /// On its processor's ready queue, waiting to be dispatched.
+    Ready,
+    /// Currently executing (holds its processor; at most one thread in
+    /// the whole simulation is `Running` at any real-time instant).
+    Running,
+    /// Holds its processor but is in the middle of a timed `advance`;
+    /// a `Resume` event will continue it.
+    Advancing,
+    /// Descheduled, waiting for an `unpark` (or a park timeout).
+    Blocked,
+    /// Descheduled, waiting for a sleep timer.
+    Sleeping,
+    /// Ran to completion (or was torn down by shutdown).
+    Finished,
+}
+
+/// Why a parked/sleeping thread resumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeReason {
+    /// Another thread issued an `unpark`.
+    Unparked,
+    /// The park timeout (or sleep timer) expired.
+    Timeout,
+}
+
+/// Per-thread counters of simulated memory traffic, mirroring the paper's
+/// `t = n1 R n2 W` cost formalism (Section 3.1): every primitive operation
+/// is accounted as a number of reads and writes, split by NUMA locality.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostMeter {
+    /// Reads satisfied by the local memory module.
+    pub reads_local: u64,
+    /// Reads that crossed the switch to a remote module.
+    pub reads_remote: u64,
+    /// Writes to the local module.
+    pub writes_local: u64,
+    /// Writes to a remote module.
+    pub writes_remote: u64,
+    /// Atomic read-modify-writes (counted additionally as 1R + 1W).
+    pub rmws: u64,
+}
+
+impl CostMeter {
+    /// Total reads, local + remote.
+    pub fn reads(&self) -> u64 {
+        self.reads_local + self.reads_remote
+    }
+
+    /// Total writes, local + remote.
+    pub fn writes(&self) -> u64 {
+        self.writes_local + self.writes_remote
+    }
+
+    /// Total memory operations.
+    pub fn total(&self) -> u64 {
+        self.reads() + self.writes()
+    }
+}
+
+impl Add for CostMeter {
+    type Output = CostMeter;
+    fn add(self, r: CostMeter) -> CostMeter {
+        CostMeter {
+            reads_local: self.reads_local + r.reads_local,
+            reads_remote: self.reads_remote + r.reads_remote,
+            writes_local: self.writes_local + r.writes_local,
+            writes_remote: self.writes_remote + r.writes_remote,
+            rmws: self.rmws + r.rmws,
+        }
+    }
+}
+
+impl Sub for CostMeter {
+    type Output = CostMeter;
+    /// Counter delta: `later - earlier`. Panics (in debug) on underflow,
+    /// which would indicate snapshots taken from different threads.
+    fn sub(self, r: CostMeter) -> CostMeter {
+        CostMeter {
+            reads_local: self.reads_local - r.reads_local,
+            reads_remote: self.reads_remote - r.reads_remote,
+            writes_local: self.writes_local - r.writes_local,
+            writes_remote: self.writes_remote - r.writes_remote,
+            rmws: self.rmws - r.rmws,
+        }
+    }
+}
+
+impl std::fmt::Display for CostMeter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}R {}W ({} rmw)", self.reads(), self.writes(), self.rmws)
+    }
+}
+
+/// Engine-internal control block for one simulated thread.
+#[derive(Debug)]
+pub(crate) struct Tcb {
+    pub id: ThreadId,
+    pub proc: ProcId,
+    pub name: String,
+    pub state: TState,
+    /// Handshake gate the thread's OS thread parks on.
+    pub gate: Arc<Gate>,
+    /// Pending unpark delivered before the thread parked.
+    pub park_permit: bool,
+    /// Invalidates stale timer events across park/sleep cycles.
+    pub park_epoch: u64,
+    /// Why the last park/sleep ended.
+    pub wake_reason: WakeReason,
+    /// Virtual time consumed since last dispatch (for preemption).
+    pub quantum_used: Duration,
+    /// Memory-traffic counters.
+    pub meter: CostMeter,
+    /// When the thread was created.
+    pub spawned_at: VirtualTime,
+    /// When it finished, if it has.
+    pub finished_at: Option<VirtualTime>,
+}
+
+impl Tcb {
+    pub(crate) fn new(id: ThreadId, proc: ProcId, name: String, at: VirtualTime) -> Tcb {
+        Tcb {
+            id,
+            proc,
+            name,
+            state: TState::Ready,
+            gate: Arc::new(Gate::new()),
+            park_permit: false,
+            park_epoch: 0,
+            wake_reason: WakeReason::Unparked,
+            quantum_used: Duration::ZERO,
+            meter: CostMeter::default(),
+            spawned_at: at,
+            finished_at: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_arithmetic() {
+        let a = CostMeter {
+            reads_local: 3,
+            reads_remote: 1,
+            writes_local: 2,
+            writes_remote: 0,
+            rmws: 1,
+        };
+        let b = CostMeter {
+            reads_local: 1,
+            reads_remote: 0,
+            writes_local: 1,
+            writes_remote: 0,
+            rmws: 0,
+        };
+        let d = a - b;
+        assert_eq!(d.reads(), 3);
+        assert_eq!(d.writes(), 1);
+        assert_eq!((b + d), a);
+        assert_eq!(a.total(), 6);
+        assert_eq!(format!("{}", a), "4R 2W (1 rmw)");
+    }
+
+    #[test]
+    fn tcb_starts_ready() {
+        let t = Tcb::new(ThreadId(3), ProcId(1), "x".into(), VirtualTime(7));
+        assert_eq!(t.state, TState::Ready);
+        assert_eq!(t.spawned_at, VirtualTime(7));
+        assert!(t.finished_at.is_none());
+        assert_eq!(format!("{}", t.id), "T3");
+    }
+}

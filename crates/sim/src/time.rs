@@ -1,0 +1,253 @@
+//! Virtual time for the simulator.
+//!
+//! All simulated activity is measured in virtual nanoseconds. The paper
+//! reports latencies in microseconds on a BBN Butterfly GP1000; we keep
+//! nanosecond resolution so that sub-microsecond memory-reference costs
+//! (a local reference on the GP1000 is roughly 600 ns) can be expressed
+//! exactly.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in virtual time, in nanoseconds since the start of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtualTime(pub u64);
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(pub u64);
+
+impl VirtualTime {
+    /// The origin of virtual time.
+    pub const ZERO: VirtualTime = VirtualTime(0);
+
+    /// Nanoseconds since the start of the run.
+    #[inline]
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Time as fractional microseconds (for paper-style reporting).
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Time as fractional milliseconds (for paper-style reporting).
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// The span from `earlier` to `self`. Panics if `earlier` is later.
+    #[inline]
+    pub fn since(self, earlier: VirtualTime) -> Duration {
+        Duration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("VirtualTime::since: `earlier` is later than `self`"),
+        )
+    }
+
+    /// Saturating version of [`VirtualTime::since`].
+    #[inline]
+    pub fn saturating_since(self, earlier: VirtualTime) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Duration {
+    /// The empty span.
+    pub const ZERO: Duration = Duration(0);
+
+    /// A span of `n` nanoseconds.
+    #[inline]
+    pub const fn nanos(n: u64) -> Duration {
+        Duration(n)
+    }
+
+    /// A span of `n` microseconds.
+    #[inline]
+    pub const fn micros(n: u64) -> Duration {
+        Duration(n * 1_000)
+    }
+
+    /// A span of `n` milliseconds.
+    #[inline]
+    pub const fn millis(n: u64) -> Duration {
+        Duration(n * 1_000_000)
+    }
+
+    /// A span of `n` seconds.
+    #[inline]
+    pub const fn secs(n: u64) -> Duration {
+        Duration(n * 1_000_000_000)
+    }
+
+    /// Nanoseconds in this span.
+    #[inline]
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Span as fractional microseconds.
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Span as fractional milliseconds.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<Duration> for VirtualTime {
+    type Output = VirtualTime;
+    #[inline]
+    fn add(self, rhs: Duration) -> VirtualTime {
+        VirtualTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for VirtualTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Duration> for VirtualTime {
+    type Output = VirtualTime;
+    #[inline]
+    fn sub(self, rhs: Duration) -> VirtualTime {
+        VirtualTime(self.0 - rhs.0)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Duration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn div(self, rhs: u64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        iter.fold(Duration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let t = VirtualTime::ZERO + Duration::micros(5);
+        assert_eq!(t.as_nanos(), 5_000);
+        let t2 = t + Duration::nanos(500);
+        assert_eq!(t2.since(t), Duration::nanos(500));
+        assert_eq!(t2 - Duration::nanos(500), t);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Duration::millis(2).as_nanos(), 2_000_000);
+        assert_eq!(Duration::secs(1).as_millis_f64(), 1000.0);
+        assert!((Duration::micros(3).as_micros_f64() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturating_ops() {
+        let a = VirtualTime(10);
+        let b = VirtualTime(20);
+        assert_eq!(a.saturating_since(b), Duration::ZERO);
+        assert_eq!(b.saturating_since(a), Duration(10));
+        assert_eq!(Duration(5).saturating_sub(Duration(9)), Duration::ZERO);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", Duration::nanos(30)), "30ns");
+        assert_eq!(format!("{}", Duration::micros(30)), "30.000us");
+        assert_eq!(format!("{}", Duration::millis(30)), "30.000ms");
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: Duration = [Duration(1), Duration(2), Duration(3)].into_iter().sum();
+        assert_eq!(total, Duration(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "`earlier` is later")]
+    fn since_panics_on_reversed_order() {
+        let _ = VirtualTime(5).since(VirtualTime(6));
+    }
+}

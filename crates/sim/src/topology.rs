@@ -1,0 +1,176 @@
+//! Switch-network topology models.
+//!
+//! The GP1000 connects nodes through a multistage *butterfly* network of
+//! 4x4 switches: a remote reference traverses `ceil(log4 N)` switch
+//! stages each way. [`Topology`] turns a (from, to) node pair into a hop
+//! count so [`crate::MemoryParams`] can charge distance-dependent
+//! latencies; the default flat model (every remote reference costs the
+//! same) remains available and is what the simple local/remote tables
+//! use.
+
+use crate::config::NodeId;
+use crate::time::Duration;
+
+/// How remote-reference cost scales with the machine's interconnect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Default)]
+pub enum Topology {
+    /// Any remote reference costs the flat remote latency (the model the
+    /// paper's local/remote tables imply).
+    #[default]
+    Flat,
+    /// A multistage butterfly of radix-`radix` switches over `nodes`
+    /// nodes: a remote reference pays `per_hop` for each of the
+    /// `ceil(log_radix nodes)` stages, each way.
+    Butterfly {
+        /// Switch radix (4 on the GP1000).
+        radix: u32,
+        /// Total nodes in the machine.
+        nodes: u32,
+        /// Added latency per switch stage traversed (one way).
+        per_hop: Duration,
+    },
+    /// A ring: remote cost grows with the shorter ring distance
+    /// (useful as a contrast ablation; not a Butterfly configuration).
+    Ring {
+        /// Total nodes.
+        nodes: u32,
+        /// Added latency per ring hop.
+        per_hop: Duration,
+    },
+}
+
+impl Topology {
+    /// A GP1000-shaped butterfly over `nodes` nodes.
+    pub fn gp1000(nodes: u32) -> Topology {
+        Topology::Butterfly {
+            radix: 4,
+            nodes,
+            per_hop: Duration::nanos(400),
+        }
+    }
+
+    /// Number of interconnect hops between two nodes (0 when local).
+    pub fn hops(&self, from: NodeId, to: NodeId) -> u32 {
+        if from == to {
+            return 0;
+        }
+        match *self {
+            Topology::Flat => 1,
+            Topology::Butterfly { radix, nodes, .. } => {
+                // Every remote pair traverses all stages of the
+                // multistage network.
+                stages(radix, nodes)
+            }
+            Topology::Ring { nodes, .. } => {
+                let n = nodes as i64;
+                let d = (from.0 as i64 - to.0 as i64).rem_euclid(n);
+                d.min(n - d) as u32
+            }
+        }
+    }
+
+    /// Extra latency (beyond the base remote cost) for a reference from
+    /// `from` to `to`. Zero for local references and for [`Topology::Flat`].
+    pub fn extra_latency(&self, from: NodeId, to: NodeId) -> Duration {
+        if from == to {
+            return Duration::ZERO;
+        }
+        match *self {
+            Topology::Flat => Duration::ZERO,
+            Topology::Butterfly { per_hop, .. } => {
+                // Round trip through the switch; the first hop is already
+                // folded into the flat remote base cost.
+                per_hop * u64::from(self.hops(from, to).saturating_sub(1) * 2)
+            }
+            Topology::Ring { per_hop, .. } => {
+                per_hop * u64::from(self.hops(from, to).saturating_sub(1) * 2)
+            }
+        }
+    }
+}
+
+
+/// `ceil(log_radix nodes)`, the stage count of a multistage network.
+fn stages(radix: u32, nodes: u32) -> u32 {
+    assert!(radix >= 2, "switch radix must be at least 2");
+    if nodes <= 1 {
+        return 0;
+    }
+    let mut stages = 0;
+    let mut reach: u64 = 1;
+    while reach < u64::from(nodes) {
+        reach *= u64::from(radix);
+        stages += 1;
+    }
+    stages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_counts_match_butterfly_arithmetic() {
+        assert_eq!(stages(4, 1), 0);
+        assert_eq!(stages(4, 4), 1);
+        assert_eq!(stages(4, 16), 2);
+        assert_eq!(stages(4, 32), 3); // the GP1000's 32-node configuration
+        assert_eq!(stages(4, 256), 4);
+        assert_eq!(stages(2, 8), 3);
+    }
+
+    #[test]
+    fn local_references_have_no_hops_anywhere() {
+        for t in [
+            Topology::Flat,
+            Topology::gp1000(32),
+            Topology::Ring {
+                nodes: 8,
+                per_hop: Duration::nanos(100),
+            },
+        ] {
+            assert_eq!(t.hops(NodeId(3), NodeId(3)), 0);
+            assert_eq!(t.extra_latency(NodeId(3), NodeId(3)), Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn butterfly_remote_cost_is_uniform() {
+        let t = Topology::gp1000(32);
+        assert_eq!(t.hops(NodeId(0), NodeId(1)), 3);
+        assert_eq!(t.hops(NodeId(0), NodeId(31)), 3);
+        assert_eq!(
+            t.extra_latency(NodeId(0), NodeId(1)),
+            t.extra_latency(NodeId(5), NodeId(17))
+        );
+    }
+
+    #[test]
+    fn ring_distance_wraps() {
+        let t = Topology::Ring {
+            nodes: 8,
+            per_hop: Duration::nanos(100),
+        };
+        assert_eq!(t.hops(NodeId(0), NodeId(1)), 1);
+        assert_eq!(t.hops(NodeId(0), NodeId(7)), 1);
+        assert_eq!(t.hops(NodeId(0), NodeId(4)), 4);
+        assert!(t.extra_latency(NodeId(0), NodeId(4)) > t.extra_latency(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn flat_topology_is_costless_beyond_base() {
+        let t = Topology::Flat;
+        assert_eq!(t.hops(NodeId(0), NodeId(9)), 1);
+        assert_eq!(t.extra_latency(NodeId(0), NodeId(9)), Duration::ZERO);
+    }
+
+    #[test]
+    fn bigger_machines_pay_more_stages() {
+        let small = Topology::gp1000(16);
+        let large = Topology::gp1000(256);
+        assert!(
+            large.extra_latency(NodeId(0), NodeId(1)) > small.extra_latency(NodeId(0), NodeId(1))
+        );
+    }
+}

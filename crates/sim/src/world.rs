@@ -1,0 +1,331 @@
+//! The simulation world: event queue, processors, and thread table.
+//!
+//! The world is protected by a single mutex in [`crate::engine::Shared`];
+//! because at most one simulated thread executes at a time, contention on
+//! that mutex is purely the engine handshake, never a correctness concern.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::config::{ProcId, SimConfig};
+use crate::tcb::{CostMeter, TState, Tcb, ThreadId, WakeReason};
+use crate::time::{Duration, VirtualTime};
+
+/// A scheduled simulation event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Event {
+    pub at: VirtualTime,
+    /// Tie-break: events at the same instant fire in push order.
+    pub seq: u64,
+    pub kind: EvKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EvKind {
+    /// A thread finishes a timed `advance` and continues on its processor.
+    Resume(ThreadId),
+    /// A sleep timer or park timeout fires. Ignored if `epoch` is stale.
+    Wake { tid: ThreadId, epoch: u64 },
+    /// A processor became free; dispatch the next ready thread.
+    Dispatch(ProcId),
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// State of one simulated processor.
+#[derive(Debug, Default)]
+pub(crate) struct ProcState {
+    /// Thread currently holding the processor.
+    pub current: Option<ThreadId>,
+    /// FIFO ready queue (the thread package's per-processor run queue).
+    pub ready: VecDeque<ThreadId>,
+    /// Whether a `Dispatch` event is already scheduled for this processor.
+    pub dispatch_pending: bool,
+    /// Accumulated busy time (work + memory stalls of its threads).
+    pub busy: Duration,
+    /// Number of thread-to-thread switches performed.
+    pub switches: u64,
+}
+
+/// Global run statistics.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct GlobalStats {
+    pub events: u64,
+    pub handshakes: u64,
+    pub fast_advances: u64,
+    pub threads_spawned: u64,
+}
+
+pub(crate) struct World {
+    pub cfg: SimConfig,
+    pub now: VirtualTime,
+    seq: u64,
+    events: BinaryHeap<Reverse<Event>>,
+    pub tcbs: Vec<Tcb>,
+    pub procs: Vec<ProcState>,
+    /// Threads not yet `Finished`.
+    pub unfinished: usize,
+    /// First panic observed in a simulated thread (thread name, message).
+    pub panic: Option<(String, String)>,
+    pub stats: GlobalStats,
+    pub mem_stats: CostMeter,
+    /// Per-node memory-module busy horizon (hot-spot queueing); only
+    /// maintained when `cfg.module_occupancy > 0`.
+    pub module_busy: Vec<VirtualTime>,
+    /// splitmix64 state for `ctx::rand_u64`.
+    rng_state: u64,
+}
+
+impl World {
+    pub fn new(cfg: SimConfig) -> World {
+        cfg.validate();
+        let procs = (0..cfg.processors).map(|_| ProcState::default()).collect();
+        let module_busy = vec![VirtualTime::ZERO; cfg.processors];
+        let rng_state = cfg.seed ^ 0x9e37_79b9_7f4a_7c15;
+        World {
+            cfg,
+            now: VirtualTime::ZERO,
+            seq: 0,
+            events: BinaryHeap::new(),
+            tcbs: Vec::new(),
+            procs,
+            unfinished: 0,
+            panic: None,
+            stats: GlobalStats::default(),
+            mem_stats: CostMeter::default(),
+            module_busy,
+            rng_state,
+        }
+    }
+
+    pub fn push_event(&mut self, at: VirtualTime, kind: EvKind) {
+        debug_assert!(at >= self.now, "event scheduled in the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(Event { at, seq, kind }));
+    }
+
+    pub fn pop_event(&mut self) -> Option<Event> {
+        self.events.pop().map(|Reverse(e)| e)
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<VirtualTime> {
+        self.events.peek().map(|Reverse(e)| e.at)
+    }
+
+    pub fn tcb(&self, tid: ThreadId) -> &Tcb {
+        &self.tcbs[tid.0]
+    }
+
+    pub fn tcb_mut(&mut self, tid: ThreadId) -> &mut Tcb {
+        &mut self.tcbs[tid.0]
+    }
+
+    /// Register a new thread in `Ready` state and make its processor
+    /// consider it for dispatch.
+    pub fn add_thread(&mut self, tcb: Tcb) -> ThreadId {
+        let tid = tcb.id;
+        let proc = tcb.proc;
+        assert!(
+            proc.0 < self.procs.len(),
+            "spawn on {} but machine has {} processors",
+            proc,
+            self.procs.len()
+        );
+        assert_eq!(tid.0, self.tcbs.len(), "thread ids must be dense");
+        self.tcbs.push(tcb);
+        self.unfinished += 1;
+        self.stats.threads_spawned += 1;
+        self.procs[proc.0].ready.push_back(tid);
+        self.consider_dispatch(proc, self.now + self.cfg.context_switch);
+        tid
+    }
+
+    /// Move a blocked/sleeping thread to its processor's ready queue.
+    pub fn make_ready(&mut self, tid: ThreadId, reason: WakeReason) {
+        let tcb = &mut self.tcbs[tid.0];
+        debug_assert!(
+            matches!(tcb.state, TState::Blocked | TState::Sleeping),
+            "make_ready on {} in state {:?}",
+            tid,
+            tcb.state
+        );
+        tcb.state = TState::Ready;
+        tcb.wake_reason = reason;
+        // A wake invalidates any still-pending timeout for this cycle.
+        tcb.park_epoch += 1;
+        let proc = tcb.proc;
+        self.procs[proc.0].ready.push_back(tid);
+        self.consider_dispatch(proc, self.now + self.cfg.context_switch);
+    }
+
+    /// Schedule a dispatch for `proc` at `at` if it is idle and none is
+    /// already pending.
+    pub fn consider_dispatch(&mut self, proc: ProcId, at: VirtualTime) {
+        let p = &mut self.procs[proc.0];
+        if p.current.is_none() && !p.dispatch_pending && !p.ready.is_empty() {
+            p.dispatch_pending = true;
+            self.push_event(at, EvKind::Dispatch(proc));
+        }
+    }
+
+    /// Release the processor currently held by `tid` (which must hold it)
+    /// and schedule the next dispatch after the context-switch cost.
+    pub fn release_processor(&mut self, tid: ThreadId) {
+        let proc = self.tcbs[tid.0].proc;
+        let p = &mut self.procs[proc.0];
+        debug_assert_eq!(p.current, Some(tid), "release by non-holder");
+        p.current = None;
+        self.consider_dispatch(proc, self.now + self.cfg.context_switch);
+    }
+
+    /// Account `d` of processor time to `tid`.
+    pub fn charge_time(&mut self, tid: ThreadId, d: Duration) {
+        let tcb = &mut self.tcbs[tid.0];
+        tcb.quantum_used += d;
+        self.procs[tcb.proc.0].busy += d;
+    }
+
+    /// Whether `tid` has exhausted its quantum and a same-processor
+    /// thread is waiting to run.
+    pub fn should_preempt(&self, tid: ThreadId) -> bool {
+        match self.cfg.quantum {
+            None => false,
+            Some(q) => {
+                let tcb = &self.tcbs[tid.0];
+                tcb.quantum_used >= q && !self.procs[tcb.proc.0].ready.is_empty()
+            }
+        }
+    }
+
+    /// Requeue a running/advancing thread at the back of its ready queue
+    /// (preemption or voluntary yield).
+    pub fn requeue(&mut self, tid: ThreadId) {
+        let tcb = &mut self.tcbs[tid.0];
+        tcb.state = TState::Ready;
+        tcb.quantum_used = Duration::ZERO;
+        let proc = tcb.proc;
+        self.procs[proc.0].ready.push_back(tid);
+        let p = &mut self.procs[proc.0];
+        p.current = None;
+        self.consider_dispatch(proc, self.now + self.cfg.context_switch);
+    }
+
+    /// Deterministic pseudo-random stream shared by the whole run
+    /// (splitmix64 over the config seed).
+    pub fn rand_u64(&mut self) -> u64 {
+        self.rng_state = self.rng_state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Names and states of all unfinished threads (deadlock diagnostics).
+    pub fn unfinished_threads(&self) -> Vec<(ThreadId, String, TState)> {
+        self.tcbs
+            .iter()
+            .filter(|t| t.state != TState::Finished)
+            .map(|t| (t.id, t.name.clone(), t.state))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> World {
+        World::new(SimConfig {
+            processors: 2,
+            ..SimConfig::default()
+        })
+    }
+
+    #[test]
+    fn events_pop_in_time_then_seq_order() {
+        let mut w = world();
+        w.push_event(VirtualTime(50), EvKind::Dispatch(ProcId(0)));
+        w.push_event(VirtualTime(10), EvKind::Dispatch(ProcId(1)));
+        w.push_event(VirtualTime(10), EvKind::Dispatch(ProcId(0)));
+        let a = w.pop_event().unwrap();
+        let b = w.pop_event().unwrap();
+        let c = w.pop_event().unwrap();
+        assert_eq!(a.at, VirtualTime(10));
+        assert_eq!(a.kind, EvKind::Dispatch(ProcId(1)), "same-time events fire in push order");
+        assert_eq!(b.kind, EvKind::Dispatch(ProcId(0)));
+        assert_eq!(c.at, VirtualTime(50));
+        assert!(w.pop_event().is_none());
+    }
+
+    #[test]
+    fn add_thread_schedules_dispatch() {
+        let mut w = world();
+        let tcb = Tcb::new(ThreadId(0), ProcId(1), "t".into(), VirtualTime::ZERO);
+        w.add_thread(tcb);
+        assert_eq!(w.unfinished, 1);
+        assert!(w.procs[1].dispatch_pending);
+        assert_eq!(w.procs[1].ready.len(), 1);
+        assert!(w.peek_time().is_some());
+    }
+
+    #[test]
+    fn dispatch_not_duplicated() {
+        let mut w = world();
+        w.add_thread(Tcb::new(ThreadId(0), ProcId(0), "a".into(), VirtualTime::ZERO));
+        w.add_thread(Tcb::new(ThreadId(1), ProcId(0), "b".into(), VirtualTime::ZERO));
+        // Only one Dispatch event should be pending for proc 0.
+        let mut dispatches = 0;
+        while let Some(e) = w.pop_event() {
+            if matches!(e.kind, EvKind::Dispatch(_)) {
+                dispatches += 1;
+            }
+        }
+        assert_eq!(dispatches, 1);
+    }
+
+    #[test]
+    fn preemption_requires_quantum_and_waiters() {
+        let mut w = World::new(SimConfig {
+            processors: 1,
+            quantum: Some(Duration::micros(10)),
+            ..SimConfig::default()
+        });
+        w.add_thread(Tcb::new(ThreadId(0), ProcId(0), "a".into(), VirtualTime::ZERO));
+        // Pretend t0 got dispatched.
+        w.procs[0].current = Some(ThreadId(0));
+        w.procs[0].ready.clear();
+        w.charge_time(ThreadId(0), Duration::micros(20));
+        assert!(!w.should_preempt(ThreadId(0)), "no waiter -> no preemption");
+        w.procs[0].ready.push_back(ThreadId(0)); // fake waiter
+        assert!(w.should_preempt(ThreadId(0)));
+    }
+
+    #[test]
+    fn rand_is_deterministic_per_seed() {
+        let mut a = world();
+        let mut b = world();
+        let xs: Vec<u64> = (0..5).map(|_| a.rand_u64()).collect();
+        let ys: Vec<u64> = (0..5).map(|_| b.rand_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.windows(2).any(|w| w[0] != w[1]), "stream should vary");
+    }
+
+    #[test]
+    #[should_panic(expected = "machine has 2 processors")]
+    fn spawn_on_missing_processor_panics() {
+        let mut w = world();
+        w.add_thread(Tcb::new(ThreadId(0), ProcId(9), "t".into(), VirtualTime::ZERO));
+    }
+}

@@ -1,0 +1,455 @@
+//! End-to-end tests of the discrete-event engine: scheduling semantics,
+//! NUMA cost accounting, determinism, and failure reporting.
+
+use butterfly_sim as sim;
+use sim::{ctx, Duration, MemoryParams, ProcId, SimCell, SimConfig, SimError, SimWord, TState, WakeReason};
+
+fn cfg(processors: usize) -> SimConfig {
+    SimConfig {
+        processors,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn root_runs_and_returns_value() {
+    let (v, report) = sim::run(cfg(1), || {
+        ctx::advance(Duration::micros(5));
+        42u32
+    })
+    .unwrap();
+    assert_eq!(v, 42);
+    assert_eq!(report.threads, 1);
+    assert!(report.end_time.as_nanos() >= 5_000);
+}
+
+#[test]
+fn advance_accumulates_virtual_time() {
+    let (t, _) = sim::run(cfg(1), || {
+        let t0 = ctx::now();
+        ctx::advance(Duration::micros(3));
+        ctx::advance(Duration::nanos(500));
+        ctx::now().since(t0)
+    })
+    .unwrap();
+    assert_eq!(t, Duration::nanos(3_500));
+}
+
+#[test]
+fn threads_on_distinct_processors_overlap_in_virtual_time() {
+    // Two threads each doing 1ms of work on their own processor should
+    // finish in ~1ms of virtual time, not 2ms.
+    let (_, report) = sim::run(cfg(2), || {
+        let done = SimWord::new_local(0);
+        let d = done.clone();
+        ctx::spawn(ProcId(1), "peer", move || {
+            ctx::advance(Duration::millis(1));
+            d.fetch_add(1);
+        });
+        ctx::advance(Duration::millis(1));
+        while done.peek() == 0 {
+            ctx::advance(Duration::micros(10));
+        }
+    })
+    .unwrap();
+    assert!(
+        report.end_time.as_nanos() < 1_600_000,
+        "parallel work serialized: end={}ns",
+        report.end_time.as_nanos()
+    );
+}
+
+#[test]
+fn same_processor_threads_serialize() {
+    let (_, report) = sim::run(cfg(1), || {
+        let done = SimWord::new_local(0);
+        let d = done.clone();
+        ctx::spawn(ProcId(0), "peer", move || {
+            ctx::advance(Duration::millis(1));
+            d.fetch_add(1);
+        });
+        ctx::advance(Duration::millis(1));
+        while done.peek() == 0 {
+            // Yield so the same-processor peer can run.
+            ctx::yield_now();
+        }
+    })
+    .unwrap();
+    assert!(
+        report.end_time.as_nanos() >= 2_000_000,
+        "same-processor threads must serialize: end={}ns",
+        report.end_time.as_nanos()
+    );
+}
+
+#[test]
+fn park_unpark_roundtrip() {
+    let (reason, _) = sim::run(cfg(2), || {
+        let me = ctx::current();
+        ctx::spawn(ProcId(1), "waker", move || {
+            ctx::advance(Duration::micros(50));
+            ctx::unpark(me);
+        });
+        ctx::park()
+    })
+    .unwrap();
+    assert_eq!(reason, WakeReason::Unparked);
+}
+
+#[test]
+fn unpark_before_park_leaves_permit() {
+    let (reason, _) = sim::run(cfg(1), || {
+        let me = ctx::current();
+        // Self-unpark while running: permit is stored.
+        ctx::unpark(me);
+        ctx::park()
+    })
+    .unwrap();
+    assert_eq!(reason, WakeReason::Unparked);
+}
+
+#[test]
+fn park_timeout_fires_without_unpark() {
+    let (out, _) = sim::run(cfg(1), || {
+        let t0 = ctx::now();
+        let reason = ctx::park_timeout(Duration::micros(100));
+        (reason, ctx::now().since(t0))
+    })
+    .unwrap();
+    assert_eq!(out.0, WakeReason::Timeout);
+    assert!(out.1.as_nanos() >= 100_000);
+}
+
+#[test]
+fn park_timeout_unparked_early() {
+    let (out, _) = sim::run(cfg(2), || {
+        let me = ctx::current();
+        ctx::spawn(ProcId(1), "waker", move || {
+            ctx::advance(Duration::micros(10));
+            ctx::unpark(me);
+        });
+        let reason = ctx::park_timeout(Duration::millis(50));
+        (reason, ctx::now())
+    })
+    .unwrap();
+    assert_eq!(out.0, WakeReason::Unparked);
+    assert!(out.1.as_nanos() < 50_000_000, "woke at {} — timer won", out.1);
+}
+
+#[test]
+fn stale_timeout_does_not_wake_next_park() {
+    // Park with a short timeout, get unparked early, then park again and
+    // make sure the stale timer does not cause a spurious wake.
+    let (reason2, _) = sim::run(cfg(2), || {
+        let me = ctx::current();
+        ctx::spawn(ProcId(1), "waker", move || {
+            ctx::advance(Duration::micros(10));
+            ctx::unpark(me); // early unpark for park #1
+            ctx::advance(Duration::millis(10));
+            ctx::unpark(me); // legitimate wake for park #2
+        });
+        let r1 = ctx::park_timeout(Duration::micros(100));
+        assert_eq!(r1, WakeReason::Unparked);
+        // Stale timer for park #1 fires at t=100us, during this park:
+        ctx::park()
+    })
+    .unwrap();
+    assert_eq!(reason2, WakeReason::Unparked);
+}
+
+#[test]
+fn sleep_releases_processor_to_other_thread() {
+    let (order, _) = sim::run(cfg(1), || {
+        let log = SimCell::new_local(Vec::<&'static str>::new());
+        let l2 = log.clone();
+        ctx::spawn(ProcId(0), "bg", move || {
+            l2.poke(|v| v.push("bg-ran"));
+        });
+        ctx::sleep(Duration::millis(1)); // frees proc 0 for "bg"
+        log.poke(|v| v.push("root-woke"));
+        log.peek()
+    })
+    .unwrap();
+    assert_eq!(order, vec!["bg-ran", "root-woke"]);
+}
+
+#[test]
+fn deadlock_is_detected_and_reported() {
+    let err = sim::run(cfg(1), || {
+        ctx::park(); // nobody will ever unpark us
+    })
+    .unwrap_err();
+    match err {
+        SimError::Deadlock { blocked, .. } => {
+            assert_eq!(blocked.len(), 1);
+            assert_eq!(blocked[0].1, "root");
+            assert_eq!(blocked[0].2, TState::Blocked);
+        }
+        other => panic!("expected deadlock, got {other}"),
+    }
+}
+
+#[test]
+fn thread_panic_becomes_error() {
+    let err = sim::run(cfg(2), || {
+        ctx::spawn(ProcId(1), "bomber", || panic!("boom-{}", 7));
+        // Block forever; teardown must still reclaim us.
+        ctx::park();
+    })
+    .unwrap_err();
+    match err {
+        SimError::ThreadPanicked { thread, message } => {
+            assert_eq!(thread, "bomber");
+            assert!(message.contains("boom-7"));
+        }
+        other => panic!("expected panic error, got {other}"),
+    }
+}
+
+#[test]
+fn numa_costs_differ_local_vs_remote() {
+    let ((local, remote), _) = sim::run(cfg(2), || {
+        let local_cell = SimWord::new_on(sim::NodeId(0), 0);
+        let remote_cell = SimWord::new_on(sim::NodeId(1), 0);
+        let t0 = ctx::now();
+        local_cell.load();
+        let local = ctx::now().since(t0);
+        let t1 = ctx::now();
+        remote_cell.load();
+        let remote = ctx::now().since(t1);
+        (local, remote)
+    })
+    .unwrap();
+    assert!(remote > local, "remote read ({remote}) must cost more than local ({local})");
+    let m = MemoryParams::default();
+    assert_eq!(local, m.local_read);
+    assert_eq!(remote, m.remote_read);
+}
+
+#[test]
+fn cost_meter_counts_reads_writes_rmws() {
+    let (delta, report) = sim::run(cfg(2), || {
+        let w = SimWord::new_on(sim::NodeId(1), 0);
+        let before = ctx::cost_meter();
+        w.load(); // remote read
+        w.store(3); // remote write
+        w.atomior(1); // remote rmw = 1R + 1W + rmw
+        ctx::cost_meter() - before
+    })
+    .unwrap();
+    assert_eq!(delta.reads_remote, 2);
+    assert_eq!(delta.writes_remote, 2);
+    assert_eq!(delta.rmws, 1);
+    assert_eq!(delta.reads_local, 0);
+    assert_eq!(report.mem.rmws, 1);
+}
+
+#[test]
+fn atomior_sets_bits_and_returns_old() {
+    let (vals, _) = sim::run(cfg(1), || {
+        let w = SimWord::new_local(0b0100);
+        let old = w.atomior(0b0011);
+        (old, w.load())
+    })
+    .unwrap();
+    assert_eq!(vals.0, 0b0100);
+    assert_eq!(vals.1, 0b0111);
+}
+
+#[test]
+fn compare_exchange_success_and_failure() {
+    let (out, _) = sim::run(cfg(1), || {
+        let w = SimWord::new_local(5);
+        let ok = w.compare_exchange(5, 9);
+        let err = w.compare_exchange(5, 11);
+        (ok, err, w.load())
+    })
+    .unwrap();
+    assert_eq!(out.0, Ok(5));
+    assert_eq!(out.1, Err(9));
+    assert_eq!(out.2, 9);
+}
+
+#[test]
+fn quantum_preemption_interleaves_same_processor_threads() {
+    // Two CPU-bound threads on one processor with a small quantum: both
+    // must make progress in interleaved slices (neither finishes first
+    // while the other has not started).
+    let config = SimConfig {
+        processors: 1,
+        quantum: Some(Duration::micros(100)),
+        ..SimConfig::default()
+    };
+    let (log, _) = sim::run(config, || {
+        let log = SimCell::new_local(Vec::<(u8, u32)>::new());
+        let l2 = log.clone();
+        ctx::spawn(ProcId(0), "b", move || {
+            for i in 0..5 {
+                ctx::advance(Duration::micros(60));
+                l2.poke(|v| v.push((1, i)));
+            }
+        });
+        for i in 0..5 {
+            ctx::advance(Duration::micros(60));
+            log.poke(|v| v.push((0, i)));
+        }
+        // Let "b" finish.
+        while log.peek().len() < 10 {
+            ctx::yield_now();
+        }
+        log.peek()
+    })
+    .unwrap();
+    // Interleaving: thread 1's first entry must come before thread 0's last.
+    let first_b = log.iter().position(|&(t, _)| t == 1).expect("b never ran");
+    let last_a = log.iter().rposition(|&(t, _)| t == 0).unwrap();
+    assert!(
+        first_b < last_a,
+        "no interleaving despite quantum: {:?}",
+        log
+    );
+}
+
+#[test]
+fn no_preemption_when_quantum_disabled() {
+    let config = SimConfig {
+        processors: 1,
+        quantum: None,
+        ..SimConfig::default()
+    };
+    let (log, _) = sim::run(config, || {
+        let log = SimCell::new_local(Vec::<u8>::new());
+        let l2 = log.clone();
+        ctx::spawn(ProcId(0), "b", move || {
+            l2.poke(|v| v.push(1));
+        });
+        for _ in 0..50 {
+            ctx::advance(Duration::millis(10));
+            log.poke(|v| v.push(0));
+        }
+        ctx::yield_now();
+        // After our voluntary yield b runs.
+        while log.peek().len() < 51 {
+            ctx::yield_now();
+        }
+        log.peek()
+    })
+    .unwrap();
+    assert!(
+        log[..50].iter().all(|&t| t == 0),
+        "thread b ran before the voluntary yield despite quantum=None"
+    );
+}
+
+#[test]
+fn runs_are_deterministic() {
+    fn one_run() -> (u64, u64) {
+        let (v, report) = sim::run(cfg(4), || {
+            let total = SimWord::new_local(0);
+            let done = SimWord::new_local(0);
+            for p in 0..4 {
+                let t = total.clone();
+                let d = done.clone();
+                ctx::spawn(ProcId(p), format!("w{p}"), move || {
+                    for _ in 0..10 {
+                        let jitter = ctx::rand_u64() % 1000;
+                        ctx::advance(Duration::nanos(500 + jitter));
+                        t.fetch_add(1);
+                    }
+                    d.fetch_add(1);
+                });
+            }
+            while done.load() < 4 {
+                ctx::advance(Duration::micros(5));
+            }
+            total.load()
+        })
+        .unwrap();
+        (v, report.end_time.as_nanos())
+    }
+    let a = one_run();
+    let b = one_run();
+    assert_eq!(a.0, 40);
+    assert_eq!(a, b, "same seed and program must give identical end times");
+}
+
+#[test]
+fn rand_streams_differ_across_seeds() {
+    let draw = |seed| {
+        sim::run(
+            SimConfig {
+                seed,
+                ..cfg(1)
+            },
+            ctx::rand_u64,
+        )
+        .unwrap()
+        .0
+    };
+    assert_ne!(draw(1), draw(2));
+}
+
+#[test]
+fn spawn_charges_creation_cost_to_parent() {
+    let (elapsed, _) = sim::run(cfg(2), || {
+        let t0 = ctx::now();
+        ctx::spawn(ProcId(1), "child", || {});
+        ctx::now().since(t0)
+    })
+    .unwrap();
+    assert_eq!(elapsed, SimConfig::default().thread_create);
+}
+
+#[test]
+fn report_counts_processor_busy_time() {
+    let (_, report) = sim::run(cfg(2), || {
+        ctx::advance(Duration::millis(2));
+    })
+    .unwrap();
+    assert!(report.proc_busy[0].as_nanos() >= 2_000_000);
+    assert_eq!(report.proc_busy[1], Duration::ZERO);
+    assert!(report.utilization() > 0.0);
+}
+
+#[test]
+fn many_threads_many_processors_smoke() {
+    let (sum, report) = sim::run(cfg(8), || {
+        let total = SimWord::new_local(0);
+        let done = SimWord::new_local(0);
+        for i in 0..32 {
+            let t = total.clone();
+            let d = done.clone();
+            ctx::spawn(ProcId(i % 8), format!("w{i}"), move || {
+                ctx::advance(Duration::micros(10 * (i as u64 + 1)));
+                t.fetch_add(i as u64);
+                d.fetch_add(1);
+            });
+        }
+        while done.load() < 32 {
+            ctx::advance(Duration::micros(50));
+        }
+        total.load()
+    })
+    .unwrap();
+    assert_eq!(sum, (0..32u64).sum());
+    assert_eq!(report.threads, 33);
+}
+
+#[test]
+fn out_of_sim_calls_panic_cleanly() {
+    let r = std::panic::catch_unwind(ctx::now);
+    assert!(r.is_err());
+}
+
+#[test]
+fn simcell_update_charges_read_and_write() {
+    let (delta, _) = sim::run(cfg(1), || {
+        let c = SimCell::new_local(vec![1u32]);
+        let before = ctx::cost_meter();
+        c.update(|v| v.push(2));
+        ctx::cost_meter() - before
+    })
+    .unwrap();
+    assert_eq!(delta.reads_local, 1);
+    assert_eq!(delta.writes_local, 1);
+}

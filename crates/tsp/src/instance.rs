@@ -1,0 +1,242 @@
+//! TSP instances: seeded random fully-connected graphs (the paper's
+//! experiments use a 32-city fully connected graph; the original
+//! distance data is unpublished, so instances here are generated from a
+//! seed) plus an exact Held–Karp solver used as the correctness oracle
+//! for small instances.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// "Infinite" distance marker (safe against additive overflow).
+pub const INF: u32 = u32::MAX / 4;
+
+/// A fully connected TSP instance (distance matrix).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TspInstance {
+    n: usize,
+    dist: Vec<u32>,
+}
+
+impl TspInstance {
+    /// Build from an explicit row-major distance matrix. Diagonal entries
+    /// are forced to [`INF`] (no self-loops).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the matrix is `n x n` with `n >= 3`.
+    pub fn from_matrix(n: usize, mut dist: Vec<u32>) -> TspInstance {
+        assert!(n >= 3, "TSP needs at least 3 cities");
+        assert_eq!(dist.len(), n * n, "distance matrix must be n*n");
+        for i in 0..n {
+            dist[i * n + i] = INF;
+        }
+        TspInstance { n, dist }
+    }
+
+    /// A seeded random symmetric instance with distances in
+    /// `[1, max_dist]`.
+    pub fn random_symmetric(n: usize, max_dist: u32, seed: u64) -> TspInstance {
+        assert!(max_dist >= 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut dist = vec![0u32; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = rng.gen_range(1..=max_dist);
+                dist[i * n + j] = d;
+                dist[j * n + i] = d;
+            }
+        }
+        TspInstance::from_matrix(n, dist)
+    }
+
+    /// A seeded random *Euclidean* instance: cities on a grid, distances
+    /// rounded to integers. Euclidean structure gives branch-and-bound
+    /// more pruning to exploit than uniform random distances.
+    pub fn random_euclidean(n: usize, grid: u32, seed: u64) -> TspInstance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|_| {
+                (
+                    rng.gen_range(0..grid) as f64,
+                    rng.gen_range(0..grid) as f64,
+                )
+            })
+            .collect();
+        let mut dist = vec![0u32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    let dx = pts[i].0 - pts[j].0;
+                    let dy = pts[i].1 - pts[j].1;
+                    dist[i * n + j] = (dx * dx + dy * dy).sqrt().round() as u32 + 1;
+                }
+            }
+        }
+        TspInstance::from_matrix(n, dist)
+    }
+
+    /// Number of cities.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Distance from `i` to `j`.
+    #[inline]
+    pub fn dist(&self, i: usize, j: usize) -> u32 {
+        self.dist[i * self.n + j]
+    }
+
+    /// The flat row-major matrix.
+    pub fn matrix(&self) -> &[u32] {
+        &self.dist
+    }
+
+    /// Cost of a tour given as a city permutation (closing edge
+    /// included).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `tour` is a permutation of `0..n`.
+    pub fn tour_cost(&self, tour: &[usize]) -> u32 {
+        assert_eq!(tour.len(), self.n, "tour must visit every city once");
+        let mut seen = vec![false; self.n];
+        for &c in tour {
+            assert!(!seen[c], "tour repeats city {c}");
+            seen[c] = true;
+        }
+        let mut cost = 0u32;
+        for w in tour.windows(2) {
+            cost += self.dist(w[0], w[1]);
+        }
+        cost + self.dist(tour[self.n - 1], tour[0])
+    }
+
+    /// Exact minimum tour cost by Held–Karp dynamic programming
+    /// (`O(2^n * n^2)`; the correctness oracle for `n <= ~15`).
+    ///
+    /// # Panics
+    ///
+    /// Panics for `n > 20` (table would not fit in memory).
+    pub fn held_karp(&self) -> u32 {
+        let n = self.n;
+        assert!(n <= 20, "Held-Karp oracle limited to 20 cities");
+        let full = 1usize << (n - 1); // sets over cities 1..n
+        let mut dp = vec![INF; full * (n - 1)];
+        // dp[mask][j]: shortest path 0 -> ... -> j+1 visiting mask.
+        for j in 0..(n - 1) {
+            dp[(1 << j) * (n - 1) + j] = self.dist(0, j + 1);
+        }
+        for mask in 1..full {
+            for j in 0..(n - 1) {
+                if mask & (1 << j) == 0 {
+                    continue;
+                }
+                let cur = dp[mask * (n - 1) + j];
+                if cur >= INF {
+                    continue;
+                }
+                for k in 0..(n - 1) {
+                    if mask & (1 << k) != 0 {
+                        continue;
+                    }
+                    let next = mask | (1 << k);
+                    let cand = cur + self.dist(j + 1, k + 1);
+                    let slot = &mut dp[next * (n - 1) + k];
+                    if cand < *slot {
+                        *slot = cand;
+                    }
+                }
+            }
+        }
+        let mut best = INF;
+        for j in 0..(n - 1) {
+            let c = dp[(full - 1) * (n - 1) + j] + self.dist(j + 1, 0);
+            best = best.min(c);
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_symmetric_is_symmetric_with_inf_diagonal() {
+        let inst = TspInstance::random_symmetric(8, 100, 42);
+        for i in 0..8 {
+            assert_eq!(inst.dist(i, i), INF);
+            for j in 0..8 {
+                assert_eq!(inst.dist(i, j), inst.dist(j, i));
+                if i != j {
+                    assert!(inst.dist(i, j) >= 1 && inst.dist(i, j) <= 100);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_instance() {
+        assert_eq!(
+            TspInstance::random_symmetric(10, 50, 7),
+            TspInstance::random_symmetric(10, 50, 7)
+        );
+        assert_ne!(
+            TspInstance::random_symmetric(10, 50, 7),
+            TspInstance::random_symmetric(10, 50, 8)
+        );
+    }
+
+    #[test]
+    fn tour_cost_sums_edges() {
+        // Triangle: 0-1=2, 1-2=3, 2-0=4.
+        let inst = TspInstance::from_matrix(3, vec![0, 2, 4, 2, 0, 3, 4, 3, 0]);
+        assert_eq!(inst.tour_cost(&[0, 1, 2]), 9);
+        assert_eq!(inst.tour_cost(&[2, 1, 0]), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeats city")]
+    fn tour_cost_rejects_non_permutation() {
+        let inst = TspInstance::random_symmetric(4, 10, 1);
+        let _ = inst.tour_cost(&[0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn held_karp_matches_brute_force() {
+        // Brute force over all permutations for n=7.
+        let inst = TspInstance::random_symmetric(7, 100, 13);
+        let n = inst.n();
+        let mut cities: Vec<usize> = (1..n).collect();
+        let mut best = u32::MAX;
+        // Heap's algorithm over the tail, city 0 fixed.
+        fn permute(inst: &TspInstance, cities: &mut Vec<usize>, k: usize, best: &mut u32) {
+            if k == 1 {
+                let mut tour = vec![0];
+                tour.extend_from_slice(cities);
+                *best = (*best).min(inst.tour_cost(&tour));
+                return;
+            }
+            for i in 0..k {
+                permute(inst, cities, k - 1, best);
+                if k.is_multiple_of(2) {
+                    cities.swap(i, k - 1);
+                } else {
+                    cities.swap(0, k - 1);
+                }
+            }
+        }
+        permute(&inst, &mut cities, n - 1, &mut best);
+        assert_eq!(inst.held_karp(), best);
+    }
+
+    #[test]
+    fn held_karp_on_euclidean() {
+        let inst = TspInstance::random_euclidean(9, 1000, 5);
+        let hk = inst.held_karp();
+        assert!(hk > 0 && hk < INF);
+        // Any concrete tour is an upper bound.
+        let ident: Vec<usize> = (0..9).collect();
+        assert!(hk <= inst.tour_cost(&ident));
+    }
+}

@@ -1,0 +1,349 @@
+//! Shared abstractions of the parallel TSP implementations: the work
+//! queue(s) of subproblems, the best-tour value, and the four locks the
+//! paper names (`qlock`, `glob-act-lock`, `glob-low-lock`, `globlock`).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering as AOrd};
+use std::sync::{Arc, Mutex};
+
+use adaptive_locks::{
+    AdaptiveLock, BlockingLock, Lock, SimpleAdapt, SpinBackoffLock, SpinLock,
+};
+use butterfly_sim::{ctx, NodeId, SimCell};
+
+use crate::instance::INF;
+use crate::lmsk::SubProblem;
+
+/// Which lock implementation backs the application's four locks — the
+/// independent variable of the paper's Tables 1–3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockImpl {
+    /// The blocking lock (the paper's baseline columns).
+    Blocking,
+    /// The adaptive lock with `simple-adapt(threshold, n)`.
+    Adaptive {
+        /// `Waiting-Threshold`.
+        threshold: u64,
+        /// Spin increment `n`.
+        n: u32,
+    },
+    /// Pure test-and-test-and-set spinning.
+    Spin,
+    /// Spin with backoff.
+    SpinBackoff,
+}
+
+impl LockImpl {
+    /// Build one lock of this kind homed on `node`.
+    pub fn build(self, node: NodeId) -> Arc<dyn Lock> {
+        match self {
+            LockImpl::Blocking => Arc::new(BlockingLock::new_on(node)),
+            LockImpl::Adaptive { threshold, n } => Arc::new(AdaptiveLock::with_policy(
+                node,
+                Box::new(SimpleAdapt::new(threshold, n)),
+                2,
+            )),
+            LockImpl::Spin => Arc::new(SpinLock::new_on(node)),
+            LockImpl::SpinBackoff => Arc::new(SpinBackoffLock::new_on(node)),
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            LockImpl::Blocking => "blocking",
+            LockImpl::Adaptive { .. } => "adaptive",
+            LockImpl::Spin => "spin",
+            LockImpl::SpinBackoff => "spin-backoff",
+        }
+    }
+}
+
+/// A heap entry ordered by (bound asc, seq asc) — best-first with
+/// deterministic tie-breaking.
+struct QEntry {
+    bound: u32,
+    seq: u64,
+    sp: SubProblem,
+}
+
+impl PartialEq for QEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.bound, self.seq) == (other.bound, other.seq)
+    }
+}
+impl Eq for QEntry {}
+impl PartialOrd for QEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for best(lowest-bound)-first.
+        (other.bound, other.seq).cmp(&(self.bound, self.seq))
+    }
+}
+
+/// A best-first work queue of subproblems homed on one memory node.
+///
+/// Every push/pop charges `transfer_refs` simulated references against
+/// the queue's node — moving a subproblem (a reduced cost matrix) through
+/// a remote queue is exactly the remote-memory traffic that makes the
+/// centralized TSP slower than the distributed one.
+pub struct WorkQueue {
+    home: NodeId,
+    transfer_refs: u32,
+    heap: Mutex<BinaryHeap<QEntry>>,
+    seq: AtomicU64,
+}
+
+impl WorkQueue {
+    /// An empty queue on `node`.
+    pub fn new(node: NodeId, transfer_refs: u32) -> WorkQueue {
+        WorkQueue {
+            home: node,
+            transfer_refs,
+            heap: Mutex::new(BinaryHeap::new()),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// The queue's home node.
+    pub fn home(&self) -> NodeId {
+        self.home
+    }
+
+    fn charge(&self, op: ctx::MemOp) {
+        for _ in 0..self.transfer_refs {
+            ctx::charge_mem(op, self.home);
+        }
+    }
+
+    /// Push a subproblem (call with the queue's `qlock` held).
+    pub fn push(&self, sp: SubProblem) {
+        self.charge(ctx::MemOp::Write);
+        let seq = self.seq.fetch_add(1, AOrd::Relaxed);
+        self.heap.lock().unwrap().push(QEntry {
+            bound: sp.bound,
+            seq,
+            sp,
+        });
+    }
+
+    /// Pop the best subproblem (call with the queue's `qlock` held).
+    pub fn pop(&self) -> Option<SubProblem> {
+        let e = self.heap.lock().unwrap().pop();
+        if e.is_some() {
+            self.charge(ctx::MemOp::Read);
+        } else {
+            ctx::charge_mem(ctx::MemOp::Read, self.home);
+        }
+        e.map(|e| e.sp)
+    }
+
+    /// Remote-visible emptiness probe (one charged read).
+    pub fn looks_empty(&self) -> bool {
+        ctx::charge_mem(ctx::MemOp::Read, self.home);
+        self.heap.lock().unwrap().is_empty()
+    }
+
+    /// Cost-free emptiness peek (for assertions/monitors).
+    pub fn peek_empty(&self) -> bool {
+        self.heap.lock().unwrap().is_empty()
+    }
+
+    /// Cost-free length peek.
+    pub fn peek_len(&self) -> usize {
+        self.heap.lock().unwrap().len()
+    }
+}
+
+/// The best-tour value: a simulated word plus its `glob-low-lock`.
+/// Reads are unlocked single-word reads; updates take the lock
+/// (read-modify-write), which is why the paper observes no contention on
+/// this lock.
+pub struct BestTour {
+    value: SimCell<u32>,
+    /// `glob-low-lock`.
+    pub lock: Arc<dyn Lock>,
+}
+
+impl BestTour {
+    /// Fresh incumbent (`INF`) on `node`.
+    pub fn new(node: NodeId, lock_impl: LockImpl) -> BestTour {
+        BestTour {
+            value: SimCell::new_on(node, INF),
+            lock: lock_impl.build(node),
+        }
+    }
+
+    /// Read the incumbent (one charged read, no lock).
+    pub fn read(&self) -> u32 {
+        self.value.read()
+    }
+
+    /// Lower the incumbent to `cost` if it improves it. Returns whether
+    /// the update happened.
+    pub fn offer(&self, cost: u32) -> bool {
+        // Cheap unlocked pre-check, then locked read-modify-write.
+        if self.value.read() <= cost {
+            return false;
+        }
+        self.lock.lock();
+        let improved = self.value.read() > cost;
+        if improved {
+            self.value.write(cost);
+        }
+        self.lock.unlock();
+        improved
+    }
+
+    /// Overwrite with `cost` if it improves, without taking the lock
+    /// (used for propagating into per-processor copies, where the writer
+    /// holds its own copy's lock).
+    pub fn force_min(&self, cost: u32) {
+        if self.value.read() > cost {
+            self.value.write(cost);
+        }
+    }
+
+    /// Cost-free peek.
+    pub fn peek(&self) -> u32 {
+        self.value.peek()
+    }
+}
+
+/// Searcher-activity accounting: the "number of active slaves" variable
+/// and its `glob-act-lock`.
+pub struct ActiveCounter {
+    count: SimCell<i64>,
+    /// `glob-act-lock`.
+    pub lock: Arc<dyn Lock>,
+}
+
+impl ActiveCounter {
+    /// Counter starting at `initial` on `node`.
+    pub fn new(node: NodeId, lock_impl: LockImpl, initial: i64) -> ActiveCounter {
+        ActiveCounter {
+            count: SimCell::new_on(node, initial),
+            lock: lock_impl.build(node),
+        }
+    }
+
+    /// `count += delta` under the lock.
+    pub fn add(&self, delta: i64) -> i64 {
+        self.lock.lock();
+        let v = self.count.read() + delta;
+        self.count.write(v);
+        self.lock.unlock();
+        v
+    }
+
+    /// Read under the lock (the termination check).
+    pub fn read(&self) -> i64 {
+        self.lock.lock();
+        let v = self.count.read();
+        self.lock.unlock();
+        v
+    }
+
+    /// Cost-free peek.
+    pub fn peek(&self) -> i64 {
+        self.count.peek()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::TspInstance;
+    use butterfly_sim::{self as sim, SimConfig};
+
+    fn in_sim<R: Send + 'static>(f: impl FnOnce() -> R + Send + 'static) -> R {
+        sim::run(SimConfig::butterfly(2), f).unwrap().0
+    }
+
+    #[test]
+    fn queue_is_best_first_with_fifo_ties() {
+        let out = in_sim(|| {
+            let inst = TspInstance::random_symmetric(6, 100, 1);
+            let q = WorkQueue::new(ctx::current_node(), 2);
+            // Three roots with hand-set bounds.
+            let mut a = SubProblem::root(&inst);
+            a.bound = 50;
+            let mut b = SubProblem::root(&inst);
+            b.bound = 10;
+            let mut c = SubProblem::root(&inst);
+            c.bound = 50;
+            q.push(a);
+            q.push(b);
+            q.push(c);
+            let mut bounds = Vec::new();
+            while let Some(sp) = q.pop() {
+                bounds.push(sp.bound);
+            }
+            (bounds, q.peek_empty())
+        });
+        assert_eq!(out.0, vec![10, 50, 50]);
+        assert!(out.1);
+    }
+
+    #[test]
+    fn queue_charges_transfer_refs() {
+        let delta = in_sim(|| {
+            let inst = TspInstance::random_symmetric(6, 100, 1);
+            let q = WorkQueue::new(ctx::current_node(), 8);
+            let before = ctx::cost_meter();
+            q.push(SubProblem::root(&inst));
+            let after_push = ctx::cost_meter() - before;
+            let before = ctx::cost_meter();
+            let _ = q.pop();
+            let after_pop = ctx::cost_meter() - before;
+            (after_push.writes(), after_pop.reads())
+        });
+        assert_eq!(delta.0, 8);
+        assert_eq!(delta.1, 8);
+    }
+
+    #[test]
+    fn best_tour_offer_keeps_minimum() {
+        let out = in_sim(|| {
+            let best = BestTour::new(ctx::current_node(), LockImpl::Spin);
+            assert!(best.offer(100));
+            assert!(!best.offer(150));
+            assert!(best.offer(40));
+            best.read()
+        });
+        assert_eq!(out, 40);
+    }
+
+    #[test]
+    fn active_counter_tracks_under_lock() {
+        let out = in_sim(|| {
+            let act = ActiveCounter::new(ctx::current_node(), LockImpl::Blocking, 4);
+            act.add(-1);
+            act.add(-1);
+            act.add(1);
+            (act.read(), act.peek())
+        });
+        assert_eq!(out.0, 3);
+        assert_eq!(out.1, 3);
+    }
+
+    #[test]
+    fn lock_impl_builders_produce_named_locks() {
+        in_sim(|| {
+            let node = ctx::current_node();
+            assert_eq!(LockImpl::Blocking.build(node).name(), "blocking");
+            assert_eq!(
+                LockImpl::Adaptive { threshold: 3, n: 5 }.build(node).name(),
+                "adaptive"
+            );
+            assert_eq!(LockImpl::Spin.build(node).name(), "spin");
+            assert_eq!(LockImpl::SpinBackoff.build(node).name(), "spin-backoff");
+            assert_eq!(LockImpl::Blocking.label(), "blocking");
+        });
+    }
+}

@@ -1,0 +1,140 @@
+//! Crossover location: the critical-section length at which blocking
+//! overtakes spinning — the quantity the paper's Figure 1 is really
+//! about, and the [MS93] claims Section 2 recalls:
+//!
+//! * "spin locks consistently outperform blocking locks when the number
+//!   of processors exceeds the number of threads";
+//! * "when multiple threads on each processor are capable of making
+//!   progress, the use of blocking is preferred even for fairly small
+//!   critical sections".
+//!
+//! [`find_crossover`] binary-searches the section length where the two
+//! total execution times cross; under one thread per processor it should
+//! find none (spin wins everywhere in the measured range), and under
+//! oversubscription the crossover should move *down* as the
+//! threads-per-processor ratio rises.
+
+use butterfly_sim::Duration;
+
+use crate::csweep::{run_once, SweepConfig};
+use crate::spec::LockSpec;
+
+/// Result of a crossover search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Crossover {
+    /// Blocking first beats spin at roughly this section length.
+    At(Duration),
+    /// Spin won across the whole probed range.
+    SpinAlways,
+    /// Blocking won across the whole probed range.
+    BlockingAlways,
+}
+
+/// Locate (to `tolerance`) the critical-section length in
+/// `[lo, hi]` where blocking's total time first drops below spin's.
+/// Assumes the advantage is monotone in the section length, which holds
+/// for this workload family.
+pub fn find_crossover(
+    cfg: &SweepConfig,
+    lo: Duration,
+    hi: Duration,
+    tolerance: Duration,
+) -> Crossover {
+    assert!(lo < hi, "empty search interval");
+    let spin_wins = |cs: Duration| {
+        run_once(cfg, LockSpec::Spin, cs) <= run_once(cfg, LockSpec::Blocking, cs)
+    };
+    if !spin_wins(lo) {
+        return Crossover::BlockingAlways;
+    }
+    if spin_wins(hi) {
+        return Crossover::SpinAlways;
+    }
+    let (mut lo, mut hi) = (lo, hi);
+    while hi - lo > tolerance {
+        let mid = Duration((lo.as_nanos() + hi.as_nanos()) / 2);
+        if spin_wins(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Crossover::At(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(threads_per_proc: usize) -> SweepConfig {
+        SweepConfig {
+            processors: 2,
+            threads: 2 * threads_per_proc,
+            iters: 12,
+            think: Duration::micros(50),
+            ..SweepConfig::default()
+        }
+    }
+
+    #[test]
+    fn one_thread_per_processor_spin_always_wins() {
+        // [MS93] claim 1: processors >= threads -> spin outperforms
+        // blocking for every section length.
+        let c = find_crossover(
+            &base(1),
+            Duration::micros(5),
+            Duration::millis(5),
+            Duration::micros(50),
+        );
+        assert_eq!(c, Crossover::SpinAlways, "got {c:?}");
+    }
+
+    #[test]
+    fn oversubscription_creates_a_crossover() {
+        // [MS93] claim 2: with multiple runnable threads per processor,
+        // blocking wins from some section length on.
+        let c = find_crossover(
+            &base(2),
+            Duration::micros(5),
+            Duration::millis(5),
+            Duration::micros(100),
+        );
+        match c {
+            Crossover::At(d) => {
+                assert!(d > Duration::micros(5) && d < Duration::millis(5));
+            }
+            other => panic!("expected a crossover under oversubscription, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn heavier_oversubscription_moves_the_crossover_down() {
+        let at = |tpp: usize| match find_crossover(
+            &base(tpp),
+            Duration::micros(5),
+            Duration::millis(5),
+            Duration::micros(100),
+        ) {
+            Crossover::At(d) => d,
+            Crossover::BlockingAlways => Duration::micros(5),
+            Crossover::SpinAlways => Duration::millis(5),
+        };
+        let x2 = at(2);
+        let x4 = at(4);
+        assert!(
+            x4 <= x2,
+            "more threads per processor must not raise the crossover ({x4} vs {x2})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty search interval")]
+    fn interval_validation() {
+        let _ = find_crossover(
+            &base(1),
+            Duration::millis(1),
+            Duration::micros(1),
+            Duration::micros(1),
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! The locking-cycle measurement behind the paper's Tables 6 and 7: the
+//! cost of a successive unlock-then-lock on an already locked lock —
+//! i.e. how long the lock sits "idle" between a release and the waiting
+//! thread's acquisition.
+//!
+//! Two threads on two processors ping-pong the lock with a hold time
+//! long enough that the peer is always waiting at release time; the
+//! cycle cost is the gap between each release and the next acquisition
+//! by the other thread.
+
+use std::sync::{Arc, Mutex};
+
+use adaptive_locks::Lock;
+use butterfly_sim::{self as sim, ctx, Duration, NodeId, ProcId, SimConfig, VirtualTime};
+use cthreads::fork;
+
+/// Event log entry: `(time, thread index, is_acquire)`.
+type Event = (VirtualTime, usize, bool);
+
+/// Measure the mean locking-cycle duration for a lock built by `build`
+/// (homed wherever `build` places it; pass the home node for the
+/// local/remote distinction of Tables 6–7).
+///
+/// Returns the mean release→acquisition gap over `rounds` handoffs per
+/// thread.
+pub fn measure_cycle<F, L>(processors: usize, build: F, rounds: u32) -> Duration
+where
+    L: Lock + 'static,
+    F: FnOnce() -> L + Send + 'static,
+{
+    assert!(processors >= 2, "cycle measurement needs two processors");
+    let (mean, _) = sim::run(
+        SimConfig {
+            processors,
+            ..SimConfig::default()
+        },
+        move || {
+            let lock: Arc<dyn Lock> = Arc::new(build());
+            let log: Arc<Mutex<Vec<Event>>> = Arc::new(Mutex::new(Vec::new()));
+            // Longer than the largest backoff delay so the waiting peer
+            // always wins the next acquisition, keeping strict
+            // alternation even for unfair locks.
+            let think = Duration::micros(160);
+
+            let handles: Vec<_> = (0..2)
+                .map(|i| {
+                    let (lock, log) = (Arc::clone(&lock), Arc::clone(&log));
+                    fork(ProcId(i), format!("pong{i}"), move || {
+                        for r in 0..rounds {
+                            // Deterministically jittered hold time so the
+                            // release lands at varying phases of the
+                            // peer's backoff cycle (a fixed hold would
+                            // systematically bias backoff-lock cycles).
+                            let hold = Duration::micros(300)
+                                + Duration::micros(u64::from(r * 37 + i as u32 * 53) % 97);
+                            lock.lock();
+                            log.lock().unwrap().push((ctx::now(), i, true));
+                            // Hold long enough that the peer is waiting.
+                            ctx::advance(hold);
+                            log.lock().unwrap().push((ctx::now(), i, false));
+                            lock.unlock();
+                            ctx::advance(think);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+
+            let mut events = Arc::try_unwrap(log).unwrap().into_inner().unwrap();
+            events.sort_by_key(|&(t, _, _)| t);
+            // Pair each release with the next acquisition by the peer.
+            let mut cycles: Vec<u64> = Vec::new();
+            let mut pending_release: Option<(VirtualTime, usize)> = None;
+            for (t, tid, is_acq) in events {
+                if is_acq {
+                    if let Some((rt, rtid)) = pending_release.take() {
+                        if rtid != tid {
+                            cycles.push(t.since(rt).as_nanos());
+                        }
+                    }
+                } else {
+                    pending_release = Some((t, tid));
+                }
+            }
+            assert!(
+                cycles.len() as u32 >= rounds,
+                "too few handoffs observed: {} (alternation broke down)",
+                cycles.len()
+            );
+            Duration(cycles.iter().sum::<u64>() / cycles.len() as u64)
+        },
+    )
+    .unwrap();
+    mean
+}
+
+/// Measure the cycle for a lock homed on `home`, where both ping-pong
+/// threads run on processors 0 and 1. `home = NodeId(0)` is the "local
+/// lock" row (local to one participant), higher nodes give the "remote
+/// lock" row.
+pub fn measure_cycle_on<F, L>(home: NodeId, build: F, rounds: u32) -> Duration
+where
+    L: Lock + 'static,
+    F: FnOnce(NodeId) -> L + Send + 'static,
+{
+    let processors = (home.0 + 1).max(2);
+    measure_cycle(processors, move || build(home), rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptive_locks::{BlockingLock, ReconfigurableLock, SchedKind, SpinLock, WaitingPolicy};
+    use adaptive_locks::LockCosts;
+
+    #[test]
+    fn spin_cycle_is_cheaper_than_blocking_cycle() {
+        let spin = measure_cycle_on(NodeId(0), SpinLock::new_on, 10);
+        let blocking = measure_cycle_on(NodeId(0), BlockingLock::new_on, 10);
+        assert!(
+            spin < blocking,
+            "spin handoff ({spin}) must be cheaper than blocking handoff ({blocking})"
+        );
+        // The blocking cycle includes an unblock + context switch, so the
+        // gap should be substantial (paper: ~10x).
+        assert!(blocking.as_nanos() > 2 * spin.as_nanos());
+    }
+
+    #[test]
+    fn remote_lock_cycle_costs_more_than_local() {
+        let local = measure_cycle_on(NodeId(0), SpinLock::new_on, 10);
+        let remote = measure_cycle_on(NodeId(2), SpinLock::new_on, 10);
+        assert!(remote > local, "remote ({remote}) vs local ({local})");
+    }
+
+    #[test]
+    fn adaptive_cycle_spans_spin_to_blocking_range() {
+        // Table 7: the adaptive lock configured as spin has the cheap
+        // cycle, configured as blocking the expensive one.
+        let as_spin = measure_cycle_on(
+            NodeId(0),
+            |n| {
+                ReconfigurableLock::with_parts(
+                    "adaptive",
+                    n,
+                    WaitingPolicy::pure_spin(),
+                    SchedKind::Fcfs,
+                    LockCosts::default(),
+                )
+            },
+            10,
+        );
+        let as_blocking = measure_cycle_on(
+            NodeId(0),
+            |n| {
+                ReconfigurableLock::with_parts(
+                    "adaptive",
+                    n,
+                    WaitingPolicy::pure_blocking(),
+                    SchedKind::Fcfs,
+                    LockCosts::default(),
+                )
+            },
+            10,
+        );
+        assert!(
+            as_spin < as_blocking,
+            "spin-configured cycle ({as_spin}) must undercut blocking-configured ({as_blocking})"
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! # workloads
+//!
+//! Synthetic lock workloads and micro-measurements behind the paper's
+//! evaluation:
+//!
+//! * [`csweep`] — the critical-section-length sweep of **Figure 1**
+//!   (pure spin vs pure blocking vs combined(1)/(10)/(50));
+//! * [`cycle`] — the locking-cycle (unlock→lock on a busy lock)
+//!   measurement of **Tables 6 and 7**;
+//! * [`measure`] — uncontended lock/unlock latencies (**Tables 4/5**)
+//!   and configuration-operation costs (**Table 8**), local vs remote;
+//! * [`clientserver`] — the FCFS vs Priority vs Handoff scheduler
+//!   comparison recalled from \[MS93\] in Section 2;
+//! * [`phased`] — a phase-changing pattern demonstrating when adaptation
+//!   pays.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod clientserver;
+pub mod crossover;
+pub mod csweep;
+pub mod cycle;
+pub mod measure;
+pub mod phased;
+pub mod spec;
+
+pub use clientserver::{run_all_schedulers, run_client_server, ClientServerConfig, ClientServerResult};
+pub use crossover::{find_crossover, Crossover};
+pub use csweep::{figure1_locks, run_once, run_sweep, SweepConfig, SweepPoint};
+pub use cycle::{measure_cycle, measure_cycle_on};
+pub use measure::{atomior_cost, config_op_costs, config_op_rw_costs, lock_unlock_cost};
+pub use phased::{compare_phased, run_phased, PhasedConfig, PhasedResult};
+pub use spec::LockSpec;

@@ -1,0 +1,203 @@
+//! Micro-measurements behind the paper's Tables 4, 5, and 8: latencies
+//! of individual lock, unlock, and configuration operations for locks
+//! placed in local vs remote memory.
+
+use std::sync::Arc;
+
+use adaptive_locks::{agent, Lock, ReconfigurableLock, SchedKind, WaitingPolicy};
+use adaptive_locks::LockCosts;
+use butterfly_sim::{self as sim, ctx, Duration, NodeId, SimConfig, SimWord};
+
+use crate::spec::LockSpec;
+
+/// Mean `(lock, unlock)` latency of an uncontended lock homed on `home`,
+/// exercised by a thread on processor 0, over `iters` iterations.
+pub fn lock_unlock_cost(spec: LockSpec, home: NodeId, iters: u32) -> (Duration, Duration) {
+    let processors = home.0 + 1;
+    let ((lock_ns, unlock_ns), _) = sim::run(
+        SimConfig {
+            processors: processors.max(1),
+            ..SimConfig::default()
+        },
+        move || {
+            let lock: Arc<dyn Lock> = spec.build(home);
+            let (mut lock_total, mut unlock_total) = (0u64, 0u64);
+            for _ in 0..iters {
+                let t0 = ctx::now();
+                lock.lock();
+                let t1 = ctx::now();
+                lock.unlock();
+                let t2 = ctx::now();
+                lock_total += t1.since(t0).as_nanos();
+                unlock_total += t2.since(t1).as_nanos();
+            }
+            (lock_total / iters as u64, unlock_total / iters as u64)
+        },
+    )
+    .unwrap();
+    (Duration(lock_ns), Duration(unlock_ns))
+}
+
+/// Latency of the raw hardware `atomior` primitive against `home`
+/// (the paper's first row of Table 4: the primitive everything else is
+/// built from, measured without any lock-package overhead).
+pub fn atomior_cost(home: NodeId, iters: u32) -> Duration {
+    let processors = home.0 + 1;
+    let (ns, _) = sim::run(
+        SimConfig {
+            processors: processors.max(1),
+            ..SimConfig::default()
+        },
+        move || {
+            let w = SimWord::new_on(home, 0);
+            let t0 = ctx::now();
+            for _ in 0..iters {
+                w.atomior(1);
+                w.store(0);
+            }
+            // Subtract the paired clear so only the atomior remains.
+            let per_pair = ctx::now().since(t0).as_nanos() / iters as u64;
+            let t1 = ctx::now();
+            for _ in 0..iters {
+                w.store(0);
+            }
+            let per_store = ctx::now().since(t1).as_nanos() / iters as u64;
+            per_pair - per_store
+        },
+    )
+    .unwrap();
+    Duration(ns)
+}
+
+/// The costs of the adaptation mechanisms (Table 8), measured against a
+/// reconfigurable lock homed on `home`:
+/// `(acquisition, configure_waiting_policy, configure_scheduler,
+/// monitor_one_state_variable)`.
+pub fn config_op_costs(home: NodeId) -> (Duration, Duration, Duration, Duration) {
+    let processors = home.0 + 1;
+    let (out, _) = sim::run(
+        SimConfig {
+            processors: processors.max(1),
+            ..SimConfig::default()
+        },
+        move || {
+            let lock = ReconfigurableLock::with_parts(
+                "measured",
+                home,
+                WaitingPolicy::default(),
+                SchedKind::Fcfs,
+                LockCosts::default(),
+            );
+            let me = agent();
+
+            let t0 = ctx::now();
+            lock.acquire_attr(me, "spin-time").unwrap();
+            let acq = ctx::now().since(t0);
+            lock.release_attr(me, "spin-time").unwrap();
+
+            let t0 = ctx::now();
+            lock.configure_policy(me, WaitingPolicy::pure_spin()).unwrap();
+            let cfg_policy = ctx::now().since(t0);
+
+            let t0 = ctx::now();
+            lock.configure_scheduler(SchedKind::Handoff);
+            let cfg_sched = ctx::now().since(t0);
+
+            let t0 = ctx::now();
+            let _ = lock.sense_waiting();
+            let monitor = ctx::now().since(t0);
+
+            (acq, cfg_policy, cfg_sched, monitor)
+        },
+    )
+    .unwrap();
+    out
+}
+
+/// The abstract `n1 R n2 W` costs of the two configure operations, read
+/// off the transition log (the paper's cost formalism, independent of
+/// the latency model).
+pub fn config_op_rw_costs() -> (adaptive_core::OpCost, adaptive_core::OpCost) {
+    let (out, _) = sim::run(SimConfig::butterfly(1), || {
+        let lock = ReconfigurableLock::new_local();
+        lock.configure_policy(agent(), WaitingPolicy::pure_spin()).unwrap();
+        lock.configure_scheduler(SchedKind::Priority);
+        let log = lock.transition_log();
+        let ts = log.transitions();
+        (ts[1].cost, ts[2].cost)
+    })
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptive_core::OpCost;
+
+    #[test]
+    fn table4_shape_local() {
+        // atomior < spin-lock lock-op < blocking-lock lock-op.
+        let home = NodeId(0);
+        let atomior = atomior_cost(home, 16);
+        let (spin, _) = lock_unlock_cost(LockSpec::Spin, home, 16);
+        let (blocking, _) = lock_unlock_cost(LockSpec::Blocking, home, 16);
+        let (adaptive, _) = lock_unlock_cost(LockSpec::Adaptive { threshold: 3, n: 5 }, home, 16);
+        assert!(atomior < spin, "atomior {atomior} !< spin {spin}");
+        assert!(spin < blocking, "spin {spin} !< blocking {blocking}");
+        // The paper's point: an uncontended adaptive lock op costs about
+        // the same as a spin lock op, far below blocking.
+        assert!(adaptive < blocking);
+        assert!(adaptive.as_nanos() <= spin.as_nanos() + 2_000);
+    }
+
+    #[test]
+    fn remote_ops_cost_more_than_local() {
+        let (l_lock, l_unlock) = lock_unlock_cost(LockSpec::Spin, NodeId(0), 16);
+        let (r_lock, r_unlock) = lock_unlock_cost(LockSpec::Spin, NodeId(2), 16);
+        assert!(r_lock > l_lock);
+        assert!(r_unlock > l_unlock);
+    }
+
+    #[test]
+    fn table5_shape_unlock_costs() {
+        // Spin unlock is a store; blocking unlock checks for blocked
+        // threads (guard + queue) and costs much more. The adaptive
+        // lock's unlock sits in between (its slow path takes the guard).
+        let home = NodeId(0);
+        let (_, spin) = lock_unlock_cost(LockSpec::Spin, home, 16);
+        let (_, blocking) = lock_unlock_cost(LockSpec::Blocking, home, 16);
+        assert!(
+            blocking > spin,
+            "blocking unlock {blocking} !> spin unlock {spin}"
+        );
+    }
+
+    #[test]
+    fn table8_shape_config_costs() {
+        let (acq, cfg_policy, cfg_sched, monitor) = config_op_costs(NodeId(0));
+        // Scheduler reconfiguration (5 writes) > waiting-policy
+        // reconfiguration (1R 1W).
+        assert!(cfg_sched > cfg_policy, "{cfg_sched} !> {cfg_policy}");
+        // Monitoring one state variable carries processing overhead and
+        // is the most expensive mechanism, as in the paper.
+        assert!(monitor > cfg_sched, "{monitor} !> {cfg_sched}");
+        assert!(acq > Duration::ZERO);
+    }
+
+    #[test]
+    fn rw_cost_model_matches_paper() {
+        let (policy, sched) = config_op_rw_costs();
+        assert_eq!(policy, OpCost::new(1, 1), "waiting-policy change is 1R 1W");
+        assert_eq!(sched, OpCost::new(0, 5), "scheduler change is 5W");
+    }
+
+    #[test]
+    fn remote_config_ops_cost_more() {
+        let local = config_op_costs(NodeId(0));
+        let remote = config_op_costs(NodeId(2));
+        assert!(remote.0 > local.0);
+        assert!(remote.1 > local.1);
+        assert!(remote.2 > local.2);
+    }
+}

@@ -1,0 +1,138 @@
+//! Lock specifications for workloads: every lock variant the experiments
+//! compare, buildable by label.
+
+use std::sync::Arc;
+
+use adaptive_locks::{
+    AdaptiveLock, BlockingLock, Lock, LockCosts, McsLock, ReconfigurableLock, SimpleAdapt,
+    SpinBackoffLock, SpinLock, TicketLock, WaitingPolicy,
+};
+use butterfly_sim::{Duration, NodeId};
+
+/// A buildable lock variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockSpec {
+    /// Test-and-test-and-set spin lock.
+    Spin,
+    /// Anderson-style spin with backoff.
+    SpinBackoff,
+    /// Ticket lock (FIFO spin).
+    Ticket,
+    /// MCS queue lock (local spinning).
+    Mcs,
+    /// FIFO blocking lock with handoff.
+    Blocking,
+    /// Combined lock: spin `k` probes, then block (Figure 1's
+    /// combined(1)/(10)/(50)).
+    Combined(u32),
+    /// Adaptive lock with `simple-adapt(threshold, n)`.
+    Adaptive {
+        /// `Waiting-Threshold`.
+        threshold: u64,
+        /// Spin increment `n`.
+        n: u32,
+    },
+}
+
+impl LockSpec {
+    /// Build the lock on `node` with default costs.
+    pub fn build(self, node: NodeId) -> Arc<dyn Lock> {
+        self.build_with_costs(node, LockCosts::default())
+    }
+
+    /// Build with an explicit cost model.
+    pub fn build_with_costs(self, node: NodeId, costs: LockCosts) -> Arc<dyn Lock> {
+        match self {
+            LockSpec::Spin => Arc::new(SpinLock::with_costs(node, costs)),
+            LockSpec::SpinBackoff => Arc::new(SpinBackoffLock::with_params(
+                node,
+                Duration::micros(2),
+                4,
+                costs,
+            )),
+            LockSpec::Ticket => Arc::new(TicketLock::with_costs(node, costs)),
+            LockSpec::Mcs => Arc::new(McsLock::with_costs(node, costs)),
+            LockSpec::Blocking => Arc::new(BlockingLock::with_costs(node, costs)),
+            LockSpec::Combined(k) => Arc::new(ReconfigurableLock::with_parts(
+                "combined",
+                node,
+                WaitingPolicy::combined(k),
+                adaptive_locks::SchedKind::Fcfs,
+                costs,
+            )),
+            LockSpec::Adaptive { threshold, n } => Arc::new(AdaptiveLock::with_parts(
+                node,
+                WaitingPolicy::default(),
+                adaptive_locks::SchedKind::Fcfs,
+                costs,
+                Box::new(SimpleAdapt::new(threshold, n)),
+                2,
+            )),
+        }
+    }
+
+    /// Label used in figures and tables.
+    pub fn label(self) -> String {
+        match self {
+            LockSpec::Spin => "spin".into(),
+            LockSpec::SpinBackoff => "spin-backoff".into(),
+            LockSpec::Ticket => "ticket".into(),
+            LockSpec::Mcs => "mcs".into(),
+            LockSpec::Blocking => "blocking".into(),
+            LockSpec::Combined(k) => format!("combined({k})"),
+            LockSpec::Adaptive { .. } => "adaptive".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use butterfly_sim::{self as sim, ctx, SimConfig};
+
+    #[test]
+    fn every_spec_builds_and_locks() {
+        let specs = [
+            LockSpec::Spin,
+            LockSpec::SpinBackoff,
+            LockSpec::Ticket,
+            LockSpec::Mcs,
+            LockSpec::Blocking,
+            LockSpec::Combined(10),
+            LockSpec::Adaptive { threshold: 3, n: 5 },
+        ];
+        let (ok, _) = sim::run(SimConfig::butterfly(1), move || {
+            for spec in specs {
+                let lock = spec.build(ctx::current_node());
+                lock.lock();
+                lock.unlock();
+                assert!(lock.try_lock(), "{}", spec.label());
+                lock.unlock();
+            }
+            true
+        })
+        .unwrap();
+        assert!(ok);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<String> = [
+            LockSpec::Spin,
+            LockSpec::SpinBackoff,
+            LockSpec::Ticket,
+            LockSpec::Mcs,
+            LockSpec::Blocking,
+            LockSpec::Combined(1),
+            LockSpec::Combined(50),
+            LockSpec::Adaptive { threshold: 3, n: 5 },
+        ]
+        .iter()
+        .map(|s| s.label())
+        .collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+}

@@ -1,0 +1,28 @@
+//! Instance-sizing utility: how much branch-and-bound work does a given
+//! TSP instance generate? Useful for choosing benchmark instances (the
+//! search-tree size of LMSK varies by orders of magnitude across seeds).
+//!
+//! Run with `cargo run --release --example sizecheck`.
+
+fn main() {
+    println!(
+        "{:>4} {:>6} {:>8} {:>10} {:>10} {:>12}",
+        "n", "seed", "best", "expanded", "generated", "host time"
+    );
+    for n in [12usize, 16, 20, 24] {
+        for seed in [1993u64, 3, 11] {
+            let inst = tsp_app::TspInstance::random_euclidean(n, 1000, seed);
+            let t = std::time::Instant::now();
+            let (best, stats) = tsp_app::solve_sequential(&inst);
+            println!(
+                "{:>4} {:>6} {:>8} {:>10} {:>10} {:>12?}",
+                n,
+                seed,
+                best,
+                stats.expanded,
+                stats.generated,
+                t.elapsed()
+            );
+        }
+    }
+}

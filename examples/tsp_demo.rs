@@ -1,0 +1,64 @@
+//! The paper's headline experiment in miniature: the LMSK
+//! branch-and-bound TSP on 10 simulated processors, in all three
+//! shared-abstraction structures, with blocking vs adaptive locks.
+//!
+//! Run with `cargo run --release --example tsp_demo` (add
+//! `-- <cities> <seed>` to change the instance; default 16 cities).
+
+use adaptive_objects::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let cities: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1993);
+
+    let inst = TspInstance::random_euclidean(cities, 1000, seed);
+    println!("TSP: {cities} cities (seed {seed}), 10 searchers, one per processor\n");
+
+    let mut oracle = None;
+    println!(
+        "{:<16} {:>12} {:>12} {:>12} {:>8}",
+        "variant", "blocking ms", "adaptive ms", "improvement", "nodes"
+    );
+    for variant in Variant::ALL {
+        let mut row = Vec::new();
+        let mut nodes = 0;
+        for lock_impl in [
+            LockImpl::Blocking,
+            LockImpl::Adaptive { threshold: 12, n: 20 },
+        ] {
+            let inst2 = inst.clone();
+            let (res, _) = sim::run(SimConfig::butterfly(10), move || {
+                solve_parallel(
+                    &inst2,
+                    variant,
+                    TspConfig {
+                        searchers: 10,
+                        lock_impl,
+                        ..TspConfig::default()
+                    },
+                )
+            })
+            .expect("simulation failed");
+            if let Some(o) = oracle {
+                assert_eq!(res.best, o, "optimum must not depend on locks");
+            } else {
+                oracle = Some(res.best);
+            }
+            nodes = res.stats.expanded;
+            row.push(res.elapsed.as_millis_f64());
+        }
+        println!(
+            "{:<16} {:>12.2} {:>12.2} {:>11.1}% {:>8}",
+            variant.label(),
+            row[0],
+            row[1],
+            (row[0] - row[1]) / row[0] * 100.0,
+            nodes
+        );
+    }
+    println!(
+        "\noptimal tour cost: {} (identical across all runs — the locks change the clock, never the answer)",
+        oracle.unwrap()
+    );
+}

