@@ -12,6 +12,8 @@ use std::sync::{Arc, Mutex};
 
 use butterfly_sim::{ctx, NodeId, SimWord, ThreadId};
 
+use crate::probe::{ProbeEvent, ProbeSlot, SyncProbe};
+
 /// A simulated condition variable.
 ///
 /// Cloning yields another handle to the same condition variable.
@@ -21,6 +23,7 @@ pub struct Condvar {
     /// charged against it so condvar traffic shows up in NUMA accounting.
     cell: SimWord,
     waiters: Arc<Mutex<VecDeque<ThreadId>>>,
+    probe: ProbeSlot,
 }
 
 impl Condvar {
@@ -29,6 +32,7 @@ impl Condvar {
         Condvar {
             cell: SimWord::new_on(node, 0),
             waiters: Arc::new(Mutex::new(VecDeque::new())),
+            probe: ProbeSlot::default(),
         }
     }
 
@@ -37,12 +41,20 @@ impl Condvar {
         Condvar::new_on(ctx::current_node())
     }
 
+    /// Attach an invariant probe; waiter registration and notifications
+    /// are reported to it. At most one probe per condition variable.
+    pub fn attach_probe(&self, probe: Arc<dyn SyncProbe>) {
+        self.probe.attach(probe);
+    }
+
     /// Atomically (with respect to simulated threads) register as a
     /// waiter, run `release` (dropping the caller's mutual exclusion),
     /// block, and on wakeup run `reacquire` and return its result.
     pub fn wait_with<R>(&self, release: impl FnOnce(), reacquire: impl FnOnce() -> R) -> R {
         self.cell.fetch_add(1); // charged registration write
-        self.waiters.lock().unwrap().push_back(ctx::current());
+        let me = ctx::current();
+        self.waiters.lock().unwrap().push_back(me);
+        self.probe.emit(ProbeEvent::Enqueue(me));
         release();
         ctx::park();
         reacquire()
@@ -54,6 +66,7 @@ impl Condvar {
         let w = self.waiters.lock().unwrap().pop_front();
         match w {
             Some(tid) => {
+                self.probe.emit(ProbeEvent::Grant(tid));
                 ctx::unpark(tid);
                 true
             }
@@ -67,6 +80,7 @@ impl Condvar {
         let ws = std::mem::take(&mut *self.waiters.lock().unwrap());
         let n = ws.len();
         for tid in ws {
+            self.probe.emit(ProbeEvent::Grant(tid));
             ctx::unpark(tid);
         }
         n

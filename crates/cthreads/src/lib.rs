@@ -43,12 +43,14 @@ mod barrier;
 mod channel;
 mod condvar;
 mod join;
+mod probe;
 mod semaphore;
 
 pub use barrier::{Barrier, BarrierWaitResult};
 pub use channel::{channel, channel_on, Receiver, RecvError, Sender};
 pub use condvar::Condvar;
 pub use join::{fork, fork_join_all, fork_local, JoinHandle};
+pub use probe::{ProbeEvent, SyncProbe};
 pub use semaphore::Semaphore;
 
 /// Yield the processor to the next ready thread on the same processor

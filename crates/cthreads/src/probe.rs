@@ -1,0 +1,54 @@
+//! Observation hooks for synchronization objects.
+//!
+//! Invariant oracles (see `locks::LockOracle`) need to see what a
+//! semaphore or condition variable *did* — who queued, who was granted a
+//! wakeup, who acquired — without the primitive depending on the oracle
+//! crate. [`SyncProbe`] is that seam: the `cthreads` primitives emit
+//! [`ProbeEvent`]s to an attached probe, and higher-level crates implement
+//! the trait. An unattached probe costs one relaxed pointer check.
+
+use std::sync::{Arc, OnceLock};
+
+use butterfly_sim::ThreadId;
+
+/// One observable step in a synchronization object's protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeEvent {
+    /// The thread registered as a waiter.
+    Enqueue(ThreadId),
+    /// The object selected the thread to proceed (handoff/notify).
+    Grant(ThreadId),
+    /// The thread obtained the resource (permit, lock, ...).
+    Acquire(ThreadId),
+    /// The thread returned the resource.
+    Release(ThreadId),
+}
+
+/// A sink for [`ProbeEvent`]s, attached to a primitive under test.
+///
+/// Implementations must be cheap and must not call back into the probed
+/// primitive (the event is emitted while internal state is consistent but
+/// possibly while internal locks are held).
+pub trait SyncProbe: Send + Sync {
+    /// Observe one protocol step.
+    fn on_event(&self, ev: ProbeEvent);
+}
+
+/// Shared, late-bound slot for an optional probe; primitives embed one.
+#[derive(Clone, Default)]
+pub(crate) struct ProbeSlot(Arc<OnceLock<Arc<dyn SyncProbe>>>);
+
+impl ProbeSlot {
+    pub(crate) fn attach(&self, probe: Arc<dyn SyncProbe>) {
+        self.0
+            .set(probe)
+            .unwrap_or_else(|_| panic!("a probe is already attached to this object"));
+    }
+
+    #[inline]
+    pub(crate) fn emit(&self, ev: ProbeEvent) {
+        if let Some(p) = self.0.get() {
+            p.on_event(ev);
+        }
+    }
+}

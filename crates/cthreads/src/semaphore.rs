@@ -5,6 +5,8 @@ use std::sync::{Arc, Mutex};
 
 use butterfly_sim::{ctx, NodeId, SimWord, ThreadId};
 
+use crate::probe::{ProbeEvent, ProbeSlot, SyncProbe};
+
 struct SemState {
     permits: u64,
     waiters: VecDeque<ThreadId>,
@@ -17,6 +19,7 @@ pub struct Semaphore {
     /// visible to the NUMA model.
     cell: SimWord,
     state: Arc<Mutex<SemState>>,
+    probe: ProbeSlot,
 }
 
 impl Semaphore {
@@ -28,12 +31,19 @@ impl Semaphore {
                 permits,
                 waiters: VecDeque::new(),
             })),
+            probe: ProbeSlot::default(),
         }
     }
 
     /// Semaphore homed on the caller's node.
     pub fn new_local(permits: u64) -> Semaphore {
         Semaphore::new_on(ctx::current_node(), permits)
+    }
+
+    /// Attach an invariant probe; every subsequent protocol step is
+    /// reported to it. At most one probe per semaphore.
+    pub fn attach_probe(&self, probe: Arc<dyn SyncProbe>) {
+        self.probe.attach(probe);
     }
 
     /// Acquire one permit, blocking while none are available (FIFO).
@@ -47,13 +57,17 @@ impl Semaphore {
                     // Fast path: permits available and nobody queued.
                     if s.permits > 0 && s.waiters.is_empty() {
                         s.permits -= 1;
+                        self.probe.emit(ProbeEvent::Acquire(me));
                         return;
                     }
                     s.waiters.push_back(me);
+                    self.probe.emit(ProbeEvent::Enqueue(me));
                 }
                 if s.permits > 0 && s.waiters.front() == Some(&me) {
                     s.permits -= 1;
                     s.waiters.pop_front();
+                    self.probe.emit(ProbeEvent::Grant(me));
+                    self.probe.emit(ProbeEvent::Acquire(me));
                     // Cascade: if more permits remain (several releases
                     // landed before we woke), pass the wake along so the
                     // next waiter is not stranded.
@@ -81,6 +95,7 @@ impl Semaphore {
         let mut s = self.state.lock().unwrap();
         if s.permits > 0 && s.waiters.is_empty() {
             s.permits -= 1;
+            self.probe.emit(ProbeEvent::Acquire(ctx::current()));
             true
         } else {
             false
@@ -93,6 +108,7 @@ impl Semaphore {
         let waiter = {
             let mut s = self.state.lock().unwrap();
             s.permits += 1;
+            self.probe.emit(ProbeEvent::Release(ctx::current()));
             s.waiters.front().copied()
         };
         if let Some(tid) = waiter {

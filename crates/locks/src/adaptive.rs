@@ -60,6 +60,15 @@ pub type BoxedLockPolicy =
 /// on the locking pattern and critical-section length; the paper leaves
 /// finding their exact relationship to future work, so they are plain
 /// public fields here.
+///
+/// Re-entry from pure blocking: once spins have decayed to zero, a light
+/// sample re-enters the combined configuration at the *default* spin
+/// count rather than creeping up from `n`. Growing from `n` would emit a
+/// barely-spinning combined policy and then a reconfiguration per sample
+/// while it climbs — exactly the configuration thrash Section 5 adapts
+/// to avoid. The paper's rules describe movement *within* the combined
+/// regime; leaving pure blocking is a regime change, so it restarts from
+/// the same spin count a fresh lock starts with.
 #[derive(Debug, Clone)]
 pub struct SimpleAdapt {
     /// The waiting-thread threshold above which spins are cut.
@@ -104,7 +113,14 @@ impl AdaptationPolicy<LockObservation> for SimpleAdapt {
             return Some(LockDecision::PureSpin);
         }
         if obs.waiting <= self.waiting_threshold {
-            self.spins = (self.spins + i64::from(self.n)).min(i64::from(self.max_spins));
+            self.spins = if self.spins == 0 {
+                // Regime change out of pure blocking: restart from the
+                // default combined spin count instead of creeping up from
+                // `n` (which thrashes, see the type-level docs).
+                i64::from(WaitingPolicy::default().spin.min(self.max_spins))
+            } else {
+                (self.spins + i64::from(self.n)).min(i64::from(self.max_spins))
+            };
         } else {
             self.spins -= 2 * i64::from(self.n);
         }
@@ -163,7 +179,12 @@ impl AdaptationPolicy<LockObservation> for HysteresisAdapt {
             return Some(LockDecision::PureSpin);
         }
         if obs.waiting <= self.low {
-            self.spins = (self.spins + i64::from(self.n)).min(i64::from(self.max_spins));
+            self.spins = if self.spins == 0 {
+                // Regime change out of pure blocking (see SimpleAdapt).
+                i64::from(WaitingPolicy::default().spin.min(self.max_spins))
+            } else {
+                (self.spins + i64::from(self.n)).min(i64::from(self.max_spins))
+            };
         } else if obs.waiting > self.high {
             self.spins -= 2 * i64::from(self.n);
         } else {
@@ -231,7 +252,12 @@ impl AdaptationPolicy<LockObservation> for EwmaAdapt {
             return Some(LockDecision::PureSpin);
         }
         if self.ewma <= self.waiting_threshold {
-            self.spins = (self.spins + i64::from(self.n)).min(i64::from(self.max_spins));
+            self.spins = if self.spins == 0 {
+                // Regime change out of pure blocking (see SimpleAdapt).
+                i64::from(WaitingPolicy::default().spin.min(self.max_spins))
+            } else {
+                (self.spins + i64::from(self.n)).min(i64::from(self.max_spins))
+            };
         } else {
             self.spins -= 2 * i64::from(self.n);
         }
@@ -371,6 +397,12 @@ impl AdaptiveLock {
         &self.inner
     }
 
+    /// Attach an invariant oracle to the wrapped reconfigurable lock, so
+    /// invariants are checked across mid-flight reconfigurations too.
+    pub fn attach_oracle(&self, oracle: std::sync::Arc<crate::oracle::LockOracle>) {
+        self.inner.attach_oracle(oracle);
+    }
+
     /// Feedback-loop statistics (samples seen, decisions applied).
     pub fn loop_stats(&self) -> LoopStats {
         self.feedback.lock().unwrap().stats()
@@ -414,8 +446,18 @@ impl Lock for AdaptiveLock {
                 waiting: self.inner.sense_waiting(),
                 at: ctx::now(),
             };
-            let mut fb = self.feedback.lock().unwrap();
-            fb.step(obs, |d| self.apply(d));
+            // Collect decisions under the loop mutex, apply after
+            // dropping it: `configure_*` makes charged simulator calls
+            // (yield points), and holding a host mutex across a yield
+            // deadlocks any other unlocker that samples concurrently.
+            let mut decisions = Vec::new();
+            {
+                let mut fb = self.feedback.lock().unwrap();
+                fb.step(obs, |d| decisions.push(d));
+            }
+            for d in decisions {
+                self.apply(d);
+            }
         }
     }
 
@@ -481,6 +523,53 @@ mod tests {
         }
         assert_eq!(last, Some(LockDecision::PureBlocking));
         assert_eq!(p.spins(), 0);
+    }
+
+    #[test]
+    fn simple_adapt_reenters_combined_at_default_spin_after_blocking() {
+        // Regression: leaving pure blocking used to creep up from `n`
+        // (SetSpins(5), SetSpins(10), ...), emitting a barely-spinning
+        // policy plus one reconfiguration per sample — re-entry thrash.
+        // A light sample after blocking must restart at the default
+        // combined spin count in a single step.
+        let mut p = SimpleAdapt::new(3, 5);
+        let obs = |w| LockObservation {
+            waiting: w,
+            at: VirtualTime::ZERO,
+        };
+        while p.spins() > 0 {
+            assert!(p.decide(obs(9)).is_some()); // heavy: decay to blocking
+        }
+        assert_eq!(p.decide(obs(9)), Some(LockDecision::PureBlocking));
+        let default_spin = WaitingPolicy::default().spin;
+        assert_eq!(
+            p.decide(obs(1)),
+            Some(LockDecision::SetSpins(default_spin)),
+            "light sample after blocking must re-enter at the default spin count"
+        );
+        // And from there the normal +n rule applies again.
+        assert_eq!(
+            p.decide(obs(1)),
+            Some(LockDecision::SetSpins(default_spin + 5))
+        );
+    }
+
+    #[test]
+    fn ewma_adapt_reenters_combined_at_default_spin_after_blocking() {
+        let mut p = EwmaAdapt::new(3.0, 0.5, 5);
+        let obs = |w| LockObservation {
+            waiting: w,
+            at: VirtualTime::ZERO,
+        };
+        // One heavy burst: ewma 5.0 > threshold, spins 10 -> 0.
+        assert_eq!(p.decide(obs(10)), Some(LockDecision::PureBlocking));
+        // Still above threshold while the average decays.
+        assert_eq!(p.decide(obs(2)), Some(LockDecision::PureBlocking)); // ewma 3.5
+        // Below threshold (ewma 2.75): re-enter at the default spin count.
+        assert_eq!(
+            p.decide(obs(2)),
+            Some(LockDecision::SetSpins(WaitingPolicy::default().spin))
+        );
     }
 
     #[test]

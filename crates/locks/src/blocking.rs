@@ -21,6 +21,7 @@ use std::sync::Mutex;
 use butterfly_sim::{ctx, NodeId, SimWord, ThreadId};
 
 use crate::api::{charge_overhead, Lock, LockCosts, LockStats, PatternSample};
+use crate::oracle::{LockOracle, OracleSlot};
 
 const FREE: u64 = 0;
 const HELD: u64 = 1;
@@ -47,6 +48,7 @@ pub struct BlockingLock {
     costs: LockCosts,
     stats: Mutex<LockStats>,
     trace: Mutex<Option<Vec<PatternSample>>>,
+    oracle: OracleSlot,
 }
 
 impl BlockingLock {
@@ -70,7 +72,14 @@ impl BlockingLock {
             costs,
             stats: Mutex::new(LockStats::default()),
             trace: Mutex::new(None),
+            oracle: OracleSlot::default(),
         }
+    }
+
+    /// Attach an invariant oracle (host-memory only, does not perturb
+    /// the simulated cost model). At most one oracle per lock.
+    pub fn attach_oracle(&self, oracle: std::sync::Arc<LockOracle>) {
+        self.oracle.attach(oracle);
     }
 
     fn guard_acquire(&self) {
@@ -104,6 +113,9 @@ impl Lock for BlockingLock {
             // Registration bookkeeping write even on success.
             ctx::charge_mem(ctx::MemOp::Write, self.word.home());
             self.guard_release();
+            if let Some(o) = self.oracle.get() {
+                o.on_acquire(ctx::current());
+            }
             self.stats.lock().unwrap().acquisitions += 1;
             return;
         }
@@ -112,6 +124,9 @@ impl Lock for BlockingLock {
         // under the guard; transitions of `word` are CAS-based so they
         // compose safely with unguarded CAS paths.
         let waiting_now = self.waiting.fetch_add(1) + 1;
+        if let Some(o) = self.oracle.get() {
+            o.on_waiting_inc();
+        }
         let granted = SimWord::new_on(ctx::current_node(), 0);
         loop {
             self.guard_acquire();
@@ -134,6 +149,9 @@ impl Lock for BlockingLock {
                 tid: ctx::current(),
                 granted: granted.clone(),
             });
+            if let Some(o) = self.oracle.get() {
+                o.on_enqueue(ctx::current());
+            }
             self.guard_release();
             // Block until granted (loop filters stale unpark permits).
             while granted.load() == 0 {
@@ -141,7 +159,13 @@ impl Lock for BlockingLock {
             }
             break;
         }
+        if let Some(o) = self.oracle.get() {
+            o.on_acquire(ctx::current());
+        }
         self.waiting.fetch_sub(1);
+        if let Some(o) = self.oracle.get() {
+            o.on_waiting_dec();
+        }
         let mut s = self.stats.lock().unwrap();
         s.acquisitions += 1;
         s.contended += 1;
@@ -156,6 +180,11 @@ impl Lock for BlockingLock {
         // for blocked threads to resume) — the dominant cost of the
         // paper's blocking-lock unlock row (Table 5).
         charge_overhead(SCHED_CHECK);
+        // Oracle: announce the release *before* any state transition can
+        // let the next acquirer in, so observations stay well-ordered.
+        if let Some(o) = self.oracle.get() {
+            o.on_release(ctx::current());
+        }
         self.guard_acquire();
         if self.word.compare_exchange(HELD, FREE).is_ok() {
             self.guard_release();
@@ -171,6 +200,9 @@ impl Lock for BlockingLock {
                     self.word.store(HELD_WAITERS);
                 }
                 self.guard_release();
+                if let Some(o) = self.oracle.get() {
+                    o.on_grant(w.tid);
+                }
                 w.granted.store(1); // remote write to the waiter's node
                 ctx::unpark(w.tid);
                 let mut s = self.stats.lock().unwrap();
@@ -191,6 +223,9 @@ impl Lock for BlockingLock {
         charge_overhead(self.costs.lock_overhead);
         let got = self.word.compare_exchange(FREE, HELD).is_ok();
         if got {
+            if let Some(o) = self.oracle.get() {
+                o.on_acquire(ctx::current());
+            }
             self.stats.lock().unwrap().acquisitions += 1;
         }
         got

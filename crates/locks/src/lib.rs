@@ -50,6 +50,7 @@ mod advisory;
 mod api;
 mod blocking;
 mod mcs;
+mod oracle;
 mod policy;
 mod reconfigurable;
 mod rwlock;
@@ -66,6 +67,7 @@ pub use advisory::{Advice, AdvisoryLock};
 pub use api::{priority, with_lock, Lock, LockCosts, LockStats, PatternSample};
 pub use blocking::BlockingLock;
 pub use mcs::McsLock;
+pub use oracle::{LockOracle, OracleCounts};
 pub use policy::{LockKind, WaitingPolicy, SLEEP_FOREVER};
 pub use reconfigurable::{agent, ReconfigurableLock};
 pub use rwlock::{AdaptiveRwLock, RwLock, RwPolicy, RwStats};

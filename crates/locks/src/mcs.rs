@@ -7,9 +7,10 @@
 use std::collections::HashMap;
 use std::sync::Mutex;
 
-use butterfly_sim::{ctx, NodeId, SimWord};
+use butterfly_sim::{ctx, NodeId, SimWord, ThreadId};
 
 use crate::api::{charge_overhead, Lock, LockCosts, LockStats};
+use crate::oracle::{LockOracle, OracleSlot};
 
 /// One queue node: the waiter spins on `flag` (homed on its node);
 /// `next` is written by the successor during enqueue.
@@ -18,6 +19,8 @@ struct QNode {
     flag: SimWord,
     /// 0 = none, else successor record id.
     next: SimWord,
+    /// Owning thread, for oracle reporting.
+    tid: ThreadId,
 }
 
 /// The MCS list-based queue lock.
@@ -28,6 +31,7 @@ pub struct McsLock {
     next_id: SimWord,
     costs: LockCosts,
     stats: Mutex<LockStats>,
+    oracle: OracleSlot,
 }
 
 thread_local! {
@@ -56,7 +60,14 @@ impl McsLock {
             next_id: SimWord::new_on(node, 1),
             costs,
             stats: Mutex::new(LockStats::default()),
+            oracle: OracleSlot::default(),
         }
+    }
+
+    /// Attach an invariant oracle (host-memory only, does not perturb
+    /// the simulated cost model). At most one oracle per lock.
+    pub fn attach_oracle(&self, oracle: std::sync::Arc<LockOracle>) {
+        self.oracle.attach(oracle);
     }
 
     fn key(&self) -> usize {
@@ -77,24 +88,36 @@ impl Lock for McsLock {
             QNode {
                 flag: SimWord::new_on(my_node, 0),
                 next: SimWord::new_on(my_node, 0),
+                tid: ctx::current(),
             },
         );
         MY_RECORD.with(|m| m.borrow_mut().insert(self.key(), me));
 
         let pred = self.tail.swap(me);
         if pred != 0 {
+            // The tail swap decided the queue position; report it before
+            // the next simulator call so oracle order matches swap order.
+            if let Some(o) = self.oracle.get() {
+                o.on_enqueue(ctx::current());
+            }
             // Link behind the predecessor (remote write to its node).
             let pred_next = self.nodes.lock().unwrap()[&pred].next.clone();
             pred_next.store(me);
             // Spin on my local flag.
             let my_flag = self.nodes.lock().unwrap()[&me].flag.clone();
             while my_flag.load() == 0 {}
+            if let Some(o) = self.oracle.get() {
+                o.on_acquire(ctx::current());
+            }
             let mut s = self.stats.lock().unwrap();
             s.acquisitions += 1;
             s.contended += 1;
             s.handoffs += 1;
             s.total_wait_nanos += ctx::now().since(t0).as_nanos();
         } else {
+            if let Some(o) = self.oracle.get() {
+                o.on_acquire(ctx::current());
+            }
             self.stats.lock().unwrap().acquisitions += 1;
         }
     }
@@ -103,6 +126,11 @@ impl Lock for McsLock {
         charge_overhead(self.costs.unlock_overhead);
         let me = MY_RECORD.with(|m| m.borrow_mut().remove(&self.key()))
             .expect("McsLock::unlock by a thread that does not hold it");
+        // Oracle: announce the release *before* any state transition can
+        // let the next acquirer in, so observations stay well-ordered.
+        if let Some(o) = self.oracle.get() {
+            o.on_release(ctx::current());
+        }
         let my_next = self.nodes.lock().unwrap()[&me].next.clone();
         if my_next.load() == 0 {
             // No known successor: try to swing tail back to free.
@@ -115,7 +143,13 @@ impl Lock for McsLock {
             while my_next.load() == 0 {}
         }
         let succ = my_next.peek();
-        let succ_flag = self.nodes.lock().unwrap()[&succ].flag.clone();
+        let (succ_flag, succ_tid) = {
+            let nodes = self.nodes.lock().unwrap();
+            (nodes[&succ].flag.clone(), nodes[&succ].tid)
+        };
+        if let Some(o) = self.oracle.get() {
+            o.on_grant(succ_tid);
+        }
         succ_flag.store(1); // remote write to the successor's node
         self.nodes.lock().unwrap().remove(&me);
         self.stats.lock().unwrap().releases += 1;
@@ -135,9 +169,13 @@ impl Lock for McsLock {
             QNode {
                 flag: SimWord::new_on(my_node, 0),
                 next: SimWord::new_on(my_node, 0),
+                tid: ctx::current(),
             },
         );
         MY_RECORD.with(|m| m.borrow_mut().insert(self.key(), me));
+        if let Some(o) = self.oracle.get() {
+            o.on_acquire(ctx::current());
+        }
         self.stats.lock().unwrap().acquisitions += 1;
         true
     }

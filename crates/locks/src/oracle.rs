@@ -1,0 +1,455 @@
+//! Reusable invariant oracles for the lock stack.
+//!
+//! A [`LockOracle`] is attached to a lock (or semaphore / condition
+//! variable) under test and receives a callback at each step of the
+//! protocol. It checks, online:
+//!
+//! * **mutual exclusion / capacity** — never more concurrent holders
+//!   than permits;
+//! * **ownership** — releases come from a current holder (when the
+//!   protocol promises that);
+//! * **FIFO handoff** — grants go to the longest-waiting registered
+//!   waiter (when the protocol promises that);
+//! * **monotone virtual clocks** — observation times never decrease;
+//! * **conservation of the waiting count** — the advertised count never
+//!   goes negative and returns to zero;
+//! * **no stranded waiter** — at quiescence, every registered waiter was
+//!   granted or deregistered ([`LockOracle::assert_quiescent`]).
+//!
+//! "No lost wakeup" has no single observable event: a lost wakeup shows
+//! up either as a stranded waiter at quiescence or as a simulator-level
+//! deadlock, which `butterfly_sim::explore` reports with a replay seed.
+//!
+//! Oracle state lives in plain host memory (a `std::sync::Mutex`), so
+//! attaching one never perturbs the simulated cost model — runs with and
+//! without an oracle take identical schedules. By default a violation
+//! panics immediately (fail-fast inside `explore`, which converts the
+//! panic into a reported, replayable schedule failure); use
+//! [`LockOracle::record_only`] to collect violations instead.
+
+use std::sync::{Arc, Mutex};
+
+use butterfly_sim::{ctx, ThreadId, VirtualTime};
+use cthreads::{ProbeEvent, SyncProbe};
+
+/// Event tallies kept by a [`LockOracle`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OracleCounts {
+    /// Successful acquisitions observed.
+    pub acquires: u64,
+    /// Releases observed.
+    pub releases: u64,
+    /// Grants (handoffs / notifies) observed.
+    pub grants: u64,
+    /// Waiter registrations observed.
+    pub enqueues: u64,
+    /// Explicit deregistrations (e.g. lock timeouts) observed.
+    pub dequeues: u64,
+}
+
+struct OracleState {
+    /// Permits currently available: `capacity - holders`. Negative means
+    /// the capacity invariant broke.
+    available: i64,
+    /// Current holders, when ownership is tracked.
+    holders: Vec<ThreadId>,
+    /// Registered waiters in registration order.
+    queue: Vec<ThreadId>,
+    /// The advertised waiting count, mirrored via inc/dec callbacks.
+    waiting: i64,
+    /// Latest observation time (monotone-clock check).
+    last_at: VirtualTime,
+    violations: Vec<String>,
+    counts: OracleCounts,
+}
+
+/// An online invariant checker for one synchronization object.
+///
+/// Construct with the checker matching the protocol's promises
+/// ([`LockOracle::mutex`], [`LockOracle::fifo_mutex`],
+/// [`LockOracle::semaphore`], [`LockOracle::condvar`]), attach it to the
+/// object, run the workload, then call
+/// [`LockOracle::assert_quiescent`].
+pub struct LockOracle {
+    label: &'static str,
+    capacity: i64,
+    fifo: bool,
+    check_owner: bool,
+    fail_fast: bool,
+    state: Mutex<OracleState>,
+}
+
+impl LockOracle {
+    fn new(label: &'static str, capacity: i64, fifo: bool, check_owner: bool) -> Arc<LockOracle> {
+        Arc::new(LockOracle {
+            label,
+            capacity,
+            fifo,
+            check_owner,
+            fail_fast: true,
+            state: Mutex::new(OracleState {
+                available: capacity,
+                holders: Vec::new(),
+                queue: Vec::new(),
+                waiting: 0,
+                last_at: VirtualTime::ZERO,
+                violations: Vec::new(),
+                counts: OracleCounts::default(),
+            }),
+        })
+    }
+
+    /// Oracle for a mutual-exclusion lock with no grant-order promise
+    /// (e.g. a reconfigurable lock under the priority scheduler).
+    pub fn mutex() -> Arc<LockOracle> {
+        LockOracle::new("mutex", 1, false, true)
+    }
+
+    /// Oracle for a mutual-exclusion lock that promises FIFO handoff
+    /// (blocking lock, MCS lock, reconfigurable lock under FCFS).
+    pub fn fifo_mutex() -> Arc<LockOracle> {
+        LockOracle::new("fifo-mutex", 1, true, true)
+    }
+
+    /// Oracle for a counting semaphore with `permits` initial permits
+    /// and FIFO waiter service. Releases need not come from holders
+    /// (signal-semaphore usage is legal), so ownership is not tracked.
+    pub fn semaphore(permits: u64) -> Arc<LockOracle> {
+        LockOracle::new("semaphore", permits as i64, true, false)
+    }
+
+    /// Oracle for a condition variable: waiter registration and
+    /// FIFO notification order only (no acquire/release events).
+    pub fn condvar() -> Arc<LockOracle> {
+        LockOracle::new("condvar", i64::MAX, true, false)
+    }
+
+    /// Collect violations instead of panicking at the first one (the
+    /// default is to fail fast, which `explore` turns into a replayable
+    /// schedule failure).
+    pub fn record_only(self: Arc<Self>) -> Arc<LockOracle> {
+        let mut o = Arc::into_inner(self).expect("record_only must be called before sharing");
+        o.fail_fast = false;
+        Arc::new(o)
+    }
+
+    fn violate(&self, s: &mut OracleState, msg: String) {
+        let full = format!("oracle[{}]: {}", self.label, msg);
+        s.violations.push(full.clone());
+        if self.fail_fast {
+            panic!("{full}");
+        }
+    }
+
+    /// Monotone-clock check, folded into every observation.
+    fn tick(&self, s: &mut OracleState) {
+        if !ctx::in_sim() {
+            return;
+        }
+        let now = ctx::now();
+        if now < s.last_at {
+            let last = s.last_at;
+            self.violate(s, format!("virtual clock went backwards: {now} < {last}"));
+        } else {
+            s.last_at = now;
+        }
+    }
+
+    /// The thread obtained the resource.
+    pub fn on_acquire(&self, tid: ThreadId) {
+        let mut s = self.state.lock().unwrap();
+        s.counts.acquires += 1;
+        self.tick(&mut s);
+        s.available -= 1;
+        if s.available < 0 {
+            let cap = self.capacity;
+            self.violate(
+                &mut s,
+                format!("capacity violated: {tid} acquired while all {cap} permit(s) were held"),
+            );
+        }
+        if self.check_owner {
+            if s.holders.contains(&tid) {
+                self.violate(&mut s, format!("reentrant acquire by holder {tid}"));
+            }
+            s.holders.push(tid);
+        }
+    }
+
+    /// The thread returned the resource.
+    pub fn on_release(&self, tid: ThreadId) {
+        let mut s = self.state.lock().unwrap();
+        s.counts.releases += 1;
+        self.tick(&mut s);
+        s.available += 1;
+        if self.check_owner {
+            match s.holders.iter().position(|h| *h == tid) {
+                Some(i) => {
+                    s.holders.remove(i);
+                }
+                None => self.violate(&mut s, format!("release by {tid} which does not hold it")),
+            }
+        }
+    }
+
+    /// The thread registered as a waiter.
+    pub fn on_enqueue(&self, tid: ThreadId) {
+        let mut s = self.state.lock().unwrap();
+        s.counts.enqueues += 1;
+        self.tick(&mut s);
+        if s.queue.contains(&tid) {
+            self.violate(&mut s, format!("{tid} enqueued twice"));
+        }
+        s.queue.push(tid);
+    }
+
+    /// The thread deregistered without being granted (timeout/abort).
+    pub fn on_dequeue(&self, tid: ThreadId) {
+        let mut s = self.state.lock().unwrap();
+        s.counts.dequeues += 1;
+        self.tick(&mut s);
+        match s.queue.iter().position(|q| *q == tid) {
+            Some(i) => {
+                s.queue.remove(i);
+            }
+            None => self.violate(&mut s, format!("dequeue of {tid} which is not enqueued")),
+        }
+    }
+
+    /// The object selected the thread to proceed.
+    pub fn on_grant(&self, tid: ThreadId) {
+        let mut s = self.state.lock().unwrap();
+        s.counts.grants += 1;
+        self.tick(&mut s);
+        match s.queue.iter().position(|q| *q == tid) {
+            Some(0) => {
+                s.queue.remove(0);
+            }
+            Some(i) => {
+                if self.fifo {
+                    let front = s.queue[0];
+                    self.violate(
+                        &mut s,
+                        format!("FIFO handoff violated: granted {tid} ahead of {front}"),
+                    );
+                }
+                s.queue.remove(i);
+            }
+            None => self.violate(&mut s, format!("grant to {tid} which is not enqueued")),
+        }
+    }
+
+    /// The advertised waiting count was incremented.
+    pub fn on_waiting_inc(&self) {
+        let mut s = self.state.lock().unwrap();
+        self.tick(&mut s);
+        s.waiting += 1;
+    }
+
+    /// The advertised waiting count was decremented.
+    pub fn on_waiting_dec(&self) {
+        let mut s = self.state.lock().unwrap();
+        self.tick(&mut s);
+        s.waiting -= 1;
+        if s.waiting < 0 {
+            self.violate(&mut s, "waiting count went negative".to_string());
+        }
+    }
+
+    /// Violations recorded so far (empty unless [`record_only`] was used
+    /// or quiescence checks found problems).
+    ///
+    /// [`record_only`]: LockOracle::record_only
+    pub fn violations(&self) -> Vec<String> {
+        self.state.lock().unwrap().violations.clone()
+    }
+
+    /// Event tallies so far.
+    pub fn counts(&self) -> OracleCounts {
+        self.state.lock().unwrap().counts
+    }
+
+    /// Problems with the *final* state, plus any recorded violations:
+    /// a lingering holder, a stranded waiter, or a nonzero waiting count.
+    pub fn check_quiescent(&self) -> Vec<String> {
+        let s = self.state.lock().unwrap();
+        let mut problems = s.violations.clone();
+        if self.check_owner && !s.holders.is_empty() {
+            problems.push(format!(
+                "oracle[{}]: still held at quiescence by {:?}",
+                self.label, s.holders
+            ));
+        }
+        if s.available < self.capacity && self.check_owner {
+            problems.push(format!(
+                "oracle[{}]: {} permit(s) unreturned at quiescence",
+                self.label,
+                self.capacity - s.available
+            ));
+        }
+        if !s.queue.is_empty() {
+            problems.push(format!(
+                "oracle[{}]: stranded waiter(s) at quiescence: {:?}",
+                self.label, s.queue
+            ));
+        }
+        if s.waiting != 0 {
+            problems.push(format!(
+                "oracle[{}]: waiting count is {} at quiescence, expected 0",
+                self.label, s.waiting
+            ));
+        }
+        problems
+    }
+
+    /// Assert the object is quiescent and no violation was recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics listing every problem when the object is not quiescent.
+    pub fn assert_quiescent(&self) {
+        let problems = self.check_quiescent();
+        assert!(
+            problems.is_empty(),
+            "lock oracle found {} problem(s):\n  {}",
+            problems.len(),
+            problems.join("\n  ")
+        );
+    }
+}
+
+impl SyncProbe for LockOracle {
+    fn on_event(&self, ev: ProbeEvent) {
+        match ev {
+            ProbeEvent::Enqueue(tid) => self.on_enqueue(tid),
+            ProbeEvent::Grant(tid) => self.on_grant(tid),
+            ProbeEvent::Acquire(tid) => self.on_acquire(tid),
+            ProbeEvent::Release(tid) => self.on_release(tid),
+        }
+    }
+}
+
+/// Shared, late-bound oracle slot embedded in each instrumented lock.
+#[derive(Default)]
+pub(crate) struct OracleSlot(std::sync::OnceLock<Arc<LockOracle>>);
+
+impl OracleSlot {
+    pub(crate) fn attach(&self, oracle: Arc<LockOracle>) {
+        self.0
+            .set(oracle)
+            .unwrap_or_else(|_| panic!("an oracle is already attached to this lock"));
+    }
+
+    #[inline]
+    pub(crate) fn get(&self) -> Option<&Arc<LockOracle>> {
+        self.0.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: usize) -> ThreadId {
+        ThreadId(n)
+    }
+
+    #[test]
+    fn clean_fifo_protocol_is_quiescent() {
+        let o = LockOracle::fifo_mutex();
+        o.on_acquire(t(1));
+        o.on_waiting_inc();
+        o.on_enqueue(t(2));
+        o.on_release(t(1));
+        o.on_grant(t(2));
+        o.on_acquire(t(2));
+        o.on_waiting_dec();
+        o.on_release(t(2));
+        o.assert_quiescent();
+        let c = o.counts();
+        assert_eq!((c.acquires, c.releases, c.grants, c.enqueues), (2, 2, 1, 1));
+    }
+
+    #[test]
+    fn double_hold_is_a_capacity_violation() {
+        let o = LockOracle::mutex().record_only();
+        o.on_acquire(t(1));
+        o.on_acquire(t(2));
+        assert!(
+            o.violations().iter().any(|v| v.contains("capacity violated")),
+            "got {:?}",
+            o.violations()
+        );
+    }
+
+    #[test]
+    fn out_of_order_grant_trips_fifo_check() {
+        let o = LockOracle::fifo_mutex().record_only();
+        o.on_enqueue(t(1));
+        o.on_enqueue(t(2));
+        o.on_grant(t(2));
+        assert!(
+            o.violations().iter().any(|v| v.contains("FIFO handoff violated")),
+            "got {:?}",
+            o.violations()
+        );
+    }
+
+    #[test]
+    fn foreign_release_is_detected() {
+        let o = LockOracle::mutex().record_only();
+        o.on_acquire(t(1));
+        o.on_release(t(9));
+        assert!(o.violations().iter().any(|v| v.contains("does not hold it")));
+    }
+
+    #[test]
+    fn stranded_waiter_fails_quiescence() {
+        let o = LockOracle::fifo_mutex();
+        o.on_enqueue(t(3));
+        let problems = o.check_quiescent();
+        assert!(problems.iter().any(|p| p.contains("stranded")), "got {problems:?}");
+    }
+
+    #[test]
+    fn unreturned_permit_fails_quiescence() {
+        let o = LockOracle::mutex();
+        o.on_acquire(t(1));
+        let problems = o.check_quiescent();
+        assert!(problems.iter().any(|p| p.contains("still held")), "got {problems:?}");
+    }
+
+    #[test]
+    fn signal_semaphore_pattern_is_legal() {
+        // Release before any acquire (posting a permit) must be fine.
+        let o = LockOracle::semaphore(0);
+        o.on_release(t(1));
+        o.on_release(t(1));
+        o.on_acquire(t(2));
+        o.on_acquire(t(3));
+        o.assert_quiescent();
+    }
+
+    #[test]
+    fn semaphore_overcommit_is_detected() {
+        let o = LockOracle::semaphore(1).record_only();
+        o.on_acquire(t(1));
+        o.on_acquire(t(2));
+        assert!(o.violations().iter().any(|v| v.contains("capacity violated")));
+    }
+
+    #[test]
+    fn negative_waiting_count_is_detected() {
+        let o = LockOracle::mutex().record_only();
+        o.on_waiting_dec();
+        assert!(o.violations().iter().any(|v| v.contains("negative")));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity violated")]
+    fn fail_fast_panics_at_the_violation() {
+        let o = LockOracle::mutex();
+        o.on_acquire(t(1));
+        o.on_acquire(t(2));
+    }
+}

@@ -27,6 +27,7 @@ use adaptive_core::{AttrError, AttrSet, AttrValue, OpCost, OpKind, OwnerId, Tran
 use butterfly_sim::{ctx, Duration, NodeId, SimCell, SimWord, ThreadId};
 
 use crate::api::{charge_overhead, priority, Lock, LockCosts, LockStats, PatternSample};
+use crate::oracle::{LockOracle, OracleSlot};
 use crate::policy::{WaitingPolicy, SLEEP_FOREVER};
 use crate::scheduler::{LockScheduler, SchedKind, Waiter};
 
@@ -58,6 +59,7 @@ pub struct ReconfigurableLock {
     costs: LockCosts,
     stats: Mutex<LockStats>,
     trace: Mutex<Option<Vec<PatternSample>>>,
+    oracle: OracleSlot,
 }
 
 impl ReconfigurableLock {
@@ -111,7 +113,14 @@ impl ReconfigurableLock {
             costs,
             stats: Mutex::new(LockStats::default()),
             trace: Mutex::new(None),
+            oracle: OracleSlot::default(),
         }
+    }
+
+    /// Attach an invariant oracle (host-memory only, does not perturb
+    /// the simulated cost model). At most one oracle per lock.
+    pub fn attach_oracle(&self, oracle: Arc<LockOracle>) {
+        self.oracle.attach(oracle);
     }
 
     /// The node the lock's state lives on.
@@ -223,12 +232,18 @@ impl ReconfigurableLock {
                 parked: parked.clone(),
             };
             self.sched.lock().unwrap().register(w);
+            if let Some(o) = self.oracle.get() {
+                o.on_enqueue(ctx::current());
+            }
             self.guard_release();
             return Some(());
         }
     }
 
     fn finish_acquire(&self, t0: butterfly_sim::VirtualTime, contended: bool, waiting_peak: u64) {
+        if let Some(o) = self.oracle.get() {
+            o.on_acquire(ctx::current());
+        }
         *self.holder.lock().unwrap() = Some(ctx::current());
         let mut s = self.stats.lock().unwrap();
         s.acquisitions += 1;
@@ -250,6 +265,9 @@ impl ReconfigurableLock {
             return true;
         }
         let waiting_now = self.waiting.fetch_add(1) + 1;
+        if let Some(o) = self.oracle.get() {
+            o.on_waiting_inc();
+        }
         let policy = self.policy_cell.read();
         let flag = SimWord::new_on(ctx::current_node(), 0);
         let parked = Arc::new(AtomicBool::new(false));
@@ -257,6 +275,9 @@ impl ReconfigurableLock {
 
         if self.register_self(&flag, &parked).is_none() {
             self.waiting.fetch_sub(1);
+            if let Some(o) = self.oracle.get() {
+                o.on_waiting_dec();
+            }
             self.finish_acquire(t0, true, waiting_now);
             return true;
         }
@@ -277,6 +298,9 @@ impl ReconfigurableLock {
                 }
                 let removed = self.sched.lock().unwrap().remove(ctx::current());
                 assert!(removed.is_some(), "timed-out waiter missing from queue");
+                if let Some(o) = self.oracle.get() {
+                    o.on_dequeue(ctx::current());
+                }
                 if self.sched.lock().unwrap().is_empty()
                     && self.word.load() == HELD_WAITERS
                 {
@@ -306,6 +330,9 @@ impl ReconfigurableLock {
             }
         };
         self.waiting.fetch_sub(1);
+        if let Some(o) = self.oracle.get() {
+            o.on_waiting_dec();
+        }
         if acquired {
             self.finish_acquire(t0, true, waiting_now);
         }
@@ -431,6 +458,9 @@ impl Lock for ReconfigurableLock {
             return;
         }
         let waiting_now = self.waiting.fetch_add(1) + 1;
+        if let Some(o) = self.oracle.get() {
+            o.on_waiting_inc();
+        }
         // Read the waiting policy (one charged read of the attributes).
         let policy = self.policy_cell.read();
         let flag = SimWord::new_on(ctx::current_node(), 0);
@@ -439,6 +469,9 @@ impl Lock for ReconfigurableLock {
             self.wait_for_grant(&flag, &parked, policy);
         }
         self.waiting.fetch_sub(1);
+        if let Some(o) = self.oracle.get() {
+            o.on_waiting_dec();
+        }
         self.finish_acquire(t0, true, waiting_now);
     }
 
@@ -453,6 +486,11 @@ impl Lock for ReconfigurableLock {
                 self.name
             );
             *h = None;
+        }
+        // Oracle: announce the release *before* any state transition can
+        // let the next acquirer in, so observations stay well-ordered.
+        if let Some(o) = self.oracle.get() {
+            o.on_release(ctx::current());
         }
         self.record_sample();
         if self.word.compare_exchange(HELD, FREE).is_ok() {
@@ -471,6 +509,9 @@ impl Lock for ReconfigurableLock {
                     self.word.store(HELD);
                 } else {
                     self.word.store(HELD_WAITERS);
+                }
+                if let Some(o) = self.oracle.get() {
+                    o.on_grant(w.tid);
                 }
                 w.flag.store(1); // grant: write to the waiter's node
                 if w.parked.load(Ordering::SeqCst) {

@@ -114,6 +114,82 @@ impl MemoryParams {
     }
 }
 
+/// Schedule-noise parameters for the exploration harness
+/// ([`crate::explore`]).
+///
+/// When attached to a [`SimConfig`], the engine perturbs its scheduling
+/// decisions using a dedicated deterministic random stream seeded from
+/// `seed`:
+///
+/// * **forced preemptions** — at any simulator call (timed work, memory
+///   reference, spawn) the running thread may be preempted even though
+///   its quantum has not expired, exercising every instruction boundary
+///   the simulator can observe;
+/// * **ready-queue reordering** — a thread becoming ready may jump to
+///   the *front* of its processor's run queue instead of the back,
+///   randomizing dispatch order;
+/// * **bounded wake delays** — sleep timers and park timeouts may fire
+///   up to `max_delay` late, modelling timer/interrupt jitter.
+///
+/// The workload-visible random stream ([`crate::ctx::rand_u64`], seeded
+/// from [`SimConfig::seed`]) is *not* affected, so the same workload
+/// decisions replay under a different interleaving. Runs remain
+/// bit-for-bit deterministic: the same `SimConfig` (including this
+/// seed) always produces the same schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleNoise {
+    /// Seed of the noise stream (independent of [`SimConfig::seed`]).
+    pub seed: u64,
+    /// Probability, in parts per million per simulator call, of a
+    /// forced preemption.
+    pub preempt_ppm: u32,
+    /// Probability, in ppm per ready transition, that the thread jumps
+    /// the run queue.
+    pub reorder_ppm: u32,
+    /// Probability, in ppm per timer, that a wake is delivered late.
+    pub delay_ppm: u32,
+    /// Upper bound on the injected wake delay.
+    pub max_delay: Duration,
+}
+
+impl Default for ScheduleNoise {
+    /// Moderate rates that meaningfully shuffle schedules without
+    /// drowning runs in context switches; seed 0 (callers normally
+    /// override it per schedule).
+    fn default() -> Self {
+        ScheduleNoise {
+            seed: 0,
+            preempt_ppm: 50_000,  // ~1 in 20 simulator calls
+            reorder_ppm: 250_000, // ~1 in 4 ready transitions
+            delay_ppm: 100_000,   // ~1 in 10 timers
+            max_delay: Duration::micros(200),
+        }
+    }
+}
+
+impl ScheduleNoise {
+    /// Default rates with an explicit seed.
+    pub fn from_seed(seed: u64) -> ScheduleNoise {
+        ScheduleNoise {
+            seed,
+            ..ScheduleNoise::default()
+        }
+    }
+
+    fn validate(&self) {
+        for (name, ppm) in [
+            ("preempt_ppm", self.preempt_ppm),
+            ("reorder_ppm", self.reorder_ppm),
+            ("delay_ppm", self.delay_ppm),
+        ] {
+            assert!(
+                ppm <= 1_000_000,
+                "ScheduleNoise: {name} = {ppm} exceeds 1_000_000 (a probability in ppm)"
+            );
+        }
+    }
+}
+
 /// Full simulator configuration.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -141,6 +217,14 @@ pub struct SimConfig {
     /// Seed recorded in the report; used by workloads for deterministic
     /// pseudo-randomness.
     pub seed: u64,
+    /// Optional schedule perturbation for race exploration (see
+    /// [`ScheduleNoise`] and [`crate::explore`]). `None` (the default)
+    /// keeps the canonical deterministic schedule.
+    pub schedule_noise: Option<ScheduleNoise>,
+    /// Record every scheduling decision (dispatches, preemptions, ready
+    /// transitions) into [`crate::SimReport::schedule`]. Off by default;
+    /// intended for diffing the interleavings two noise seeds produce.
+    pub record_schedule: bool,
 }
 
 impl Default for SimConfig {
@@ -154,6 +238,8 @@ impl Default for SimConfig {
             topology: Topology::Flat,
             module_occupancy: Duration::ZERO,
             seed: 0x5eed_1993,
+            schedule_noise: None,
+            record_schedule: false,
         }
     }
 }
@@ -180,6 +266,9 @@ impl SimConfig {
         );
         if let Some(q) = self.quantum {
             assert!(q > Duration::ZERO, "SimConfig: zero quantum would livelock");
+        }
+        if let Some(noise) = &self.schedule_noise {
+            noise.validate();
         }
     }
 }
@@ -217,6 +306,31 @@ mod tests {
     fn zero_processors_rejected() {
         SimConfig {
             processors: 0,
+            ..SimConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 1_000_000")]
+    fn overrange_noise_probability_rejected() {
+        SimConfig {
+            schedule_noise: Some(ScheduleNoise {
+                preempt_ppm: 1_000_001,
+                ..ScheduleNoise::default()
+            }),
+            ..SimConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn noise_seed_constructor_keeps_default_rates() {
+        let n = ScheduleNoise::from_seed(42);
+        assert_eq!(n.seed, 42);
+        assert_eq!(n.preempt_ppm, ScheduleNoise::default().preempt_ppm);
+        SimConfig {
+            schedule_noise: Some(n),
             ..SimConfig::default()
         }
         .validate();

@@ -117,7 +117,14 @@ fn yield_cpu(c: &Ctx) {
 fn advance_locked(c: &Ctx, mut w: MutexGuard<'_, World>, d: Duration) {
     w.charge_time(c.tid, d);
     let target = w.now + d;
-    let preempt = w.should_preempt(c.tid);
+    let mut preempt = w.should_preempt(c.tid);
+    // Schedule noise: force a preemption at this simulator call even
+    // though the quantum has not expired. The flag is consumed when the
+    // engine requeues us at the `Resume` event.
+    if !preempt && w.noise_preempt() {
+        w.tcb_mut(c.tid).force_preempt = true;
+        preempt = true;
+    }
     if !preempt && w.peek_time().is_none_or(|t| t > target) {
         w.now = target;
         w.stats.fast_advances += 1;
@@ -231,7 +238,7 @@ pub fn sleep(d: Duration) {
             tcb.park_epoch
         };
         w.release_processor(c.tid);
-        let at = w.now + d;
+        let at = w.now + d + w.noise_wake_delay();
         w.push_event(at, EvKind::Wake { tid: c.tid, epoch });
         drop(w);
         yield_cpu(c);
@@ -266,7 +273,7 @@ fn park_inner(timeout: Option<Duration>) -> WakeReason {
         let epoch = w.tcb(c.tid).park_epoch;
         w.release_processor(c.tid);
         if let Some(d) = timeout {
-            let at = w.now + d;
+            let at = w.now + d + w.noise_wake_delay();
             w.push_event(at, EvKind::Wake { tid: c.tid, epoch });
         }
         drop(w);

@@ -121,7 +121,7 @@ fn handle_event(w: &mut World, kind: EvKind) -> Option<Arc<Gate>> {
     match kind {
         EvKind::Resume(tid) => {
             debug_assert_eq!(w.tcb(tid).state, TState::Advancing, "Resume of non-advancing {}", tid);
-            if w.should_preempt(tid) {
+            if w.should_preempt(tid) || w.tcb(tid).force_preempt {
                 w.requeue(tid);
                 None
             } else {
@@ -149,7 +149,9 @@ fn handle_event(w: &mut World, kind: EvKind) -> Option<Arc<Gate>> {
             debug_assert_eq!(tcb.state, TState::Ready, "dispatch of non-ready {}", tid);
             tcb.state = TState::Running;
             tcb.quantum_used = crate::time::Duration::ZERO;
-            Some(tcb.gate.clone())
+            let gate = tcb.gate.clone();
+            w.record(tid, crate::report::ScheduleStep::Dispatched(p));
+            Some(gate)
         }
     }
 }
@@ -232,6 +234,7 @@ fn build_report(shared: &Arc<Shared>) -> SimReport {
         mem: w.mem_stats,
         thread_spans,
         seed: w.cfg.seed,
+        schedule: w.sched_trace.clone(),
     }
 }
 

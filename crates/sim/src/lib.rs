@@ -59,12 +59,14 @@ mod topology;
 mod world;
 
 pub mod ctx;
+pub mod explore;
 
-pub use config::{MemoryParams, NodeId, ProcId, SimConfig};
+pub use config::{MemoryParams, NodeId, ProcId, ScheduleNoise, SimConfig};
 pub use topology::Topology;
 pub use engine::{run, run_default};
 pub use error::SimError;
+pub use crate::explore::{explore, replay, ExploreReport, ScheduleFailure};
 pub use mem::{SimCell, SimWord};
-pub use report::{SimReport, ThreadSpan};
+pub use report::{ScheduleRecord, ScheduleStep, SimReport, ThreadSpan};
 pub use tcb::{CostMeter, TState, ThreadId, WakeReason};
 pub use time::{Duration, VirtualTime};

@@ -1,7 +1,50 @@
 //! End-of-run report.
 
-use crate::tcb::CostMeter;
+use crate::config::ProcId;
+use crate::tcb::{CostMeter, ThreadId};
 use crate::time::{Duration, VirtualTime};
+
+/// One scheduling decision, captured when
+/// [`crate::SimConfig::record_schedule`] is on. Diffing two runs'
+/// records shows exactly where their interleavings diverge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleRecord {
+    /// Virtual time of the decision.
+    pub at: VirtualTime,
+    /// Thread the decision concerns.
+    pub tid: ThreadId,
+    /// What happened.
+    pub step: ScheduleStep,
+}
+
+/// The kind of scheduling decision a [`ScheduleRecord`] captures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleStep {
+    /// The thread was handed its processor.
+    Dispatched(ProcId),
+    /// The thread was moved to the back of its run queue (quantum expiry
+    /// or voluntary yield).
+    Preempted,
+    /// Schedule noise preempted the thread at a simulator call.
+    ForcedPreempt,
+    /// The thread became ready at the back of its run queue.
+    Readied,
+    /// Schedule noise moved the newly-ready thread to the *front* of its
+    /// run queue.
+    ReadiedFront,
+}
+
+impl std::fmt::Display for ScheduleRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.step {
+            ScheduleStep::Dispatched(p) => write!(f, "{} {} dispatched on {}", self.at, self.tid, p),
+            ScheduleStep::Preempted => write!(f, "{} {} preempted", self.at, self.tid),
+            ScheduleStep::ForcedPreempt => write!(f, "{} {} force-preempted (noise)", self.at, self.tid),
+            ScheduleStep::Readied => write!(f, "{} {} readied", self.at, self.tid),
+            ScheduleStep::ReadiedFront => write!(f, "{} {} readied at queue front (noise)", self.at, self.tid),
+        }
+    }
+}
 
 /// Lifetime record of one simulated thread.
 #[derive(Debug, Clone)]
@@ -37,6 +80,9 @@ pub struct SimReport {
     pub thread_spans: Vec<ThreadSpan>,
     /// Seed the run was configured with.
     pub seed: u64,
+    /// Scheduling decisions, when [`crate::SimConfig::record_schedule`]
+    /// was on (empty otherwise).
+    pub schedule: Vec<ScheduleRecord>,
 }
 
 impl SimReport {
@@ -86,6 +132,7 @@ mod tests {
             mem: CostMeter::default(),
             thread_spans: vec![],
             seed: 0,
+            schedule: vec![],
         };
         assert!((r.utilization() - 0.75).abs() < 1e-9);
         assert_eq!(r.max_busy(), Duration(1_000));
@@ -104,6 +151,7 @@ mod tests {
             mem: CostMeter::default(),
             thread_spans: vec![],
             seed: 0,
+            schedule: vec![],
         };
         assert_eq!(r.utilization(), 0.0);
         assert_eq!(r.max_busy(), Duration::ZERO);

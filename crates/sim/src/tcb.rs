@@ -130,6 +130,9 @@ pub(crate) struct Tcb {
     pub wake_reason: WakeReason,
     /// Virtual time consumed since last dispatch (for preemption).
     pub quantum_used: Duration,
+    /// One-shot flag set by schedule noise: preempt this thread at its
+    /// next `Resume` regardless of quantum.
+    pub force_preempt: bool,
     /// Memory-traffic counters.
     pub meter: CostMeter,
     /// When the thread was created.
@@ -150,6 +153,7 @@ impl Tcb {
             park_epoch: 0,
             wake_reason: WakeReason::Unparked,
             quantum_used: Duration::ZERO,
+            force_preempt: false,
             meter: CostMeter::default(),
             spawned_at: at,
             finished_at: None,

@@ -8,6 +8,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use crate::config::{ProcId, SimConfig};
+use crate::report::{ScheduleRecord, ScheduleStep};
 use crate::tcb::{CostMeter, TState, Tcb, ThreadId, WakeReason};
 use crate::time::{Duration, VirtualTime};
 
@@ -84,6 +85,11 @@ pub(crate) struct World {
     pub module_busy: Vec<VirtualTime>,
     /// splitmix64 state for `ctx::rand_u64`.
     rng_state: u64,
+    /// splitmix64 state of the schedule-noise stream, kept separate from
+    /// `rng_state` so noise never shifts workload-visible randomness.
+    noise_state: u64,
+    /// Schedule trace, recorded when `cfg.record_schedule` is set.
+    pub sched_trace: Vec<ScheduleRecord>,
 }
 
 impl World {
@@ -92,6 +98,11 @@ impl World {
         let procs = (0..cfg.processors).map(|_| ProcState::default()).collect();
         let module_busy = vec![VirtualTime::ZERO; cfg.processors];
         let rng_state = cfg.seed ^ 0x9e37_79b9_7f4a_7c15;
+        let noise_state = cfg
+            .schedule_noise
+            .as_ref()
+            .map(|n| n.seed ^ 0xd1b5_4a32_d192_ed03)
+            .unwrap_or(0);
         World {
             cfg,
             now: VirtualTime::ZERO,
@@ -105,7 +116,60 @@ impl World {
             mem_stats: CostMeter::default(),
             module_busy,
             rng_state,
+            noise_state,
+            sched_trace: Vec::new(),
         }
+    }
+
+    /// Record one scheduling decision when tracing is on.
+    pub fn record(&mut self, tid: ThreadId, step: ScheduleStep) {
+        if self.cfg.record_schedule {
+            let at = self.now;
+            self.sched_trace.push(ScheduleRecord { at, tid, step });
+        }
+    }
+
+    /// Next value of the noise stream (splitmix64, like `rand_u64` but
+    /// over an independent state).
+    fn noise_next(&mut self) -> u64 {
+        self.noise_state = self.noise_state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.noise_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Bernoulli roll against a ppm rate; always `false` with noise off.
+    fn noise_roll(&mut self, ppm: u32) -> bool {
+        if self.cfg.schedule_noise.is_none() || ppm == 0 {
+            return false;
+        }
+        self.noise_next() % 1_000_000 < u64::from(ppm)
+    }
+
+    /// Whether noise forces a preemption at the current simulator call.
+    pub fn noise_preempt(&mut self) -> bool {
+        let ppm = self.cfg.schedule_noise.as_ref().map_or(0, |n| n.preempt_ppm);
+        self.noise_roll(ppm)
+    }
+
+    /// Whether noise sends the next ready transition to the queue front.
+    fn noise_reorder(&mut self) -> bool {
+        let ppm = self.cfg.schedule_noise.as_ref().map_or(0, |n| n.reorder_ppm);
+        self.noise_roll(ppm)
+    }
+
+    /// Extra delay noise injects into a timer being scheduled now
+    /// (`Duration::ZERO` with noise off or when the roll misses).
+    pub fn noise_wake_delay(&mut self) -> Duration {
+        let Some(n) = self.cfg.schedule_noise.as_ref() else {
+            return Duration::ZERO;
+        };
+        let (ppm, max) = (n.delay_ppm, n.max_delay);
+        if max == Duration::ZERO || !self.noise_roll(ppm) {
+            return Duration::ZERO;
+        }
+        Duration(self.noise_next() % (max.as_nanos() + 1))
     }
 
     pub fn push_event(&mut self, at: VirtualTime, kind: EvKind) {
@@ -154,6 +218,7 @@ impl World {
 
     /// Move a blocked/sleeping thread to its processor's ready queue.
     pub fn make_ready(&mut self, tid: ThreadId, reason: WakeReason) {
+        let front = self.noise_reorder();
         let tcb = &mut self.tcbs[tid.0];
         debug_assert!(
             matches!(tcb.state, TState::Blocked | TState::Sleeping),
@@ -166,7 +231,13 @@ impl World {
         // A wake invalidates any still-pending timeout for this cycle.
         tcb.park_epoch += 1;
         let proc = tcb.proc;
-        self.procs[proc.0].ready.push_back(tid);
+        if front {
+            self.procs[proc.0].ready.push_front(tid);
+            self.record(tid, ScheduleStep::ReadiedFront);
+        } else {
+            self.procs[proc.0].ready.push_back(tid);
+            self.record(tid, ScheduleStep::Readied);
+        }
         self.consider_dispatch(proc, self.now + self.cfg.context_switch);
     }
 
@@ -212,6 +283,7 @@ impl World {
     /// Requeue a running/advancing thread at the back of its ready queue
     /// (preemption or voluntary yield).
     pub fn requeue(&mut self, tid: ThreadId) {
+        let forced = std::mem::take(&mut self.tcbs[tid.0].force_preempt);
         let tcb = &mut self.tcbs[tid.0];
         tcb.state = TState::Ready;
         tcb.quantum_used = Duration::ZERO;
@@ -219,6 +291,14 @@ impl World {
         self.procs[proc.0].ready.push_back(tid);
         let p = &mut self.procs[proc.0];
         p.current = None;
+        self.record(
+            tid,
+            if forced {
+                ScheduleStep::ForcedPreempt
+            } else {
+                ScheduleStep::Preempted
+            },
+        );
         self.consider_dispatch(proc, self.now + self.cfg.context_switch);
     }
 

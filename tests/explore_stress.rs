@@ -1,0 +1,393 @@
+//! Schedule-exploration stress tests for the lock stack.
+//!
+//! These tests drive `butterfly_sim::explore` — seeded schedule
+//! perturbation with bit-for-bit replay — over the synchronization
+//! primitives, with `LockOracle` invariant checkers attached so that
+//! mutual exclusion, FIFO handoff, waiting-count conservation and
+//! stranded-waiter bugs surface as replayable schedule failures.
+//!
+//! The first test is the harness's own acceptance check: a deliberately
+//! broken test-and-set lock whose race only fires under injected
+//! preemption. `explore` must find a failing interleaving, print its
+//! seed, and `replay` must reproduce the identical failure twice.
+
+use std::sync::Arc;
+
+use adaptive_locks::{
+    agent, with_lock, AdaptiveLock, BlockingLock, Lock, LockOracle, McsLock, ReconfigurableLock,
+    SchedKind, WaitingPolicy,
+};
+use butterfly_sim::{
+    self as sim, ctx, Duration, ProcId, ScheduleNoise, SimCell, SimConfig, SimError, SimWord,
+};
+use cthreads::{fork, Condvar, Semaphore};
+
+/// Base config for the stress workloads: two processors, a scheduling
+/// quantum (spin policies + more threads than processors), and schedule
+/// recording so failures come back with their decision trace.
+fn stress_cfg(noise_seed: u64) -> SimConfig {
+    SimConfig {
+        quantum: Some(Duration::micros(50)),
+        schedule_noise: Some(ScheduleNoise::from_seed(noise_seed)),
+        ..SimConfig::butterfly(2)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: explore finds a real race and replays it from a printed seed.
+// ---------------------------------------------------------------------------
+
+/// A deliberately broken lock: non-atomic test-then-set with a charged
+/// simulator call in the window. Correct under run-to-completion
+/// scheduling; broken the moment a preemption lands in the gap.
+fn broken_tas_lock(word: &SimWord) {
+    loop {
+        if word.load() == 0 {
+            // The racy window: another thread can observe `word == 0`
+            // here if a forced preemption hits this simulator call.
+            ctx::advance(Duration::micros(1));
+            word.store(1);
+            return;
+        }
+        ctx::yield_now();
+    }
+}
+
+fn broken_lock_workload() {
+    let word = SimWord::new_local(0);
+    let inside = SimWord::new_local(0);
+    let counter = SimCell::new_local(0u64);
+    let handles: Vec<_> = (0..3)
+        .map(|i| {
+            let (w, ins, c) = (word.clone(), inside.clone(), counter.clone());
+            fork(ProcId(0), format!("w{i}"), move || {
+                for _ in 0..4 {
+                    broken_tas_lock(&w);
+                    let holders = ins.fetch_add(1) + 1;
+                    assert_eq!(
+                        holders, 1,
+                        "mutual exclusion violated: {holders} threads in the critical section"
+                    );
+                    let v = c.read();
+                    ctx::advance(Duration::micros(2));
+                    c.write(v + 1);
+                    ins.fetch_sub(1);
+                    w.store(0);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join();
+    }
+    assert_eq!(counter.read(), 12);
+}
+
+#[test]
+fn explore_finds_broken_lock_race_and_replay_reproduces_it() {
+    // One processor, no quantum: without noise the only preemption
+    // points never fire, so the broken lock looks correct.
+    let quiet = SimConfig::butterfly(1);
+    sim::run(quiet.clone(), broken_lock_workload).expect("broken lock passes unperturbed");
+
+    // Under injected preemptions the race fires.
+    let noisy = SimConfig {
+        schedule_noise: Some(ScheduleNoise {
+            preempt_ppm: 200_000,
+            ..ScheduleNoise::from_seed(0xB0A7)
+        }),
+        record_schedule: true,
+        ..quiet
+    };
+    let report = sim::explore(noisy.clone(), 24, broken_lock_workload);
+    assert!(
+        !report.is_clean(),
+        "expected schedule noise to expose the broken lock's race in 24 schedules"
+    );
+    let failure = report.first_failure().expect("at least one failure");
+    // The printed seed is the whole replay recipe.
+    println!("found failing interleaving: {failure}");
+    match &failure.error {
+        SimError::ThreadPanicked { message, .. } => {
+            assert!(
+                message.contains("mutual exclusion violated"),
+                "unexpected failure mode: {message}"
+            );
+        }
+        other => panic!("expected a mutual-exclusion panic, got: {other}"),
+    }
+
+    // Replaying the printed seed reproduces the identical failure,
+    // bit for bit, every time.
+    let err1 = sim::replay(noisy.clone(), failure.seed, broken_lock_workload)
+        .expect_err("replay must reproduce the failure");
+    let err2 = sim::replay(noisy, failure.seed, broken_lock_workload)
+        .expect_err("replay must reproduce the failure again");
+    assert_eq!(err1.to_string(), err2.to_string());
+    assert_eq!(err1.to_string(), failure.error.to_string());
+}
+
+// ---------------------------------------------------------------------------
+// The fixed lock stack stays clean across many explored schedules.
+// ---------------------------------------------------------------------------
+
+fn blocking_lock_workload() {
+    let lock = Arc::new(BlockingLock::new_local());
+    let oracle = LockOracle::fifo_mutex();
+    lock.attach_oracle(oracle.clone());
+    let counter = SimCell::new_local(0u64);
+    let handles: Vec<_> = (0..3)
+        .map(|i| {
+            let (l, c) = (lock.clone(), counter.clone());
+            fork(ProcId(i % 2), format!("w{i}"), move || {
+                for _ in 0..6 {
+                    with_lock(l.as_ref(), || {
+                        let v = c.read();
+                        ctx::advance(Duration::micros(3));
+                        c.write(v + 1);
+                    });
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join();
+    }
+    assert_eq!(counter.read(), 18);
+    oracle.assert_quiescent();
+}
+
+/// 100 consecutive harness iterations over the blocking lock with the
+/// full FIFO-mutex oracle attached: the seed suite's fixed lock stack
+/// must stay clean under every perturbed schedule.
+#[test]
+fn blocking_lock_oracle_clean_over_100_schedules() {
+    sim::explore(stress_cfg(0x51ED), 100, blocking_lock_workload).assert_clean();
+}
+
+fn mcs_lock_workload() {
+    let lock = Arc::new(McsLock::new_local());
+    let oracle = LockOracle::fifo_mutex();
+    lock.attach_oracle(oracle.clone());
+    let counter = SimCell::new_local(0u64);
+    let handles: Vec<_> = (0..3)
+        .map(|i| {
+            let (l, c) = (lock.clone(), counter.clone());
+            fork(ProcId(i % 2), format!("w{i}"), move || {
+                for _ in 0..5 {
+                    with_lock(l.as_ref(), || {
+                        let v = c.read();
+                        ctx::advance(Duration::micros(2));
+                        c.write(v + 1);
+                    });
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join();
+    }
+    assert_eq!(counter.read(), 15);
+    oracle.assert_quiescent();
+}
+
+#[test]
+fn mcs_lock_fifo_oracle_clean_under_noise() {
+    sim::explore(stress_cfg(0x0DD5), 30, mcs_lock_workload).assert_clean();
+}
+
+// ---------------------------------------------------------------------------
+// Reconfiguration under contention: no waiter stranded across a swap.
+// ---------------------------------------------------------------------------
+
+fn reconfiguration_workload() {
+    let lock = Arc::new(ReconfigurableLock::new_local());
+    // Scheduler swaps to Priority break the FIFO promise mid-run, so
+    // check mutual exclusion / conservation / stranding only.
+    let oracle = LockOracle::mutex();
+    lock.attach_oracle(oracle.clone());
+    let counter = SimCell::new_local(0u64);
+    let handles: Vec<_> = (0..3)
+        .map(|i| {
+            let (l, c) = (lock.clone(), counter.clone());
+            fork(ProcId(i % 2), format!("w{i}"), move || {
+                for _ in 0..6 {
+                    l.lock();
+                    let v = c.read();
+                    ctx::advance(Duration::micros(4));
+                    c.write(v + 1);
+                    l.unlock();
+                }
+            })
+        })
+        .collect();
+    // The adaptation agent: swap waiting policy and scheduler while the
+    // workers contend. No waiter may be stranded across a swap.
+    for i in 0..6 {
+        ctx::advance(Duration::micros(15));
+        let policy = if i % 2 == 0 {
+            WaitingPolicy::pure_blocking()
+        } else {
+            WaitingPolicy::combined(5)
+        };
+        lock.configure_policy(agent(), policy).expect("attrs unowned");
+        lock.configure_scheduler(if i % 2 == 0 {
+            SchedKind::Priority
+        } else {
+            SchedKind::Fcfs
+        });
+    }
+    for h in handles {
+        h.join();
+    }
+    assert_eq!(counter.read(), 18);
+    assert_eq!(lock.sense_waiting(), 0, "waiter stranded across reconfiguration");
+    oracle.assert_quiescent();
+}
+
+#[test]
+fn reconfiguration_under_contention_strands_no_waiter() {
+    sim::explore(stress_cfg(0x5EC5), 30, reconfiguration_workload).assert_clean();
+}
+
+fn adaptive_lock_workload() {
+    let lock = Arc::new(AdaptiveLock::new_local());
+    // SimpleAdapt reconfigures the waiting policy only; the scheduler
+    // stays FCFS, so the full FIFO-handoff promise must hold even while
+    // the feedback loop rewrites spin counts mid-contention.
+    let oracle = LockOracle::fifo_mutex();
+    lock.attach_oracle(oracle.clone());
+    let counter = SimCell::new_local(0u64);
+    let handles: Vec<_> = (0..3)
+        .map(|i| {
+            let (l, c) = (lock.clone(), counter.clone());
+            fork(ProcId(i % 2), format!("w{i}"), move || {
+                for _ in 0..6 {
+                    with_lock(l.as_ref(), || {
+                        let v = c.read();
+                        ctx::advance(Duration::micros(3));
+                        c.write(v + 1);
+                    });
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join();
+    }
+    assert_eq!(counter.read(), 18);
+    oracle.assert_quiescent();
+}
+
+#[test]
+fn adaptive_lock_invariants_hold_mid_reconfiguration() {
+    sim::explore(stress_cfg(0xADA7), 30, adaptive_lock_workload).assert_clean();
+}
+
+// ---------------------------------------------------------------------------
+// cthreads primitives under the probe interface.
+// ---------------------------------------------------------------------------
+
+fn semaphore_workload() {
+    let sem = Arc::new(Semaphore::new_local(2));
+    let oracle = LockOracle::semaphore(2);
+    sem.attach_probe(oracle.clone());
+    let active = SimWord::new_local(0);
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            let (s, a) = (sem.clone(), active.clone());
+            fork(ProcId(i % 2), format!("w{i}"), move || {
+                for _ in 0..4 {
+                    s.acquire();
+                    let now_active = a.fetch_add(1) + 1;
+                    assert!(now_active <= 2, "semaphore overcommitted: {now_active} active");
+                    ctx::advance(Duration::micros(3));
+                    a.fetch_sub(1);
+                    s.release();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join();
+    }
+    assert_eq!(sem.permits(), 2);
+    oracle.assert_quiescent();
+}
+
+#[test]
+fn semaphore_probe_stays_clean_under_noise() {
+    sim::explore(stress_cfg(0x5E4A), 30, semaphore_workload).assert_clean();
+}
+
+fn condvar_workload() {
+    let lock = Arc::new(BlockingLock::new_local());
+    let cv = Arc::new(Condvar::new_local());
+    let oracle = LockOracle::condvar();
+    cv.attach_probe(oracle.clone());
+    let flag = SimWord::new_local(0);
+    let handles: Vec<_> = (0..3)
+        .map(|i| {
+            let (l, c, f) = (lock.clone(), cv.clone(), flag.clone());
+            fork(ProcId(i % 2), format!("waiter{i}"), move || {
+                l.lock();
+                while f.load() == 0 {
+                    c.wait_with(|| l.unlock(), || l.lock());
+                }
+                l.unlock();
+            })
+        })
+        .collect();
+    ctx::advance(Duration::micros(40));
+    lock.lock();
+    flag.store(1);
+    cv.notify_all();
+    lock.unlock();
+    for h in handles {
+        h.join();
+    }
+    assert_eq!(cv.waiter_count(), 0);
+    // Every registered waiter was notified: no lost wakeup shows up as a
+    // stranded waiter here (or as a sim-level deadlock explore reports).
+    oracle.assert_quiescent();
+}
+
+#[test]
+fn condvar_probe_loses_no_wakeup_under_noise() {
+    sim::explore(stress_cfg(0xC04D), 30, condvar_workload).assert_clean();
+}
+
+// ---------------------------------------------------------------------------
+// The park/unpark handshake from the checked-in proptest regression.
+// ---------------------------------------------------------------------------
+
+/// The exact shape the proptest regression seed pins (`pre_delay = 0`,
+/// `post_delay = 0`, `pairs = 2`), now additionally run under schedule
+/// noise: the unpark permit must never be lost however dispatch,
+/// preemption, or timer delivery is perturbed.
+fn park_handshake_workload() {
+    let me = ctx::current();
+    let acks = SimWord::new_local(0);
+    let acks2 = acks.clone();
+    let waker = fork(ProcId(1), "waker", move || {
+        for round in 0..2u64 {
+            ctx::advance(Duration::micros(1));
+            ctx::unpark(me);
+            // Permits do not stack: wait for the ack before re-arming.
+            while acks2.load() <= round {
+                ctx::sleep(Duration::micros(1));
+            }
+        }
+    });
+    for _ in 0..2 {
+        ctx::park();
+        acks.fetch_add(1);
+    }
+    waker.join();
+    assert_eq!(acks.load(), 2);
+}
+
+#[test]
+fn park_unpark_handshake_survives_exploration() {
+    sim::explore(stress_cfg(0xAC4E), 50, park_handshake_workload).assert_clean();
+}

@@ -1,0 +1,787 @@
+//! Offline stand-in for `proptest`.
+//!
+//! A small, deterministic property-testing runner covering the subset of
+//! the real crate this workspace uses:
+//!
+//! - `proptest! { #![proptest_config(..)] #[test] fn f(x in strategy) {..} }`
+//! - range strategies (`1u64..8`), [`any`], [`Just`], `prop_map`,
+//!   [`prop_oneof!`], tuples of strategies, [`collection::vec`]
+//! - `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`
+//! - shrinking of failing inputs toward minimal counterexamples
+//! - replay of `*.proptest-regressions` files: any `# shrinks to
+//!   name = value, ...` comment whose parameter names match a test's
+//!   parameters is re-run first, so checked-in regressions stay live
+//!
+//! Unlike the real crate, case generation is **deterministic by
+//! default** (seeded from the test name) so CI runs are reproducible;
+//! set `PROPTEST_SEED` to explore a different schedule of inputs.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Debug;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+// ----------------------------------------------------------------- rng
+
+/// Deterministic generator used to produce test cases (splitmix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed a fresh generator.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next 64 raw bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+// ------------------------------------------------------------ strategy
+
+/// A generator of test values, with optional shrinking and parsing of
+/// persisted regression text.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: Clone + Debug;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Candidate "smaller" values to try when `value` fails; may be empty.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
+    /// Parse one `name = value` fragment from a regression file, if this
+    /// strategy knows how to (scalars only).
+    fn parse_scalar(&self, _text: &str) -> Option<Self::Value> {
+        None
+    }
+
+    /// Map generated values through `f`. The mapped strategy does not
+    /// shrink (the inverse of `f` is unknown).
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        T: Clone + Debug,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Box this strategy for use in heterogeneous unions.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// Object-safe boxed strategy, as produced by [`Strategy::boxed`].
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V: Clone + Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+    fn shrink(&self, value: &V) -> Vec<V> {
+        (**self).shrink(value)
+    }
+    fn parse_scalar(&self, text: &str) -> Option<V> {
+        (**self).parse_scalar(text)
+    }
+}
+
+/// Strategy that always yields a fixed value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    T: Clone + Debug,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between same-valued strategies (see [`prop_oneof!`]).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V: Clone + Debug> Union<V> {
+    /// Build a union; panics on an empty option list.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Union<V> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<V: Clone + Debug> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].generate(rng)
+    }
+    fn shrink(&self, value: &V) -> Vec<V> {
+        // Shrink within whichever arms recognise the value is unknown;
+        // offer every arm's shrinks (wrong-arm candidates simply won't
+        // reproduce the failure and are discarded by the runner).
+        self.options.iter().flat_map(|o| o.shrink(value)).collect()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let mut out = Vec::new();
+                let v = *value;
+                if v > self.start {
+                    out.push(self.start);
+                    let mid = self.start + (v - self.start) / 2;
+                    if mid != self.start && mid != v {
+                        out.push(mid);
+                    }
+                    if v - 1 != self.start {
+                        out.push(v - 1);
+                    }
+                }
+                out
+            }
+            fn parse_scalar(&self, text: &str) -> Option<$t> {
+                text.trim().parse::<$t>().ok().filter(|v| self.contains(v))
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Marker strategy for "any value of `T`" (see [`any`]).
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// The full-domain strategy for `T`, like `proptest::prelude::any`.
+pub fn any<T>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! any_uint_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let v = *value;
+                let mut out = Vec::new();
+                if v != 0 {
+                    out.push(0);
+                    out.push(v / 2);
+                    out.push(v - 1);
+                    out.dedup();
+                }
+                out
+            }
+            fn parse_scalar(&self, text: &str) -> Option<$t> {
+                text.trim().parse::<$t>().ok()
+            }
+        }
+    )*};
+}
+
+any_uint_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+    fn parse_scalar(&self, text: &str) -> Option<bool> {
+        text.trim().parse::<bool>().ok()
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Range, Strategy, TestRng};
+    use std::fmt::Debug;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generate vectors of values from `element`, sized within `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone + Debug,
+    {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            // Shorter vectors first (dropping suffix, then single items).
+            if value.len() > self.size.start {
+                out.push(value[..self.size.start].to_vec());
+                let half = self.size.start.max(value.len() / 2);
+                if half < value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                for i in 0..value.len().min(8) {
+                    let mut v = value.clone();
+                    v.remove(i);
+                    out.push(v);
+                }
+            }
+            // Then element-wise shrinks (bounded fan-out).
+            for (i, item) in value.iter().enumerate().take(8) {
+                for cand in self.element.shrink(item) {
+                    let mut v = value.clone();
+                    v[i] = cand;
+                    out.push(v);
+                }
+            }
+            out
+        }
+    }
+}
+
+// ----------------------------------------------------- tuple strategies
+
+/// Strategy tuples: the unit of input to one property test, with
+/// component-wise shrinking and regression parsing.
+pub trait TestInput {
+    /// Tuple of component values.
+    type Value: Clone + Debug;
+    /// Produce one tuple of values.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    /// Shrink one component at a time, holding the others fixed.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value>;
+    /// Parse one persisted `value` text per component.
+    fn parse_parts(&self, parts: &[&str]) -> Option<Self::Value>;
+}
+
+macro_rules! tuple_input {
+    ($(($($s:ident / $idx:tt),+),)*) => {$(
+        impl<$($s: Strategy),+> TestInput for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = cand;
+                        out.push(v);
+                    }
+                )+
+                out
+            }
+
+            fn parse_parts(&self, parts: &[&str]) -> Option<Self::Value> {
+                let mut it = parts.iter();
+                Some(($(self.$idx.parse_scalar(it.next()?)?,)+))
+            }
+        }
+
+        // Strategy tuples are also plain strategies, so code can write
+        // `(1u64..8, 1u32..32).prop_map(|(a, b)| ..)`.
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                TestInput::generate(self, rng)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                TestInput::shrink(self, value)
+            }
+        }
+    )*};
+}
+
+tuple_input! {
+    (A/0),
+    (A/0, B/1),
+    (A/0, B/1, C/2),
+    (A/0, B/1, C/2, D/3),
+    (A/0, B/1, C/2, D/3, E/4),
+    (A/0, B/1, C/2, D/3, E/4, F/5),
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6),
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7),
+}
+
+// --------------------------------------------------------------- config
+
+/// Runner configuration (subset of `proptest::test_runner::Config`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Cap on shrinking iterations after a failure.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 1024,
+        }
+    }
+}
+
+// --------------------------------------------------------------- runner
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn base_seed(test_name: &str) -> u64 {
+    match std::env::var("PROPTEST_SEED") {
+        Ok(s) => s
+            .trim()
+            .parse::<u64>()
+            .unwrap_or_else(|_| fnv64(s.as_bytes())),
+        Err(_) => fnv64(test_name.as_bytes()),
+    }
+}
+
+/// Read `name = value` entries persisted in a `*.proptest-regressions`
+/// file and return those whose names match `param_names` exactly.
+fn replay_entries(regressions: &std::path::Path, param_names: &[&str]) -> Vec<Vec<String>> {
+    let Ok(text) = std::fs::read_to_string(regressions) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((_, shrunk)) = line.split_once("# shrinks to ") else {
+            continue;
+        };
+        let mut names = Vec::new();
+        let mut values = Vec::new();
+        let mut ok = true;
+        for frag in shrunk.split(", ") {
+            match frag.split_once(" = ") {
+                Some((n, v)) => {
+                    names.push(n.trim());
+                    values.push(v.trim().to_string());
+                }
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok && names == param_names {
+            out.push(values);
+        }
+    }
+    out
+}
+
+fn persist_failure(regressions: &std::path::Path, shrunk: &str) {
+    if std::env::var_os("PROPTEST_NO_PERSIST").is_some() {
+        return;
+    }
+    if let Ok(text) = std::fs::read_to_string(regressions) {
+        if text.contains(shrunk) {
+            return;
+        }
+    }
+    let header = if regressions.exists() {
+        String::new()
+    } else {
+        "# Seeds for failure cases proptest has generated in the past. It is\n\
+         # automatically read and these particular cases re-run before any\n\
+         # novel cases are generated.\n\n"
+            .to_string()
+    };
+    let line = format!("{header}cc {:016x} # shrinks to {shrunk}\n", fnv64(shrunk.as_bytes()));
+    use std::io::Write as _;
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(regressions)
+    {
+        let _ = f.write_all(line.as_bytes());
+    }
+}
+
+fn format_shrunk<V: Debug>(param_names: &[&str], value: &V) -> String {
+    // `value` is a tuple; Debug prints `(a, b, c)`. Splitting that back
+    // apart generically is fragile, so format components via the names
+    // count: single param tuples print as `(v,)`.
+    let text = format!("{value:?}");
+    let inner = text
+        .strip_prefix('(')
+        .and_then(|t| t.strip_suffix(')'))
+        .unwrap_or(&text);
+    let inner = inner.strip_suffix(',').unwrap_or(inner).trim();
+    if param_names.len() == 1 {
+        return format!("{} = {}", param_names[0], inner);
+    }
+    // Split on top-level ", " only (ignore nested brackets/parens).
+    let mut parts = Vec::new();
+    let (mut depth, mut start) = (0usize, 0usize);
+    let bytes = inner.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => depth = depth.saturating_sub(1),
+            b',' if depth == 0 => {
+                parts.push(inner[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    parts.push(inner[start..].trim());
+    if parts.len() == param_names.len() {
+        param_names
+            .iter()
+            .zip(parts)
+            .map(|(n, v)| format!("{n} = {v}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    } else {
+        format!("{} = {}", param_names.join("/"), inner)
+    }
+}
+
+/// Drive one property test: replay persisted regressions, then run
+/// `cfg.cases` generated cases, shrinking any failure to a minimal
+/// counterexample before panicking. Called by the [`proptest!`] macro.
+pub fn run_proptest<I: TestInput>(
+    cfg: &ProptestConfig,
+    source_file: &str,
+    test_name: &str,
+    param_names: &[&str],
+    input: &I,
+    run: impl Fn(I::Value),
+) {
+    let fails = |value: &I::Value| -> Option<String> {
+        let v = value.clone();
+        match catch_unwind(AssertUnwindSafe(|| run(v))) {
+            Ok(()) => None,
+            Err(panic) => Some(panic_message(&panic)),
+        }
+    };
+
+    let regressions = regression_path(source_file);
+
+    // 1. Replay persisted counterexamples whose names match this test.
+    for values in replay_entries(&regressions, param_names) {
+        let parts: Vec<&str> = values.iter().map(String::as_str).collect();
+        let Some(value) = input.parse_parts(&parts) else {
+            continue;
+        };
+        if let Some(msg) = fails(&value) {
+            panic!(
+                "persisted regression failed for `{test_name}`\n\
+                 input: {value:?}\n{msg}"
+            );
+        }
+    }
+
+    // 2. Generated cases.
+    let seed = base_seed(test_name);
+    for case in 0..cfg.cases {
+        let mut rng = TestRng::new(seed.wrapping_add(u64::from(case).wrapping_mul(0x9e37)));
+        let value = input.generate(&mut rng);
+        let Some(first_msg) = fails(&value) else {
+            continue;
+        };
+
+        // Shrink toward a minimal failing input.
+        let mut best = value;
+        let mut best_msg = first_msg;
+        let mut budget = cfg.max_shrink_iters;
+        'outer: while budget > 0 {
+            for cand in input.shrink(&best) {
+                budget = budget.saturating_sub(1);
+                if let Some(msg) = fails(&cand) {
+                    best = cand;
+                    best_msg = msg;
+                    continue 'outer;
+                }
+                if budget == 0 {
+                    break;
+                }
+            }
+            break;
+        }
+
+        let shrunk = format_shrunk(param_names, &best);
+        persist_failure(&regressions, &shrunk);
+        panic!(
+            "proptest `{test_name}` failed (seed {seed:#x}, case {case})\n\
+             minimal input: {shrunk}\n{best_msg}"
+        );
+    }
+}
+
+fn regression_path(source_file: &str) -> std::path::PathBuf {
+    let p = std::path::Path::new(source_file);
+    let p = if p.is_absolute() {
+        p.to_path_buf()
+    } else {
+        // `file!()` is workspace-root-relative; tests run with the
+        // package dir as cwd, which for the root package is the same.
+        std::path::PathBuf::from(source_file)
+    };
+    p.with_extension("proptest-regressions")
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+// --------------------------------------------------------------- macros
+
+/// Define property tests (subset of the real `proptest!` macro).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with ($cfg) $($rest)*);
+    };
+    (@with ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($param:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let input = ($($strat,)+);
+            $crate::run_proptest(
+                &cfg,
+                file!(),
+                stringify!($name),
+                &[$(stringify!($param)),+],
+                &input,
+                |($($param,)+)| { $body },
+            );
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Assert a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            panic!("assertion failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!($($fmt)+);
+        }
+    };
+}
+
+/// Assert two values are equal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            panic!("assertion failed: {:?} != {:?}", l, r);
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            panic!($($fmt)+);
+        }
+    }};
+}
+
+/// Assert two values differ inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            panic!("assertion failed: {:?} == {:?}", l, r);
+        }
+    }};
+}
+
+/// The usual glob-import surface: `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..1000 {
+            let v = (3u64..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = (1u32..100, any::<u64>(), collection::vec(0u8..9, 1..5));
+        let a: Vec<_> = {
+            let mut rng = TestRng::new(42);
+            (0..10).map(|_| TestInput::generate(&strat, &mut rng)).collect()
+        };
+        let b: Vec<_> = {
+            let mut rng = TestRng::new(42);
+            (0..10).map(|_| TestInput::generate(&strat, &mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shrinking_reaches_range_start() {
+        let strat = (5u64..1000,);
+        let mut v = (999u64,);
+        // Anything >= 5 "fails": shrink should drive to the minimum.
+        while let Some(next) = TestInput::shrink(&strat, &v).into_iter().find(|c| c.0 >= 5) {
+            if next.0 < v.0 {
+                v = next;
+            } else {
+                break;
+            }
+        }
+        assert_eq!(v.0, 5);
+    }
+
+    #[test]
+    fn parse_parts_round_trips() {
+        let strat = (0u64..500, 0u64..500, 1u32..8);
+        let v = strat.parse_parts(&["0", "0", "2"]).unwrap();
+        assert_eq!(v, (0, 0, 2));
+        assert!(strat.parse_parts(&["9999", "0", "2"]).is_none());
+    }
+
+    #[test]
+    fn format_shrunk_matches_regression_style() {
+        assert_eq!(
+            format_shrunk(&["pre", "post", "pairs"], &(0u64, 0u64, 2u32)),
+            "pre = 0, post = 0, pairs = 2"
+        );
+        assert_eq!(format_shrunk(&["xs"], &(vec![1, 2],)), "xs = [1, 2]");
+    }
+
+    #[test]
+    fn oneof_picks_every_arm() {
+        let strat = prop_oneof![Just(1u8), Just(2u8), 5u8..7];
+        let mut rng = TestRng::new(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(strat.generate(&mut rng));
+        }
+        assert!(seen.contains(&1) && seen.contains(&2) && seen.contains(&5));
+    }
+}

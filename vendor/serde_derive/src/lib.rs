@@ -1,0 +1,443 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled (no `syn`/`quote`) derive macros for the value-tree
+//! `Serialize` / `Deserialize` traits of the sibling `serde` stand-in.
+//! Supported shapes — the ones this workspace actually uses:
+//!
+//! * structs with named fields (honouring `#[serde(skip)]` and
+//!   `#[serde(skip_serializing_if = "path")]`),
+//! * tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays),
+//! * enums with unit, tuple, and struct variants (externally tagged,
+//!   like real serde's default representation).
+//!
+//! Generics are not supported; deriving on a generic type is a compile
+//! error with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the value-tree `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive: generated invalid Rust")
+}
+
+/// Derive the value-tree `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive: generated invalid Rust")
+}
+
+// ---------------------------------------------------------------- model
+
+struct Field {
+    name: Option<String>,
+    skip: bool,
+    skip_if: Option<String>,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+// ---------------------------------------------------------------- parse
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (offline stand-in): generic type `{name}` is not supported");
+    }
+
+    let body = match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            other => panic!("serde_derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+
+    Item { name, body }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Extract serde attribute flags from the attribute tokens preceding a
+/// field or variant. Returns (skip, skip_serializing_if path).
+fn parse_serde_attrs(tokens: &[TokenTree], i: &mut usize) -> (bool, Option<String>) {
+    let mut skip = false;
+    let mut skip_if = None;
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    let a: Vec<TokenTree> = args.stream().into_iter().collect();
+                    let mut j = 0;
+                    while j < a.len() {
+                        match &a[j] {
+                            TokenTree::Ident(id) if id.to_string() == "skip" => skip = true,
+                            TokenTree::Ident(id) if id.to_string() == "skip_serializing_if" => {
+                                // skip_serializing_if = "Path::pred"
+                                if let Some(TokenTree::Literal(lit)) = a.get(j + 2) {
+                                    skip_if = Some(unquote(&lit.to_string()));
+                                    j += 2;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                }
+            }
+        }
+        *i += 2;
+    }
+    (skip, skip_if)
+}
+
+fn unquote(s: &str) -> String {
+    s.trim_matches('"').to_string()
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (skip, skip_if) = parse_serde_attrs(&tokens, &mut i);
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        i += 1;
+        // Skip `: Type` up to the next top-level comma. `<`/`>` need no
+        // depth tracking because generics never contain top-level commas
+        // outside their own angle brackets — track them anyway.
+        let mut depth = 0i32;
+        while let Some(t) = tokens.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth <= 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field {
+            name: Some(name),
+            skip,
+            skip_if,
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut n = 1;
+    let mut depth = 0i32;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Group(_) => {}
+            TokenTree::Punct(p) if p.as_char() == ',' && depth <= 0 => n += 1,
+            _ => {}
+        }
+    }
+    // Trailing comma: `(u64,)` still has one field.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        n -= 1;
+    }
+    n
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let _ = parse_serde_attrs(&tokens, &mut i);
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip optional discriminant `= expr` and the separating comma.
+        while let Some(t) = tokens.get(i) {
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// -------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Body::NamedStruct(fields) => {
+            let mut s = String::from(
+                "let mut obj: Vec<(String, ::serde::Value)> = Vec::new();\n",
+            );
+            for f in fields {
+                let fname = f.name.as_ref().unwrap();
+                if f.skip {
+                    continue;
+                }
+                if let Some(pred) = &f.skip_if {
+                    s.push_str(&format!(
+                        "if !{pred}(&self.{fname}) {{ obj.push((\"{fname}\".to_string(), ::serde::Serialize::to_value(&self.{fname}))); }}\n"
+                    ));
+                } else {
+                    s.push_str(&format!(
+                        "obj.push((\"{fname}\".to_string(), ::serde::Serialize::to_value(&self.{fname})));\n"
+                    ));
+                }
+            }
+            s.push_str("::serde::Value::Object(obj)");
+            s
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => ::serde::Value::String(\"{vname}\".to_string()),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(1) => {
+                        arms.push_str(&format!(
+                            "{name}::{vname}(x0) => ::serde::Value::Object(vec![(\"{vname}\".to_string(), ::serde::Serialize::to_value(x0))]),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let vals: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(vec![(\"{vname}\".to_string(), ::serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            vals.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds: Vec<String> = fields
+                            .iter()
+                            .map(|f| f.name.clone().unwrap())
+                            .collect();
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                let fname = f.name.as_ref().unwrap();
+                                format!(
+                                    "(\"{fname}\".to_string(), ::serde::Serialize::to_value({fname}))"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Object(vec![(\"{vname}\".to_string(), ::serde::Value::Object(vec![{}]))]),\n",
+                            binds.join(", "),
+                            pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n        {body}\n    }}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::UnitStruct => format!("let _ = v; Ok({name})"),
+        Body::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Body::TupleStruct(n) => {
+            let gets: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(items.get({i}).unwrap_or(&::serde::Value::Null))?"))
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| ::serde::DeError(format!(\"expected array for {name}\")))?;\nOk({name}({}))",
+                gets.join(", ")
+            )
+        }
+        Body::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let fname = f.name.as_ref().unwrap();
+                    if f.skip {
+                        format!("{fname}: ::core::default::Default::default()")
+                    } else {
+                        // Absent keys deserialize as Null, so Option
+                        // fields default to None and anything else
+                        // reports the missing field.
+                        format!(
+                            "{fname}: ::serde::Deserialize::from_value(v.get(\"{fname}\").unwrap_or(&::serde::Value::Null)).map_err(|e| ::serde::DeError(format!(\"field {fname}: {{e}}\")))?"
+                        )
+                    }
+                })
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!("\"{vname}\" => return Ok({name}::{vname}),\n"));
+                    }
+                    VariantShape::Tuple(1) => {
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => return Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?)),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let gets: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(items.get({i}).unwrap_or(&::serde::Value::Null))?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{ let items = inner.as_array().ok_or_else(|| ::serde::DeError(format!(\"expected array for {name}::{vname}\")))?; return Ok({name}::{vname}({})); }}\n",
+                            gets.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                let fname = f.name.as_ref().unwrap();
+                                if f.skip {
+                                    format!("{fname}: ::core::default::Default::default()")
+                                } else {
+                                    format!(
+                                        "{fname}: ::serde::Deserialize::from_value(inner.get(\"{fname}\").unwrap_or(&::serde::Value::Null))?"
+                                    )
+                                }
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => return Ok({name}::{vname} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let Some(s) = v.as_str() {{\n    match s {{\n{unit_arms}        _ => {{}}\n    }}\n}}\nif let Some(pairs) = v.as_object() {{\n    if pairs.len() == 1 {{\n        let (tag, inner) = (&pairs[0].0, &pairs[0].1);\n        let _ = inner;\n        match tag.as_str() {{\n{tagged_arms}            _ => {{}}\n        }}\n    }}\n}}\nErr(::serde::DeError(format!(\"no variant of {name} matches {{v:?}}\")))"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n    fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n        {body}\n    }}\n}}\n"
+    )
+}
