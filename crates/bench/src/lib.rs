@@ -9,22 +9,38 @@
 #![deny(unsafe_code)]
 
 use std::io::Write;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use serde::Serialize;
+
+/// The workspace root, found by walking up from `CARGO_MANIFEST_DIR`
+/// (or the current directory) to the first ancestor holding a
+/// `Cargo.lock`. Unlike a fixed `"../.."` hop this keeps working if a
+/// crate moves or the helper is reused from another crate's benches.
+pub fn workspace_root() -> PathBuf {
+    let start = std::env::var("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .or_else(|_| std::env::current_dir())
+        .unwrap_or_else(|_| PathBuf::from("."));
+    find_workspace_root(&start).unwrap_or(start)
+}
+
+/// The nearest ancestor of `start` (inclusive) containing `Cargo.lock`.
+fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    start
+        .ancestors()
+        .find(|d| d.join("Cargo.lock").is_file())
+        .map(Path::to_path_buf)
+}
 
 /// Where experiment artifacts are written.
 pub fn out_dir() -> PathBuf {
     // Resolve the *workspace* target dir: benches run with the package
-    // directory as CWD, so a relative "target" would land inside
-    // crates/bench.
-    let base = if let Ok(t) = std::env::var("CARGO_TARGET_DIR") {
-        PathBuf::from(t)
-    } else if let Ok(m) = std::env::var("CARGO_MANIFEST_DIR") {
-        // crates/bench -> workspace root.
-        PathBuf::from(m).join("../..").join("target")
-    } else {
-        PathBuf::from("target")
+    // directory as CWD, so a relative "target" would land inside the
+    // package.
+    let base = match std::env::var("CARGO_TARGET_DIR") {
+        Ok(t) => PathBuf::from(t),
+        Err(_) => workspace_root().join("target"),
     };
     let dir = base.join("experiments");
     std::fs::create_dir_all(&dir).expect("create experiments dir");
@@ -152,6 +168,20 @@ mod tests {
         if std::env::var("EXPERIMENT_SCALE").is_err() {
             assert_eq!(scale(), Scale::Quick);
         }
+    }
+
+    #[test]
+    fn workspace_root_is_found_by_walking_up() {
+        // From this crate's manifest dir, the root is wherever
+        // Cargo.lock lives — not a hard-coded number of `..` hops.
+        let root = workspace_root();
+        assert!(root.join("Cargo.lock").is_file());
+        assert!(root.join("crates").is_dir());
+        // The walk also works from deeper inside the workspace...
+        let deep = root.join("crates/bench/src");
+        assert_eq!(find_workspace_root(&deep), Some(root));
+        // ...and reports failure outside of any workspace.
+        assert_eq!(find_workspace_root(Path::new("/dev")), None);
     }
 
     #[test]

@@ -42,4 +42,7 @@ mod policy;
 pub use mutex::{
     AdaptiveMutex, AdaptiveMutexGuard, BoxedNativePolicy, MutexStats, SPIN_FOREVER,
 };
-pub use policy::{FixedPolicy, NativeDecision, NativeObservation, NativeSimpleAdapt};
+pub use policy::{
+    FixedPolicy, NativeDecision, NativeObservation, NativeSimpleAdapt, NativeWaitingPolicy,
+    PolicyChoice,
+};

@@ -1,34 +1,68 @@
 //! A real-thread adaptive mutex with the paper's feedback loop.
 //!
-//! `AdaptiveMutex<T>` is a spin-then-park mutex whose spin count is a
-//! *mutable attribute* retuned at run time by an adaptation policy fed
-//! from a built-in monitor (waiter count, sampled every other unlock) —
-//! the paper's adaptive lock, thirty years on, on `std` atomics.
+//! `AdaptiveMutex<T>` is a spin-then-park mutex whose waiting policy is a
+//! *mutable attribute set* `{spin, delay, timeout}` retuned at run time
+//! by an adaptation policy fed from a built-in monitor (waiter count,
+//! sampled every other unlock) — the paper's adaptive lock, thirty years
+//! on, on `std` atomics.
 //!
-//! Protocol (same shape as the simulator's reconfigurable lock, and as
-//! glibc's adaptive mutexes): a futex-style state word with an
-//! uncontended single-CAS fast path, a short internal guard around the
-//! wait queue, and direct handoff to the first queued waiter on release.
+//! Protocol: a single state word packs the `LOCKED` bit, a `QUEUE_LOCKED`
+//! maintenance bit, and the head pointer of an *intrusive MCS-style
+//! waiter list* (prepend-ordered: head = newest waiter, tail = oldest).
+//!
+//! * **Acquire** — one CAS on the uncontended fast path; the contended
+//!   path spins with bounded exponential backoff (re-reading the mutable
+//!   spin attribute periodically, so a reconfiguration is observed even
+//!   mid-spin), then enqueues itself with a lock-free CAS prepend and
+//!   parks. No internal mutex anywhere.
+//! * **Release** — one CAS on the fast path; the contended path takes the
+//!   `QUEUE_LOCKED` bit (held only ever by the single lock holder, so it
+//!   is uncontended by construction), walks the list pruning abandoned
+//!   (timed-out) waiters, dequeues the oldest live waiter, and *directly
+//!   hands the lock off* to it: the `LOCKED` bit never clears, ownership
+//!   transfers through the waiter's status word.
+//! * **Timed acquire** — a timed-out waiter abandons its queue node with
+//!   a `WAITING -> ABANDONED` status CAS that races the releaser's
+//!   `WAITING -> GRANTED` grant CAS; exactly one side wins, so no lock is
+//!   ever lost or double-granted. Abandoned nodes are pruned lazily by
+//!   the next contended release (or when the mutex is dropped).
 
-#![allow(unsafe_code)] // UnsafeCell + Sync: the point of a mutex.
+#![allow(unsafe_code)] // UnsafeCell + intrusive queue: the point of a mutex.
 
 use std::cell::UnsafeCell;
-use std::collections::VecDeque;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex as StdMutex};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use adaptive_core::{AdaptationPolicy, SamplingGate};
 
-use crate::parker::Waiter;
-use crate::policy::{NativeDecision, NativeObservation, NativeSimpleAdapt};
+use crate::parker::WaitNode;
+use crate::policy::{NativeDecision, NativeObservation, NativeSimpleAdapt, NativeWaitingPolicy};
 
-const FREE: u32 = 0;
-const HELD: u32 = 1;
-const HELD_WAITERS: u32 = 2;
+/// State-word bit: the lock is held.
+const LOCKED: usize = 0b01;
+/// State-word bit: a releaser is editing the waiter list.
+const QUEUE_LOCKED: usize = 0b10;
+const FLAG_MASK: usize = LOCKED | QUEUE_LOCKED;
+/// The remaining bits hold the list head (`WaitNode` is 8-aligned).
+const PTR_MASK: usize = !FLAG_MASK;
 
 /// Spin-limit value meaning "pure spin" (never park).
 pub const SPIN_FOREVER: u32 = u32::MAX;
+
+/// How often the spin phase re-reads the mutable spin attribute, in
+/// probes. Keeps a pure-spin waiter responsive to a policy downgrade
+/// without adding a load to every probe.
+const SPIN_RECHECK_PROBES: u32 = 32;
+/// How often a long-spinning waiter yields the processor, in probes —
+/// on an oversubscribed host the lock holder needs CPU time to release,
+/// so a waiter that has already burned through its backoff ramp (~a few
+/// microseconds) must hand the core back often or every spin phase
+/// costs a scheduler quantum.
+const SPIN_YIELD_PROBES: u32 = 32;
+/// How often the timed spin phase consults the clock, in probes.
+const SPIN_DEADLINE_PROBES: u32 = 8;
 
 /// Counters published by the mutex (all relaxed; monitoring only).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -37,37 +71,79 @@ pub struct MutexStats {
     pub acquisitions: u64,
     /// Acquisitions that had to wait.
     pub contended: u64,
-    /// Acquisitions that parked at least once.
+    /// Contended acquires that parked at least once (counted when the
+    /// thread first parks, not when it finally acquires).
     pub parked: u64,
+    /// Releases that handed the lock directly to a parked waiter.
+    pub handoffs: u64,
     /// Reconfigurations applied by the feedback loop.
     pub reconfigurations: u64,
+    /// `try_lock` calls that found the lock held (sampled into the
+    /// monitor as would-be waiters).
+    pub try_failures: u64,
+    /// Timed acquires that gave up.
+    pub timeouts: u64,
 }
 
 /// A boxed native lock adaptation policy.
 pub type BoxedNativePolicy =
     Box<dyn AdaptationPolicy<NativeObservation, Decision = NativeDecision> + Send>;
 
+/// The waiter list head + flag bits. A separate type so that dropping
+/// the mutex reclaims any abandoned (timed-out) nodes still linked in.
+struct QueueWord(AtomicUsize);
+
+impl QueueWord {
+    #[inline]
+    fn head(s: usize) -> *const WaitNode {
+        (s & PTR_MASK) as *const WaitNode
+    }
+}
+
+impl Drop for QueueWord {
+    fn drop(&mut self) {
+        // SAFETY: `&mut self` proves no thread is using the mutex; every
+        // node still linked was leaked into the queue via `Arc::into_raw`
+        // by an enqueuer whose wait was abandoned.
+        let mut cur = Self::head(*self.0.get_mut());
+        while !cur.is_null() {
+            let node = unsafe { Arc::from_raw(cur) };
+            cur = node.next.get();
+        }
+    }
+}
+
 /// The adaptive mutex.
 pub struct AdaptiveMutex<T> {
-    state: AtomicU32,
-    /// Current spin attribute (`no-of-spins`); `SPIN_FOREVER` = pure
-    /// spin, `0` = pure blocking.
+    state: QueueWord,
+    /// `no-of-spins` attribute; `SPIN_FOREVER` = pure spin, `0` = pure
+    /// blocking.
     spin_limit: AtomicU32,
+    /// `delay` attribute: exponential-backoff cap, in spin-hint units.
+    delay: AtomicU32,
+    /// `timeout` attribute for conditional acquires, in nanoseconds
+    /// (`0` = unbounded).
+    timeout_nanos: AtomicU64,
     /// Current number of waiting threads (the monitored state variable).
     waiters: AtomicU32,
-    queue: StdMutex<VecDeque<Arc<Waiter>>>,
     gate: SamplingGate,
-    policy: StdMutex<BoxedNativePolicy>,
+    /// Spin-guarded policy slot: samplers skip rather than contend.
+    policy_busy: AtomicBool,
+    policy: UnsafeCell<BoxedNativePolicy>,
     acquisitions: AtomicU64,
     contended: AtomicU64,
     parked: AtomicU64,
+    handoffs: AtomicU64,
     reconfigurations: AtomicU64,
+    try_failures: AtomicU64,
+    timeouts: AtomicU64,
     value: UnsafeCell<T>,
 }
 
 // SAFETY: the mutex protocol guarantees at most one thread holds the
-// lock (single CAS winner or single handoff grantee), and only the
-// holder touches `value` through the guard.
+// lock (single CAS winner or single status-word handoff grantee), and
+// only the holder touches `value` through the guard. The policy slot is
+// guarded by `policy_busy`.
 unsafe impl<T: Send> Send for AdaptiveMutex<T> {}
 unsafe impl<T: Send> Sync for AdaptiveMutex<T> {}
 
@@ -90,17 +166,23 @@ impl<T> AdaptiveMutex<T> {
         policy: BoxedNativePolicy,
         sample_every: u64,
     ) -> AdaptiveMutex<T> {
+        let initial = NativeWaitingPolicy::default();
         AdaptiveMutex {
-            state: AtomicU32::new(FREE),
-            spin_limit: AtomicU32::new(64),
+            state: QueueWord(AtomicUsize::new(0)),
+            spin_limit: AtomicU32::new(initial.spin),
+            delay: AtomicU32::new(initial.delay),
+            timeout_nanos: AtomicU64::new(0),
             waiters: AtomicU32::new(0),
-            queue: StdMutex::new(VecDeque::new()),
             gate: SamplingGate::every(sample_every),
-            policy: StdMutex::new(policy),
+            policy_busy: AtomicBool::new(false),
+            policy: UnsafeCell::new(policy),
             acquisitions: AtomicU64::new(0),
             contended: AtomicU64::new(0),
             parked: AtomicU64::new(0),
+            handoffs: AtomicU64::new(0),
             reconfigurations: AtomicU64::new(0),
+            try_failures: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
             value: UnsafeCell::new(value),
         }
     }
@@ -110,78 +192,178 @@ impl<T> AdaptiveMutex<T> {
         // Uncontended fast path: one CAS, like a raw spin lock.
         if self
             .state
-            .compare_exchange(FREE, HELD, Ordering::Acquire, Ordering::Relaxed)
+            .0
+            .compare_exchange(0, LOCKED, Ordering::Acquire, Ordering::Relaxed)
             .is_ok()
         {
             self.acquisitions.fetch_add(1, Ordering::Relaxed);
             return AdaptiveMutexGuard { mutex: self };
         }
-        self.lock_contended();
+        let acquired = self.lock_contended(None);
+        debug_assert!(acquired, "untimed acquire cannot fail");
         AdaptiveMutexGuard { mutex: self }
     }
 
-    #[cold]
-    fn lock_contended(&self) {
-        self.contended.fetch_add(1, Ordering::Relaxed);
-        self.waiters.fetch_add(1, Ordering::Relaxed);
-        let mut did_park = false;
-        'acquire: loop {
-            // Spin phase, bounded by the mutable spin attribute.
-            let limit = self.spin_limit.load(Ordering::Relaxed);
-            let mut spins = 0u32;
-            loop {
-                if self.state.load(Ordering::Relaxed) == FREE
-                    && self
-                        .state
-                        .compare_exchange(FREE, HELD, Ordering::Acquire, Ordering::Relaxed)
-                        .is_ok()
-                {
-                    break 'acquire;
-                }
-                if limit != SPIN_FOREVER && spins >= limit {
-                    break;
-                }
-                spins = spins.saturating_add(1);
-                std::hint::spin_loop();
-            }
-            // Park phase: register under the guard, CAS-marking the
-            // waiters state so release cannot miss us.
-            let w = Arc::new(Waiter::new());
-            {
-                let q = self.queue.lock().unwrap();
-                let cur = self.state.load(Ordering::Relaxed);
-                if cur == FREE {
-                    drop(q);
-                    continue; // released meanwhile; re-spin
-                }
-                if self
-                    .state
-                    .compare_exchange(cur, HELD_WAITERS, Ordering::Relaxed, Ordering::Relaxed)
-                    .is_err()
-                {
-                    drop(q);
-                    continue;
-                }
-                let mut q = q;
-                q.push_back(Arc::clone(&w));
-            }
-            did_park = true;
-            w.wait();
-            // Handoff: the releaser transferred ownership to us.
-            break 'acquire;
+    /// Acquire with a bound on the wait. Returns `None` if `timeout`
+    /// elapses first; the attempt leaves no trace beyond an abandoned
+    /// queue node that the next contended release prunes.
+    pub fn lock_timeout(&self, timeout: Duration) -> Option<AdaptiveMutexGuard<'_, T>> {
+        if self
+            .state
+            .0
+            .compare_exchange(0, LOCKED, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            self.acquisitions.fetch_add(1, Ordering::Relaxed);
+            return Some(AdaptiveMutexGuard { mutex: self });
         }
-        self.waiters.fetch_sub(1, Ordering::Relaxed);
-        self.acquisitions.fetch_add(1, Ordering::Relaxed);
-        if did_park {
-            self.parked.fetch_add(1, Ordering::Relaxed);
+        let deadline = Instant::now().checked_add(timeout)?;
+        if self.lock_contended(Some(deadline)) {
+            Some(AdaptiveMutexGuard { mutex: self })
+        } else {
+            None
         }
     }
 
+    /// *Conditional* acquire, bounded by the mutable `timeout` attribute
+    /// (the paper's conditional sleep/spin row). With the attribute
+    /// unset this is a plain [`AdaptiveMutex::lock`].
+    pub fn lock_conditional(&self) -> Option<AdaptiveMutexGuard<'_, T>> {
+        match self.timeout_nanos.load(Ordering::Relaxed) {
+            0 => Some(self.lock()),
+            ns => self.lock_timeout(Duration::from_nanos(ns)),
+        }
+    }
+
+    /// The contended path: spin (bounded, with backoff), then enqueue and
+    /// park. Returns whether the lock was acquired (always, when
+    /// `deadline` is `None`).
+    #[cold]
+    fn lock_contended(&self, deadline: Option<Instant>) -> bool {
+        self.contended.fetch_add(1, Ordering::Relaxed);
+        self.waiters.fetch_add(1, Ordering::Relaxed);
+        let acquired = 'acquire: {
+            // --- Spin phase, bounded by the mutable spin attribute. ---
+            let mut limit = self.spin_limit.load(Ordering::Relaxed);
+            let mut probes: u32 = 0;
+            let mut backoff: u32 = 1;
+            loop {
+                let s = self.state.0.load(Ordering::Relaxed);
+                if s & LOCKED == 0
+                    && self
+                        .state
+                        .0
+                        .compare_exchange_weak(s, s | LOCKED, Ordering::Acquire, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    break 'acquire true;
+                }
+                if limit != SPIN_FOREVER && probes >= limit {
+                    break;
+                }
+                probes = probes.wrapping_add(1);
+                // Bounded exponential backoff between probes.
+                for _ in 0..backoff {
+                    std::hint::spin_loop();
+                }
+                backoff = (backoff << 1).min(self.delay.load(Ordering::Relaxed).max(1));
+                // Re-read the mutable attribute periodically: a waiter
+                // spinning under SPIN_FOREVER must observe a policy
+                // downgrade to blocking instead of burning a core
+                // forever.
+                if probes.is_multiple_of(SPIN_RECHECK_PROBES) {
+                    limit = self.spin_limit.load(Ordering::Relaxed);
+                    if probes.is_multiple_of(SPIN_YIELD_PROBES) {
+                        std::thread::yield_now();
+                    }
+                }
+                if let Some(d) = deadline {
+                    if probes.is_multiple_of(SPIN_DEADLINE_PROBES) && Instant::now() >= d {
+                        break 'acquire false;
+                    }
+                }
+            }
+
+            // --- Park phase: lock-free CAS prepend onto the waiter
+            // list, marked in the same state word so release cannot
+            // miss us. ---
+            let node = Arc::new(WaitNode::new());
+            let node_ptr = Arc::into_raw(Arc::clone(&node));
+            let mut enqueued = false;
+            loop {
+                let s = self.state.0.load(Ordering::Relaxed);
+                if s & LOCKED == 0 {
+                    if self
+                        .state
+                        .0
+                        .compare_exchange_weak(s, s | LOCKED, Ordering::Acquire, Ordering::Relaxed)
+                        .is_ok()
+                    {
+                        break;
+                    }
+                    continue;
+                }
+                node.next.set(QueueWord::head(s));
+                // Release ordering publishes `next` to list walkers.
+                if self
+                    .state
+                    .0
+                    .compare_exchange_weak(
+                        s,
+                        node_ptr as usize | (s & FLAG_MASK),
+                        Ordering::Release,
+                        Ordering::Relaxed,
+                    )
+                    .is_ok()
+                {
+                    enqueued = true;
+                    break;
+                }
+            }
+            if !enqueued {
+                // Took the lock in the enqueue window; reclaim the ref
+                // that was meant for the queue.
+                // SAFETY: the node was never published.
+                unsafe { drop(Arc::from_raw(node_ptr)) };
+                break 'acquire true;
+            }
+            self.parked.fetch_add(1, Ordering::Relaxed);
+            match deadline {
+                None => {
+                    node.wait();
+                    // Direct handoff: the releaser transferred ownership.
+                    break 'acquire true;
+                }
+                Some(d) => {
+                    if node.wait_deadline(d) {
+                        break 'acquire true;
+                    }
+                    if node.try_abandon() {
+                        // Timed out; the node stays linked (harmless) and
+                        // is pruned by the next contended release.
+                        break 'acquire false;
+                    }
+                    // A grant landed just as the deadline passed; the
+                    // handoff already happened, so we own the lock.
+                    break 'acquire true;
+                }
+            }
+        };
+        self.waiters.fetch_sub(1, Ordering::Relaxed);
+        if acquired {
+            self.acquisitions.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.timeouts.fetch_add(1, Ordering::Relaxed);
+        }
+        acquired
+    }
+
     fn unlock(&self) {
-        // Uncontended fast path.
+        // Uncontended fast path: queue empty, just clear LOCKED.
         if self
             .state
-            .compare_exchange(HELD, FREE, Ordering::Release, Ordering::Relaxed)
+            .0
+            .compare_exchange(LOCKED, 0, Ordering::Release, Ordering::Relaxed)
             .is_err()
         {
             self.unlock_contended();
@@ -191,62 +373,267 @@ impl<T> AdaptiveMutex<T> {
 
     #[cold]
     fn unlock_contended(&self) {
-        let mut q = self.queue.lock().unwrap();
-        match q.pop_front() {
-            Some(w) => {
-                if q.is_empty() {
-                    self.state.store(HELD, Ordering::Relaxed);
-                } else {
-                    self.state.store(HELD_WAITERS, Ordering::Relaxed);
+        let mut s = self.state.0.load(Ordering::Acquire);
+        loop {
+            debug_assert!(s & LOCKED != 0, "unlock of an unheld mutex");
+            if s & PTR_MASK == 0 {
+                // Queue empty after all (the fast path raced an enqueue
+                // that then won the lock another way): plain release.
+                match self.state.0.compare_exchange_weak(
+                    s,
+                    s & !LOCKED,
+                    Ordering::Release,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => return,
+                    Err(e) => {
+                        s = e;
+                        continue;
+                    }
                 }
-                drop(q);
-                // Release ordering on the grant makes our critical
-                // section visible to the new holder.
-                w.grant();
             }
-            None => {
-                self.state.store(FREE, Ordering::Release);
+            // Take the maintenance bit. Only the (single) lock holder
+            // ever holds it, so this CAS only retries on concurrent
+            // enqueues.
+            debug_assert_eq!(s & QUEUE_LOCKED, 0);
+            match self.state.0.compare_exchange_weak(
+                s,
+                s | QUEUE_LOCKED,
+                Ordering::Acquire,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(e) => s = e,
+            }
+        }
+        // SAFETY: we hold LOCKED and QUEUE_LOCKED.
+        unsafe { self.dequeue_and_grant() };
+    }
+
+    /// Dequeue the oldest live waiter and hand the lock to it (pruning
+    /// abandoned nodes on the way), or fully release if every waiter
+    /// abandoned.
+    ///
+    /// # Safety
+    ///
+    /// Caller must hold both `LOCKED` and `QUEUE_LOCKED`.
+    unsafe fn dequeue_and_grant(&self) {
+        'scan: loop {
+            let mut s = self.state.0.load(Ordering::Acquire);
+            if QueueWord::head(s).is_null() {
+                // Queue drained (every waiter abandoned): full release,
+                // clearing both bits. CAS-retry against late enqueues.
+                loop {
+                    if s & PTR_MASK != 0 {
+                        continue 'scan; // a new waiter arrived: grant it
+                    }
+                    match self.state.0.compare_exchange_weak(
+                        s,
+                        0,
+                        Ordering::Release,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => return,
+                        Err(e) => s = e,
+                    }
+                }
+            }
+
+            // Walk head -> tail (newest -> oldest), pruning abandoned
+            // nodes; the grant target is the oldest live node (FIFO).
+            let mut prev: *const WaitNode = std::ptr::null();
+            let mut cur = QueueWord::head(s);
+            let mut live: *const WaitNode = std::ptr::null();
+            let mut live_prev: *const WaitNode = std::ptr::null();
+            while !cur.is_null() {
+                let next = (*cur).next.get();
+                if (*cur).is_abandoned() {
+                    if prev.is_null() {
+                        // Unlink an abandoned head by swinging the state
+                        // pointer; a failure means a fresh enqueue won —
+                        // restart the walk from the new head.
+                        let new_s = next as usize | (s & FLAG_MASK);
+                        match self.state.0.compare_exchange(
+                            s,
+                            new_s,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        ) {
+                            Ok(_) => {
+                                drop(Arc::from_raw(cur));
+                                s = new_s;
+                                cur = next;
+                            }
+                            Err(_) => continue 'scan,
+                        }
+                    } else {
+                        (*prev).next.set(next);
+                        drop(Arc::from_raw(cur));
+                        cur = next;
+                    }
+                } else {
+                    live = cur;
+                    live_prev = prev;
+                    prev = cur;
+                    cur = next;
+                }
+            }
+            if live.is_null() {
+                continue; // pruned everything; re-check for late arrivals
+            }
+
+            // Unlink the target. Everything after it was abandoned and
+            // pruned above, so it is the tail.
+            debug_assert!((*live).next.get().is_null());
+            if live_prev.is_null() {
+                // Target is the head (single live node and no fresher
+                // enqueues): swing the pointer to empty.
+                debug_assert_eq!(QueueWord::head(s), live);
+                if self
+                    .state
+                    .0
+                    .compare_exchange(s, s & FLAG_MASK, Ordering::AcqRel, Ordering::Acquire)
+                    .is_err()
+                {
+                    continue; // fresh enqueue; rewalk (target stays queued)
+                }
+            } else {
+                (*live_prev).next.set(std::ptr::null());
+            }
+            let target = Arc::from_raw(live);
+            // Drop the maintenance bit before waking; LOCKED stays set —
+            // ownership transfers through the grant (direct handoff).
+            self.state.0.fetch_and(!QUEUE_LOCKED, Ordering::Release);
+            if target.try_grant() {
+                self.handoffs.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            // The target abandoned between the walk and the grant:
+            // retake the bit and pick another waiter.
+            drop(target);
+            loop {
+                let s2 = self.state.0.load(Ordering::Relaxed);
+                debug_assert!(s2 & LOCKED != 0);
+                if s2 & QUEUE_LOCKED == 0
+                    && self
+                        .state
+                        .0
+                        .compare_exchange_weak(
+                            s2,
+                            s2 | QUEUE_LOCKED,
+                            Ordering::Acquire,
+                            Ordering::Relaxed,
+                        )
+                        .is_ok()
+                {
+                    break;
+                }
+                std::hint::spin_loop();
             }
         }
     }
 
     /// The closely-coupled feedback loop, run inline by the unlocking
-    /// thread on sampled unlocks.
+    /// thread on sampled unlocks (and by failed `try_lock`s; see
+    /// [`AdaptiveMutex::try_lock`]).
     fn adapt(&self) {
+        self.observe(self.waiters.load(Ordering::Relaxed) as u64);
+    }
+
+    /// Feed one sampled observation through the gate into the policy.
+    /// Never contends: if another thread is running the policy, the
+    /// sample is skipped.
+    fn observe(&self, waiting: u64) {
         if !self.gate.tick() {
             return;
         }
-        let obs = NativeObservation {
-            waiting: self.waiters.load(Ordering::Relaxed) as u64,
-        };
-        // Never contend on the policy: if another unlocker is adapting,
-        // skip this sample.
-        let Ok(mut policy) = self.policy.try_lock() else {
+        if self.policy_busy.swap(true, Ordering::Acquire) {
             return;
+        }
+        // SAFETY: `policy_busy` grants exclusive access to the slot.
+        let policy = unsafe { &mut *self.policy.get() };
+        if let Some(decision) = policy.decide(NativeObservation { waiting }) {
+            self.apply(decision);
+        }
+        self.policy_busy.store(false, Ordering::Release);
+    }
+
+    /// Install a reconfiguration decision, counting it if it changed
+    /// anything.
+    fn apply(&self, decision: NativeDecision) {
+        let (spin, delay, timeout) = match decision {
+            NativeDecision::PureSpin => (SPIN_FOREVER, None, None),
+            NativeDecision::PureBlocking => (0, None, None),
+            NativeDecision::SetSpins(n) => (n, None, None),
+            NativeDecision::SetPolicy(p) => (
+                p.spin,
+                Some(p.delay),
+                Some(p.timeout.map_or(0, |d| d.as_nanos() as u64)),
+            ),
         };
-        if let Some(decision) = policy.decide(obs) {
-            let new_limit = match decision {
-                NativeDecision::PureSpin => SPIN_FOREVER,
-                NativeDecision::PureBlocking => 0,
-                NativeDecision::SetSpins(n) => n,
-            };
-            if self.spin_limit.swap(new_limit, Ordering::Relaxed) != new_limit {
-                self.reconfigurations.fetch_add(1, Ordering::Relaxed);
-            }
+        let mut changed = self.spin_limit.swap(spin, Ordering::Relaxed) != spin;
+        if let Some(d) = delay {
+            changed |= self.delay.swap(d, Ordering::Relaxed) != d;
+        }
+        if let Some(t) = timeout {
+            changed |= self.timeout_nanos.swap(t, Ordering::Relaxed) != t;
+        }
+        if changed {
+            self.reconfigurations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Externally install a full `{spin, delay, timeout}` attribute set
+    /// (the paper's charged `configure` operation, minus the simulated
+    /// charge). The feedback loop may override it at its next sample.
+    pub fn set_waiting_policy(&self, p: NativeWaitingPolicy) {
+        self.spin_limit.store(p.spin, Ordering::Relaxed);
+        self.delay.store(p.delay, Ordering::Relaxed);
+        self.timeout_nanos
+            .store(p.timeout.map_or(0, |d| d.as_nanos() as u64), Ordering::Relaxed);
+    }
+
+    /// Current `{spin, delay, timeout}` attribute set.
+    pub fn waiting_policy(&self) -> NativeWaitingPolicy {
+        let ns = self.timeout_nanos.load(Ordering::Relaxed);
+        NativeWaitingPolicy {
+            spin: self.spin_limit.load(Ordering::Relaxed),
+            delay: self.delay.load(Ordering::Relaxed),
+            timeout: (ns != 0).then(|| Duration::from_nanos(ns)),
         }
     }
 
     /// Acquire without waiting.
+    ///
+    /// A *failed* attempt is not invisible to the adaptation policy, the
+    /// way a bypassed fast path would be: it is recorded in
+    /// [`MutexStats::try_failures`] and fed through the sampling gate as
+    /// an observation counting the caller as one would-be waiter on top
+    /// of the current waiter count. Try-lock-heavy workloads therefore
+    /// still drive the feedback loop, at the same sampling rate as
+    /// unlocks; the alternative (counting failures but never sampling
+    /// them) would let a 100%-try_lock workload pin the policy at its
+    /// initial configuration forever.
     pub fn try_lock(&self) -> Option<AdaptiveMutexGuard<'_, T>> {
-        if self
-            .state
-            .compare_exchange(FREE, HELD, Ordering::Acquire, Ordering::Relaxed)
-            .is_ok()
-        {
-            self.acquisitions.fetch_add(1, Ordering::Relaxed);
-            Some(AdaptiveMutexGuard { mutex: self })
-        } else {
-            None
+        let mut s = self.state.0.load(Ordering::Relaxed);
+        loop {
+            if s & LOCKED != 0 {
+                self.try_failures.fetch_add(1, Ordering::Relaxed);
+                self.observe(self.waiters.load(Ordering::Relaxed) as u64 + 1);
+                return None;
+            }
+            match self.state.0.compare_exchange_weak(
+                s,
+                s | LOCKED,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.acquisitions.fetch_add(1, Ordering::Relaxed);
+                    return Some(AdaptiveMutexGuard { mutex: self });
+                }
+                Err(e) => s = e,
+            }
         }
     }
 
@@ -266,7 +653,10 @@ impl<T> AdaptiveMutex<T> {
             acquisitions: self.acquisitions.load(Ordering::Relaxed),
             contended: self.contended.load(Ordering::Relaxed),
             parked: self.parked.load(Ordering::Relaxed),
+            handoffs: self.handoffs.load(Ordering::Relaxed),
             reconfigurations: self.reconfigurations.load(Ordering::Relaxed),
+            try_failures: self.try_failures.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
         }
     }
 
@@ -318,6 +708,7 @@ impl<T: std::fmt::Debug> std::fmt::Debug for AdaptiveMutex<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::FixedPolicy;
     use std::sync::Arc;
     use std::time::Duration;
 
@@ -338,6 +729,7 @@ mod tests {
         let m = AdaptiveMutex::new(());
         let g = m.lock();
         assert!(m.try_lock().is_none());
+        assert_eq!(m.stats().try_failures, 1);
         drop(g);
         assert!(m.try_lock().is_some());
     }
@@ -401,19 +793,18 @@ mod tests {
         let s = m.stats();
         assert!(s.reconfigurations > 0, "policy never fired");
         assert!(s.parked > 0, "nobody ever parked despite long holds");
+        assert!(s.handoffs > 0, "parked waiters must be served by handoff");
     }
 
     #[test]
     fn guard_drop_wakes_waiters_promptly() {
         let m = Arc::new(AdaptiveMutex::with_policy(
             0u32,
-            Box::new(NativeSimpleAdapt::new(2, 4)),
-            2,
+            Box::new(FixedPolicy(NativeDecision::PureBlocking)),
+            1,
         ));
         // Force pure-blocking mode so the waiter definitely parks.
-        let warm = Arc::clone(&m);
-        drop(warm.lock());
-        m.spin_limit.store(0, Ordering::Relaxed);
+        m.set_waiting_policy(NativeWaitingPolicy::pure_blocking());
         let g = m.lock();
         let m2 = Arc::clone(&m);
         let waiter = std::thread::spawn(move || {
@@ -423,6 +814,120 @@ mod tests {
         drop(g);
         waiter.join().unwrap();
         assert_eq!(*m.lock(), 1);
+        assert!(m.stats().handoffs >= 1);
+    }
+
+    #[test]
+    fn stale_spin_limit_is_rechecked_mid_spin() {
+        // Regression test: a pure-spin waiter used to load `spin_limit`
+        // once per acquire round, so a policy downgrade to blocking was
+        // never observed by a thread already spinning under SPIN_FOREVER
+        // — it burned a core until the lock happened to be released.
+        // The spin loop must now observe the downgrade and park.
+        let m = Arc::new(AdaptiveMutex::with_policy(
+            (),
+            // A policy that never decides, so only the external
+            // configuration below steers the attributes.
+            Box::new(FixedPolicy(NativeDecision::SetSpins(0))),
+            u64::MAX,
+        ));
+        m.set_waiting_policy(NativeWaitingPolicy {
+            spin: SPIN_FOREVER,
+            delay: 4,
+            timeout: None,
+        });
+        let g = m.lock();
+        let m2 = Arc::clone(&m);
+        let waiter = std::thread::spawn(move || {
+            drop(m2.lock()); // spins forever under the initial policy
+        });
+        // Let the waiter reach its spin loop.
+        while m.waiting_now() == 0 {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        // Downgrade to pure blocking while the waiter is mid-spin: it
+        // must re-check the attribute, park, and be handed the lock.
+        m.set_waiting_policy(NativeWaitingPolicy::pure_blocking());
+        let t0 = std::time::Instant::now();
+        while m.stats().parked == 0 {
+            assert!(
+                t0.elapsed() < Duration::from_secs(10),
+                "waiter never observed the mid-spin policy downgrade"
+            );
+            std::thread::yield_now();
+        }
+        drop(g);
+        waiter.join().unwrap();
+        let s = m.stats();
+        assert!(s.parked >= 1, "waiter must have parked after the downgrade");
+        assert!(s.handoffs >= 1, "parked waiter must be served by handoff");
+    }
+
+    #[test]
+    fn lock_timeout_expires_and_recovers() {
+        let m = Arc::new(AdaptiveMutex::new(0u32));
+        m.set_waiting_policy(NativeWaitingPolicy::pure_blocking());
+        let g = m.lock();
+        // Times out while held...
+        assert!(m.lock_timeout(Duration::from_millis(10)).is_none());
+        assert_eq!(m.stats().timeouts, 1);
+        drop(g);
+        // ...and the abandoned node must not wedge the lock.
+        *m.lock_timeout(Duration::from_secs(5)).expect("lock free now") += 1;
+        assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn conditional_acquire_honours_the_timeout_attribute() {
+        let m = AdaptiveMutex::new(());
+        // Unset attribute: conditional acquire is a plain lock.
+        assert!(m.lock_conditional().is_some());
+        m.set_waiting_policy(
+            NativeWaitingPolicy::pure_blocking().with_timeout(Duration::from_millis(5)),
+        );
+        let g = m.lock();
+        assert!(m.lock_conditional().is_none(), "attribute must bound the wait");
+        drop(g);
+        assert!(m.lock_conditional().is_some());
+    }
+
+    #[test]
+    fn timed_and_untimed_waiters_interleave_without_loss() {
+        // Hammer the lock with a mix of plain and timed-out acquires;
+        // abandoned nodes must be pruned and every grant must land.
+        let m = Arc::new(AdaptiveMutex::new(0u64));
+        m.set_waiting_policy(NativeWaitingPolicy::combined(8));
+        let plain = 4u64;
+        let iters = 500u64;
+        let mut handles: Vec<_> = (0..plain)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..iters {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        handles.push({
+            let m = Arc::clone(&m);
+            std::thread::spawn(move || {
+                for _ in 0..iters {
+                    if let Some(mut g) = m.lock_timeout(Duration::from_micros(50)) {
+                        *g += 1;
+                    }
+                }
+            })
+        });
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = m.stats();
+        let total = *m.lock();
+        assert_eq!(total, s.acquisitions, "every acquisition incremented once");
+        assert!(total >= plain * iters, "plain acquires can never be lost");
+        assert_eq!(m.waiting_now(), 0, "no stranded waiter");
     }
 
     #[test]

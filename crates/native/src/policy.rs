@@ -1,13 +1,165 @@
 //! Native adaptation policies (real-thread counterparts of the
 //! simulator-side policies, built on the same [`AdaptationPolicy`]
-//! trait).
+//! trait), and the native waiting-policy attribute set.
+
+use std::time::Duration;
 
 use adaptive_core::AdaptationPolicy;
+
+use crate::mutex::SPIN_FOREVER;
+
+/// The paper's mutable waiting-policy attributes, on the native side:
+/// `{spin, delay, timeout}` (Section 5.1's attribute table, minus
+/// `sleep-time` — a real parked thread always sleeps until granted).
+///
+/// Every field is a run-time-mutable attribute of
+/// [`AdaptiveMutex`](crate::AdaptiveMutex), retuned either by the
+/// feedback loop ([`NativeDecision::SetPolicy`]) or externally
+/// ([`AdaptiveMutex::set_waiting_policy`](crate::AdaptiveMutex::set_waiting_policy)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NativeWaitingPolicy {
+    /// `no-of-spins`: probes made in the spin phase before parking;
+    /// [`SPIN_FOREVER`] means "pure spin" (never park), `0` means "pure
+    /// blocking" (park immediately).
+    pub spin: u32,
+    /// `delay-time`: cap on the bounded exponential backoff between
+    /// probes, in `spin_loop` hint units (each probe pauses 1, 2, 4, …
+    /// up to `delay` hints). `0` disables backoff (tight spinning).
+    pub delay: u32,
+    /// `timeout`: default bound for a *conditional* acquire
+    /// ([`AdaptiveMutex::lock_conditional`](crate::AdaptiveMutex::lock_conditional));
+    /// plain `lock()` ignores it, exactly like the simulator's
+    /// reconfigurable lock.
+    pub timeout: Option<Duration>,
+}
+
+impl NativeWaitingPolicy {
+    /// Spin until granted, with backoff.
+    pub fn pure_spin() -> NativeWaitingPolicy {
+        NativeWaitingPolicy {
+            spin: SPIN_FOREVER,
+            delay: 64,
+            timeout: None,
+        }
+    }
+
+    /// Park immediately.
+    pub fn pure_blocking() -> NativeWaitingPolicy {
+        NativeWaitingPolicy {
+            spin: 0,
+            delay: 0,
+            timeout: None,
+        }
+    }
+
+    /// Spin `spins` probes (with backoff), then park — the paper's
+    /// combined lock.
+    pub fn combined(spins: u32) -> NativeWaitingPolicy {
+        NativeWaitingPolicy {
+            spin: spins,
+            delay: 64,
+            timeout: None,
+        }
+    }
+
+    /// Add a conditional-acquire bound.
+    pub fn with_timeout(mut self, timeout: Duration) -> NativeWaitingPolicy {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Compact descriptor for reports.
+    pub fn descriptor(&self) -> String {
+        let base = if self.spin == SPIN_FOREVER {
+            "spin".to_string()
+        } else if self.spin == 0 {
+            "blocking".to_string()
+        } else {
+            format!("combined({})", self.spin)
+        };
+        match self.timeout {
+            Some(t) => format!("{base}+timeout({t:?})"),
+            None => base,
+        }
+    }
+}
+
+impl Default for NativeWaitingPolicy {
+    /// The adaptive mutex's initial configuration: a moderate combined
+    /// policy (spin a little with backoff, then park).
+    fn default() -> Self {
+        NativeWaitingPolicy::combined(64)
+    }
+}
+
+/// A comparable lock configuration for experiments: either a *static*
+/// waiting policy (the paper's fixed spin / pure blocking baselines) or
+/// the adaptive feedback loop. This is the independent variable of the
+/// native perf sweeps, shared by the lock microbenchmarks and the
+/// native TSP solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyChoice {
+    /// Static combined policy: spin `k` probes (with backoff), then park.
+    FixedSpin(u32),
+    /// Static pure-blocking policy: park immediately.
+    PureBlocking,
+    /// The paper's `simple-adapt` feedback loop.
+    Adaptive {
+        /// `Waiting-Threshold`.
+        threshold: u64,
+        /// Spin increment `n`.
+        n: u32,
+    },
+}
+
+impl PolicyChoice {
+    /// Label used in report rows and BENCH JSON.
+    pub fn label(&self) -> String {
+        match self {
+            PolicyChoice::FixedSpin(k) => format!("fixed-spin({k})"),
+            PolicyChoice::PureBlocking => "blocking".into(),
+            PolicyChoice::Adaptive { .. } => "simple-adapt".into(),
+        }
+    }
+
+    /// Build an [`AdaptiveMutex`](crate::AdaptiveMutex) configured for
+    /// this choice: static choices install a fixed waiting policy and a
+    /// no-op feedback loop; `Adaptive` installs `simple-adapt` sampling
+    /// every other unlock.
+    pub fn build_mutex<T>(&self, value: T) -> crate::AdaptiveMutex<T> {
+        use crate::AdaptiveMutex;
+        match *self {
+            PolicyChoice::FixedSpin(k) => {
+                let m = AdaptiveMutex::with_policy(
+                    value,
+                    Box::new(FixedPolicy(NativeDecision::SetSpins(k))),
+                    u64::MAX,
+                );
+                m.set_waiting_policy(NativeWaitingPolicy::combined(k));
+                m
+            }
+            PolicyChoice::PureBlocking => {
+                let m = AdaptiveMutex::with_policy(
+                    value,
+                    Box::new(FixedPolicy(NativeDecision::PureBlocking)),
+                    u64::MAX,
+                );
+                m.set_waiting_policy(NativeWaitingPolicy::pure_blocking());
+                m
+            }
+            PolicyChoice::Adaptive { threshold, n } => {
+                AdaptiveMutex::with_policy(value, Box::new(NativeSimpleAdapt::new(threshold, n)), 2)
+            }
+        }
+    }
+}
 
 /// What the native mutex's monitor reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NativeObservation {
-    /// Waiting threads at the sampled unlock.
+    /// Waiting threads at the sampled unlock (a failed `try_lock`
+    /// attempt is sampled as one would-be waiter on top of the parked
+    /// and spinning ones).
     pub waiting: u64,
 }
 
@@ -20,6 +172,8 @@ pub enum NativeDecision {
     PureBlocking,
     /// Spin this many iterations, then park.
     SetSpins(u32),
+    /// Install a full `{spin, delay, timeout}` attribute set.
+    SetPolicy(NativeWaitingPolicy),
 }
 
 /// The paper's `simple-adapt`, scaled for spin-loop iterations instead
@@ -137,5 +291,48 @@ mod tests {
                 Some(NativeDecision::SetSpins(7))
             );
         }
+    }
+
+    #[test]
+    fn waiting_policy_constructors_cover_the_attribute_table() {
+        assert_eq!(NativeWaitingPolicy::pure_spin().spin, SPIN_FOREVER);
+        assert_eq!(NativeWaitingPolicy::pure_blocking().spin, 0);
+        assert_eq!(NativeWaitingPolicy::combined(10).spin, 10);
+        assert_eq!(NativeWaitingPolicy::default().spin, 64);
+        let timed = NativeWaitingPolicy::combined(5).with_timeout(Duration::from_millis(2));
+        assert_eq!(timed.timeout, Some(Duration::from_millis(2)));
+    }
+
+    #[test]
+    fn policy_choices_build_working_mutexes() {
+        for choice in [
+            PolicyChoice::FixedSpin(16),
+            PolicyChoice::PureBlocking,
+            PolicyChoice::Adaptive { threshold: 2, n: 32 },
+        ] {
+            let m = choice.build_mutex(0u32);
+            *m.lock() += 1;
+            assert_eq!(m.into_inner(), 1, "{}", choice.label());
+        }
+        assert_eq!(PolicyChoice::FixedSpin(16).label(), "fixed-spin(16)");
+        assert_eq!(PolicyChoice::PureBlocking.label(), "blocking");
+        assert_eq!(
+            PolicyChoice::Adaptive { threshold: 2, n: 32 }.label(),
+            "simple-adapt"
+        );
+        // Static choices pin the attribute set.
+        let m = PolicyChoice::PureBlocking.build_mutex(());
+        assert_eq!(m.waiting_policy(), NativeWaitingPolicy::pure_blocking());
+    }
+
+    #[test]
+    fn descriptors_are_informative() {
+        assert_eq!(NativeWaitingPolicy::pure_spin().descriptor(), "spin");
+        assert_eq!(NativeWaitingPolicy::pure_blocking().descriptor(), "blocking");
+        assert_eq!(NativeWaitingPolicy::combined(10).descriptor(), "combined(10)");
+        assert!(NativeWaitingPolicy::combined(1)
+            .with_timeout(Duration::from_micros(3))
+            .descriptor()
+            .contains("timeout"));
     }
 }

@@ -1,0 +1,268 @@
+//! Native (OS-thread) parallel LMSK solver.
+//!
+//! The same branch-and-bound search as the simulator-side
+//! [`solve_parallel`](crate::solve_parallel) in its centralized form —
+//! a global best-first work queue and a global best tour — but on real
+//! threads synchronized through [`adaptive_native::AdaptiveMutex`]. The
+//! lock configuration ([`PolicyChoice`]) is the experiment's independent
+//! variable, exactly as `LockImpl` is for the simulated solver, so the
+//! perf pipeline can compare static and adaptive waiting policies on
+//! the paper's actual application.
+//!
+//! Termination mirrors the simulated solver's protocol: an idle
+//! searcher retires from the active count and polls; the search is over
+//! when the queue is empty and no searcher is active (an inactive
+//! searcher can never produce work, so emptiness is then stable).
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use adaptive_native::{AdaptiveMutex, MutexStats, PolicyChoice};
+
+use crate::instance::{TspInstance, INF};
+use crate::lmsk::{Expansion, SearchStats, SubProblem};
+
+/// Configuration of the native parallel solver.
+#[derive(Debug, Clone, Copy)]
+pub struct NativeTspConfig {
+    /// Searcher threads.
+    pub searchers: usize,
+    /// Configuration of the two shared locks (work queue, best tour) —
+    /// the independent variable of the TSP perf sweep.
+    pub policy: PolicyChoice,
+}
+
+impl Default for NativeTspConfig {
+    fn default() -> Self {
+        NativeTspConfig {
+            searchers: 4,
+            policy: PolicyChoice::Adaptive { threshold: 2, n: 32 },
+        }
+    }
+}
+
+/// Result of a native parallel run.
+#[derive(Debug, Clone)]
+pub struct NativeResult {
+    /// Optimal tour cost found.
+    pub best: u32,
+    /// Aggregated search statistics across all searchers.
+    pub stats: SearchStats,
+    /// Wall-clock solve time.
+    pub elapsed: Duration,
+    /// Counters of the work-queue lock (the paper's `qlock`).
+    pub queue_lock: MutexStats,
+    /// Counters of the best-tour lock (the paper's `globlock`).
+    pub best_lock: MutexStats,
+}
+
+/// Queue entry ordered best-first: smallest bound first, FIFO within a
+/// bound (via the global sequence number).
+struct QItem {
+    bound: u32,
+    seq: u64,
+    sp: SubProblem,
+}
+
+impl PartialEq for QItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound && self.seq == other.seq
+    }
+}
+impl Eq for QItem {}
+impl PartialOrd for QItem {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QItem {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // Reversed: BinaryHeap is a max-heap, we want the smallest bound.
+        other
+            .bound
+            .cmp(&self.bound)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct Shared {
+    queue: AdaptiveMutex<BinaryHeap<QItem>>,
+    best: AdaptiveMutex<u32>,
+    stats: AdaptiveMutex<SearchStats>,
+    /// Queue length mirror, readable without the lock (idle polling).
+    qlen: AtomicUsize,
+    /// Searchers currently holding or producing work.
+    active: AtomicUsize,
+    done: AtomicBool,
+    seq: AtomicU64,
+}
+
+/// Solve `inst` on real threads. The result is exact: every searcher
+/// prunes against the shared incumbent, and the search runs to
+/// exhaustion.
+pub fn solve_native(inst: &TspInstance, cfg: NativeTspConfig) -> NativeResult {
+    let searchers = cfg.searchers.max(1);
+    let root = SubProblem::root(inst);
+    let mut heap = BinaryHeap::new();
+    heap.push(QItem {
+        bound: root.bound,
+        seq: 0,
+        sp: root,
+    });
+    let shared = Shared {
+        queue: cfg.policy.build_mutex(heap),
+        best: cfg.policy.build_mutex(INF),
+        stats: cfg.policy.build_mutex(SearchStats::default()),
+        qlen: AtomicUsize::new(1),
+        active: AtomicUsize::new(searchers),
+        done: AtomicBool::new(false),
+        seq: AtomicU64::new(1),
+    };
+
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..searchers {
+            scope.spawn(|| searcher(&shared));
+        }
+    });
+    let elapsed = t0.elapsed();
+
+    let result = NativeResult {
+        best: *shared.best.lock(),
+        stats: *shared.stats.lock(),
+        elapsed,
+        queue_lock: shared.queue.stats(),
+        best_lock: shared.best.stats(),
+    };
+    result
+}
+
+fn searcher(sh: &Shared) {
+    let mut local = SearchStats::default();
+    'outer: loop {
+        let item = {
+            let mut q = sh.queue.lock();
+            let it = q.pop();
+            sh.qlen.store(q.len(), Ordering::Release);
+            it
+        };
+        let Some(item) = item else {
+            // Retire from the active count; the last one out with an
+            // empty queue ends the search.
+            if sh.active.fetch_sub(1, Ordering::AcqRel) == 1
+                && sh.qlen.load(Ordering::Acquire) == 0
+            {
+                sh.done.store(true, Ordering::Release);
+            }
+            loop {
+                if sh.done.load(Ordering::Acquire) {
+                    break 'outer;
+                }
+                if sh.qlen.load(Ordering::Acquire) > 0 {
+                    sh.active.fetch_add(1, Ordering::AcqRel);
+                    continue 'outer;
+                }
+                if sh.active.load(Ordering::Acquire) == 0 {
+                    sh.done.store(true, Ordering::Release);
+                    break 'outer;
+                }
+                std::thread::yield_now();
+            }
+        };
+
+        if item.bound >= *sh.best.lock() {
+            local.pruned += 1;
+            continue;
+        }
+        local.expanded += 1;
+        match item.sp.expand() {
+            Expansion::Tour { cost, .. } => {
+                local.tours += 1;
+                let mut b = sh.best.lock();
+                if cost < *b {
+                    *b = cost;
+                }
+            }
+            Expansion::Children(children) => {
+                let incumbent = *sh.best.lock();
+                let fresh: Vec<SubProblem> = children
+                    .into_iter()
+                    .filter(|c| {
+                        if c.bound < incumbent {
+                            local.generated += 1;
+                            true
+                        } else {
+                            local.pruned += 1;
+                            false
+                        }
+                    })
+                    .collect();
+                if !fresh.is_empty() {
+                    let mut q = sh.queue.lock();
+                    for sp in fresh {
+                        q.push(QItem {
+                            bound: sp.bound,
+                            seq: sh.seq.fetch_add(1, Ordering::Relaxed),
+                            sp,
+                        });
+                    }
+                    sh.qlen.store(q.len(), Ordering::Release);
+                }
+            }
+            Expansion::Dead => {}
+        }
+    }
+    let mut agg = sh.stats.lock();
+    agg.expanded += local.expanded;
+    agg.generated += local.generated;
+    agg.tours += local.tours;
+    agg.pruned += local.pruned;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_solver_matches_held_karp_across_policies() {
+        let inst = TspInstance::random_symmetric(9, 100, 7);
+        let oracle = inst.held_karp();
+        for policy in [
+            PolicyChoice::FixedSpin(32),
+            PolicyChoice::PureBlocking,
+            PolicyChoice::Adaptive { threshold: 2, n: 32 },
+        ] {
+            for searchers in [1, 4] {
+                let res = solve_native(&inst, NativeTspConfig { searchers, policy });
+                assert_eq!(res.best, oracle, "{} x{searchers}", policy.label());
+                assert!(res.stats.expanded > 0);
+                assert!(res.stats.tours >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn native_solver_matches_the_simulated_solver() {
+        let inst = TspInstance::random_euclidean(10, 500, 21);
+        let (seq, _) = crate::solve_sequential(&inst);
+        let res = solve_native(&inst, NativeTspConfig::default());
+        assert_eq!(res.best, seq);
+    }
+
+    #[test]
+    fn lock_traffic_is_observable() {
+        let inst = TspInstance::random_symmetric(9, 100, 3);
+        let res = solve_native(
+            &inst,
+            NativeTspConfig {
+                searchers: 4,
+                policy: PolicyChoice::Adaptive { threshold: 2, n: 32 },
+            },
+        );
+        // Every pop and push goes through the queue lock.
+        assert!(res.queue_lock.acquisitions > res.stats.expanded);
+        assert!(res.best_lock.acquisitions > 0);
+    }
+}

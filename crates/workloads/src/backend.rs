@@ -1,0 +1,231 @@
+//! Backend-neutral contention workload: one spec, two executions.
+//!
+//! The paper's lock experiments are defined by a handful of knobs —
+//! thread count, critical-section length, think time, waiting policy —
+//! not by where they run. [`ContentionSpec`] captures the knobs once;
+//! [`run_contention`] executes the same workload either on the
+//! butterfly simulator (virtual time, deterministic) or on OS threads
+//! through [`adaptive_native::AdaptiveMutex`] (wall time, real
+//! hardware), so sim results and native results populate the same
+//! tables. [`PolicyChoice`] maps onto the simulator's [`LockSpec`] via
+//! [`sim_lock_spec`].
+
+use adaptive_native::PolicyChoice;
+use butterfly_sim::Duration as SimDuration;
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+use crate::csweep::{self, SweepConfig};
+use crate::spec::LockSpec;
+
+/// Where a workload runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The butterfly simulator (virtual time; deterministic).
+    Sim,
+    /// Real OS threads on the host (wall time).
+    Native,
+}
+
+impl Backend {
+    /// Label used in report rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Backend::Sim => "sim",
+            Backend::Native => "native",
+        }
+    }
+}
+
+/// One contended-lock workload: `threads` workers each acquire a single
+/// shared lock `iters` times, hold it for `cs_nanos` of work, and think
+/// for `think_nanos` between acquisitions.
+#[derive(Debug, Clone, Copy)]
+pub struct ContentionSpec {
+    /// Worker threads.
+    pub threads: usize,
+    /// Lock/unlock iterations per thread.
+    pub iters: u32,
+    /// Critical-section length, in nanoseconds (virtual on sim, busy
+    /// work on native).
+    pub cs_nanos: u64,
+    /// Think time between critical sections, in nanoseconds.
+    pub think_nanos: u64,
+    /// The waiting policy under test.
+    pub policy: PolicyChoice,
+    /// Simulator seed (ignored by the native backend).
+    pub seed: u64,
+}
+
+impl Default for ContentionSpec {
+    fn default() -> Self {
+        ContentionSpec {
+            threads: 4,
+            iters: 100,
+            cs_nanos: 1_000,
+            think_nanos: 1_000,
+            policy: PolicyChoice::Adaptive { threshold: 2, n: 32 },
+            seed: 0x51ee9,
+        }
+    }
+}
+
+/// One measured point, backend-tagged so sim and native rows can sit in
+/// the same table.
+#[derive(Debug, Clone, Serialize)]
+pub struct ContentionPoint {
+    /// Which backend produced the point.
+    pub backend: String,
+    /// Waiting-policy label.
+    pub policy: String,
+    /// Worker threads.
+    pub threads: usize,
+    /// Critical-section length (ns).
+    pub cs_nanos: u64,
+    /// Total execution time (virtual ns on sim, wall ns on native).
+    pub total_nanos: u64,
+    /// Lock acquisitions per second of (virtual or wall) time.
+    pub throughput_per_sec: f64,
+    /// Mean time per acquisition across all threads (ns).
+    pub mean_latency_nanos: f64,
+}
+
+/// The simulator lock corresponding to a native policy choice.
+pub fn sim_lock_spec(policy: PolicyChoice) -> LockSpec {
+    match policy {
+        PolicyChoice::FixedSpin(k) => LockSpec::Combined(k),
+        PolicyChoice::PureBlocking => LockSpec::Blocking,
+        PolicyChoice::Adaptive { threshold, n } => LockSpec::Adaptive { threshold, n },
+    }
+}
+
+/// Run one contention workload on the chosen backend.
+pub fn run_contention(backend: Backend, spec: &ContentionSpec) -> ContentionPoint {
+    let total_nanos = match backend {
+        Backend::Sim => run_sim(spec),
+        Backend::Native => run_native(spec),
+    };
+    let ops = spec.threads as u64 * u64::from(spec.iters);
+    ContentionPoint {
+        backend: backend.label().into(),
+        policy: spec.policy.label(),
+        threads: spec.threads,
+        cs_nanos: spec.cs_nanos,
+        total_nanos,
+        throughput_per_sec: ops as f64 / (total_nanos.max(1) as f64 / 1e9),
+        mean_latency_nanos: total_nanos as f64 / ops.max(1) as f64,
+    }
+}
+
+fn run_sim(spec: &ContentionSpec) -> u64 {
+    let cfg = SweepConfig {
+        processors: spec.threads.max(1),
+        threads: spec.threads,
+        iters: spec.iters,
+        think: SimDuration::nanos(spec.think_nanos),
+        seed: spec.seed,
+        ..SweepConfig::default()
+    };
+    csweep::run_once(&cfg, sim_lock_spec(spec.policy), SimDuration::nanos(spec.cs_nanos))
+        .as_nanos()
+}
+
+fn run_native(spec: &ContentionSpec) -> u64 {
+    let mutex = spec.policy.build_mutex(0u64);
+    let cs = Duration::from_nanos(spec.cs_nanos);
+    let think = Duration::from_nanos(spec.think_nanos);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..spec.threads {
+            scope.spawn(|| {
+                for _ in 0..spec.iters {
+                    {
+                        let mut g = mutex.lock();
+                        *g += 1;
+                        busy_wait(cs);
+                    }
+                    busy_wait(think);
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed();
+    debug_assert_eq!(
+        mutex.into_inner(),
+        spec.threads as u64 * u64::from(spec.iters)
+    );
+    elapsed.as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+/// Burn CPU for (at least) `d`, without sleeping — critical-section
+/// work must keep the processor, exactly like the simulator's
+/// `ctx::advance`.
+fn busy_wait(d: Duration) {
+    if d.is_zero() {
+        return;
+    }
+    let end = Instant::now() + d;
+    while Instant::now() < end {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_spec(policy: PolicyChoice) -> ContentionSpec {
+        ContentionSpec {
+            threads: 3,
+            iters: 20,
+            cs_nanos: 500,
+            think_nanos: 500,
+            policy,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn both_backends_run_the_same_spec() {
+        let spec = quick_spec(PolicyChoice::Adaptive { threshold: 2, n: 32 });
+        for backend in [Backend::Sim, Backend::Native] {
+            let p = run_contention(backend, &spec);
+            assert_eq!(p.backend, backend.label());
+            assert_eq!(p.policy, "simple-adapt");
+            assert_eq!(p.threads, 3);
+            assert!(p.total_nanos > 0, "{}", p.backend);
+            assert!(p.throughput_per_sec > 0.0);
+            assert!(p.mean_latency_nanos > 0.0);
+        }
+    }
+
+    #[test]
+    fn policy_choices_map_onto_sim_lock_specs() {
+        assert_eq!(sim_lock_spec(PolicyChoice::FixedSpin(10)), LockSpec::Combined(10));
+        assert_eq!(sim_lock_spec(PolicyChoice::PureBlocking), LockSpec::Blocking);
+        assert_eq!(
+            sim_lock_spec(PolicyChoice::Adaptive { threshold: 3, n: 5 }),
+            LockSpec::Adaptive { threshold: 3, n: 5 }
+        );
+    }
+
+    #[test]
+    fn native_points_cover_every_policy() {
+        for policy in [
+            PolicyChoice::FixedSpin(32),
+            PolicyChoice::PureBlocking,
+            PolicyChoice::Adaptive { threshold: 2, n: 32 },
+        ] {
+            let p = run_contention(Backend::Native, &quick_spec(policy));
+            assert!(p.total_nanos > 0, "{}", p.policy);
+        }
+    }
+
+    #[test]
+    fn sim_runs_stay_deterministic_through_the_backend() {
+        let spec = quick_spec(PolicyChoice::FixedSpin(10));
+        let a = run_contention(Backend::Sim, &spec);
+        let b = run_contention(Backend::Sim, &spec);
+        assert_eq!(a.total_nanos, b.total_nanos);
+    }
+}

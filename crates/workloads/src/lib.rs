@@ -12,11 +12,14 @@
 //! * [`clientserver`] — the FCFS vs Priority vs Handoff scheduler
 //!   comparison recalled from \[MS93\] in Section 2;
 //! * [`phased`] — a phase-changing pattern demonstrating when adaptation
-//!   pays.
+//!   pays;
+//! * [`backend`] — backend-neutral contention workloads: the same spec
+//!   runs on the butterfly simulator or on real OS threads.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod backend;
 pub mod clientserver;
 pub mod crossover;
 pub mod csweep;
@@ -25,6 +28,7 @@ pub mod measure;
 pub mod phased;
 pub mod spec;
 
+pub use backend::{run_contention, sim_lock_spec, Backend, ContentionPoint, ContentionSpec};
 pub use clientserver::{run_all_schedulers, run_client_server, ClientServerConfig, ClientServerResult};
 pub use crossover::{find_crossover, Crossover};
 pub use csweep::{figure1_locks, run_once, run_sweep, SweepConfig, SweepPoint};
