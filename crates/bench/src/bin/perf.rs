@@ -14,7 +14,14 @@
 //! Each configuration runs `REPEATS` times and the best (minimum) total
 //! time is kept: on a shared or single-core host, min-of-N is the
 //! noise-robust estimator of the achievable time.
+//!
+//! Failure policy: a sweep cell that panics is recorded in the output's
+//! `errors` array and the sweep continues (partial results beat no
+//! results); an unwritable `BENCH_*.json` is a clear one-line error and
+//! a non-zero exit, not a panic backtrace.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::process::ExitCode;
 use std::time::Duration;
 
 use adaptive_native::PolicyChoice;
@@ -36,7 +43,7 @@ fn policies() -> Vec<PolicyChoice> {
     ]
 }
 
-fn main() {
+fn main() -> ExitCode {
     let scale = bench::scale();
     let scale_label = match scale {
         Scale::Quick => "quick",
@@ -47,16 +54,45 @@ fn main() {
 
     let locks = run_lock_sweep(scale);
     let tsp = run_tsp_sweep(scale);
+    let cell_errors = locks.errors.len() + tsp.errors.len();
 
     let root = workspace_root();
-    write_bench(&root.join("BENCH_native_locks.json"), &locks);
-    write_bench(&root.join("BENCH_native_tsp.json"), &tsp);
+    let mut ok = true;
+    for (path, write) in [
+        (root.join("BENCH_native_locks.json"), write_bench(&root.join("BENCH_native_locks.json"), &locks)),
+        (root.join("BENCH_native_tsp.json"), write_bench(&root.join("BENCH_native_tsp.json"), &tsp)),
+    ] {
+        if let Err(e) = write {
+            eprintln!("error: could not write {}: {e}", path.display());
+            ok = false;
+        }
+    }
+    if cell_errors > 0 {
+        eprintln!("warning: {cell_errors} sweep cell(s) failed; results are partial (see the errors array)");
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
-fn write_bench<T: Serialize>(path: &std::path::Path, value: &T) {
-    let text = serde_json::to_string_pretty(value).expect("serialize bench");
-    std::fs::write(path, text + "\n").expect("write bench json");
+fn write_bench<T: Serialize>(path: &std::path::Path, value: &T) -> Result<(), String> {
+    let text = serde_json::to_string_pretty(value).map_err(|e| e.to_string())?;
+    std::fs::write(path, text + "\n").map_err(|e| e.to_string())?;
     println!("wrote {}", path.display());
+    Ok(())
+}
+
+/// Render a caught panic payload as a message.
+fn panic_msg(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 // ---------------------------------------------------------------- locks
@@ -68,6 +104,9 @@ struct LockBench {
     host_parallelism: usize,
     repeats: u32,
     rows: Vec<ContentionPoint>,
+    /// Sweep cells that failed, as `"<cell>: <panic message>"`; rows
+    /// holds whatever completed.
+    errors: Vec<String>,
     summary: serde_json::Value,
 }
 
@@ -85,6 +124,7 @@ fn run_lock_sweep(scale: Scale) -> LockBench {
     );
 
     let mut rows: Vec<ContentionPoint> = Vec::new();
+    let mut errors: Vec<String> = Vec::new();
     for &t in &threads {
         for &cs in &cs_lens {
             for policy in policies() {
@@ -96,10 +136,25 @@ fn run_lock_sweep(scale: Scale) -> LockBench {
                     policy,
                     seed: 0x51ee9,
                 };
-                let best = (0..REPEATS)
-                    .map(|_| run_contention(Backend::Native, &spec))
-                    .min_by_key(|p| p.total_nanos)
-                    .expect("at least one repeat");
+                let cell = catch_unwind(AssertUnwindSafe(|| {
+                    (0..REPEATS)
+                        .map(|_| run_contention(Backend::Native, &spec))
+                        .min_by_key(|p| p.total_nanos)
+                        .expect("at least one repeat")
+                }));
+                let best = match cell {
+                    Ok(best) => best,
+                    Err(payload) => {
+                        let msg = format!(
+                            "locks cell (policy={}, threads={t}, cs={cs}ns): {}",
+                            policy.label(),
+                            panic_msg(payload)
+                        );
+                        eprintln!("error: {msg}");
+                        errors.push(msg);
+                        continue;
+                    }
+                };
                 println!(
                     "{:<16} {:>8} {:>10} {:>14.2} {:>16.0} {:>12.0}",
                     best.policy,
@@ -143,6 +198,7 @@ fn run_lock_sweep(scale: Scale) -> LockBench {
         host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
         repeats: REPEATS,
         rows,
+        errors,
         summary: json!({
             "total_nanos_fixed_spin": fixed,
             "total_nanos_blocking": blocking,
@@ -178,6 +234,9 @@ struct TspBench {
     optimal_cost: u32,
     repeats: u32,
     rows: Vec<TspRow>,
+    /// Sweep cells that failed, as `"<cell>: <panic message>"`; rows
+    /// holds whatever completed.
+    errors: Vec<String>,
 }
 
 fn run_tsp_sweep(scale: Scale) -> TspBench {
@@ -201,21 +260,38 @@ fn run_tsp_sweep(scale: Scale) -> TspBench {
     );
 
     let mut rows = Vec::new();
+    let mut errors: Vec<String> = Vec::new();
     for &s in &searchers {
         for policy in policies() {
             let cfg = NativeTspConfig {
                 searchers: s,
                 policy,
+                ..NativeTspConfig::default()
             };
-            let mut best: Option<(Duration, _)> = None;
-            for _ in 0..REPEATS {
-                let res = solve_native(&inst, cfg);
-                assert_eq!(res.best, optimal, "parallel search must stay exact");
-                if best.as_ref().is_none_or(|(e, _)| res.elapsed < *e) {
-                    best = Some((res.elapsed, res));
+            let cell = catch_unwind(AssertUnwindSafe(|| {
+                let mut best: Option<(Duration, _)> = None;
+                for _ in 0..REPEATS {
+                    let res = solve_native(&inst, cfg.clone());
+                    assert_eq!(res.best, optimal, "parallel search must stay exact");
+                    if best.as_ref().is_none_or(|(e, _)| res.elapsed < *e) {
+                        best = Some((res.elapsed, res));
+                    }
                 }
-            }
-            let (elapsed, res) = best.expect("at least one repeat");
+                best.expect("at least one repeat")
+            }));
+            let (elapsed, res) = match cell {
+                Ok(best) => best,
+                Err(payload) => {
+                    let msg = format!(
+                        "tsp cell (policy={}, searchers={s}): {}",
+                        policy.label(),
+                        panic_msg(payload)
+                    );
+                    eprintln!("error: {msg}");
+                    errors.push(msg);
+                    continue;
+                }
+            };
             let nanos = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
             let row = TspRow {
                 policy: policy.label(),
@@ -250,5 +326,6 @@ fn run_tsp_sweep(scale: Scale) -> TspBench {
         optimal_cost: optimal,
         repeats: REPEATS,
         rows,
+        errors,
     }
 }

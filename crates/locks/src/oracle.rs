@@ -45,6 +45,8 @@ pub struct OracleCounts {
     pub enqueues: u64,
     /// Explicit deregistrations (e.g. lock timeouts) observed.
     pub dequeues: u64,
+    /// Holders that died mid-critical-section (poison releases).
+    pub poisons: u64,
 }
 
 struct OracleState {
@@ -188,6 +190,29 @@ impl LockOracle {
                     s.holders.remove(i);
                 }
                 None => self.violate(&mut s, format!("release by {tid} which does not hold it")),
+            }
+        }
+    }
+
+    /// The thread panicked while holding the resource: the unwinder
+    /// released it and marked the object poisoned. Checked like a
+    /// release — the dying thread must actually be a holder, and the
+    /// permit must come back — so panic-path bookkeeping that leaks the
+    /// permit or releases twice is caught exactly like a normal
+    /// protocol violation.
+    pub fn on_poison(&self, tid: ThreadId) {
+        let mut s = self.state.lock().unwrap();
+        s.counts.poisons += 1;
+        self.tick(&mut s);
+        s.available += 1;
+        if self.check_owner {
+            match s.holders.iter().position(|h| *h == tid) {
+                Some(i) => {
+                    s.holders.remove(i);
+                }
+                None => {
+                    self.violate(&mut s, format!("poison release by {tid} which does not hold it"))
+                }
             }
         }
     }
@@ -368,6 +393,25 @@ mod tests {
         o.assert_quiescent();
         let c = o.counts();
         assert_eq!((c.acquires, c.releases, c.grants, c.enqueues), (2, 2, 1, 1));
+    }
+
+    #[test]
+    fn poisoned_holder_counts_as_a_release() {
+        let o = LockOracle::mutex();
+        o.on_acquire(t(1));
+        o.on_poison(t(1));
+        o.on_acquire(t(2));
+        o.on_release(t(2));
+        o.assert_quiescent();
+        assert_eq!(o.counts().poisons, 1);
+    }
+
+    #[test]
+    fn poison_by_non_holder_is_detected() {
+        let o = LockOracle::mutex().record_only();
+        o.on_acquire(t(1));
+        o.on_poison(t(9));
+        assert!(o.violations().iter().any(|v| v.contains("poison release")));
     }
 
     #[test]

@@ -34,13 +34,18 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
+mod faults;
+mod health;
 mod mutex;
 mod parker;
 mod policy;
 
+pub use faults::{FaultHook, FaultKind, FaultPlan, FaultReport, FaultSpec, WorkerKilled};
+pub use health::{HealthProbe, LockHealth, Watchdog, WatchdogEvent, WatchdogHandle};
 pub use mutex::{
-    AdaptiveMutex, AdaptiveMutexGuard, BoxedNativePolicy, MutexStats, SPIN_FOREVER,
+    AdaptiveMutex, AdaptiveMutexGuard, BoxedNativePolicy, MutexStats, Poisoned, SPIN_FOREVER,
 };
 pub use policy::{
     FixedPolicy, NativeDecision, NativeObservation, NativeSimpleAdapt, NativeWaitingPolicy,

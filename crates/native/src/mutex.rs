@@ -31,12 +31,15 @@
 
 use std::cell::UnsafeCell;
 use std::ops::{Deref, DerefMut};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use adaptive_core::{AdaptationPolicy, SamplingGate};
 
+use crate::faults::FaultHook;
+use crate::health::{HealthProbe, LockHealth};
 use crate::parker::WaitNode;
 use crate::policy::{NativeDecision, NativeObservation, NativeSimpleAdapt, NativeWaitingPolicy};
 
@@ -64,6 +67,16 @@ const SPIN_YIELD_PROBES: u32 = 32;
 /// How often the timed spin phase consults the clock, in probes.
 const SPIN_DEADLINE_PROBES: u32 = 8;
 
+/// Samples skipped by the first quarantine. Each further quarantine
+/// doubles the skip (exponential backoff), up to
+/// `QUARANTINE_BASE_TICKS << QUARANTINE_MAX_SHIFT`.
+const QUARANTINE_BASE_TICKS: u64 = 8;
+/// Cap on the quarantine backoff exponent.
+const QUARANTINE_MAX_SHIFT: u32 = 10;
+/// Successful policy decisions after a re-enable before the backoff
+/// level resets (the probation period).
+const PROBATION_DECIDES: u64 = 64;
+
 /// Counters published by the mutex (all relaxed; monitoring only).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct MutexStats {
@@ -83,11 +96,64 @@ pub struct MutexStats {
     pub try_failures: u64,
     /// Timed acquires that gave up.
     pub timeouts: u64,
+    /// Holders that panicked with the lock held (each one poisoned the
+    /// mutex).
+    pub poison_events: u64,
+    /// Successful [`AdaptiveMutex::clear_poison`] recoveries.
+    pub poison_clears: u64,
+    /// Adaptation-policy callbacks that panicked (each one triggered a
+    /// quarantine).
+    pub policy_panics: u64,
+    /// Times adaptation was quarantined (snapped to pure blocking and
+    /// disabled), by a policy panic or an external watchdog.
+    pub quarantines: u64,
+    /// Times adaptation was re-enabled after a quarantine ran down.
+    pub heals: u64,
 }
 
 /// A boxed native lock adaptation policy.
 pub type BoxedNativePolicy =
     Box<dyn AdaptationPolicy<NativeObservation, Decision = NativeDecision> + Send>;
+
+/// Error of [`AdaptiveMutex::lock_checked`]: the mutex was poisoned by
+/// a holder that panicked. Like [`std::sync::PoisonError`], the guard is
+/// still inside — poisoning is advisory, mutual exclusion held through
+/// the unwind — so a caller that can vouch for (or repair) the protected
+/// value takes it with [`Poisoned::into_inner`].
+pub struct Poisoned<G> {
+    guard: G,
+}
+
+impl<G> Poisoned<G> {
+    fn new(guard: G) -> Poisoned<G> {
+        Poisoned { guard }
+    }
+
+    /// Take the guard anyway, accepting that a previous holder died
+    /// mid-critical-section.
+    pub fn into_inner(self) -> G {
+        self.guard
+    }
+
+    /// Borrow the guard without consuming the error.
+    pub fn get_ref(&self) -> &G {
+        &self.guard
+    }
+}
+
+impl<G> std::fmt::Debug for Poisoned<G> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Poisoned").finish_non_exhaustive()
+    }
+}
+
+impl<G> std::fmt::Display for Poisoned<G> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        "adaptive mutex poisoned: a holder panicked in its critical section".fmt(f)
+    }
+}
+
+impl<G> std::error::Error for Poisoned<G> {}
 
 /// The waiter list head + flag bits. A separate type so that dropping
 /// the mutex reclaims any abandoned (timed-out) nodes still linked in.
@@ -130,6 +196,19 @@ pub struct AdaptiveMutex<T> {
     /// Spin-guarded policy slot: samplers skip rather than contend.
     policy_busy: AtomicBool,
     policy: UnsafeCell<BoxedNativePolicy>,
+    /// Sticky poison flag: a holder panicked with the lock held.
+    poisoned: AtomicBool,
+    /// Remaining sampled observations to skip while adaptation is
+    /// quarantined (`0` = adaptation enabled). Mutated under
+    /// `policy_busy` by the countdown; set by `quarantine` from any
+    /// thread (racing stores are benign — the longest quarantine wins
+    /// or loses a few ticks, never the sticky safety: the snap to pure
+    /// blocking already happened).
+    quarantine_ticks: AtomicU64,
+    /// Exponential-backoff exponent for the *next* quarantine.
+    quarantine_level: AtomicU32,
+    /// Successful decides remaining until `quarantine_level` resets.
+    probation: AtomicU64,
     acquisitions: AtomicU64,
     contended: AtomicU64,
     parked: AtomicU64,
@@ -137,6 +216,14 @@ pub struct AdaptiveMutex<T> {
     reconfigurations: AtomicU64,
     try_failures: AtomicU64,
     timeouts: AtomicU64,
+    poison_events: AtomicU64,
+    poison_clears: AtomicU64,
+    policy_panics: AtomicU64,
+    quarantines: AtomicU64,
+    heals: AtomicU64,
+    /// Optional fault-injection hook (tests); one relaxed load on the
+    /// contended release and sampled-observation paths when unset.
+    fault_hook: OnceLock<Arc<dyn FaultHook>>,
     value: UnsafeCell<T>,
 }
 
@@ -176,6 +263,10 @@ impl<T> AdaptiveMutex<T> {
             gate: SamplingGate::every(sample_every),
             policy_busy: AtomicBool::new(false),
             policy: UnsafeCell::new(policy),
+            poisoned: AtomicBool::new(false),
+            quarantine_ticks: AtomicU64::new(0),
+            quarantine_level: AtomicU32::new(0),
+            probation: AtomicU64::new(0),
             acquisitions: AtomicU64::new(0),
             contended: AtomicU64::new(0),
             parked: AtomicU64::new(0),
@@ -183,6 +274,12 @@ impl<T> AdaptiveMutex<T> {
             reconfigurations: AtomicU64::new(0),
             try_failures: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
+            poison_events: AtomicU64::new(0),
+            poison_clears: AtomicU64::new(0),
+            policy_panics: AtomicU64::new(0),
+            quarantines: AtomicU64::new(0),
+            heals: AtomicU64::new(0),
+            fault_hook: OnceLock::new(),
             value: UnsafeCell::new(value),
         }
     }
@@ -202,6 +299,37 @@ impl<T> AdaptiveMutex<T> {
         let acquired = self.lock_contended(None);
         debug_assert!(acquired, "untimed acquire cannot fail");
         AdaptiveMutexGuard { mutex: self }
+    }
+
+    /// Acquire the mutex, reporting poisoning. Exactly
+    /// [`AdaptiveMutex::lock`] — same protocol, same infallibility — but
+    /// a caller that cares whether a previous holder died
+    /// mid-critical-section learns it from the `Err` arm (which still
+    /// carries the guard; see [`Poisoned`]).
+    pub fn lock_checked(&self) -> Result<AdaptiveMutexGuard<'_, T>, Poisoned<AdaptiveMutexGuard<'_, T>>> {
+        let guard = self.lock();
+        if self.poisoned.load(Ordering::Acquire) {
+            Err(Poisoned::new(guard))
+        } else {
+            Ok(guard)
+        }
+    }
+
+    /// Whether a holder has panicked with the lock held. Sticky until
+    /// [`AdaptiveMutex::clear_poison`].
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Un-poison the mutex after verifying (or repairing) the protected
+    /// value. Returns whether it was poisoned — `true` means a recovery
+    /// actually happened, and is counted in [`MutexStats::poison_clears`].
+    pub fn clear_poison(&self) -> bool {
+        let was = self.poisoned.swap(false, Ordering::AcqRel);
+        if was {
+            self.poison_clears.fetch_add(1, Ordering::Relaxed);
+        }
+        was
     }
 
     /// Acquire with a bound on the wait. Returns `None` if `timeout`
@@ -359,6 +487,17 @@ impl<T> AdaptiveMutex<T> {
     }
 
     fn unlock(&self) {
+        self.unlock_raw();
+        self.adapt();
+    }
+
+    /// Release (and hand off) without feeding the monitor. The unwind
+    /// path uses this directly: a panicking holder must still wake its
+    /// waiters, but it must not run the adaptation policy — the sample
+    /// never existed, so the feedback loop's state is bit-identical to a
+    /// run in which the panicking acquisition never happened, and
+    /// adaptation cannot drift after a panic.
+    fn unlock_raw(&self) {
         // Uncontended fast path: queue empty, just clear LOCKED.
         if self
             .state
@@ -368,7 +507,6 @@ impl<T> AdaptiveMutex<T> {
         {
             self.unlock_contended();
         }
-        self.adapt();
     }
 
     #[cold]
@@ -504,7 +642,19 @@ impl<T> AdaptiveMutex<T> {
             // Drop the maintenance bit before waking; LOCKED stays set —
             // ownership transfers through the grant (direct handoff).
             self.state.0.fetch_and(!QUEUE_LOCKED, Ordering::Release);
-            if target.try_grant() {
+            // Fault injection: the hook may delay the unpark (sleeping
+            // here, before the grant) or drop it (granting quietly; the
+            // waiter's rescue poll recovers).
+            let drop_unpark = self
+                .fault_hook
+                .get()
+                .is_some_and(|h| h.before_unpark());
+            let granted = if drop_unpark {
+                target.try_grant_quietly()
+            } else {
+                target.try_grant()
+            };
+            if granted {
                 self.handoffs.fetch_add(1, Ordering::Relaxed);
                 return;
             }
@@ -542,20 +692,101 @@ impl<T> AdaptiveMutex<T> {
 
     /// Feed one sampled observation through the gate into the policy.
     /// Never contends: if another thread is running the policy, the
-    /// sample is skipped.
+    /// sample is skipped. Panic-safe: a policy callback that panics is
+    /// caught, counted, and answered with a quarantine — the lock snaps
+    /// to pure blocking and adaptation is disabled for an exponentially
+    /// growing number of samples before being retried.
     fn observe(&self, waiting: u64) {
         if !self.gate.tick() {
+            return;
+        }
+        // Fault injection: a stalled monitor feed drops the sample here,
+        // after the gate — the policy sees a gap, not a stale value.
+        if self.fault_hook.get().is_some_and(|h| h.stall_monitor_sample()) {
             return;
         }
         if self.policy_busy.swap(true, Ordering::Acquire) {
             return;
         }
+        // Quarantined: skip the policy and count down to the retry.
+        let ticks = self.quarantine_ticks.load(Ordering::Relaxed);
+        if ticks > 0 {
+            self.quarantine_ticks.store(ticks - 1, Ordering::Relaxed);
+            if ticks == 1 {
+                // Quarantine ran down: adaptation re-enabled, on
+                // probation — the backoff level only resets after
+                // PROBATION_DECIDES clean decisions.
+                self.probation.store(PROBATION_DECIDES, Ordering::Relaxed);
+                self.heals.fetch_add(1, Ordering::Relaxed);
+            }
+            self.policy_busy.store(false, Ordering::Release);
+            return;
+        }
         // SAFETY: `policy_busy` grants exclusive access to the slot.
         let policy = unsafe { &mut *self.policy.get() };
-        if let Some(decision) = policy.decide(NativeObservation { waiting }) {
-            self.apply(decision);
+        match catch_unwind(AssertUnwindSafe(|| {
+            policy.decide(NativeObservation { waiting })
+        })) {
+            Ok(decision) => {
+                if let Some(decision) = decision {
+                    self.apply(decision);
+                }
+                self.note_clean_decide();
+            }
+            Err(_) => {
+                self.policy_panics.fetch_add(1, Ordering::Relaxed);
+                self.quarantine();
+            }
         }
         self.policy_busy.store(false, Ordering::Release);
+    }
+
+    /// One clean policy decision: pay down the probation period, and
+    /// reset the quarantine backoff once it is fully served.
+    fn note_clean_decide(&self) {
+        if self.quarantine_level.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let left = self.probation.load(Ordering::Relaxed);
+        if left > 1 {
+            self.probation.store(left - 1, Ordering::Relaxed);
+        } else {
+            self.quarantine_level.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Degrade to the safe static endpoint: snap the attribute set to
+    /// pure blocking (the paper's always-correct configuration) and
+    /// disable adaptation for an exponentially backed-off number of
+    /// sampled observations, after which it is retried automatically.
+    /// Called internally when a policy callback panics, and externally
+    /// by a watchdog that has detected a stall.
+    pub fn quarantine(&self) {
+        self.quarantines.fetch_add(1, Ordering::Relaxed);
+        let level = self.quarantine_level.load(Ordering::Relaxed);
+        self.quarantine_level
+            .store((level + 1).min(QUARANTINE_MAX_SHIFT), Ordering::Relaxed);
+        self.quarantine_ticks
+            .store(QUARANTINE_BASE_TICKS << level.min(QUARANTINE_MAX_SHIFT), Ordering::Relaxed);
+        self.set_waiting_policy(NativeWaitingPolicy::pure_blocking());
+    }
+
+    /// Whether adaptation is currently quarantined (disabled, waiting
+    /// out its backoff).
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantine_ticks.load(Ordering::Relaxed) > 0
+    }
+
+    /// Install a fault-injection hook (testing). At most one per mutex,
+    /// for its whole lifetime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a hook is already installed.
+    pub fn set_fault_hook(&self, hook: Arc<dyn FaultHook>) {
+        if self.fault_hook.set(hook).is_err() {
+            panic!("a fault hook is already installed on this mutex");
+        }
     }
 
     /// Install a reconfiguration decision, counting it if it changed
@@ -647,6 +878,17 @@ impl<T> AdaptiveMutex<T> {
         self.waiters.load(Ordering::Relaxed)
     }
 
+    /// Whether the lock is currently held (monitoring; instantly stale).
+    pub fn is_locked(&self) -> bool {
+        self.state.0.load(Ordering::Relaxed) & LOCKED != 0
+    }
+
+    /// Whether the waiter queue is non-empty (monitoring; instantly
+    /// stale).
+    pub fn has_queued_waiters(&self) -> bool {
+        self.state.0.load(Ordering::Relaxed) & PTR_MASK != 0
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> MutexStats {
         MutexStats {
@@ -657,6 +899,11 @@ impl<T> AdaptiveMutex<T> {
             reconfigurations: self.reconfigurations.load(Ordering::Relaxed),
             try_failures: self.try_failures.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
+            poison_events: self.poison_events.load(Ordering::Relaxed),
+            poison_clears: self.poison_clears.load(Ordering::Relaxed),
+            policy_panics: self.policy_panics.load(Ordering::Relaxed),
+            quarantines: self.quarantines.load(Ordering::Relaxed),
+            heals: self.heals.load(Ordering::Relaxed),
         }
     }
 
@@ -689,7 +936,57 @@ impl<T> DerefMut for AdaptiveMutexGuard<'_, T> {
 
 impl<T> Drop for AdaptiveMutexGuard<'_, T> {
     fn drop(&mut self) {
-        self.mutex.unlock();
+        if std::thread::panicking() {
+            // The critical section died mid-flight: mark the data suspect
+            // and release without running the adaptation policy. Waiters
+            // are still woken (no one is stranded by a panic) and the
+            // waiter count, queue words, and handoff protocol unwind
+            // exactly as on the normal path — only the policy callback is
+            // skipped, so the feedback state is bit-identical to a run in
+            // which this acquisition's unlock was simply never sampled.
+            self.mutex.poisoned.store(true, Ordering::Release);
+            self.mutex.poison_events.fetch_add(1, Ordering::Relaxed);
+            self.mutex.unlock_raw();
+        } else {
+            self.mutex.unlock();
+        }
+    }
+}
+
+impl<T: Send> HealthProbe for AdaptiveMutex<T> {
+    fn health(&self) -> LockHealth {
+        LockHealth {
+            waiting: self.waiting_now(),
+            acquisitions: self.acquisitions.load(Ordering::Relaxed),
+            handoffs: self.handoffs.load(Ordering::Relaxed),
+            locked: self.is_locked(),
+            queued: self.has_queued_waiters(),
+            poisoned: self.is_poisoned(),
+            quarantined: self.is_quarantined(),
+        }
+    }
+
+    fn quarantine(&self) {
+        AdaptiveMutex::quarantine(self);
+    }
+
+    fn nudge(&self) -> bool {
+        // An acquire/release re-runs the contended release path, which
+        // grants (or prunes) any queued waiter whose wakeup was lost.
+        // Taken with try_lock so a healthy-but-busy lock is left alone.
+        match self.try_lock() {
+            Some(guard) => {
+                drop(guard);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for AdaptiveMutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
     }
 }
 
@@ -936,5 +1233,223 @@ mod tests {
         let s = format!("{m:?}");
         assert!(s.contains("spin_limit"));
         assert!(s.contains('7'));
+    }
+
+    #[test]
+    fn panic_while_holding_poisons_but_recovers() {
+        let m = Arc::new(AdaptiveMutex::new(0u32));
+        let m2 = Arc::clone(&m);
+        let dead = std::thread::spawn(move || {
+            let mut g = m2.lock();
+            *g = 13;
+            panic!("die mid-critical-section");
+        });
+        assert!(dead.join().is_err());
+        assert!(m.is_poisoned());
+        assert_eq!(m.stats().poison_events, 1);
+        // The infallible API keeps working: poisoning is advisory.
+        assert_eq!(*m.lock(), 13);
+        assert_eq!(m.waiting_now(), 0, "panic must not leak a waiter slot");
+        // Checked API surfaces it, with the guard still usable.
+        let e = m.lock_checked().expect_err("must report poison");
+        assert_eq!(**e.get_ref(), 13);
+        *e.into_inner() = 14;
+        assert!(m.clear_poison());
+        assert!(!m.is_poisoned());
+        assert!(!m.clear_poison(), "second clear is a no-op");
+        assert_eq!(m.stats().poison_clears, 1);
+        assert_eq!(*m.lock_checked().expect("clean again"), 14);
+    }
+
+    #[test]
+    fn panicking_holder_wakes_its_waiters() {
+        // A holder that dies must still hand the lock to parked waiters
+        // — poisoning is advisory, stranding would be a bug.
+        let m = Arc::new(AdaptiveMutex::new(0u32));
+        m.set_waiting_policy(NativeWaitingPolicy::pure_blocking());
+        let m2 = Arc::clone(&m);
+        let dead = std::thread::spawn(move || {
+            let _g = m2.lock();
+            // Hold until a waiter has actually parked, then die.
+            while m2.waiting_now() == 0 {
+                std::thread::yield_now();
+            }
+            panic!("holder dies with a waiter parked");
+        });
+        while !m.is_locked() {
+            std::thread::yield_now();
+        }
+        let m3 = Arc::clone(&m);
+        let waiter = std::thread::spawn(move || {
+            *m3.lock() += 1;
+        });
+        assert!(dead.join().is_err());
+        waiter.join().unwrap();
+        assert!(m.is_poisoned());
+        assert_eq!(*m.lock(), 1);
+    }
+
+    /// A policy that panics on its first decision and then behaves.
+    struct PanicOnce {
+        panicked: bool,
+    }
+
+    impl AdaptationPolicy<NativeObservation> for PanicOnce {
+        type Decision = NativeDecision;
+
+        fn decide(&mut self, _obs: NativeObservation) -> Option<NativeDecision> {
+            if !self.panicked {
+                self.panicked = true;
+                panic!("policy callback dies");
+            }
+            Some(NativeDecision::PureSpin)
+        }
+
+        fn name(&self) -> &'static str {
+            "panic-once"
+        }
+    }
+
+    #[test]
+    fn policy_panic_quarantines_then_heals_with_backoff() {
+        let m = AdaptiveMutex::with_policy(0u32, Box::new(PanicOnce { panicked: false }), 1);
+        // First sampled unlock: the policy panics; the lock must survive,
+        // snap to pure blocking, and disable adaptation.
+        drop(m.lock());
+        let s = m.stats();
+        assert_eq!(s.policy_panics, 1);
+        assert_eq!(s.quarantines, 1);
+        assert!(m.is_quarantined());
+        assert_eq!(m.spin_limit(), 0, "quarantine snaps to pure blocking");
+        // Serve out the backoff: QUARANTINE_BASE_TICKS sampled
+        // observations pass policy-free.
+        for _ in 0..QUARANTINE_BASE_TICKS {
+            drop(m.lock());
+        }
+        assert!(!m.is_quarantined());
+        assert_eq!(m.stats().heals, 1);
+        // Next sample reaches the (now well-behaved) policy again.
+        drop(m.lock());
+        assert_eq!(m.spin_limit(), SPIN_FOREVER, "healed policy runs again");
+        assert_eq!(m.stats().policy_panics, 1, "no further panics");
+    }
+
+    /// A policy that counts how often it is consulted.
+    struct CountingPolicy(Arc<std::sync::atomic::AtomicU64>);
+
+    impl AdaptationPolicy<NativeObservation> for CountingPolicy {
+        type Decision = NativeDecision;
+
+        fn decide(&mut self, _obs: NativeObservation) -> Option<NativeDecision> {
+            self.0.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+
+        fn name(&self) -> &'static str {
+            "counting"
+        }
+    }
+
+    #[test]
+    fn panicking_unlock_never_reaches_the_policy() {
+        // The release path of a panicking holder must not feed the
+        // feedback loop: the monitor stream looks exactly as if that
+        // acquisition's unlock was never sampled.
+        let decides = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let m = Arc::new(AdaptiveMutex::with_policy(
+            (),
+            Box::new(CountingPolicy(Arc::clone(&decides))),
+            1,
+        ));
+        drop(m.lock());
+        drop(m.lock());
+        let before = decides.load(Ordering::Relaxed);
+        assert_eq!(before, 2);
+        let m2 = Arc::clone(&m);
+        let dead = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("die holding the lock");
+        });
+        assert!(dead.join().is_err());
+        assert_eq!(
+            decides.load(Ordering::Relaxed),
+            before,
+            "panicking unlock must skip the policy"
+        );
+        drop(m.lock());
+        assert_eq!(decides.load(Ordering::Relaxed), before + 1);
+    }
+
+    #[test]
+    fn health_probe_snapshots_and_nudges() {
+        let m = Arc::new(AdaptiveMutex::new(0u32));
+        let probe: Arc<dyn HealthProbe> = Arc::clone(&m) as _;
+        let h = probe.health();
+        assert!(!h.locked && !h.poisoned && !h.quarantined);
+        assert_eq!(h.waiting, 0);
+        assert!(probe.nudge(), "free lock accepts the nudge");
+        let g = m.lock();
+        let h = probe.health();
+        assert!(h.locked);
+        assert!(!probe.nudge(), "held lock declines the nudge");
+        drop(g);
+        probe.quarantine();
+        assert!(probe.health().quarantined);
+        assert_eq!(m.stats().quarantines, 1);
+    }
+
+    #[test]
+    fn fault_hook_stalls_starve_the_policy() {
+        use crate::faults::{FaultPlan, FaultSpec};
+        let decides = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let m = AdaptiveMutex::with_policy(
+            (),
+            Box::new(CountingPolicy(Arc::clone(&decides))),
+            1,
+        );
+        // Stall every sample: the gate ticks but nothing reaches the
+        // policy — a dead monitor feed, not a crashed lock.
+        let plan = Arc::new(FaultPlan::new(FaultSpec::seeded(5).with_monitor_stalls(1)));
+        m.set_fault_hook(Arc::clone(&plan) as Arc<dyn FaultHook>);
+        for _ in 0..10 {
+            drop(m.lock());
+        }
+        assert_eq!(decides.load(Ordering::Relaxed), 0);
+        assert_eq!(plan.report().monitor_stalls, 10);
+    }
+
+    #[test]
+    fn dropped_unparks_do_not_strand_waiters() {
+        use crate::faults::{FaultPlan, FaultSpec};
+        let m = Arc::new(AdaptiveMutex::new(0u64));
+        m.set_waiting_policy(NativeWaitingPolicy::pure_blocking());
+        // Drop every unpark: every parked waiter must be rescued by the
+        // parker's poll instead of hanging forever.
+        let plan = Arc::new(FaultPlan::new(FaultSpec::seeded(11).with_unpark_drops(1)));
+        m.set_fault_hook(Arc::clone(&plan) as Arc<dyn FaultHook>);
+        // Park all the waiters behind a held lock, so every subsequent
+        // grant flows through the queue (and its dropped unpark).
+        let g = m.lock();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    *m.lock() += 1;
+                })
+            })
+            .collect();
+        while m.waiting_now() < 4 {
+            std::thread::yield_now();
+        }
+        drop(g);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 4);
+        assert_eq!(m.waiting_now(), 0);
+        assert!(
+            plan.report().unparks_dropped > 0,
+            "the run must actually have exercised lost wakeups"
+        );
     }
 }

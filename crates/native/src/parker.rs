@@ -18,7 +18,16 @@
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::thread::Thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Rescue-poll interval for untimed waits: instead of parking
+/// unboundedly, a waiter re-checks its grant word at least this often.
+/// The status word stays the source of truth, so the poll changes
+/// nothing semantically — it converts a *lost wakeup* (an unpark that a
+/// fault, a bug, or a crashed releaser never delivered) from a permanent
+/// hang into a bounded delay. An idle parked thread wakes ~20×/s, which
+/// is noise; a correctly-granted thread never waits out the interval.
+const RESCUE_POLL: Duration = Duration::from_millis(50);
 
 /// Status word values.
 const WAITING: u32 = 0;
@@ -78,6 +87,16 @@ impl WaitNode {
         }
     }
 
+    /// [`WaitNode::try_grant`] without the unpark: the status word is
+    /// still transferred, but the waiter is left to notice at its next
+    /// rescue poll. Used by fault injection to simulate a lost wakeup;
+    /// the waiter's recovery is what makes that fault survivable.
+    pub(crate) fn try_grant_quietly(&self) -> bool {
+        self.status
+            .compare_exchange(WAITING, GRANTED, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
     /// Try to abandon the wait (timeout path); returns `false` if a grant
     /// won the race, in which case the caller owns the lock.
     pub(crate) fn try_abandon(&self) -> bool {
@@ -97,10 +116,12 @@ impl WaitNode {
         self.status.load(Ordering::Acquire) == ABANDONED
     }
 
-    /// Block the calling thread until granted.
+    /// Block the calling thread until granted, self-healing against
+    /// lost wakeups: the park is bounded by [`RESCUE_POLL`], so a grant
+    /// whose unpark never arrives is still observed at the next poll.
     pub(crate) fn wait(&self) {
         while !self.is_granted() {
-            std::thread::park();
+            std::thread::park_timeout(RESCUE_POLL);
         }
     }
 
@@ -177,6 +198,27 @@ mod tests {
         assert!(w.try_grant());
         assert!(!w.try_abandon(), "abandon must lose to an earlier grant");
         assert!(w.is_granted());
+    }
+
+    #[test]
+    fn dropped_unpark_is_rescued_by_the_poll() {
+        // A grant whose unpark never arrives (lost wakeup) must still
+        // end the wait — within a few rescue-poll intervals, not never.
+        let w = Arc::new(WaitNode::new());
+        let w2 = Arc::clone(&w);
+        let granter = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            assert!(w2.try_grant_quietly());
+        });
+        let t0 = std::time::Instant::now();
+        w.wait();
+        assert!(w.is_granted());
+        assert!(
+            t0.elapsed() < RESCUE_POLL * 4,
+            "rescue poll took too long: {:?}",
+            t0.elapsed()
+        );
+        granter.join().unwrap();
     }
 
     #[test]

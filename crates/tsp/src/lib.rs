@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
+#![warn(clippy::unwrap_used)]
 
 mod instance;
 mod lmsk;

@@ -13,25 +13,54 @@
 //! searcher retires from the active count and polls; the search is over
 //! when the queue is empty and no searcher is active (an inactive
 //! searcher can never produce work, so emptiness is then stable).
+//!
+//! ## Failure model
+//!
+//! Each searcher runs under a supervisor ([`searcher_resilient`]) that
+//! catches panics escaping the search loop. A panic may poison the
+//! shared locks (the holder died mid-critical-section) and may lose the
+//! subproblem the searcher was expanding; the supervisor clears the
+//! poison, resynchronizes the queue-length mirror, and requeues the
+//! in-flight subproblem under a bounded retry budget. Requeuing can
+//! duplicate children that were already pushed before the panic —
+//! branch-and-bound tolerates duplicates (they are pruned or re-expanded
+//! to the same result), so exactness survives. A panic carrying the
+//! [`WorkerKilled`] marker retires the worker permanently; any other
+//! panic is treated as transient and the worker resumes. If every
+//! worker dies with work outstanding, the caller's thread drains the
+//! residue sequentially, so `solve_native` still returns the optimal
+//! tour when k < N (or even k = N) workers die.
 
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use adaptive_native::{AdaptiveMutex, MutexStats, PolicyChoice};
+use adaptive_native::{
+    AdaptiveMutex, FaultHook, FaultPlan, HealthProbe, MutexStats, PolicyChoice, Watchdog,
+    WorkerKilled,
+};
 
 use crate::instance::{TspInstance, INF};
 use crate::lmsk::{Expansion, SearchStats, SubProblem};
 
 /// Configuration of the native parallel solver.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct NativeTspConfig {
     /// Searcher threads.
     pub searchers: usize,
     /// Configuration of the two shared locks (work queue, best tour) —
     /// the independent variable of the TSP perf sweep.
     pub policy: PolicyChoice,
+    /// Fault plan to execute against this run (testing): critical-section
+    /// panics, worker kills, and mutex-internal faults are drawn from it.
+    /// `None` disables injection and its per-step overhead.
+    pub faults: Option<Arc<FaultPlan>>,
+    /// How many times a subproblem lost to a panic is requeued before it
+    /// is dropped (the bounded retry budget).
+    pub max_retries: u32,
 }
 
 impl Default for NativeTspConfig {
@@ -39,6 +68,8 @@ impl Default for NativeTspConfig {
         NativeTspConfig {
             searchers: 4,
             policy: PolicyChoice::Adaptive { threshold: 2, n: 32 },
+            faults: None,
+            max_retries: 3,
         }
     }
 }
@@ -56,6 +87,19 @@ pub struct NativeResult {
     pub queue_lock: MutexStats,
     /// Counters of the best-tour lock (the paper's `globlock`).
     pub best_lock: MutexStats,
+    /// Panics caught by worker supervisors (transient and fatal).
+    pub worker_panics: u64,
+    /// Workers that died permanently ([`WorkerKilled`]).
+    pub workers_died: u64,
+    /// Subproblems requeued after a panic lost them mid-expansion.
+    pub requeued: u64,
+    /// Subproblems abandoned after exhausting the retry budget.
+    pub dropped: u64,
+    /// Times a supervisor cleared a poisoned shared lock.
+    pub poison_recoveries: u64,
+    /// Subproblems drained sequentially by the caller because every
+    /// worker died with work outstanding.
+    pub residual_drained: u64,
 }
 
 /// Queue entry ordered best-first: smallest bound first, FIFO within a
@@ -63,6 +107,8 @@ pub struct NativeResult {
 struct QItem {
     bound: u32,
     seq: u64,
+    /// How many times this subproblem has been requeued after a panic.
+    attempts: u32,
     sp: SubProblem,
 }
 
@@ -88,20 +134,68 @@ impl Ord for QItem {
 }
 
 struct Shared {
-    queue: AdaptiveMutex<BinaryHeap<QItem>>,
-    best: AdaptiveMutex<u32>,
-    stats: AdaptiveMutex<SearchStats>,
+    queue: Arc<AdaptiveMutex<BinaryHeap<QItem>>>,
+    best: Arc<AdaptiveMutex<u32>>,
+    stats: Arc<AdaptiveMutex<SearchStats>>,
     /// Queue length mirror, readable without the lock (idle polling).
     qlen: AtomicUsize,
     /// Searchers currently holding or producing work.
     active: AtomicUsize,
     done: AtomicBool,
     seq: AtomicU64,
+    faults: Option<Arc<FaultPlan>>,
+    worker_panics: AtomicU64,
+    workers_died: AtomicU64,
+    requeued: AtomicU64,
+    dropped: AtomicU64,
+    poison_recoveries: AtomicU64,
+}
+
+impl Shared {
+    /// Panic here if the fault plan says this critical section dies.
+    /// Call only at points where the in-flight bookkeeping can recover
+    /// (a popped subproblem is recorded before any injected panic).
+    fn maybe_die_in_cs(&self) {
+        if let Some(p) = &self.faults {
+            p.maybe_panic_in_cs();
+        }
+    }
+
+    /// Push one subproblem, mirroring the queue length.
+    fn requeue(&self, sp: SubProblem, attempts: u32) {
+        let mut q = self.queue.lock();
+        q.push(QItem {
+            bound: sp.bound,
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            attempts,
+            sp,
+        });
+        self.qlen.store(q.len(), Ordering::Release);
+    }
+
+    /// Post-panic repair: clear poison left by the dead holder and
+    /// resynchronize the queue-length mirror (the panic may have struck
+    /// between a queue edit and the mirror store).
+    fn recover_after_panic(&self) {
+        for cleared in [
+            self.queue.clear_poison(),
+            self.best.clear_poison(),
+            self.stats.clear_poison(),
+        ] {
+            if cleared {
+                self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let q = self.queue.lock();
+        self.qlen.store(q.len(), Ordering::Release);
+    }
 }
 
 /// Solve `inst` on real threads. The result is exact: every searcher
 /// prunes against the shared incumbent, and the search runs to
-/// exhaustion.
+/// exhaustion — under fault injection, through requeue and the residual
+/// drain (only an exhausted retry budget, counted in
+/// [`NativeResult::dropped`], can compromise exactness).
 pub fn solve_native(inst: &TspInstance, cfg: NativeTspConfig) -> NativeResult {
     let searchers = cfg.searchers.max(1);
     let root = SubProblem::root(inst);
@@ -109,25 +203,54 @@ pub fn solve_native(inst: &TspInstance, cfg: NativeTspConfig) -> NativeResult {
     heap.push(QItem {
         bound: root.bound,
         seq: 0,
+        attempts: 0,
         sp: root,
     });
     let shared = Shared {
-        queue: cfg.policy.build_mutex(heap),
-        best: cfg.policy.build_mutex(INF),
-        stats: cfg.policy.build_mutex(SearchStats::default()),
+        queue: Arc::new(cfg.policy.build_mutex(heap)),
+        best: Arc::new(cfg.policy.build_mutex(INF)),
+        stats: Arc::new(cfg.policy.build_mutex(SearchStats::default())),
         qlen: AtomicUsize::new(1),
         active: AtomicUsize::new(searchers),
         done: AtomicBool::new(false),
         seq: AtomicU64::new(1),
+        faults: cfg.faults.clone(),
+        worker_panics: AtomicU64::new(0),
+        workers_died: AtomicU64::new(0),
+        requeued: AtomicU64::new(0),
+        dropped: AtomicU64::new(0),
+        poison_recoveries: AtomicU64::new(0),
     };
+
+    // Under a fault plan, the mutexes themselves consult the plan
+    // (dropped/delayed unparks, stalled monitor samples) and a watchdog
+    // stands guard over stalls.
+    let watchdog = cfg.faults.as_ref().map(|plan| {
+        shared.queue.set_fault_hook(Arc::clone(plan) as Arc<dyn FaultHook>);
+        shared.best.set_fault_hook(Arc::clone(plan) as Arc<dyn FaultHook>);
+        let mut dog = Watchdog::new();
+        dog.watch("tsp.queue", Arc::clone(&shared.queue) as Arc<dyn HealthProbe>);
+        dog.watch("tsp.best", Arc::clone(&shared.best) as Arc<dyn HealthProbe>);
+        dog.spawn(Duration::from_millis(100))
+    });
 
     let t0 = Instant::now();
     std::thread::scope(|scope| {
-        for _ in 0..searchers {
-            scope.spawn(|| searcher(&shared));
+        for worker in 0..searchers {
+            let sh = &shared;
+            let max_retries = cfg.max_retries;
+            scope.spawn(move || searcher_resilient(sh, worker, searchers, max_retries));
         }
     });
+
+    // Every worker died with work outstanding: finish the search here.
+    // No injection on this path — it is the recovery of last resort.
+    let mut residual_drained = 0u64;
+    if !shared.done.load(Ordering::Acquire) && shared.qlen.load(Ordering::Acquire) > 0 {
+        residual_drained = drain_residual(&shared);
+    }
     let elapsed = t0.elapsed();
+    drop(watchdog); // stop and join before reading final stats
 
     let result = NativeResult {
         best: *shared.best.lock(),
@@ -135,13 +258,90 @@ pub fn solve_native(inst: &TspInstance, cfg: NativeTspConfig) -> NativeResult {
         elapsed,
         queue_lock: shared.queue.stats(),
         best_lock: shared.best.stats(),
+        worker_panics: shared.worker_panics.load(Ordering::Relaxed),
+        workers_died: shared.workers_died.load(Ordering::Relaxed),
+        requeued: shared.requeued.load(Ordering::Relaxed),
+        dropped: shared.dropped.load(Ordering::Relaxed),
+        poison_recoveries: shared.poison_recoveries.load(Ordering::Relaxed),
+        residual_drained,
     };
     result
 }
 
-fn searcher(sh: &Shared) {
+/// The subproblem a searcher is currently expanding, held by the
+/// supervisor so a panic mid-expansion cannot lose it.
+struct InFlight {
+    sp: SubProblem,
+    attempts: u32,
+}
+
+/// Supervisor wrapping [`searcher_loop`]: catches panics, repairs the
+/// shared state, requeues lost work, and decides whether the worker
+/// resumes (transient panic) or retires ([`WorkerKilled`]).
+fn searcher_resilient(sh: &Shared, worker: usize, total: usize, max_retries: u32) {
+    let doom = sh.faults.as_ref().and_then(|p| p.worker_doom(worker, total));
+    let mut steps = 0u64;
+    let mut in_flight: Option<InFlight> = None;
     let mut local = SearchStats::default();
+    // Whether the worker currently counts itself in `sh.active`; a death
+    // in the idle loop (already retired) must not decrement again.
+    let active = std::cell::Cell::new(true);
+    loop {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            searcher_loop(sh, &mut in_flight, &mut local, &mut steps, &active, doom, worker)
+        }));
+        match outcome {
+            Ok(()) => break, // clean termination
+            Err(payload) => {
+                sh.worker_panics.fetch_add(1, Ordering::Relaxed);
+                sh.recover_after_panic();
+                if let Some(lost) = in_flight.take() {
+                    if lost.attempts < max_retries {
+                        sh.requeue(lost.sp, lost.attempts + 1);
+                        sh.requeued.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        sh.dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                if payload.is::<WorkerKilled>() {
+                    sh.workers_died.fetch_add(1, Ordering::Relaxed);
+                    // Retire permanently. The requeue above ran first, so
+                    // idle peers see the work before they see the retirement.
+                    if active.get()
+                        && sh.active.fetch_sub(1, Ordering::AcqRel) == 1
+                        && sh.qlen.load(Ordering::Acquire) == 0
+                    {
+                        sh.done.store(true, Ordering::Release);
+                    }
+                    break;
+                }
+                // Transient panic: the worker stays active and resumes.
+            }
+        }
+    }
+    let mut agg = sh.stats.lock();
+    agg.expanded += local.expanded;
+    agg.generated += local.generated;
+    agg.tours += local.tours;
+    agg.pruned += local.pruned;
+}
+
+fn searcher_loop(
+    sh: &Shared,
+    in_flight: &mut Option<InFlight>,
+    local: &mut SearchStats,
+    steps: &mut u64,
+    active: &std::cell::Cell<bool>,
+    doom: Option<u64>,
+    worker: usize,
+) {
     'outer: loop {
+        // A doomed worker dies here, between work items: no locks held,
+        // nothing in flight.
+        if doom.is_some_and(|after| *steps >= after) {
+            std::panic::panic_any(WorkerKilled { worker });
+        }
+        debug_assert!(in_flight.is_none(), "previous item fully processed");
         let item = {
             let mut q = sh.queue.lock();
             let it = q.pop();
@@ -156,31 +356,60 @@ fn searcher(sh: &Shared) {
             {
                 sh.done.store(true, Ordering::Release);
             }
+            active.set(false);
             loop {
                 if sh.done.load(Ordering::Acquire) {
+                    // A doomed worker never exits cleanly: if the search
+                    // ended before its kill step, it dies at termination
+                    // instead, so the doomed count is exact either way.
+                    if doom.is_some() {
+                        std::panic::panic_any(WorkerKilled { worker });
+                    }
                     break 'outer;
                 }
                 if sh.qlen.load(Ordering::Acquire) > 0 {
                     sh.active.fetch_add(1, Ordering::AcqRel);
+                    active.set(true);
                     continue 'outer;
                 }
                 if sh.active.load(Ordering::Acquire) == 0 {
                     sh.done.store(true, Ordering::Release);
+                    if doom.is_some() {
+                        std::panic::panic_any(WorkerKilled { worker });
+                    }
                     break 'outer;
                 }
                 std::thread::yield_now();
             }
         };
+        // From here until the item is fully expanded, a panic loses it:
+        // park it with the supervisor.
+        *in_flight = Some(InFlight {
+            sp: item.sp,
+            attempts: item.attempts,
+        });
+        let sp = &in_flight
+            .as_ref()
+            .expect("stored on the previous line")
+            .sp;
 
-        if item.bound >= *sh.best.lock() {
+        let pruned = {
+            let b = sh.best.lock();
+            sh.maybe_die_in_cs();
+            item.bound >= *b
+        };
+        if pruned {
             local.pruned += 1;
+            *in_flight = None;
+            *steps += 1;
             continue;
         }
         local.expanded += 1;
-        match item.sp.expand() {
+        match sp.expand() {
             Expansion::Tour { cost, .. } => {
                 local.tours += 1;
                 let mut b = sh.best.lock();
+                sh.maybe_die_in_cs();
                 if cost < *b {
                     *b = cost;
                 }
@@ -201,10 +430,12 @@ fn searcher(sh: &Shared) {
                     .collect();
                 if !fresh.is_empty() {
                     let mut q = sh.queue.lock();
+                    sh.maybe_die_in_cs();
                     for sp in fresh {
                         q.push(QItem {
                             bound: sp.bound,
                             seq: sh.seq.fetch_add(1, Ordering::Relaxed),
+                            attempts: 0,
                             sp,
                         });
                     }
@@ -213,17 +444,73 @@ fn searcher(sh: &Shared) {
             }
             Expansion::Dead => {}
         }
+        *in_flight = None;
+        *steps += 1;
     }
+}
+
+/// Sequential drain of whatever the (all-dead) workers left behind, on
+/// the caller's thread. Fault-free by construction. Returns the number
+/// of items processed.
+fn drain_residual(sh: &Shared) -> u64 {
+    let mut local = SearchStats::default();
+    let mut processed = 0u64;
+    loop {
+        let item = {
+            let mut q = sh.queue.lock();
+            let it = q.pop();
+            sh.qlen.store(q.len(), Ordering::Release);
+            it
+        };
+        let Some(item) = item else { break };
+        processed += 1;
+        if item.bound >= *sh.best.lock() {
+            local.pruned += 1;
+            continue;
+        }
+        local.expanded += 1;
+        match item.sp.expand() {
+            Expansion::Tour { cost, .. } => {
+                local.tours += 1;
+                let mut b = sh.best.lock();
+                if cost < *b {
+                    *b = cost;
+                }
+            }
+            Expansion::Children(children) => {
+                let incumbent = *sh.best.lock();
+                for c in children {
+                    if c.bound < incumbent {
+                        local.generated += 1;
+                        let mut q = sh.queue.lock();
+                        q.push(QItem {
+                            bound: c.bound,
+                            seq: sh.seq.fetch_add(1, Ordering::Relaxed),
+                            attempts: 0,
+                            sp: c,
+                        });
+                        sh.qlen.store(q.len(), Ordering::Release);
+                    } else {
+                        local.pruned += 1;
+                    }
+                }
+            }
+            Expansion::Dead => {}
+        }
+    }
+    sh.done.store(true, Ordering::Release);
     let mut agg = sh.stats.lock();
     agg.expanded += local.expanded;
     agg.generated += local.generated;
     agg.tours += local.tours;
     agg.pruned += local.pruned;
+    processed
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adaptive_native::FaultSpec;
 
     #[test]
     fn native_solver_matches_held_karp_across_policies() {
@@ -235,10 +522,18 @@ mod tests {
             PolicyChoice::Adaptive { threshold: 2, n: 32 },
         ] {
             for searchers in [1, 4] {
-                let res = solve_native(&inst, NativeTspConfig { searchers, policy });
+                let res = solve_native(
+                    &inst,
+                    NativeTspConfig {
+                        searchers,
+                        policy,
+                        ..NativeTspConfig::default()
+                    },
+                );
                 assert_eq!(res.best, oracle, "{} x{searchers}", policy.label());
                 assert!(res.stats.expanded > 0);
                 assert!(res.stats.tours >= 1);
+                assert_eq!(res.worker_panics, 0);
             }
         }
     }
@@ -259,10 +554,71 @@ mod tests {
             NativeTspConfig {
                 searchers: 4,
                 policy: PolicyChoice::Adaptive { threshold: 2, n: 32 },
+                ..NativeTspConfig::default()
             },
         );
         // Every pop and push goes through the queue lock.
         assert!(res.queue_lock.acquisitions > res.stats.expanded);
         assert!(res.best_lock.acquisitions > 0);
+    }
+
+    #[test]
+    fn solver_survives_cs_panics_exactly() {
+        let inst = TspInstance::random_symmetric(9, 100, 7);
+        let oracle = inst.held_karp();
+        let plan = Arc::new(FaultPlan::new(FaultSpec::seeded(17).with_cs_panics(32)));
+        let res = solve_native(
+            &inst,
+            NativeTspConfig {
+                searchers: 4,
+                faults: Some(Arc::clone(&plan)),
+                ..NativeTspConfig::default()
+            },
+        );
+        assert_eq!(res.best, oracle, "exactness must survive CS panics");
+        assert!(
+            plan.report().cs_panics > 0,
+            "the plan must actually have fired"
+        );
+        assert_eq!(res.worker_panics, plan.report().cs_panics);
+        assert_eq!(res.dropped, 0, "retry budget must suffice at this rate");
+        assert!(res.poison_recoveries > 0, "panics poison, supervisors clear");
+    }
+
+    #[test]
+    fn solver_survives_worker_deaths_exactly() {
+        // Large enough that every searcher participates long past the
+        // doomed workers' kill steps.
+        let inst = TspInstance::random_symmetric(11, 100, 5);
+        let oracle = inst.held_karp();
+        let plan = Arc::new(FaultPlan::new(FaultSpec::seeded(23).with_worker_kills(50, 3)));
+        let res = solve_native(
+            &inst,
+            NativeTspConfig {
+                searchers: 4,
+                faults: Some(Arc::clone(&plan)),
+                ..NativeTspConfig::default()
+            },
+        );
+        assert_eq!(res.best, oracle, "exactness must survive worker deaths");
+        assert_eq!(res.workers_died, 2, "50% of 4 workers, exactly");
+    }
+
+    #[test]
+    fn solver_survives_total_worker_loss_via_residual_drain() {
+        let inst = TspInstance::random_symmetric(10, 100, 11);
+        let oracle = inst.held_karp();
+        let plan = Arc::new(FaultPlan::new(FaultSpec::seeded(31).with_worker_kills(100, 1)));
+        let res = solve_native(
+            &inst,
+            NativeTspConfig {
+                searchers: 3,
+                faults: Some(Arc::clone(&plan)),
+                ..NativeTspConfig::default()
+            },
+        );
+        assert_eq!(res.best, oracle, "the residual drain must finish the search");
+        assert_eq!(res.workers_died, 3, "every worker dies");
+        assert!(res.residual_drained > 0, "the caller drained the residue");
     }
 }

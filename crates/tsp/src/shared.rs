@@ -121,11 +121,19 @@ impl WorkQueue {
         }
     }
 
+    /// The backing heap, tolerant of poison: every heap operation leaves
+    /// the heap itself consistent (the `Mutex` only guards it against
+    /// concurrent access), so a panic in some earlier holder does not
+    /// invalidate the data.
+    fn heap(&self) -> std::sync::MutexGuard<'_, BinaryHeap<QEntry>> {
+        self.heap.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Push a subproblem (call with the queue's `qlock` held).
     pub fn push(&self, sp: SubProblem) {
         self.charge(ctx::MemOp::Write);
         let seq = self.seq.fetch_add(1, AOrd::Relaxed);
-        self.heap.lock().unwrap().push(QEntry {
+        self.heap().push(QEntry {
             bound: sp.bound,
             seq,
             sp,
@@ -134,7 +142,7 @@ impl WorkQueue {
 
     /// Pop the best subproblem (call with the queue's `qlock` held).
     pub fn pop(&self) -> Option<SubProblem> {
-        let e = self.heap.lock().unwrap().pop();
+        let e = self.heap().pop();
         if e.is_some() {
             self.charge(ctx::MemOp::Read);
         } else {
@@ -146,17 +154,17 @@ impl WorkQueue {
     /// Remote-visible emptiness probe (one charged read).
     pub fn looks_empty(&self) -> bool {
         ctx::charge_mem(ctx::MemOp::Read, self.home);
-        self.heap.lock().unwrap().is_empty()
+        self.heap().is_empty()
     }
 
     /// Cost-free emptiness peek (for assertions/monitors).
     pub fn peek_empty(&self) -> bool {
-        self.heap.lock().unwrap().is_empty()
+        self.heap().is_empty()
     }
 
     /// Cost-free length peek.
     pub fn peek_len(&self) -> usize {
-        self.heap.lock().unwrap().len()
+        self.heap().len()
     }
 }
 

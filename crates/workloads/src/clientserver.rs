@@ -131,10 +131,10 @@ pub fn run_client_server(cfg: &ClientServerConfig, sched: SchedKind) -> ClientSe
         }
         let total = ctx::now().since(t0).as_nanos();
         let mean = waits.iter().sum::<u64>() / waits.len() as u64;
-        let max = *waits.iter().max().unwrap();
+        let max = *waits.iter().max().expect("every round records one wait");
         (mean, max, total)
     })
-    .unwrap();
+    .expect("client/server simulation runs to completion");
     ClientServerResult {
         scheduler: format!("{sched}"),
         mean_server_wait_nanos: mean,

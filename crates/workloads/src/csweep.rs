@@ -91,7 +91,7 @@ pub fn run_once(cfg: &SweepConfig, spec: LockSpec, cs: Duration) -> Duration {
         }
         ctx::now().since(t0)
     })
-    .unwrap();
+    .expect("sweep simulation runs to completion");
     elapsed
 }
 

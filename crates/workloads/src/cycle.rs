@@ -54,10 +54,14 @@ where
                             let hold = Duration::micros(300)
                                 + Duration::micros(u64::from(r * 37 + i as u32 * 53) % 97);
                             lock.lock();
-                            log.lock().unwrap().push((ctx::now(), i, true));
+                            log.lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                .push((ctx::now(), i, true));
                             // Hold long enough that the peer is waiting.
                             ctx::advance(hold);
-                            log.lock().unwrap().push((ctx::now(), i, false));
+                            log.lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                .push((ctx::now(), i, false));
                             lock.unlock();
                             ctx::advance(think);
                         }
@@ -68,7 +72,10 @@ where
                 h.join();
             }
 
-            let mut events = Arc::try_unwrap(log).unwrap().into_inner().unwrap();
+            let mut events = Arc::try_unwrap(log)
+                .expect("both forked threads joined, so this Arc is unique")
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             events.sort_by_key(|&(t, _, _)| t);
             // Pair each release with the next acquisition by the peer.
             let mut cycles: Vec<u64> = Vec::new();
@@ -92,7 +99,7 @@ where
             Duration(cycles.iter().sum::<u64>() / cycles.len() as u64)
         },
     )
-    .unwrap();
+    .expect("cycle simulation runs to completion");
     mean
 }
 

@@ -18,6 +18,7 @@
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
+#![warn(clippy::unwrap_used)]
 
 pub mod backend;
 pub mod clientserver;

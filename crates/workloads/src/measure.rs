@@ -34,7 +34,7 @@ pub fn lock_unlock_cost(spec: LockSpec, home: NodeId, iters: u32) -> (Duration, 
             (lock_total / iters as u64, unlock_total / iters as u64)
         },
     )
-    .unwrap();
+    .expect("latency simulation runs to completion");
     (Duration(lock_ns), Duration(unlock_ns))
 }
 
@@ -65,7 +65,7 @@ pub fn atomior_cost(home: NodeId, iters: u32) -> Duration {
             per_pair - per_store
         },
     )
-    .unwrap();
+    .expect("atomior simulation runs to completion");
     Duration(ns)
 }
 
@@ -91,12 +91,15 @@ pub fn config_op_costs(home: NodeId) -> (Duration, Duration, Duration, Duration)
             let me = agent();
 
             let t0 = ctx::now();
-            lock.acquire_attr(me, "spin-time").unwrap();
+            lock.acquire_attr(me, "spin-time")
+                .expect("attribute exists and is uncontended here");
             let acq = ctx::now().since(t0);
-            lock.release_attr(me, "spin-time").unwrap();
+            lock.release_attr(me, "spin-time")
+                .expect("held by this agent since the acquire above");
 
             let t0 = ctx::now();
-            lock.configure_policy(me, WaitingPolicy::pure_spin()).unwrap();
+            lock.configure_policy(me, WaitingPolicy::pure_spin())
+                .expect("no other agent holds this lock's attributes");
             let cfg_policy = ctx::now().since(t0);
 
             let t0 = ctx::now();
@@ -110,7 +113,7 @@ pub fn config_op_costs(home: NodeId) -> (Duration, Duration, Duration, Duration)
             (acq, cfg_policy, cfg_sched, monitor)
         },
     )
-    .unwrap();
+    .expect("config-cost simulation runs to completion");
     out
 }
 
@@ -120,13 +123,14 @@ pub fn config_op_costs(home: NodeId) -> (Duration, Duration, Duration, Duration)
 pub fn config_op_rw_costs() -> (adaptive_core::OpCost, adaptive_core::OpCost) {
     let (out, _) = sim::run(SimConfig::butterfly(1), || {
         let lock = ReconfigurableLock::new_local();
-        lock.configure_policy(agent(), WaitingPolicy::pure_spin()).unwrap();
+        lock.configure_policy(agent(), WaitingPolicy::pure_spin())
+            .expect("no other agent holds this lock's attributes");
         lock.configure_scheduler(SchedKind::Priority);
         let log = lock.transition_log();
         let ts = log.transitions();
         (ts[1].cost, ts[2].cost)
     })
-    .unwrap();
+    .expect("cost-model simulation runs to completion");
     out
 }
 

@@ -85,7 +85,7 @@ pub fn run_phased(cfg: &PhasedConfig, spec: LockSpec) -> PhasedResult {
         }
         (ctx::now().since(t0).as_nanos(), lock.stats().reconfigurations)
     })
-    .unwrap();
+    .expect("phased simulation runs to completion");
     PhasedResult {
         lock: spec.label(),
         total_nanos: total,

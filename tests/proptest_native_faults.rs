@@ -1,0 +1,171 @@
+//! Property tests of the native failure model: a holder that panics at
+//! a random point in a random workload never breaks the lock, and a
+//! panic/recover cycle is invisible to the `simple-adapt` feedback
+//! loop.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+
+use adaptive_core::AdaptationPolicy;
+use adaptive_objects::native::{
+    AdaptiveMutex, FaultKind, FaultPlan, FaultSpec, NativeDecision, NativeObservation,
+    NativeSimpleAdapt, NativeWaitingPolicy,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        ..ProptestConfig::default()
+    })]
+
+    /// For any seed, thread count, iteration count, panic rate, and
+    /// waiting policy: a randomly-timed panicking holder never violates
+    /// mutual exclusion, never strands a waiter, and always leaves the
+    /// mutex poisoned-but-recoverable.
+    #[test]
+    fn panicking_holder_is_always_survivable(
+        seed in any::<u64>(),
+        threads in 2usize..6,
+        iters in 8u64..48,
+        one_in in 2u32..24,
+        policy in 0u8..3,
+    ) {
+        let mutex = Arc::new(AdaptiveMutex::new(0u64));
+        match policy {
+            0 => mutex.set_waiting_policy(NativeWaitingPolicy::pure_blocking()),
+            1 => mutex.set_waiting_policy(NativeWaitingPolicy::combined(40)),
+            _ => {} // keep the adaptive default
+        }
+        let plan = Arc::new(FaultPlan::new(FaultSpec::seeded(seed).with_cs_panics(one_in)));
+        let holders = Arc::new(AtomicU32::new(0));
+        let violated = Arc::new(AtomicBool::new(false));
+
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let mutex = Arc::clone(&mutex);
+                let plan = Arc::clone(&plan);
+                let holders = Arc::clone(&holders);
+                let violated = Arc::clone(&violated);
+                std::thread::spawn(move || {
+                    for _ in 0..iters {
+                        let _ = catch_unwind(AssertUnwindSafe(|| {
+                            let mut g = match mutex.lock_checked() {
+                                Ok(g) => g,
+                                Err(poisoned) => {
+                                    // A previous victim died mid-CS; the
+                                    // counter is still consistent, so
+                                    // recover and keep it.
+                                    mutex.clear_poison();
+                                    poisoned.into_inner()
+                                }
+                            };
+                            if holders.fetch_add(1, Ordering::AcqRel) != 0 {
+                                violated.store(true, Ordering::Release);
+                            }
+                            *g += 1;
+                            let dying = plan.fires(FaultKind::CsPanic);
+                            if holders.fetch_sub(1, Ordering::AcqRel) != 1 {
+                                violated.store(true, Ordering::Release);
+                            }
+                            if dying {
+                                panic!("fault-injection: critical-section panic");
+                            }
+                        }));
+                    }
+                })
+            })
+            .collect();
+        // No stranded waiter: every join returns (a waiter parked
+        // forever would hang here and fail by timeout).
+        for h in handles {
+            h.join().expect("workers absorb their own panics via catch_unwind");
+        }
+
+        prop_assert!(!violated.load(Ordering::Acquire), "mutual exclusion violated");
+        prop_assert_eq!(mutex.waiting_now(), 0, "leaked waiting count");
+        let stats = mutex.stats();
+        prop_assert_eq!(stats.poison_events, plan.report().cs_panics);
+        // Poisoned-but-recoverable: whatever state the run ended in, the
+        // poison flag clears and the lock (and its value) remain usable.
+        if mutex.is_poisoned() {
+            prop_assert!(mutex.clear_poison());
+        }
+        prop_assert!(!mutex.is_poisoned());
+        prop_assert_eq!(*mutex.lock(), threads as u64 * iters, "lost critical sections");
+    }
+}
+
+/// One feedback-loop sample as seen by the policy: the observed waiting
+/// count and the decision it produced.
+type Sample = (u64, Option<NativeDecision>);
+
+/// A policy wrapper that logs every observation the feedback loop
+/// actually delivered, so two runs can be compared sample-by-sample.
+struct Recording {
+    inner: NativeSimpleAdapt,
+    log: Arc<Mutex<Vec<Sample>>>,
+}
+
+impl AdaptationPolicy<NativeObservation> for Recording {
+    type Decision = NativeDecision;
+
+    fn decide(&mut self, obs: NativeObservation) -> Option<NativeDecision> {
+        let d = self.inner.decide(obs);
+        self.log
+            .lock()
+            .expect("recording log is never poisoned")
+            .push((obs.waiting, d));
+        d
+    }
+}
+
+/// Regression: a panic/recover cycle leaves the `simple-adapt`
+/// statistics bit-identical to a run without it. The panicking release
+/// goes through `unlock_raw`, which neither ticks the sampling gate nor
+/// feeds the monitor — so the policy sees the exact same observation
+/// sequence either way (with sampling period 1, even one stray sampled
+/// unlock would show up as an extra log entry).
+#[test]
+fn panic_recover_cycle_is_invisible_to_the_feedback_loop() {
+    let run = |inject: bool| {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mutex = AdaptiveMutex::with_policy(
+            0u64,
+            Box::new(Recording {
+                inner: NativeSimpleAdapt::new(2, 32),
+                log: Arc::clone(&log),
+            }),
+            1,
+        );
+        for i in 0..32u64 {
+            if inject && i == 16 {
+                let death = catch_unwind(AssertUnwindSafe(|| {
+                    let _g = mutex.lock();
+                    panic!("fault-injection: critical-section panic");
+                }));
+                assert!(death.is_err());
+                assert!(mutex.is_poisoned(), "a dying holder must poison");
+            }
+            *mutex.lock() += 1;
+        }
+        let stats = mutex.stats();
+        if inject {
+            assert!(mutex.clear_poison(), "poison must be recoverable");
+        }
+        let log = log.lock().expect("recording log is never poisoned").clone();
+        (log, stats)
+    };
+
+    let (log_clean, stats_clean) = run(false);
+    let (log_faulted, stats_faulted) = run(true);
+
+    assert_eq!(
+        log_clean, log_faulted,
+        "the panic/recover cycle leaked into the policy's observation stream"
+    );
+    assert_eq!(stats_clean.reconfigurations, stats_faulted.reconfigurations);
+    assert_eq!(stats_clean.poison_events, 0);
+    assert_eq!(stats_faulted.poison_events, 1);
+}
