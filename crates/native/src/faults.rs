@@ -304,6 +304,15 @@ impl FaultPlan {
         }
     }
 
+    /// The full doomed set for a crew of `total` workers, in worker-index
+    /// order. This is exactly the set of workers for which
+    /// [`FaultPlan::worker_doom`] returns `Some`, exposed so tests can
+    /// assert against the chosen victims (e.g. pre-load a doomed worker's
+    /// local queue) without re-deriving the permutation.
+    pub fn doomed_workers(&self, total: usize) -> Vec<usize> {
+        (0..total).filter(|&w| self.worker_doom(w, total).is_some()).collect()
+    }
+
     /// Injected-fault tallies so far.
     pub fn report(&self) -> FaultReport {
         let get = |k: FaultKind| self.injected[k.index()].load(Ordering::Relaxed);
@@ -400,6 +409,11 @@ mod tests {
                 assert!(after >= 3);
             }
         }
+        // doomed_workers is exactly the Some-set of worker_doom.
+        let expect: Vec<usize> =
+            (0..8).filter(|&w| plan.worker_doom(w, 8).is_some()).collect();
+        assert_eq!(plan.doomed_workers(8), expect);
+        assert_eq!(expect.len(), 2);
     }
 
     #[test]

@@ -46,6 +46,6 @@ mod solver;
 
 pub use instance::{TspInstance, INF};
 pub use lmsk::{is_single_cycle, solve_sequential, Expansion, SearchStats, SubProblem};
-pub use native::{solve_native, NativeResult, NativeTspConfig};
+pub use native::{solve_native, NativeResult, NativeTspConfig, NativeVariant, RetunePlan};
 pub use shared::{ActiveCounter, BestTour, LockImpl, WorkQueue};
 pub use solver::{solve_parallel, solve_sequential_timed, ParallelResult, TspConfig, Variant};

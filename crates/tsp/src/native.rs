@@ -1,59 +1,148 @@
 //! Native (OS-thread) parallel LMSK solver.
 //!
 //! The same branch-and-bound search as the simulator-side
-//! [`solve_parallel`](crate::solve_parallel) in its centralized form —
-//! a global best-first work queue and a global best tour — but on real
-//! threads synchronized through [`adaptive_native::AdaptiveMutex`]. The
-//! lock configuration ([`PolicyChoice`]) is the experiment's independent
-//! variable, exactly as `LockImpl` is for the simulated solver, so the
-//! perf pipeline can compare static and adaptive waiting policies on
-//! the paper's actual application.
+//! [`solve_parallel`](crate::solve_parallel), on real threads
+//! synchronized through [`adaptive_native::AdaptiveMutex`], in all
+//! three of the paper's program structures ([`NativeVariant`]):
 //!
-//! Termination mirrors the simulated solver's protocol: an idle
-//! searcher retires from the active count and polls; the search is over
-//! when the queue is empty and no searcher is active (an inactive
-//! searcher can never produce work, so emptiness is then stable).
+//! * **Centralized** — one global best-first work queue and one global
+//!   best tour; every queue operation serializes on the single `qlock`.
+//! * **Distributed** — one work queue per searcher connected in a ring:
+//!   a searcher pops from its own queue and, when that is empty, scans
+//!   the ring and *steals* a batch (the [`NativeTspConfig::transfer_refs`]
+//!   knob) from the first non-empty remote queue. Each searcher keeps a
+//!   local best-tour copy; improvements propagate around the ring under
+//!   each copy's `glob-low-lock`.
+//! * **Balanced** — distributed plus the load-balancing rule: when a
+//!   push would grow the local queue past
+//!   [`NativeTspConfig::balance_threshold`], part of the batch is pushed
+//!   to the shorter of the two ring neighbors instead.
+//!
+//! The lock configuration ([`PolicyChoice`]) is the experiment's
+//! independent variable, exactly as `LockImpl` is for the simulated
+//! solver, so the perf pipeline can compare static and adaptive waiting
+//! policies on the paper's actual application — and, with the variant
+//! axis, reproduce its headline result: once the centralized `qlock` is
+//! split into N mostly-local ones, contended acquisitions collapse.
+//!
+//! Termination mirrors the simulated solver's protocol, generalized to
+//! many queues: an idle searcher retires from the active count and
+//! polls the queue-length mirrors of *every* queue; the search is over
+//! when all queues are empty and no searcher is active (an inactive
+//! searcher can never produce work, and a stealing searcher is active,
+//! so all-empty is then stable).
 //!
 //! ## Failure model
 //!
 //! Each searcher runs under a supervisor ([`searcher_resilient`]) that
 //! catches panics escaping the search loop. A panic may poison the
 //! shared locks (the holder died mid-critical-section) and may lose the
-//! subproblem the searcher was expanding; the supervisor clears the
-//! poison, resynchronizes the queue-length mirror, and requeues the
-//! in-flight subproblem under a bounded retry budget. Requeuing can
-//! duplicate children that were already pushed before the panic —
+//! subproblems the searcher had in hand — the one being expanded, or a
+//! whole stolen batch in transit between queues; the supervisor clears
+//! the poison, resynchronizes the queue-length mirrors, and requeues
+//! every in-flight subproblem under a bounded retry budget. Requeuing
+//! can duplicate children that were already pushed before the panic —
 //! branch-and-bound tolerates duplicates (they are pruned or re-expanded
 //! to the same result), so exactness survives. A panic carrying the
-//! [`WorkerKilled`] marker retires the worker permanently; any other
-//! panic is treated as transient and the worker resumes. If every
-//! worker dies with work outstanding, the caller's thread drains the
-//! residue sequentially, so `solve_native` still returns the optimal
-//! tour when k < N (or even k = N) workers die.
+//! [`WorkerKilled`] marker retires the worker permanently; its local
+//! ring queue is *not* orphaned — the length mirrors keep its work
+//! visible, idle peers reactivate and steal it through the ordinary
+//! ring scan (counted in [`NativeResult::orphaned`]). If every worker
+//! dies with work outstanding, the caller's thread drains the residue
+//! of all queues sequentially, so `solve_native` still returns the
+//! optimal tour when k < N (or even k = N) workers die.
 
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use adaptive_native::{
-    AdaptiveMutex, FaultHook, FaultPlan, HealthProbe, MutexStats, PolicyChoice, Watchdog,
-    WorkerKilled,
+    AdaptiveMutex, FaultHook, FaultPlan, HealthProbe, MutexStats, NativeWaitingPolicy,
+    PolicyChoice, Watchdog, WorkerKilled,
 };
 
 use crate::instance::{TspInstance, INF};
 use crate::lmsk::{Expansion, SearchStats, SubProblem};
+
+/// Which shared-abstraction structure the native solver uses — the
+/// real-thread counterpart of the simulator's [`Variant`](crate::Variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NativeVariant {
+    /// Global queue + global best value.
+    Centralized,
+    /// Ring of per-searcher queues + per-searcher best copies.
+    Distributed,
+    /// Distributed with the push-side load-balancing rule.
+    Balanced,
+}
+
+impl NativeVariant {
+    /// Label used in reports and BENCH JSON (matches the sim labels).
+    pub fn label(self) -> &'static str {
+        match self {
+            NativeVariant::Centralized => "centralized",
+            NativeVariant::Distributed => "distributed",
+            NativeVariant::Balanced => "distributed+lb",
+        }
+    }
+
+    /// All three structures, in the paper's order.
+    pub const ALL: [NativeVariant; 3] = [
+        NativeVariant::Centralized,
+        NativeVariant::Distributed,
+        NativeVariant::Balanced,
+    ];
+}
+
+/// Mid-run waiting-policy reconfiguration plan: searcher 0 retunes every
+/// shared lock (all `qlock`s and `glob-low-lock`s) to the next policy in
+/// `cycle` each time it completes `every_steps` work items. This is the
+/// native analogue of the stress harness's external reconfigurer — the
+/// locks must stay correct while their attributes change under load.
+#[derive(Debug, Clone)]
+pub struct RetunePlan {
+    /// Work items between retunes (0 disables the plan).
+    pub every_steps: u64,
+    /// Waiting policies applied round-robin.
+    pub cycle: Vec<NativeWaitingPolicy>,
+}
+
+impl RetunePlan {
+    /// The default stress cycle: pure spin → combined → pure blocking.
+    pub fn full_cycle(every_steps: u64) -> RetunePlan {
+        RetunePlan {
+            every_steps,
+            cycle: vec![
+                NativeWaitingPolicy::pure_spin(),
+                NativeWaitingPolicy::combined(64),
+                NativeWaitingPolicy::pure_blocking(),
+            ],
+        }
+    }
+}
 
 /// Configuration of the native parallel solver.
 #[derive(Debug, Clone)]
 pub struct NativeTspConfig {
     /// Searcher threads.
     pub searchers: usize,
-    /// Configuration of the two shared locks (work queue, best tour) —
-    /// the independent variable of the TSP perf sweep.
+    /// Which program structure to run.
+    pub variant: NativeVariant,
+    /// Configuration of the shared locks (work queues, best-tour
+    /// copies) — the independent variable of the TSP perf sweep.
     pub policy: PolicyChoice,
+    /// Subproblems moved per steal or balance transfer — the native
+    /// analogue of the simulator's `transfer_refs` batching knob: a
+    /// thief takes up to this many items from the victim's queue in one
+    /// `qlock` critical section and keeps the surplus locally.
+    pub transfer_refs: usize,
+    /// Balanced only: a push that would grow the local queue beyond
+    /// this length diverts part of the batch to the shorter ring
+    /// neighbor.
+    pub balance_threshold: usize,
     /// Fault plan to execute against this run (testing): critical-section
     /// panics, worker kills, and mutex-internal faults are drawn from it.
     /// `None` disables injection and its per-step overhead.
@@ -61,15 +150,21 @@ pub struct NativeTspConfig {
     /// How many times a subproblem lost to a panic is requeued before it
     /// is dropped (the bounded retry budget).
     pub max_retries: u32,
+    /// Optional mid-run waiting-policy reconfiguration (testing).
+    pub retune: Option<RetunePlan>,
 }
 
 impl Default for NativeTspConfig {
     fn default() -> Self {
         NativeTspConfig {
             searchers: 4,
+            variant: NativeVariant::Centralized,
             policy: PolicyChoice::Adaptive { threshold: 2, n: 32 },
+            transfer_refs: 2,
+            balance_threshold: 8,
             faults: None,
             max_retries: 3,
+            retune: None,
         }
     }
 }
@@ -83,15 +178,41 @@ pub struct NativeResult {
     pub stats: SearchStats,
     /// Wall-clock solve time.
     pub elapsed: Duration,
-    /// Counters of the work-queue lock (the paper's `qlock`).
+    /// Merged counters of the work-queue lock(s) (the paper's `qlock`) —
+    /// the sum over [`NativeResult::per_queue_locks`].
     pub queue_lock: MutexStats,
-    /// Counters of the best-tour lock (the paper's `globlock`).
+    /// Per-queue `qlock` counters (one entry for Centralized, one per
+    /// searcher for the distributed structures) — the contention
+    /// collapse is visible here: a distributed queue is touched by its
+    /// owner plus the occasional thief, so its contended count stays
+    /// near zero while the centralized queue's grows with searchers.
+    pub per_queue_locks: Vec<MutexStats>,
+    /// Merged counters of the best-tour lock(s) (the paper's
+    /// `glob-low-lock`; per-searcher copies in the distributed
+    /// structures).
     pub best_lock: MutexStats,
+    /// Successful steals: ring scans that took at least one subproblem
+    /// from a remote queue.
+    pub steals: u64,
+    /// Ring-scan probes that found an apparently non-empty remote queue
+    /// empty under its lock (the mirror raced a concurrent pop).
+    pub steal_failures: u64,
+    /// Subproblems moved between queues: stolen batches plus
+    /// load-balance diversions.
+    pub transfers: u64,
+    /// Load-balance events: pushes diverted to a ring neighbor because
+    /// the local queue exceeded the balance threshold.
+    pub balance_pushes: u64,
+    /// Subproblems a permanently killed worker left in its local ring
+    /// queue — work that the survivors must steal (or the caller must
+    /// drain) for the search to stay exact.
+    pub orphaned: u64,
     /// Panics caught by worker supervisors (transient and fatal).
     pub worker_panics: u64,
     /// Workers that died permanently ([`WorkerKilled`]).
     pub workers_died: u64,
-    /// Subproblems requeued after a panic lost them mid-expansion.
+    /// Subproblems requeued after a panic lost them mid-expansion or
+    /// mid-steal.
     pub requeued: u64,
     /// Subproblems abandoned after exhausting the retry budget.
     pub dropped: u64,
@@ -100,6 +221,8 @@ pub struct NativeResult {
     /// Subproblems drained sequentially by the caller because every
     /// worker died with work outstanding.
     pub residual_drained: u64,
+    /// Waiting-policy retunes applied by the [`RetunePlan`].
+    pub retunes: u64,
 }
 
 /// Queue entry ordered best-first: smallest bound first, FIFO within a
@@ -133,104 +256,404 @@ impl Ord for QItem {
     }
 }
 
+/// One work queue and its lock-free length mirror (readable without the
+/// `qlock` for idle polling, ring scanning, and balance decisions).
+struct QueueSlot {
+    lock: Arc<AdaptiveMutex<BinaryHeap<QItem>>>,
+    len: AtomicUsize,
+}
+
+impl QueueSlot {
+    fn new(policy: PolicyChoice) -> QueueSlot {
+        QueueSlot {
+            lock: Arc::new(policy.build_mutex(BinaryHeap::new())),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    fn mirror_len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+}
+
+/// One best-tour copy: the `glob-low-lock` plus an unlocked read mirror
+/// (the paper reads the incumbent without the lock; updates are locked
+/// read-modify-writes).
+struct BestSlot {
+    lock: Arc<AdaptiveMutex<u32>>,
+    cached: AtomicU32,
+}
+
+impl BestSlot {
+    fn new(policy: PolicyChoice) -> BestSlot {
+        BestSlot {
+            lock: Arc::new(policy.build_mutex(INF)),
+            cached: AtomicU32::new(INF),
+        }
+    }
+}
+
+/// A subproblem currently in a searcher's hands — being expanded, or
+/// part of a stolen batch in transit between queues. Held by the
+/// supervisor so a panic cannot lose it.
+struct InFlight {
+    sp: SubProblem,
+    attempts: u32,
+}
+
 struct Shared {
-    queue: Arc<AdaptiveMutex<BinaryHeap<QItem>>>,
-    best: Arc<AdaptiveMutex<u32>>,
+    variant: NativeVariant,
+    queues: Vec<QueueSlot>,
+    best: Vec<BestSlot>,
     stats: Arc<AdaptiveMutex<SearchStats>>,
-    /// Queue length mirror, readable without the lock (idle polling).
-    qlen: AtomicUsize,
     /// Searchers currently holding or producing work.
     active: AtomicUsize,
     done: AtomicBool,
     seq: AtomicU64,
+    transfer_refs: usize,
+    balance_threshold: usize,
     faults: Option<Arc<FaultPlan>>,
+    steals: AtomicU64,
+    steal_failures: AtomicU64,
+    transfers: AtomicU64,
+    balance_pushes: AtomicU64,
+    orphaned: AtomicU64,
     worker_panics: AtomicU64,
     workers_died: AtomicU64,
     requeued: AtomicU64,
     dropped: AtomicU64,
     poison_recoveries: AtomicU64,
+    retunes: AtomicU64,
 }
 
 impl Shared {
+    /// The queue a searcher treats as local.
+    fn home(&self, worker: usize) -> usize {
+        if self.variant == NativeVariant::Centralized {
+            0
+        } else {
+            worker % self.queues.len()
+        }
+    }
+
     /// Panic here if the fault plan says this critical section dies.
     /// Call only at points where the in-flight bookkeeping can recover
-    /// (a popped subproblem is recorded before any injected panic).
+    /// (a popped subproblem is stashed before any injected panic).
     fn maybe_die_in_cs(&self) {
         if let Some(p) = &self.faults {
             p.maybe_panic_in_cs();
         }
     }
 
-    /// Push one subproblem, mirroring the queue length.
-    fn requeue(&self, sp: SubProblem, attempts: u32) {
-        let mut q = self.queue.lock();
-        q.push(QItem {
+    /// Work visible anywhere, via the mirrors (no locks).
+    fn work_visible(&self) -> bool {
+        self.queues.iter().any(|q| q.mirror_len() > 0)
+    }
+
+    /// Read the incumbent visible to `worker` (unlocked mirror read).
+    fn read_best(&self, worker: usize) -> u32 {
+        let idx = if self.variant == NativeVariant::Centralized {
+            0
+        } else {
+            worker % self.best.len()
+        };
+        self.best[idx].cached.load(Ordering::Acquire)
+    }
+
+    /// Publish an improved tour: update the local copy, then propagate
+    /// around the ring — each copy's `glob-low-lock` is taken for the
+    /// read-modify-write, and its unlocked mirror is refreshed inside
+    /// the critical section.
+    fn publish_best(&self, worker: usize, cost: u32) {
+        let s = self.best.len();
+        let start = if self.variant == NativeVariant::Centralized {
+            0
+        } else {
+            worker % s
+        };
+        for k in 0..s {
+            let slot = &self.best[(start + k) % s];
+            let mut b = slot.lock.lock();
+            self.maybe_die_in_cs();
+            if cost < *b {
+                *b = cost;
+                slot.cached.store(cost, Ordering::Release);
+            }
+        }
+    }
+
+    /// Push one subproblem into queue `q`, refreshing the mirror.
+    fn requeue(&self, q: usize, sp: SubProblem, attempts: u32) {
+        let slot = &self.queues[q];
+        let mut heap = slot.lock.lock();
+        heap.push(QItem {
             bound: sp.bound,
             seq: self.seq.fetch_add(1, Ordering::Relaxed),
             attempts,
             sp,
         });
-        self.qlen.store(q.len(), Ordering::Release);
+        slot.len.store(heap.len(), Ordering::Release);
     }
 
-    /// Post-panic repair: clear poison left by the dead holder and
-    /// resynchronize the queue-length mirror (the panic may have struck
-    /// between a queue edit and the mirror store).
+    /// Push a batch of fresh children produced by `worker`, applying the
+    /// Balanced diversion rule. The caller still holds the parent in its
+    /// in-flight stash, so an injected panic inside the push critical
+    /// section only re-expands the parent (duplicates are pruned).
+    fn push_children(&self, worker: usize, mut batch: Vec<SubProblem>) {
+        if batch.is_empty() {
+            return;
+        }
+        let home = self.home(worker);
+        let s = self.queues.len();
+        if self.variant == NativeVariant::Balanced && s > 1 {
+            let local_len = self.queues[home].mirror_len();
+            if local_len + batch.len() > self.balance_threshold {
+                // Divert up to one transfer batch to the shorter ring
+                // neighbor, if it is actually shorter than us.
+                let next = (home + 1) % s;
+                let prev = (home + s - 1) % s;
+                let target = if self.queues[next].mirror_len() <= self.queues[prev].mirror_len() {
+                    next
+                } else {
+                    prev
+                };
+                if self.queues[target].mirror_len() < local_len {
+                    let n = self.transfer_refs.clamp(1, batch.len());
+                    let diverted: Vec<SubProblem> = batch.drain(..n).collect();
+                    self.balance_pushes.fetch_add(1, Ordering::Relaxed);
+                    self.transfers.fetch_add(n as u64, Ordering::Relaxed);
+                    self.push_batch(target, diverted);
+                    if batch.is_empty() {
+                        return;
+                    }
+                }
+            }
+        }
+        self.push_batch(home, batch);
+    }
+
+    /// Push `sps` into queue `q` in one `qlock` critical section.
+    fn push_batch(&self, q: usize, sps: Vec<SubProblem>) {
+        let slot = &self.queues[q];
+        let mut heap = slot.lock.lock();
+        self.maybe_die_in_cs();
+        for sp in sps {
+            heap.push(QItem {
+                bound: sp.bound,
+                seq: self.seq.fetch_add(1, Ordering::Relaxed),
+                attempts: 0,
+                sp,
+            });
+        }
+        slot.len.store(heap.len(), Ordering::Release);
+    }
+
+    /// Pop the best item of queue `q`. No fault injection here: the
+    /// popped item exists only in the returned value until the caller
+    /// stashes it.
+    fn pop_local(&self, q: usize) -> Option<QItem> {
+        let slot = &self.queues[q];
+        let mut heap = slot.lock.lock();
+        let it = heap.pop();
+        slot.len.store(heap.len(), Ordering::Release);
+        it
+    }
+
+    /// Steal up to `transfer_refs` subproblems from `victim` into the
+    /// caller's in-flight stash (so a panic cannot lose them — they are
+    /// stashed *inside* the critical section, before the injection
+    /// point). Returns whether anything was taken.
+    fn steal_from(&self, victim: usize, in_flight: &mut Vec<InFlight>) -> bool {
+        let slot = &self.queues[victim];
+        let mut heap = slot.lock.lock();
+        let before = in_flight.len();
+        for _ in 0..self.transfer_refs.max(1) {
+            match heap.pop() {
+                Some(it) => in_flight.push(InFlight {
+                    sp: it.sp,
+                    attempts: it.attempts,
+                }),
+                None => break,
+            }
+        }
+        slot.len.store(heap.len(), Ordering::Release);
+        let took = in_flight.len() - before;
+        if took > 0 {
+            self.maybe_die_in_cs();
+            drop(heap);
+            self.steals.fetch_add(1, Ordering::Relaxed);
+            self.transfers.fetch_add(took as u64, Ordering::Relaxed);
+            true
+        } else {
+            self.steal_failures.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+
+    /// Move everything past `in_flight[0]` into queue `home` in one
+    /// critical section. The injection point is *before* the stash is
+    /// drained, so a die-in-CS panic here still finds every item in the
+    /// stash and the supervisor requeues them all.
+    fn bank_surplus(&self, home: usize, in_flight: &mut Vec<InFlight>) {
+        if in_flight.len() <= 1 {
+            return;
+        }
+        let slot = &self.queues[home];
+        let mut heap = slot.lock.lock();
+        self.maybe_die_in_cs();
+        for f in in_flight.drain(1..) {
+            heap.push(QItem {
+                bound: f.sp.bound,
+                seq: self.seq.fetch_add(1, Ordering::Relaxed),
+                attempts: f.attempts,
+                sp: f.sp,
+            });
+        }
+        slot.len.store(heap.len(), Ordering::Release);
+    }
+
+    /// Acquire the next work item for `worker`: on success the item is
+    /// at `in_flight[0]` (stash semantics — the supervisor requeues
+    /// whatever is in the stash if a panic strikes). Surplus stolen
+    /// items are moved to the worker's local queue before returning.
+    fn take_work(&self, worker: usize, in_flight: &mut Vec<InFlight>) -> bool {
+        debug_assert!(in_flight.is_empty(), "previous item fully processed");
+        let home = self.home(worker);
+        if let Some(it) = self.pop_local(home) {
+            in_flight.push(InFlight {
+                sp: it.sp,
+                attempts: it.attempts,
+            });
+            return true;
+        }
+        if self.variant == NativeVariant::Centralized {
+            return false;
+        }
+        // Ring scan: steal a batch from the first non-empty remote
+        // queue. The mirror probe is free; the steal itself locks the
+        // victim's qlock once for the whole batch.
+        let s = self.queues.len();
+        for k in 1..s {
+            let victim = (home + k) % s;
+            if self.queues[victim].mirror_len() == 0 {
+                continue;
+            }
+            if self.steal_from(victim, in_flight) {
+                // Keep the best item in hand; bank the surplus locally.
+                self.bank_surplus(home, in_flight);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Post-panic repair: clear poison left by the dead holder on any
+    /// shared lock and resynchronize every queue-length mirror (the
+    /// panic may have struck between a queue edit and the mirror store).
     fn recover_after_panic(&self) {
-        for cleared in [
-            self.queue.clear_poison(),
-            self.best.clear_poison(),
-            self.stats.clear_poison(),
-        ] {
+        for cleared in self
+            .queues
+            .iter()
+            .map(|q| q.lock.clear_poison())
+            .chain(self.best.iter().map(|b| b.lock.clear_poison()))
+            .chain([self.stats.clear_poison()])
+        {
             if cleared {
                 self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
             }
         }
-        let q = self.queue.lock();
-        self.qlen.store(q.len(), Ordering::Release);
+        for slot in &self.queues {
+            let heap = slot.lock.lock();
+            slot.len.store(heap.len(), Ordering::Release);
+        }
+    }
+
+    /// Apply the next retune of `plan` to every shared lock.
+    fn apply_retune(&self, plan: &RetunePlan, round: u64) {
+        if plan.cycle.is_empty() {
+            return;
+        }
+        let policy = plan.cycle[(round as usize) % plan.cycle.len()];
+        for q in &self.queues {
+            q.lock.set_waiting_policy(policy);
+        }
+        for b in &self.best {
+            b.lock.set_waiting_policy(policy);
+        }
+        self.retunes.fetch_add(1, Ordering::Relaxed);
     }
 }
 
+/// Sum per-lock counters into one merged view.
+fn merge_mutex_stats<'a>(stats: impl Iterator<Item = &'a MutexStats>) -> MutexStats {
+    stats.fold(MutexStats::default(), |a, s| MutexStats {
+        acquisitions: a.acquisitions + s.acquisitions,
+        contended: a.contended + s.contended,
+        parked: a.parked + s.parked,
+        handoffs: a.handoffs + s.handoffs,
+        reconfigurations: a.reconfigurations + s.reconfigurations,
+        try_failures: a.try_failures + s.try_failures,
+        timeouts: a.timeouts + s.timeouts,
+        poison_events: a.poison_events + s.poison_events,
+        poison_clears: a.poison_clears + s.poison_clears,
+        policy_panics: a.policy_panics + s.policy_panics,
+        quarantines: a.quarantines + s.quarantines,
+        heals: a.heals + s.heals,
+    })
+}
+
 /// Solve `inst` on real threads. The result is exact: every searcher
-/// prunes against the shared incumbent, and the search runs to
-/// exhaustion — under fault injection, through requeue and the residual
-/// drain (only an exhausted retry budget, counted in
+/// prunes against its visible incumbent (which only ever lags the true
+/// one — extra work, never skipped work), and the search runs to
+/// exhaustion of every queue — under fault injection, through requeue
+/// and the residual drain (only an exhausted retry budget, counted in
 /// [`NativeResult::dropped`], can compromise exactness).
 pub fn solve_native(inst: &TspInstance, cfg: NativeTspConfig) -> NativeResult {
     let searchers = cfg.searchers.max(1);
-    let root = SubProblem::root(inst);
-    let mut heap = BinaryHeap::new();
-    heap.push(QItem {
-        bound: root.bound,
-        seq: 0,
-        attempts: 0,
-        sp: root,
-    });
+    let queue_count = if cfg.variant == NativeVariant::Centralized {
+        1
+    } else {
+        searchers
+    };
+    let best_count = queue_count;
     let shared = Shared {
-        queue: Arc::new(cfg.policy.build_mutex(heap)),
-        best: Arc::new(cfg.policy.build_mutex(INF)),
+        variant: cfg.variant,
+        queues: (0..queue_count).map(|_| QueueSlot::new(cfg.policy)).collect(),
+        best: (0..best_count).map(|_| BestSlot::new(cfg.policy)).collect(),
         stats: Arc::new(cfg.policy.build_mutex(SearchStats::default())),
-        qlen: AtomicUsize::new(1),
         active: AtomicUsize::new(searchers),
         done: AtomicBool::new(false),
-        seq: AtomicU64::new(1),
+        seq: AtomicU64::new(0),
+        transfer_refs: cfg.transfer_refs.max(1),
+        balance_threshold: cfg.balance_threshold,
         faults: cfg.faults.clone(),
+        steals: AtomicU64::new(0),
+        steal_failures: AtomicU64::new(0),
+        transfers: AtomicU64::new(0),
+        balance_pushes: AtomicU64::new(0),
+        orphaned: AtomicU64::new(0),
         worker_panics: AtomicU64::new(0),
         workers_died: AtomicU64::new(0),
         requeued: AtomicU64::new(0),
         dropped: AtomicU64::new(0),
         poison_recoveries: AtomicU64::new(0),
+        retunes: AtomicU64::new(0),
     };
+    shared.requeue(0, SubProblem::root(inst), 0);
 
     // Under a fault plan, the mutexes themselves consult the plan
     // (dropped/delayed unparks, stalled monitor samples) and a watchdog
     // stands guard over stalls.
     let watchdog = cfg.faults.as_ref().map(|plan| {
-        shared.queue.set_fault_hook(Arc::clone(plan) as Arc<dyn FaultHook>);
-        shared.best.set_fault_hook(Arc::clone(plan) as Arc<dyn FaultHook>);
         let mut dog = Watchdog::new();
-        dog.watch("tsp.queue", Arc::clone(&shared.queue) as Arc<dyn HealthProbe>);
-        dog.watch("tsp.best", Arc::clone(&shared.best) as Arc<dyn HealthProbe>);
+        for (i, q) in shared.queues.iter().enumerate() {
+            q.lock.set_fault_hook(Arc::clone(plan) as Arc<dyn FaultHook>);
+            dog.watch(format!("tsp.queue{i}"), Arc::clone(&q.lock) as Arc<dyn HealthProbe>);
+        }
+        for (i, b) in shared.best.iter().enumerate() {
+            b.lock.set_fault_hook(Arc::clone(plan) as Arc<dyn FaultHook>);
+            dog.watch(format!("tsp.best{i}"), Arc::clone(&b.lock) as Arc<dyn HealthProbe>);
+        }
         dog.spawn(Duration::from_millis(100))
     });
 
@@ -239,65 +662,96 @@ pub fn solve_native(inst: &TspInstance, cfg: NativeTspConfig) -> NativeResult {
         for worker in 0..searchers {
             let sh = &shared;
             let max_retries = cfg.max_retries;
-            scope.spawn(move || searcher_resilient(sh, worker, searchers, max_retries));
+            let retune = cfg.retune.clone();
+            scope.spawn(move || {
+                searcher_resilient(sh, worker, searchers, max_retries, retune)
+            });
         }
     });
 
     // Every worker died with work outstanding: finish the search here.
     // No injection on this path — it is the recovery of last resort.
     let mut residual_drained = 0u64;
-    if !shared.done.load(Ordering::Acquire) && shared.qlen.load(Ordering::Acquire) > 0 {
+    if !shared.done.load(Ordering::Acquire) && shared.work_visible() {
         residual_drained = drain_residual(&shared);
     }
     let elapsed = t0.elapsed();
     drop(watchdog); // stop and join before reading final stats
 
-    let result = NativeResult {
-        best: *shared.best.lock(),
-        stats: *shared.stats.lock(),
+    let per_queue_locks: Vec<MutexStats> =
+        shared.queues.iter().map(|q| q.lock.stats()).collect();
+    let best = shared
+        .best
+        .iter()
+        .map(|b| *b.lock.lock())
+        .min()
+        .unwrap_or(INF);
+    let stats = *shared.stats.lock();
+    NativeResult {
+        best,
+        stats,
         elapsed,
-        queue_lock: shared.queue.stats(),
-        best_lock: shared.best.stats(),
+        queue_lock: merge_mutex_stats(per_queue_locks.iter()),
+        best_lock: merge_mutex_stats(
+            shared.best.iter().map(|b| b.lock.stats()).collect::<Vec<_>>().iter(),
+        ),
+        per_queue_locks,
+        steals: shared.steals.load(Ordering::Relaxed),
+        steal_failures: shared.steal_failures.load(Ordering::Relaxed),
+        transfers: shared.transfers.load(Ordering::Relaxed),
+        balance_pushes: shared.balance_pushes.load(Ordering::Relaxed),
+        orphaned: shared.orphaned.load(Ordering::Relaxed),
         worker_panics: shared.worker_panics.load(Ordering::Relaxed),
         workers_died: shared.workers_died.load(Ordering::Relaxed),
         requeued: shared.requeued.load(Ordering::Relaxed),
         dropped: shared.dropped.load(Ordering::Relaxed),
         poison_recoveries: shared.poison_recoveries.load(Ordering::Relaxed),
         residual_drained,
-    };
-    result
-}
-
-/// The subproblem a searcher is currently expanding, held by the
-/// supervisor so a panic mid-expansion cannot lose it.
-struct InFlight {
-    sp: SubProblem,
-    attempts: u32,
+        retunes: shared.retunes.load(Ordering::Relaxed),
+    }
 }
 
 /// Supervisor wrapping [`searcher_loop`]: catches panics, repairs the
 /// shared state, requeues lost work, and decides whether the worker
 /// resumes (transient panic) or retires ([`WorkerKilled`]).
-fn searcher_resilient(sh: &Shared, worker: usize, total: usize, max_retries: u32) {
+fn searcher_resilient(
+    sh: &Shared,
+    worker: usize,
+    total: usize,
+    max_retries: u32,
+    retune: Option<RetunePlan>,
+) {
     let doom = sh.faults.as_ref().and_then(|p| p.worker_doom(worker, total));
     let mut steps = 0u64;
-    let mut in_flight: Option<InFlight> = None;
+    let mut in_flight: Vec<InFlight> = Vec::new();
     let mut local = SearchStats::default();
     // Whether the worker currently counts itself in `sh.active`; a death
     // in the idle loop (already retired) must not decrement again.
     let active = std::cell::Cell::new(true);
     loop {
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            searcher_loop(sh, &mut in_flight, &mut local, &mut steps, &active, doom, worker)
+            searcher_loop(
+                sh,
+                &mut in_flight,
+                &mut local,
+                &mut steps,
+                &active,
+                doom,
+                worker,
+                retune.as_ref(),
+            )
         }));
         match outcome {
             Ok(()) => break, // clean termination
             Err(payload) => {
                 sh.worker_panics.fetch_add(1, Ordering::Relaxed);
                 sh.recover_after_panic();
-                if let Some(lost) = in_flight.take() {
+                // Requeue everything the panic caught in our hands: the
+                // item under expansion and/or a stolen batch in transit.
+                let home = sh.home(worker);
+                for lost in in_flight.drain(..) {
                     if lost.attempts < max_retries {
-                        sh.requeue(lost.sp, lost.attempts + 1);
+                        sh.requeue(home, lost.sp, lost.attempts + 1);
                         sh.requeued.fetch_add(1, Ordering::Relaxed);
                     } else {
                         sh.dropped.fetch_add(1, Ordering::Relaxed);
@@ -305,11 +759,18 @@ fn searcher_resilient(sh: &Shared, worker: usize, total: usize, max_retries: u32
                 }
                 if payload.is::<WorkerKilled>() {
                     sh.workers_died.fetch_add(1, Ordering::Relaxed);
+                    // Whatever sits in our local ring queue is now
+                    // orphaned: visible through the mirrors, stolen by
+                    // peers or drained by the caller — never lost.
+                    if sh.variant != NativeVariant::Centralized {
+                        let left = sh.queues[home].mirror_len() as u64;
+                        sh.orphaned.fetch_add(left, Ordering::Relaxed);
+                    }
                     // Retire permanently. The requeue above ran first, so
                     // idle peers see the work before they see the retirement.
                     if active.get()
                         && sh.active.fetch_sub(1, Ordering::AcqRel) == 1
-                        && sh.qlen.load(Ordering::Acquire) == 0
+                        && !sh.work_visible()
                     {
                         sh.done.store(true, Ordering::Release);
                     }
@@ -326,14 +787,16 @@ fn searcher_resilient(sh: &Shared, worker: usize, total: usize, max_retries: u32
     agg.pruned += local.pruned;
 }
 
+#[allow(clippy::too_many_arguments)] // internal: the worker's full context
 fn searcher_loop(
     sh: &Shared,
-    in_flight: &mut Option<InFlight>,
+    in_flight: &mut Vec<InFlight>,
     local: &mut SearchStats,
     steps: &mut u64,
     active: &std::cell::Cell<bool>,
     doom: Option<u64>,
     worker: usize,
+    retune: Option<&RetunePlan>,
 ) {
     'outer: loop {
         // A doomed worker dies here, between work items: no locks held,
@@ -341,19 +804,19 @@ fn searcher_loop(
         if doom.is_some_and(|after| *steps >= after) {
             std::panic::panic_any(WorkerKilled { worker });
         }
-        debug_assert!(in_flight.is_none(), "previous item fully processed");
-        let item = {
-            let mut q = sh.queue.lock();
-            let it = q.pop();
-            sh.qlen.store(q.len(), Ordering::Release);
-            it
-        };
-        let Some(item) = item else {
-            // Retire from the active count; the last one out with an
-            // empty queue ends the search.
-            if sh.active.fetch_sub(1, Ordering::AcqRel) == 1
-                && sh.qlen.load(Ordering::Acquire) == 0
-            {
+        if worker == 0 {
+            if let Some(plan) = retune {
+                if plan.every_steps > 0 && *steps > 0 && (*steps).is_multiple_of(plan.every_steps)
+                {
+                    sh.apply_retune(plan, *steps / plan.every_steps);
+                }
+            }
+        }
+        debug_assert!(in_flight.is_empty(), "previous item fully processed");
+        if !sh.take_work(worker, in_flight) {
+            // Retire from the active count; the last one out with every
+            // queue empty ends the search.
+            if sh.active.fetch_sub(1, Ordering::AcqRel) == 1 && !sh.work_visible() {
                 sh.done.store(true, Ordering::Release);
             }
             active.set(false);
@@ -367,7 +830,7 @@ fn searcher_loop(
                     }
                     break 'outer;
                 }
-                if sh.qlen.load(Ordering::Acquire) > 0 {
+                if sh.work_visible() {
                     sh.active.fetch_add(1, Ordering::AcqRel);
                     active.set(true);
                     continue 'outer;
@@ -381,41 +844,27 @@ fn searcher_loop(
                 }
                 std::thread::yield_now();
             }
-        };
-        // From here until the item is fully expanded, a panic loses it:
-        // park it with the supervisor.
-        *in_flight = Some(InFlight {
-            sp: item.sp,
-            attempts: item.attempts,
-        });
-        let sp = &in_flight
-            .as_ref()
-            .expect("stored on the previous line")
-            .sp;
+        }
+        // From here until the item is fully expanded it sits in the
+        // in-flight stash; a panic anywhere below requeues it.
+        let bound = in_flight[0].sp.bound;
 
-        let pruned = {
-            let b = sh.best.lock();
-            sh.maybe_die_in_cs();
-            item.bound >= *b
-        };
-        if pruned {
+        if bound >= sh.read_best(worker) {
             local.pruned += 1;
-            *in_flight = None;
+            in_flight.clear();
             *steps += 1;
             continue;
         }
         local.expanded += 1;
-        match sp.expand() {
+        match in_flight[0].sp.expand() {
             Expansion::Tour { cost, .. } => {
                 local.tours += 1;
-                let mut b = sh.best.lock();
-                sh.maybe_die_in_cs();
-                if cost < *b {
-                    *b = cost;
+                if cost < sh.read_best(worker) {
+                    sh.publish_best(worker, cost);
                 }
             }
             Expansion::Children(children) => {
-                let incumbent = *sh.best.lock();
+                let incumbent = sh.read_best(worker);
                 let fresh: Vec<SubProblem> = children
                     .into_iter()
                     .filter(|c| {
@@ -428,43 +877,33 @@ fn searcher_loop(
                         }
                     })
                     .collect();
-                if !fresh.is_empty() {
-                    let mut q = sh.queue.lock();
-                    sh.maybe_die_in_cs();
-                    for sp in fresh {
-                        q.push(QItem {
-                            bound: sp.bound,
-                            seq: sh.seq.fetch_add(1, Ordering::Relaxed),
-                            attempts: 0,
-                            sp,
-                        });
-                    }
-                    sh.qlen.store(q.len(), Ordering::Release);
-                }
+                sh.push_children(worker, fresh);
             }
             Expansion::Dead => {}
         }
-        *in_flight = None;
+        in_flight.clear();
         *steps += 1;
     }
 }
 
 /// Sequential drain of whatever the (all-dead) workers left behind, on
-/// the caller's thread. Fault-free by construction. Returns the number
-/// of items processed.
+/// the caller's thread, across every queue. Fault-free by construction.
+/// Returns the number of items processed.
 fn drain_residual(sh: &Shared) -> u64 {
     let mut local = SearchStats::default();
     let mut processed = 0u64;
-    loop {
-        let item = {
-            let mut q = sh.queue.lock();
-            let it = q.pop();
-            sh.qlen.store(q.len(), Ordering::Release);
-            it
-        };
-        let Some(item) = item else { break };
+    let s = sh.queues.len();
+    'drain: loop {
+        let mut item = None;
+        for q in 0..s {
+            if let Some(it) = sh.pop_local(q) {
+                item = Some(it);
+                break;
+            }
+        }
+        let Some(item) = item else { break 'drain };
         processed += 1;
-        if item.bound >= *sh.best.lock() {
+        if item.bound >= sh.read_best(0) {
             local.pruned += 1;
             continue;
         }
@@ -472,28 +911,25 @@ fn drain_residual(sh: &Shared) -> u64 {
         match item.sp.expand() {
             Expansion::Tour { cost, .. } => {
                 local.tours += 1;
-                let mut b = sh.best.lock();
-                if cost < *b {
-                    *b = cost;
+                if cost < sh.read_best(0) {
+                    sh.publish_best(0, cost);
                 }
             }
             Expansion::Children(children) => {
-                let incumbent = *sh.best.lock();
-                for c in children {
-                    if c.bound < incumbent {
-                        local.generated += 1;
-                        let mut q = sh.queue.lock();
-                        q.push(QItem {
-                            bound: c.bound,
-                            seq: sh.seq.fetch_add(1, Ordering::Relaxed),
-                            attempts: 0,
-                            sp: c,
-                        });
-                        sh.qlen.store(q.len(), Ordering::Release);
-                    } else {
-                        local.pruned += 1;
-                    }
-                }
+                let incumbent = sh.read_best(0);
+                let fresh: Vec<SubProblem> = children
+                    .into_iter()
+                    .filter(|c| {
+                        if c.bound < incumbent {
+                            local.generated += 1;
+                            true
+                        } else {
+                            local.pruned += 1;
+                            false
+                        }
+                    })
+                    .collect();
+                sh.push_batch(0, fresh);
             }
             Expansion::Dead => {}
         }
@@ -539,6 +975,58 @@ mod tests {
     }
 
     #[test]
+    fn all_three_structures_find_the_optimum() {
+        let inst = TspInstance::random_symmetric(9, 100, 13);
+        let oracle = inst.held_karp();
+        for variant in NativeVariant::ALL {
+            for searchers in [1, 2, 4] {
+                let res = solve_native(
+                    &inst,
+                    NativeTspConfig {
+                        searchers,
+                        variant,
+                        ..NativeTspConfig::default()
+                    },
+                );
+                assert_eq!(res.best, oracle, "{} x{searchers}", variant.label());
+                assert_eq!(
+                    res.per_queue_locks.len(),
+                    if variant == NativeVariant::Centralized { 1 } else { searchers },
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_structures_steal_work_through_the_ring() {
+        // The root seeds queue 0; every other searcher must steal to
+        // participate at all. The instance needs a search tree that
+        // outlasts a scheduler quantum on a single-core host (~1.7k
+        // expansions here), or searcher 0 can finish the whole search
+        // before the others ever run.
+        let inst = TspInstance::random_euclidean(14, 500, 3);
+        let (oracle, _) = crate::solve_sequential(&inst);
+        for variant in [NativeVariant::Distributed, NativeVariant::Balanced] {
+            let res = solve_native(
+                &inst,
+                NativeTspConfig {
+                    searchers: 4,
+                    variant,
+                    transfer_refs: 2,
+                    ..NativeTspConfig::default()
+                },
+            );
+            assert_eq!(res.best, oracle, "{}", variant.label());
+            assert!(res.steals > 0, "{}: ring steals must happen", variant.label());
+            assert!(
+                res.transfers >= res.steals,
+                "{}: each steal moves >= 1 item",
+                variant.label()
+            );
+        }
+    }
+
+    #[test]
     fn native_solver_matches_the_simulated_solver() {
         let inst = TspInstance::random_euclidean(10, 500, 21);
         let (seq, _) = crate::solve_sequential(&inst);
@@ -560,6 +1048,28 @@ mod tests {
         // Every pop and push goes through the queue lock.
         assert!(res.queue_lock.acquisitions > res.stats.expanded);
         assert!(res.best_lock.acquisitions > 0);
+        assert_eq!(res.per_queue_locks.len(), 1);
+        assert_eq!(
+            res.per_queue_locks[0].acquisitions,
+            res.queue_lock.acquisitions
+        );
+    }
+
+    #[test]
+    fn retune_plan_fires_mid_run() {
+        let inst = TspInstance::random_euclidean(12, 500, 3);
+        let oracle = inst.held_karp();
+        let res = solve_native(
+            &inst,
+            NativeTspConfig {
+                searchers: 4,
+                variant: NativeVariant::Distributed,
+                retune: Some(RetunePlan::full_cycle(8)),
+                ..NativeTspConfig::default()
+            },
+        );
+        assert_eq!(res.best, oracle);
+        assert!(res.retunes > 0, "the retune plan must actually fire");
     }
 
     #[test]
@@ -620,5 +1130,25 @@ mod tests {
         assert_eq!(res.best, oracle, "the residual drain must finish the search");
         assert_eq!(res.workers_died, 3, "every worker dies");
         assert!(res.residual_drained > 0, "the caller drained the residue");
+    }
+
+    #[test]
+    fn distributed_total_worker_loss_drains_every_queue() {
+        let inst = TspInstance::random_symmetric(10, 100, 29);
+        let oracle = inst.held_karp();
+        for variant in [NativeVariant::Distributed, NativeVariant::Balanced] {
+            let plan = Arc::new(FaultPlan::new(FaultSpec::seeded(37).with_worker_kills(100, 2)));
+            let res = solve_native(
+                &inst,
+                NativeTspConfig {
+                    searchers: 3,
+                    variant,
+                    faults: Some(Arc::clone(&plan)),
+                    ..NativeTspConfig::default()
+                },
+            );
+            assert_eq!(res.best, oracle, "{}: residual drain over the ring", variant.label());
+            assert_eq!(res.workers_died, 3);
+        }
     }
 }

@@ -151,6 +151,52 @@ impl WorkQueue {
         e.map(|e| e.sp)
     }
 
+    /// Steal-aware batched pop: take up to `max` best subproblems in one
+    /// `qlock` critical section. Each item moved charges the queue's
+    /// transfer references; an empty probe charges one read. This is the
+    /// transfer primitive of the distributed structures — one lock hold
+    /// amortized over a whole batch instead of `max` lock cycles.
+    pub fn pop_batch(&self, max: usize) -> Vec<SubProblem> {
+        let mut out = Vec::new();
+        {
+            let mut heap = self.heap();
+            for _ in 0..max {
+                match heap.pop() {
+                    Some(e) => out.push(e.sp),
+                    None => break,
+                }
+            }
+        }
+        if out.is_empty() {
+            ctx::charge_mem(ctx::MemOp::Read, self.home);
+        } else {
+            for _ in 0..out.len() {
+                self.charge(ctx::MemOp::Read);
+            }
+        }
+        out
+    }
+
+    /// Batched push: enqueue several subproblems in one `qlock` critical
+    /// section, charging transfer references per item.
+    pub fn push_batch(&self, sps: Vec<SubProblem>) {
+        if sps.is_empty() {
+            return;
+        }
+        for _ in 0..sps.len() {
+            self.charge(ctx::MemOp::Write);
+        }
+        let mut heap = self.heap();
+        for sp in sps {
+            let seq = self.seq.fetch_add(1, AOrd::Relaxed);
+            heap.push(QEntry {
+                bound: sp.bound,
+                seq,
+                sp,
+            });
+        }
+    }
+
     /// Remote-visible emptiness probe (one charged read).
     pub fn looks_empty(&self) -> bool {
         ctx::charge_mem(ctx::MemOp::Read, self.home);
@@ -313,6 +359,31 @@ mod tests {
         });
         assert_eq!(delta.0, 8);
         assert_eq!(delta.1, 8);
+    }
+
+    #[test]
+    fn batched_transfer_is_best_first_and_charged_per_item() {
+        let out = in_sim(|| {
+            let inst = TspInstance::random_symmetric(6, 100, 1);
+            let q = WorkQueue::new(ctx::current_node(), 2);
+            let mk = |b: u32| {
+                let mut sp = SubProblem::root(&inst);
+                sp.bound = b;
+                sp
+            };
+            q.push_batch(vec![mk(30), mk(10), mk(20)]);
+            let before = ctx::cost_meter();
+            let got = q.pop_batch(2);
+            let reads = (ctx::cost_meter() - before).reads();
+            let bounds: Vec<u32> = got.iter().map(|s| s.bound).collect();
+            let rest = q.pop_batch(5).len();
+            let empty = q.pop_batch(3).len();
+            (bounds, reads, rest, empty)
+        });
+        assert_eq!(out.0, vec![10, 20], "batch pops best-first");
+        assert_eq!(out.1, 4, "2 items x 2 transfer refs");
+        assert_eq!(out.2, 1, "short batch returns what is there");
+        assert_eq!(out.3, 0, "empty batch is empty");
     }
 
     #[test]

@@ -63,6 +63,10 @@ pub struct TspConfig {
     pub expand_ns_per_cell: u64,
     /// Simulated references charged per subproblem moved through a queue.
     pub transfer_refs: u32,
+    /// Balanced only: how many subproblems the load-balancing rule pulls
+    /// from the neighbor queue per take, in one batched transfer (one
+    /// `qlock` cycle on each side instead of one per item).
+    pub balance_batch: usize,
     /// How long an out-of-work searcher sleeps between re-checks.
     pub idle_backoff: Duration,
     /// Record locking patterns for `qlock` and `glob-act-lock`
@@ -82,6 +86,7 @@ impl Default for TspConfig {
             // descriptor, not the matrix (which is read during the
             // charged expansion work).
             transfer_refs: 1,
+            balance_batch: 1,
             idle_backoff: Duration::micros(300),
             trace_locks: false,
         }
@@ -171,9 +176,7 @@ impl App {
         }
         let q = self.queue_of(me);
         self.qlocks[q].lock();
-        for sp in sps {
-            self.queues[q].push(sp);
-        }
+        self.queues[q].push_batch(sps);
         self.qlocks[q].unlock();
     }
 
@@ -204,14 +207,20 @@ impl App {
                 None
             }
             Variant::Balanced => {
-                // Load balancing: pull one subproblem from the next
-                // processor's queue into the local queue, then take the
-                // local best.
+                // Load balancing: pull a batch of subproblems from the
+                // next processor's queue into the local queue (one
+                // `qlock` cycle per side), then take the local best.
                 let s = self.queues.len();
                 let next = (me + 1) % s;
                 if s > 1 && !self.queues[next].looks_empty() {
-                    if let Some(sp) = self.pop_from(next) {
-                        self.push_work(me, sp);
+                    let batch = {
+                        self.qlocks[next].lock();
+                        let batch = self.queues[next].pop_batch(self.cfg.balance_batch.max(1));
+                        self.qlocks[next].unlock();
+                        batch
+                    };
+                    if !batch.is_empty() {
+                        self.push_work_batch(me, batch);
                     }
                 }
                 if let Some(sp) = self.pop_from(me) {
@@ -505,6 +514,23 @@ mod tests {
             let (best, oracle) = run_variant(Variant::Balanced, LockImpl::Blocking, 9, seed);
             assert_eq!(best, oracle, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn balanced_with_batched_transfer_finds_optimum() {
+        let inst = TspInstance::random_symmetric(9, 100, 7);
+        let oracle = inst.held_karp();
+        let cfg = TspConfig {
+            searchers: 4,
+            lock_impl: LockImpl::Blocking,
+            balance_batch: 3,
+            ..TspConfig::default()
+        };
+        let (res, _) = sim::run(SimConfig::butterfly(4), move || {
+            solve_parallel(&inst, Variant::Balanced, cfg)
+        })
+        .unwrap();
+        assert_eq!(res.best, oracle);
     }
 
     #[test]

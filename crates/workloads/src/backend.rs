@@ -84,6 +84,10 @@ pub struct ContentionPoint {
     pub cs_nanos: u64,
     /// Total execution time (virtual ns on sim, wall ns on native).
     pub total_nanos: u64,
+    /// Native only: more worker threads than host hardware parallelism,
+    /// so the point measures scheduler time-slicing, not contention.
+    /// Always `false` for the simulator, which models its own processors.
+    pub oversubscribed: bool,
     /// Lock acquisitions per second of (virtual or wall) time.
     pub throughput_per_sec: f64,
     /// Mean time per acquisition across all threads (ns).
@@ -112,6 +116,8 @@ pub fn run_contention(backend: Backend, spec: &ContentionSpec) -> ContentionPoin
         threads: spec.threads,
         cs_nanos: spec.cs_nanos,
         total_nanos,
+        oversubscribed: matches!(backend, Backend::Native)
+            && spec.threads > std::thread::available_parallelism().map_or(1, |n| n.get()),
         throughput_per_sec: ops as f64 / (total_nanos.max(1) as f64 / 1e9),
         mean_latency_nanos: total_nanos as f64 / ops.max(1) as f64,
     }

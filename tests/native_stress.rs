@@ -37,7 +37,9 @@ use adaptive_objects::native::{
     NativeSimpleAdapt, NativeWaitingPolicy, SPIN_FOREVER,
 };
 use adaptive_objects::sim::ThreadId;
-use adaptive_objects::tsp::{solve_native, solve_sequential, NativeTspConfig, TspInstance};
+use adaptive_objects::tsp::{
+    solve_native, solve_sequential, NativeTspConfig, NativeVariant, RetunePlan, TspInstance,
+};
 
 /// The state protected by the mutex in these tests: a holder counter
 /// checked for mutual exclusion plus the count of completed critical
@@ -432,40 +434,78 @@ fn demo_faulted_tsp_stays_exact_with_quarter_of_workers_dead() {
         assert_eq!(oracle.counts().poisons, plan.report().cs_panics);
     }
 
-    // Part 2 — the solver under the same spec: 2 of 8 searchers die,
-    // CS panics poison the shared locks mid-expansion, and the answer
-    // is still exact.
+    // Part 2 — the solver under the same spec, once per program
+    // structure: 2 of 8 searchers die, CS panics poison the shared locks
+    // mid-expansion, and every structure's answer is still exact.
     let inst = TspInstance::random_euclidean(11, 500, 42);
     let (optimal, _) = solve_sequential(&inst);
-    let run = || {
-        let plan = Arc::new(FaultPlan::new(spec));
-        let res = solve_native(
-            &inst,
-            NativeTspConfig {
-                searchers: 8,
-                faults: Some(Arc::clone(&plan)),
-                ..NativeTspConfig::default()
-            },
+    for variant in NativeVariant::ALL {
+        let run = || {
+            let plan = Arc::new(FaultPlan::new(spec));
+            let res = solve_native(
+                &inst,
+                NativeTspConfig {
+                    searchers: 8,
+                    variant,
+                    faults: Some(Arc::clone(&plan)),
+                    ..NativeTspConfig::default()
+                },
+            );
+            (res, plan.report())
+        };
+
+        let label = variant.label();
+        let (a, ra) = run();
+        assert_eq!(a.best, optimal, "{label}: search must stay exact under faults");
+        assert_eq!(a.workers_died, 2, "{label}: exactly 25% of 8 workers die");
+        assert_eq!(a.worker_panics, a.workers_died + ra.cs_panics, "{label}");
+        assert_eq!(a.dropped, 0, "{label}: the retry budget must absorb every panic");
+        assert!(ra.cs_panics > 0, "{label}: the CS-panic stream never fired");
+        assert!(
+            a.poison_recoveries > 0,
+            "{label}: poisoned shared locks must report recovery"
         );
-        (res, plan.report())
-    };
 
-    let (a, ra) = run();
-    assert_eq!(a.best, optimal, "search must stay exact under faults");
-    assert_eq!(a.workers_died, 2, "exactly 25% of 8 workers die");
-    assert_eq!(a.worker_panics, a.workers_died + ra.cs_panics);
-    assert_eq!(a.dropped, 0, "the retry budget must absorb every panic");
-    assert!(ra.cs_panics > 0, "the CS-panic stream never fired");
-    assert!(
-        a.poison_recoveries > 0,
-        "poisoned shared locks must report recovery"
-    );
+        // Deterministic under the fixed seed: the doomed-worker set, the
+        // exactness of the answer, and the recovery guarantees reproduce.
+        let (b, rb) = run();
+        assert_eq!(b.best, a.best, "{label}");
+        assert_eq!(b.workers_died, a.workers_died, "{label}");
+        assert_eq!(b.dropped, a.dropped, "{label}");
+        assert!(rb.cs_panics > 0 && b.poison_recoveries > 0, "{label}");
+    }
+}
 
-    // Deterministic under the fixed seed: the doomed-worker set, the
-    // exactness of the answer, and the recovery guarantees reproduce.
-    let (b, rb) = run();
-    assert_eq!(b.best, a.best);
-    assert_eq!(b.workers_died, a.workers_died);
-    assert_eq!(b.dropped, a.dropped);
-    assert!(rb.cs_panics > 0 && b.poison_recoveries > 0);
+/// ISSUE 4's stress sweep: the distributed ring structures at 8–10
+/// searcher threads (oversubscribed on small hosts) with the waiting
+/// policy of every `qlock` and best-tour lock reconfigured mid-run by a
+/// [`RetunePlan`] cycling pure-spin -> combined -> pure-blocking. The
+/// sequential solver is the oracle; distribution, stealing, load
+/// balancing, and retuning may change the clock, never the answer.
+#[test]
+fn distributed_structures_stay_exact_under_mid_run_retuning() {
+    let inst = TspInstance::random_euclidean(12, 500, 3);
+    let (optimal, _) = solve_sequential(&inst);
+    for variant in [NativeVariant::Distributed, NativeVariant::Balanced] {
+        for searchers in [8usize, 10] {
+            let res = solve_native(
+                &inst,
+                NativeTspConfig {
+                    searchers,
+                    variant,
+                    retune: Some(RetunePlan::full_cycle(16)),
+                    ..NativeTspConfig::default()
+                },
+            );
+            let label = variant.label();
+            assert_eq!(res.best, optimal, "{label} x {searchers}");
+            assert_eq!(res.per_queue_locks.len(), searchers, "{label} x {searchers}");
+            assert!(res.retunes > 0, "{label} x {searchers}: retune plan never fired");
+            assert_eq!(res.dropped, 0, "{label} x {searchers}");
+            // Quiescence: the merged qlock books balance — every
+            // contended acquisition was eventually granted and released
+            // (a stranded waiter would have hung the solver's join).
+            assert!(res.queue_lock.acquisitions > 0, "{label} x {searchers}");
+        }
+    }
 }

@@ -97,6 +97,60 @@ proptest! {
     }
 }
 
+/// Fixed-seed regression for the distributed ring's interaction with
+/// worker death: a doomed searcher that dies with subproblems still in
+/// its local ring queue must not orphan them — the supervisor reports
+/// the stranded count, survivors steal the queue through the ring (or
+/// the caller drains it), and the tour stays optimal.
+#[test]
+fn dead_workers_nonempty_ring_queue_is_never_lost() {
+    use adaptive_objects::tsp::{
+        solve_native, solve_sequential, NativeTspConfig, NativeVariant, TspInstance,
+    };
+
+    // Every worker is doomed, with deaths staggered over steps 4..11 by
+    // the per-worker jitter. Partial kills are too polite for this
+    // regression: on an oversubscribed host the idle majority siphons a
+    // busy queue to ~zero between any two of its steps, so a lone doomed
+    // worker usually dies empty-handed. With a total kill the last
+    // searcher standing has no thieves left — it provably dies holding
+    // the remaining frontier in its home queue.
+    const SEED: u64 = 0x1993_0009;
+    let spec = FaultSpec::seeded(SEED).with_worker_kills(100, 4);
+    assert_eq!(
+        FaultPlan::new(spec).doomed_workers(8).len(),
+        8,
+        "fixture spec must doom the whole crew"
+    );
+
+    let inst = TspInstance::random_euclidean(12, 500, 3);
+    let (optimal, _) = solve_sequential(&inst);
+    for variant in [NativeVariant::Distributed, NativeVariant::Balanced] {
+        let plan = Arc::new(FaultPlan::new(spec));
+        let res = solve_native(
+            &inst,
+            NativeTspConfig {
+                searchers: 8,
+                variant,
+                faults: Some(Arc::clone(&plan)),
+                ..NativeTspConfig::default()
+            },
+        );
+        let label = variant.label();
+        assert_eq!(res.best, optimal, "{label}: a dead worker's queue was lost");
+        assert_eq!(res.workers_died, 8, "{label}: every doomed worker must die");
+        assert!(
+            res.orphaned > 0,
+            "{label}: doomed workers died with empty queues; the regression scenario never ran"
+        );
+        assert!(
+            res.residual_drained > 0,
+            "{label}: the caller must drain what the dead crew left behind"
+        );
+        assert_eq!(res.dropped, 0, "{label}: every subproblem must be recovered");
+    }
+}
+
 /// One feedback-loop sample as seen by the policy: the observed waiting
 /// count and the decision it produced.
 type Sample = (u64, Option<NativeDecision>);

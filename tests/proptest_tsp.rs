@@ -75,6 +75,37 @@ proptest! {
     }
 
     #[test]
+    fn native_structures_all_find_the_optimum(
+        n in 6usize..9,
+        seed in any::<u64>(),
+        euclidean in any::<bool>(),
+        searchers in 2usize..5,
+    ) {
+        // The OS-thread solver's three program structures (centralized,
+        // distributed ring, distributed + load balancing) must agree
+        // with the sequential solver on arbitrary instances, under real
+        // scheduler nondeterminism.
+        use adaptive_objects::tsp::{solve_native, NativeTspConfig, NativeVariant};
+        let inst = if euclidean {
+            TspInstance::random_euclidean(n, 500, seed)
+        } else {
+            TspInstance::random_symmetric(n, 100, seed)
+        };
+        let (oracle, _) = tsp_app::solve_sequential(&inst);
+        for variant in NativeVariant::ALL {
+            let res = solve_native(&inst, NativeTspConfig {
+                searchers,
+                variant,
+                ..NativeTspConfig::default()
+            });
+            prop_assert_eq!(res.best, oracle, "structure {}", variant.label());
+            let queues = if variant == NativeVariant::Centralized { 1 } else { searchers };
+            prop_assert_eq!(res.per_queue_locks.len(), queues);
+            prop_assert_eq!(res.dropped, 0);
+        }
+    }
+
+    #[test]
     fn distributed_never_misses_work(
         n in 6usize..9,
         seed in any::<u64>(),
