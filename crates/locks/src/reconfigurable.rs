@@ -182,11 +182,21 @@ impl ReconfigurableLock {
             }
             probes = probes.saturating_add(1);
             if policy.blocks() && probes > policy.spin {
-                parked.store(true, Ordering::SeqCst);
+                // Release (not SeqCst): no store-buffering hazard here —
+                // `flag` is a `SimWord` whose load/store lock an internal
+                // mutex, so a waiter that re-reads `flag == 0` had its
+                // critical section *before* the granter's `flag.store(1)`,
+                // and the mutex edge makes this store visible to the
+                // granter's subsequent `parked` load. Ordering on
+                // `parked` itself is only publish intent.
+                parked.store(true, Ordering::Release);
                 // Re-check after publishing `parked` so a racing grant
                 // either sees the flag read or unparks us.
                 if flag.load() == 1 {
-                    parked.store(false, Ordering::SeqCst);
+                    // Same-variable coherence only; a granter reading a
+                    // stale `true` at worst issues a spurious unpark,
+                    // which the next park consumes as a permit.
+                    parked.store(false, Ordering::Relaxed);
                     return;
                 }
                 if policy.sleep >= SLEEP_FOREVER {
@@ -194,7 +204,7 @@ impl ReconfigurableLock {
                 } else {
                     ctx::park_timeout(policy.sleep);
                 }
-                parked.store(false, Ordering::SeqCst);
+                parked.store(false, Ordering::Relaxed);
                 probes = 0; // re-spin after each sleep episode
             } else if policy.delay > Duration::ZERO {
                 // Flat inter-probe delay (the delay-time attribute); the
@@ -312,9 +322,12 @@ impl ReconfigurableLock {
             }
             probes = probes.saturating_add(1);
             if policy.blocks() && probes > policy.spin {
-                parked.store(true, Ordering::SeqCst);
+                // Release/Relaxed pair: see the ordering note in
+                // `wait_for_grant` — the `flag` mutex supplies the
+                // happens-before edge that defeats the lost wakeup.
+                parked.store(true, Ordering::Release);
                 if flag.load() == 1 {
-                    parked.store(false, Ordering::SeqCst);
+                    parked.store(false, Ordering::Relaxed);
                     break true;
                 }
                 let episode = if policy.sleep >= SLEEP_FOREVER {
@@ -323,7 +336,7 @@ impl ReconfigurableLock {
                     policy.sleep
                 };
                 ctx::park_timeout(episode);
-                parked.store(false, Ordering::SeqCst);
+                parked.store(false, Ordering::Relaxed);
                 probes = 0;
             } else if policy.delay > Duration::ZERO {
                 ctx::advance(policy.delay);
@@ -514,7 +527,10 @@ impl Lock for ReconfigurableLock {
                     o.on_grant(w.tid);
                 }
                 w.flag.store(1); // grant: write to the waiter's node
-                if w.parked.load(Ordering::SeqCst) {
+                // Acquire pairs with the waiter's Release publish of
+                // `parked`; if the waiter missed this grant, the `flag`
+                // mutex edge guarantees we read `true` here and unpark.
+                if w.parked.load(Ordering::Acquire) {
                     ctx::unpark(w.tid);
                 }
                 self.guard_release();

@@ -189,7 +189,12 @@ impl RwLock {
             match granted {
                 Some(w) => {
                     w.flag.store(1);
-                    if w.parked.load(Ordering::SeqCst) {
+                    // Acquire pairs with the waiter's Release publish of
+                    // `parked`; a waiter that missed this grant had its
+                    // `flag` read before our store (the `SimWord` mutex
+                    // orders the two critical sections), so its `true`
+                    // is visible here and the unpark is delivered.
+                    if w.parked.load(Ordering::Acquire) {
                         ctx::unpark(w.tid);
                     }
                     // A granted writer excludes everything else.
@@ -261,13 +266,18 @@ impl RwLock {
         while flag.load() == 0 {
             probes += 1;
             if probes > 4 {
-                parked.store(true, Ordering::SeqCst);
+                // Release publish + mutex-protected `flag` re-check: the
+                // lost-wakeup race is settled by the `SimWord` mutex (see
+                // the granter's note), so SeqCst's total order buys
+                // nothing. The `false` resets need only same-variable
+                // coherence; a stale `true` costs one spurious unpark.
+                parked.store(true, Ordering::Release);
                 if flag.load() == 1 {
-                    parked.store(false, Ordering::SeqCst);
+                    parked.store(false, Ordering::Relaxed);
                     break;
                 }
                 ctx::park();
-                parked.store(false, Ordering::SeqCst);
+                parked.store(false, Ordering::Relaxed);
             }
         }
         match want {

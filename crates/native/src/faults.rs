@@ -20,6 +20,12 @@
 //! a [`FaultReport`] so a test can assert the sweep actually exercised
 //! the failure paths it claims to cover.
 //!
+//! Memory-ordering audit: no `SeqCst` here either. The decision
+//! sequencers and injection tallies are all Relaxed `fetch_add`s — each
+//! site's stream only needs per-counter atomicity (same-variable
+//! modification order), and [`FaultPlan::report`] is read after the
+//! harness joins its workers, so no cross-variable ordering is required.
+//!
 //! [`LockOracle`]: https://docs.rs/adaptive-locks
 
 use std::sync::atomic::{AtomicU64, Ordering};

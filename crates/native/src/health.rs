@@ -16,6 +16,12 @@
 //! ([`Watchdog::poll`]), so tests can drive it deterministically;
 //! [`Watchdog::spawn`] wraps it in a background thread for production
 //! use.
+//!
+//! Memory-ordering audit: no `SeqCst` anywhere in this module. The
+//! `stop` flag is a Release store / Acquire load pair (the poller must
+//! observe everything published before shutdown), and the probe
+//! counters are Relaxed (monotonic telemetry; exactness is only needed
+//! after the poller thread is joined).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;

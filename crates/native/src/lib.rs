@@ -39,14 +39,17 @@
 mod faults;
 mod health;
 mod mutex;
+mod pad;
 mod parker;
 mod policy;
+mod stats;
 
 pub use faults::{FaultHook, FaultKind, FaultPlan, FaultReport, FaultSpec, WorkerKilled};
 pub use health::{HealthProbe, LockHealth, Watchdog, WatchdogEvent, WatchdogHandle};
 pub use mutex::{
     AdaptiveMutex, AdaptiveMutexGuard, BoxedNativePolicy, MutexStats, Poisoned, SPIN_FOREVER,
 };
+pub use pad::CachePadded;
 pub use policy::{
     FixedPolicy, NativeDecision, NativeObservation, NativeSimpleAdapt, NativeWaitingPolicy,
     PolicyChoice,

@@ -26,6 +26,16 @@
 //!   `WAITING -> GRANTED` grant CAS; exactly one side wins, so no lock is
 //!   ever lost or double-granted. Abandoned nodes are pruned lazily by
 //!   the next contended release (or when the mutex is dropped).
+//!
+//! Memory layout follows the paper's `n1·R + n2·W` cost model (DESIGN.md
+//! §12): the state word, the attribute set, the waiter count, and the
+//! feedback machinery each sit on their own [`CachePadded`] line, and
+//! the contention statistics live in per-thread-stripe slabs
+//! ([`crate::stats`]). The acquisition count shares the state line and
+//! is bumped with a plain load + store under the lock, and the sampling
+//! gate decides from that same count at acquire time — so an
+//! uncontended acquire/release touches exactly *one* line (the state
+//! line) and performs no RMW beyond its two CASes, sampled or not.
 
 #![allow(unsafe_code)] // UnsafeCell + intrusive queue: the point of a mutex.
 
@@ -36,12 +46,17 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering}
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
-use adaptive_core::{AdaptationPolicy, SamplingGate};
+use adaptive_core::AdaptationPolicy;
 
 use crate::faults::FaultHook;
 use crate::health::{HealthProbe, LockHealth};
+use crate::pad::CachePadded;
 use crate::parker::WaitNode;
 use crate::policy::{NativeDecision, NativeObservation, NativeSimpleAdapt, NativeWaitingPolicy};
+use crate::stats::{
+    StatSlabs, CONTENDED, HANDOFFS, HEALS, PARKED, POISON_CLEARS, POISON_EVENTS,
+    POLICY_PANICS, QUARANTINES, RECONFIGURATIONS, TIMEOUTS, TRY_FAILURES,
+};
 
 /// State-word bit: the lock is held.
 const LOCKED: usize = 0b01;
@@ -155,6 +170,30 @@ impl<G> std::fmt::Display for Poisoned<G> {
 
 impl<G> std::error::Error for Poisoned<G> {}
 
+/// Store `v` only if the cell holds something else; returns whether it
+/// stored. The load-compare keeps a re-affirming reconfiguration from
+/// dirtying a read-mostly line (a relaxed load of a line in shared
+/// state is core-local; any store claims it exclusive and invalidates
+/// every reader).
+fn store_if_changed_u32(cell: &AtomicU32, v: u32) -> bool {
+    if cell.load(Ordering::Relaxed) == v {
+        false
+    } else {
+        cell.store(v, Ordering::Relaxed);
+        true
+    }
+}
+
+/// `u64` twin of [`store_if_changed_u32`].
+fn store_if_changed_u64(cell: &AtomicU64, v: u64) -> bool {
+    if cell.load(Ordering::Relaxed) == v {
+        false
+    } else {
+        cell.store(v, Ordering::Relaxed);
+        true
+    }
+}
+
 /// The waiter list head + flag bits. A separate type so that dropping
 /// the mutex reclaims any abandoned (timed-out) nodes still linked in.
 struct QueueWord(AtomicUsize);
@@ -164,6 +203,18 @@ impl QueueWord {
     fn head(s: usize) -> *const WaitNode {
         (s & PTR_MASK) as *const WaitNode
     }
+}
+
+/// The state line: the queue word plus the acquisition count, padded
+/// together. The count is written with plain load + store — not an
+/// atomic RMW — because every writer holds the lock at the time, so the
+/// writes are serialized, and the release/acquire chain on the queue
+/// word makes each holder see its predecessor's store. Counting an
+/// acquisition is therefore two register-width moves on the very line
+/// the acquire CAS just made exclusive: zero extra cache traffic.
+struct StateLine {
+    word: QueueWord,
+    acquisitions: AtomicU64,
 }
 
 impl Drop for QueueWord {
@@ -179,9 +230,12 @@ impl Drop for QueueWord {
     }
 }
 
-/// The adaptive mutex.
-pub struct AdaptiveMutex<T> {
-    state: QueueWord,
+/// The waiting-attribute set `{spin, delay, timeout}`. Grouped on one
+/// read-mostly padded line: spinners re-read it, but it is only written
+/// on a reconfiguration (and [`AdaptiveMutex::apply`] skips the store
+/// when a decision re-affirms the current value), so in steady state
+/// the line is silently shared by every core.
+struct Attrs {
     /// `no-of-spins` attribute; `SPIN_FOREVER` = pure spin, `0` = pure
     /// blocking.
     spin_limit: AtomicU32,
@@ -190,17 +244,17 @@ pub struct AdaptiveMutex<T> {
     /// `timeout` attribute for conditional acquires, in nanoseconds
     /// (`0` = unbounded).
     timeout_nanos: AtomicU64,
-    /// Current number of waiting threads (the monitored state variable).
-    waiters: AtomicU32,
-    gate: SamplingGate,
+}
+
+/// The feedback loop's machinery, grouped on its own padded line so a
+/// sampled observation (policy guard, quarantine countdown, the policy
+/// box itself) never dirties the lines the acquire path reads.
+struct Feedback {
     /// Spin-guarded policy slot: samplers skip rather than contend.
-    policy_busy: AtomicBool,
-    policy: UnsafeCell<BoxedNativePolicy>,
-    /// Sticky poison flag: a holder panicked with the lock held.
-    poisoned: AtomicBool,
+    busy: AtomicBool,
     /// Remaining sampled observations to skip while adaptation is
     /// quarantined (`0` = adaptation enabled). Mutated under
-    /// `policy_busy` by the countdown; set by `quarantine` from any
+    /// `busy` by the countdown; set by `quarantine` from any
     /// thread (racing stores are benign — the longest quarantine wins
     /// or loses a few ticks, never the sticky safety: the snap to pure
     /// blocking already happened).
@@ -209,18 +263,69 @@ pub struct AdaptiveMutex<T> {
     quarantine_level: AtomicU32,
     /// Successful decides remaining until `quarantine_level` resets.
     probation: AtomicU64,
-    acquisitions: AtomicU64,
-    contended: AtomicU64,
-    parked: AtomicU64,
-    handoffs: AtomicU64,
-    reconfigurations: AtomicU64,
-    try_failures: AtomicU64,
-    timeouts: AtomicU64,
-    poison_events: AtomicU64,
-    poison_clears: AtomicU64,
-    policy_panics: AtomicU64,
-    quarantines: AtomicU64,
-    heals: AtomicU64,
+    policy: UnsafeCell<BoxedNativePolicy>,
+}
+
+/// The sampling cadence, classified once at construction so the hot
+/// path never pays a runtime divide: the common periods (powers of
+/// two, including the paper's every-other-unlock `2`) reduce to a
+/// mask, and the static-lock sentinels (`0`, `u64::MAX`) to a constant
+/// `false`.
+#[derive(Debug, Clone, Copy)]
+enum SampleGate {
+    /// The monitor never fires (period `0` or `u64::MAX` — static
+    /// locks whose policy is fixed).
+    Never,
+    /// Power-of-two period `p`: fires when `count & (p - 1) == 0`.
+    Mask(u64),
+    /// Arbitrary period: one integer divide per gate event.
+    Modulo(u64),
+}
+
+impl SampleGate {
+    fn new(period: u64) -> SampleGate {
+        match period {
+            0 | u64::MAX => SampleGate::Never,
+            p if p.is_power_of_two() => SampleGate::Mask(p - 1),
+            p => SampleGate::Modulo(p),
+        }
+    }
+
+    /// Whether the `count`-th event of its stream is a sample.
+    #[inline]
+    fn fires(self, count: u64) -> bool {
+        match self {
+            SampleGate::Never => false,
+            SampleGate::Mask(m) => count & m == 0,
+            SampleGate::Modulo(p) => count.is_multiple_of(p),
+        }
+    }
+}
+
+/// The adaptive mutex.
+///
+/// Field order is the cache layout (DESIGN.md §12): one exclusive line
+/// for the state word, one read-mostly line for the attributes, one
+/// write-on-contention line for the waiter count, a striped slab for
+/// the statistics, and one line for the feedback machinery. The cold
+/// tail (poison flag, sampling gate, fault hook, value) shares
+/// whatever is left.
+pub struct AdaptiveMutex<T> {
+    state: CachePadded<StateLine>,
+    attrs: CachePadded<Attrs>,
+    /// Current number of waiting threads (the monitored state variable).
+    /// Padded: contended acquires RMW it, and it must not invalidate
+    /// the state word's line when they do.
+    waiters: CachePadded<AtomicU32>,
+    /// Striped contention/failure counters (acquisitions live on the
+    /// state line instead).
+    stats: StatSlabs,
+    feedback: CachePadded<Feedback>,
+    /// Sticky poison flag: a holder panicked with the lock held.
+    poisoned: AtomicBool,
+    /// Monitor sampling cadence (immutable; every `period`-th gate
+    /// event *per stripe* feeds the policy).
+    gate: SampleGate,
     /// Optional fault-injection hook (tests); one relaxed load on the
     /// contended release and sampled-observation paths when unset.
     fault_hook: OnceLock<Arc<dyn FaultHook>>,
@@ -230,13 +335,17 @@ pub struct AdaptiveMutex<T> {
 // SAFETY: the mutex protocol guarantees at most one thread holds the
 // lock (single CAS winner or single status-word handoff grantee), and
 // only the holder touches `value` through the guard. The policy slot is
-// guarded by `policy_busy`.
+// guarded by `feedback.busy`.
 unsafe impl<T: Send> Send for AdaptiveMutex<T> {}
 unsafe impl<T: Send> Sync for AdaptiveMutex<T> {}
 
 /// RAII guard; releases (and runs the feedback loop) on drop.
 pub struct AdaptiveMutexGuard<'a, T> {
     mutex: &'a AdaptiveMutex<T>,
+    /// Whether this acquisition's unlock is a monitor sample. Decided
+    /// at acquire time from the same state-line count that records the
+    /// acquisition, so the release path does no counter work at all.
+    adapt: bool,
 }
 
 impl<T> AdaptiveMutex<T> {
@@ -255,33 +364,41 @@ impl<T> AdaptiveMutex<T> {
     ) -> AdaptiveMutex<T> {
         let initial = NativeWaitingPolicy::default();
         AdaptiveMutex {
-            state: QueueWord(AtomicUsize::new(0)),
-            spin_limit: AtomicU32::new(initial.spin),
-            delay: AtomicU32::new(initial.delay),
-            timeout_nanos: AtomicU64::new(0),
-            waiters: AtomicU32::new(0),
-            gate: SamplingGate::every(sample_every),
-            policy_busy: AtomicBool::new(false),
-            policy: UnsafeCell::new(policy),
+            state: CachePadded::new(StateLine {
+                word: QueueWord(AtomicUsize::new(0)),
+                acquisitions: AtomicU64::new(0),
+            }),
+            attrs: CachePadded::new(Attrs {
+                spin_limit: AtomicU32::new(initial.spin),
+                delay: AtomicU32::new(initial.delay),
+                timeout_nanos: AtomicU64::new(0),
+            }),
+            waiters: CachePadded::new(AtomicU32::new(0)),
+            stats: StatSlabs::new(),
+            feedback: CachePadded::new(Feedback {
+                busy: AtomicBool::new(false),
+                quarantine_ticks: AtomicU64::new(0),
+                quarantine_level: AtomicU32::new(0),
+                probation: AtomicU64::new(0),
+                policy: UnsafeCell::new(policy),
+            }),
             poisoned: AtomicBool::new(false),
-            quarantine_ticks: AtomicU64::new(0),
-            quarantine_level: AtomicU32::new(0),
-            probation: AtomicU64::new(0),
-            acquisitions: AtomicU64::new(0),
-            contended: AtomicU64::new(0),
-            parked: AtomicU64::new(0),
-            handoffs: AtomicU64::new(0),
-            reconfigurations: AtomicU64::new(0),
-            try_failures: AtomicU64::new(0),
-            timeouts: AtomicU64::new(0),
-            poison_events: AtomicU64::new(0),
-            poison_clears: AtomicU64::new(0),
-            policy_panics: AtomicU64::new(0),
-            quarantines: AtomicU64::new(0),
-            heals: AtomicU64::new(0),
+            gate: SampleGate::new(sample_every),
             fault_hook: OnceLock::new(),
             value: UnsafeCell::new(value),
         }
+    }
+
+    /// Count this acquisition and decide — from the same count — whether
+    /// its unlock is a monitor sample. Called with the lock held, so the
+    /// plain load + store is race-free (see [`StateLine`]) and lands on
+    /// the already-exclusive state line: counting and pacing together
+    /// cost no atomic RMW and no extra line.
+    #[inline]
+    fn charge_acquisition(&self) -> bool {
+        let n = self.state.acquisitions.load(Ordering::Relaxed) + 1;
+        self.state.acquisitions.store(n, Ordering::Relaxed);
+        self.gate.fires(n)
     }
 
     /// Acquire the mutex.
@@ -289,16 +406,16 @@ impl<T> AdaptiveMutex<T> {
         // Uncontended fast path: one CAS, like a raw spin lock.
         if self
             .state
+            .word
             .0
             .compare_exchange(0, LOCKED, Ordering::Acquire, Ordering::Relaxed)
             .is_ok()
         {
-            self.acquisitions.fetch_add(1, Ordering::Relaxed);
-            return AdaptiveMutexGuard { mutex: self };
+            return AdaptiveMutexGuard { mutex: self, adapt: self.charge_acquisition() };
         }
         let acquired = self.lock_contended(None);
         debug_assert!(acquired, "untimed acquire cannot fail");
-        AdaptiveMutexGuard { mutex: self }
+        AdaptiveMutexGuard { mutex: self, adapt: self.charge_acquisition() }
     }
 
     /// Acquire the mutex, reporting poisoning. Exactly
@@ -327,7 +444,7 @@ impl<T> AdaptiveMutex<T> {
     pub fn clear_poison(&self) -> bool {
         let was = self.poisoned.swap(false, Ordering::AcqRel);
         if was {
-            self.poison_clears.fetch_add(1, Ordering::Relaxed);
+            self.stats.bump(POISON_CLEARS);
         }
         was
     }
@@ -338,16 +455,16 @@ impl<T> AdaptiveMutex<T> {
     pub fn lock_timeout(&self, timeout: Duration) -> Option<AdaptiveMutexGuard<'_, T>> {
         if self
             .state
+            .word
             .0
             .compare_exchange(0, LOCKED, Ordering::Acquire, Ordering::Relaxed)
             .is_ok()
         {
-            self.acquisitions.fetch_add(1, Ordering::Relaxed);
-            return Some(AdaptiveMutexGuard { mutex: self });
+            return Some(AdaptiveMutexGuard { mutex: self, adapt: self.charge_acquisition() });
         }
         let deadline = Instant::now().checked_add(timeout)?;
         if self.lock_contended(Some(deadline)) {
-            Some(AdaptiveMutexGuard { mutex: self })
+            Some(AdaptiveMutexGuard { mutex: self, adapt: self.charge_acquisition() })
         } else {
             None
         }
@@ -357,7 +474,7 @@ impl<T> AdaptiveMutex<T> {
     /// (the paper's conditional sleep/spin row). With the attribute
     /// unset this is a plain [`AdaptiveMutex::lock`].
     pub fn lock_conditional(&self) -> Option<AdaptiveMutexGuard<'_, T>> {
-        match self.timeout_nanos.load(Ordering::Relaxed) {
+        match self.attrs.timeout_nanos.load(Ordering::Relaxed) {
             0 => Some(self.lock()),
             ns => self.lock_timeout(Duration::from_nanos(ns)),
         }
@@ -368,18 +485,19 @@ impl<T> AdaptiveMutex<T> {
     /// `deadline` is `None`).
     #[cold]
     fn lock_contended(&self, deadline: Option<Instant>) -> bool {
-        self.contended.fetch_add(1, Ordering::Relaxed);
+        self.stats.bump(CONTENDED);
         self.waiters.fetch_add(1, Ordering::Relaxed);
         let acquired = 'acquire: {
             // --- Spin phase, bounded by the mutable spin attribute. ---
-            let mut limit = self.spin_limit.load(Ordering::Relaxed);
+            let mut limit = self.attrs.spin_limit.load(Ordering::Relaxed);
             let mut probes: u32 = 0;
             let mut backoff: u32 = 1;
             loop {
-                let s = self.state.0.load(Ordering::Relaxed);
+                let s = self.state.word.0.load(Ordering::Relaxed);
                 if s & LOCKED == 0
                     && self
                         .state
+                        .word
                         .0
                         .compare_exchange_weak(s, s | LOCKED, Ordering::Acquire, Ordering::Relaxed)
                         .is_ok()
@@ -394,13 +512,13 @@ impl<T> AdaptiveMutex<T> {
                 for _ in 0..backoff {
                     std::hint::spin_loop();
                 }
-                backoff = (backoff << 1).min(self.delay.load(Ordering::Relaxed).max(1));
+                backoff = (backoff << 1).min(self.attrs.delay.load(Ordering::Relaxed).max(1));
                 // Re-read the mutable attribute periodically: a waiter
                 // spinning under SPIN_FOREVER must observe a policy
                 // downgrade to blocking instead of burning a core
                 // forever.
                 if probes.is_multiple_of(SPIN_RECHECK_PROBES) {
-                    limit = self.spin_limit.load(Ordering::Relaxed);
+                    limit = self.attrs.spin_limit.load(Ordering::Relaxed);
                     if probes.is_multiple_of(SPIN_YIELD_PROBES) {
                         std::thread::yield_now();
                     }
@@ -419,10 +537,11 @@ impl<T> AdaptiveMutex<T> {
             let node_ptr = Arc::into_raw(Arc::clone(&node));
             let mut enqueued = false;
             loop {
-                let s = self.state.0.load(Ordering::Relaxed);
+                let s = self.state.word.0.load(Ordering::Relaxed);
                 if s & LOCKED == 0 {
                     if self
                         .state
+                        .word
                         .0
                         .compare_exchange_weak(s, s | LOCKED, Ordering::Acquire, Ordering::Relaxed)
                         .is_ok()
@@ -435,6 +554,7 @@ impl<T> AdaptiveMutex<T> {
                 // Release ordering publishes `next` to list walkers.
                 if self
                     .state
+                    .word
                     .0
                     .compare_exchange_weak(
                         s,
@@ -455,7 +575,7 @@ impl<T> AdaptiveMutex<T> {
                 unsafe { drop(Arc::from_raw(node_ptr)) };
                 break 'acquire true;
             }
-            self.parked.fetch_add(1, Ordering::Relaxed);
+            self.stats.bump(PARKED);
             match deadline {
                 None => {
                     node.wait();
@@ -478,29 +598,26 @@ impl<T> AdaptiveMutex<T> {
             }
         };
         self.waiters.fetch_sub(1, Ordering::Relaxed);
-        if acquired {
-            self.acquisitions.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.timeouts.fetch_add(1, Ordering::Relaxed);
+        // Acquisitions are charged by the caller when it builds the
+        // guard (the charge also decides the guard's sample flag).
+        if !acquired {
+            self.stats.bump(TIMEOUTS);
         }
         acquired
     }
 
-    fn unlock(&self) {
-        self.unlock_raw();
-        self.adapt();
-    }
-
-    /// Release (and hand off) without feeding the monitor. The unwind
-    /// path uses this directly: a panicking holder must still wake its
-    /// waiters, but it must not run the adaptation policy — the sample
-    /// never existed, so the feedback loop's state is bit-identical to a
-    /// run in which the panicking acquisition never happened, and
-    /// adaptation cannot drift after a panic.
+    /// Release (and hand off) without feeding the monitor. Sampling is
+    /// the guard's job — its `adapt` flag, decided at acquire time,
+    /// says whether this unlock feeds the policy — and the unwind path
+    /// uses this directly: a panicking holder must still wake its
+    /// waiters, but it must not run the adaptation policy, so the
+    /// feedback loop's state looks exactly as if that acquisition's
+    /// unlock was never sampled.
     fn unlock_raw(&self) {
         // Uncontended fast path: queue empty, just clear LOCKED.
         if self
             .state
+            .word
             .0
             .compare_exchange(LOCKED, 0, Ordering::Release, Ordering::Relaxed)
             .is_err()
@@ -511,13 +628,13 @@ impl<T> AdaptiveMutex<T> {
 
     #[cold]
     fn unlock_contended(&self) {
-        let mut s = self.state.0.load(Ordering::Acquire);
+        let mut s = self.state.word.0.load(Ordering::Acquire);
         loop {
             debug_assert!(s & LOCKED != 0, "unlock of an unheld mutex");
             if s & PTR_MASK == 0 {
                 // Queue empty after all (the fast path raced an enqueue
                 // that then won the lock another way): plain release.
-                match self.state.0.compare_exchange_weak(
+                match self.state.word.0.compare_exchange_weak(
                     s,
                     s & !LOCKED,
                     Ordering::Release,
@@ -534,7 +651,7 @@ impl<T> AdaptiveMutex<T> {
             // ever holds it, so this CAS only retries on concurrent
             // enqueues.
             debug_assert_eq!(s & QUEUE_LOCKED, 0);
-            match self.state.0.compare_exchange_weak(
+            match self.state.word.0.compare_exchange_weak(
                 s,
                 s | QUEUE_LOCKED,
                 Ordering::Acquire,
@@ -557,7 +674,7 @@ impl<T> AdaptiveMutex<T> {
     /// Caller must hold both `LOCKED` and `QUEUE_LOCKED`.
     unsafe fn dequeue_and_grant(&self) {
         'scan: loop {
-            let mut s = self.state.0.load(Ordering::Acquire);
+            let mut s = self.state.word.0.load(Ordering::Acquire);
             if QueueWord::head(s).is_null() {
                 // Queue drained (every waiter abandoned): full release,
                 // clearing both bits. CAS-retry against late enqueues.
@@ -565,7 +682,7 @@ impl<T> AdaptiveMutex<T> {
                     if s & PTR_MASK != 0 {
                         continue 'scan; // a new waiter arrived: grant it
                     }
-                    match self.state.0.compare_exchange_weak(
+                    match self.state.word.0.compare_exchange_weak(
                         s,
                         0,
                         Ordering::Release,
@@ -591,7 +708,7 @@ impl<T> AdaptiveMutex<T> {
                         // pointer; a failure means a fresh enqueue won —
                         // restart the walk from the new head.
                         let new_s = next as usize | (s & FLAG_MASK);
-                        match self.state.0.compare_exchange(
+                        match self.state.word.0.compare_exchange(
                             s,
                             new_s,
                             Ordering::AcqRel,
@@ -629,6 +746,7 @@ impl<T> AdaptiveMutex<T> {
                 debug_assert_eq!(QueueWord::head(s), live);
                 if self
                     .state
+                    .word
                     .0
                     .compare_exchange(s, s & FLAG_MASK, Ordering::AcqRel, Ordering::Acquire)
                     .is_err()
@@ -641,7 +759,7 @@ impl<T> AdaptiveMutex<T> {
             let target = Arc::from_raw(live);
             // Drop the maintenance bit before waking; LOCKED stays set —
             // ownership transfers through the grant (direct handoff).
-            self.state.0.fetch_and(!QUEUE_LOCKED, Ordering::Release);
+            self.state.word.0.fetch_and(!QUEUE_LOCKED, Ordering::Release);
             // Fault injection: the hook may delay the unpark (sleeping
             // here, before the grant) or drop it (granting quietly; the
             // waiter's rescue poll recovers).
@@ -655,18 +773,19 @@ impl<T> AdaptiveMutex<T> {
                 target.try_grant()
             };
             if granted {
-                self.handoffs.fetch_add(1, Ordering::Relaxed);
+                self.stats.bump(HANDOFFS);
                 return;
             }
             // The target abandoned between the walk and the grant:
             // retake the bit and pick another waiter.
             drop(target);
             loop {
-                let s2 = self.state.0.load(Ordering::Relaxed);
+                let s2 = self.state.word.0.load(Ordering::Relaxed);
                 debug_assert!(s2 & LOCKED != 0);
                 if s2 & QUEUE_LOCKED == 0
                     && self
                         .state
+                        .word
                         .0
                         .compare_exchange_weak(
                             s2,
@@ -685,45 +804,47 @@ impl<T> AdaptiveMutex<T> {
 
     /// The closely-coupled feedback loop, run inline by the unlocking
     /// thread on sampled unlocks (and by failed `try_lock`s; see
-    /// [`AdaptiveMutex::try_lock`]).
+    /// [`AdaptiveMutex::try_lock`]). The gate decision was made at
+    /// acquire time by the acquisition fetch-add itself
+    /// ([`AdaptiveMutex::charge_acquisition`]), so an unsampled release
+    /// performs no counter RMW and reads nothing shared — the waiter
+    /// count is only loaded here, once the sample actually fires.
+    #[cold]
     fn adapt(&self) {
         self.observe(self.waiters.load(Ordering::Relaxed) as u64);
     }
 
-    /// Feed one sampled observation through the gate into the policy.
-    /// Never contends: if another thread is running the policy, the
-    /// sample is skipped. Panic-safe: a policy callback that panics is
-    /// caught, counted, and answered with a quarantine — the lock snaps
-    /// to pure blocking and adaptation is disabled for an exponentially
-    /// growing number of samples before being retried.
+    /// Feed one sampled observation into the policy (the gate has
+    /// already fired). Never contends: if another thread is running the
+    /// policy, the sample is skipped. Panic-safe: a policy callback that
+    /// panics is caught, counted, and answered with a quarantine — the
+    /// lock snaps to pure blocking and adaptation is disabled for an
+    /// exponentially growing number of samples before being retried.
     fn observe(&self, waiting: u64) {
-        if !self.gate.tick() {
-            return;
-        }
         // Fault injection: a stalled monitor feed drops the sample here,
         // after the gate — the policy sees a gap, not a stale value.
         if self.fault_hook.get().is_some_and(|h| h.stall_monitor_sample()) {
             return;
         }
-        if self.policy_busy.swap(true, Ordering::Acquire) {
+        if self.feedback.busy.swap(true, Ordering::Acquire) {
             return;
         }
         // Quarantined: skip the policy and count down to the retry.
-        let ticks = self.quarantine_ticks.load(Ordering::Relaxed);
+        let ticks = self.feedback.quarantine_ticks.load(Ordering::Relaxed);
         if ticks > 0 {
-            self.quarantine_ticks.store(ticks - 1, Ordering::Relaxed);
+            self.feedback.quarantine_ticks.store(ticks - 1, Ordering::Relaxed);
             if ticks == 1 {
                 // Quarantine ran down: adaptation re-enabled, on
                 // probation — the backoff level only resets after
                 // PROBATION_DECIDES clean decisions.
-                self.probation.store(PROBATION_DECIDES, Ordering::Relaxed);
-                self.heals.fetch_add(1, Ordering::Relaxed);
+                self.feedback.probation.store(PROBATION_DECIDES, Ordering::Relaxed);
+                self.stats.bump(HEALS);
             }
-            self.policy_busy.store(false, Ordering::Release);
+            self.feedback.busy.store(false, Ordering::Release);
             return;
         }
-        // SAFETY: `policy_busy` grants exclusive access to the slot.
-        let policy = unsafe { &mut *self.policy.get() };
+        // SAFETY: `feedback.busy` grants exclusive access to the slot.
+        let policy = unsafe { &mut *self.feedback.policy.get() };
         match catch_unwind(AssertUnwindSafe(|| {
             policy.decide(NativeObservation { waiting })
         })) {
@@ -734,24 +855,24 @@ impl<T> AdaptiveMutex<T> {
                 self.note_clean_decide();
             }
             Err(_) => {
-                self.policy_panics.fetch_add(1, Ordering::Relaxed);
+                self.stats.bump(POLICY_PANICS);
                 self.quarantine();
             }
         }
-        self.policy_busy.store(false, Ordering::Release);
+        self.feedback.busy.store(false, Ordering::Release);
     }
 
     /// One clean policy decision: pay down the probation period, and
     /// reset the quarantine backoff once it is fully served.
     fn note_clean_decide(&self) {
-        if self.quarantine_level.load(Ordering::Relaxed) == 0 {
+        if self.feedback.quarantine_level.load(Ordering::Relaxed) == 0 {
             return;
         }
-        let left = self.probation.load(Ordering::Relaxed);
+        let left = self.feedback.probation.load(Ordering::Relaxed);
         if left > 1 {
-            self.probation.store(left - 1, Ordering::Relaxed);
+            self.feedback.probation.store(left - 1, Ordering::Relaxed);
         } else {
-            self.quarantine_level.store(0, Ordering::Relaxed);
+            self.feedback.quarantine_level.store(0, Ordering::Relaxed);
         }
     }
 
@@ -762,11 +883,13 @@ impl<T> AdaptiveMutex<T> {
     /// Called internally when a policy callback panics, and externally
     /// by a watchdog that has detected a stall.
     pub fn quarantine(&self) {
-        self.quarantines.fetch_add(1, Ordering::Relaxed);
-        let level = self.quarantine_level.load(Ordering::Relaxed);
-        self.quarantine_level
+        self.stats.bump(QUARANTINES);
+        let level = self.feedback.quarantine_level.load(Ordering::Relaxed);
+        self.feedback
+            .quarantine_level
             .store((level + 1).min(QUARANTINE_MAX_SHIFT), Ordering::Relaxed);
-        self.quarantine_ticks
+        self.feedback
+            .quarantine_ticks
             .store(QUARANTINE_BASE_TICKS << level.min(QUARANTINE_MAX_SHIFT), Ordering::Relaxed);
         self.set_waiting_policy(NativeWaitingPolicy::pure_blocking());
     }
@@ -774,7 +897,7 @@ impl<T> AdaptiveMutex<T> {
     /// Whether adaptation is currently quarantined (disabled, waiting
     /// out its backoff).
     pub fn is_quarantined(&self) -> bool {
-        self.quarantine_ticks.load(Ordering::Relaxed) > 0
+        self.feedback.quarantine_ticks.load(Ordering::Relaxed) > 0
     }
 
     /// Install a fault-injection hook (testing). At most one per mutex,
@@ -802,15 +925,22 @@ impl<T> AdaptiveMutex<T> {
                 Some(p.timeout.map_or(0, |d| d.as_nanos() as u64)),
             ),
         };
-        let mut changed = self.spin_limit.swap(spin, Ordering::Relaxed) != spin;
+        // Load-compare-store, not an unconditional swap: a decision that
+        // re-affirms the current attribute (the steady-state case for
+        // `simple-adapt`, which decides on every sample) must not dirty
+        // the read-mostly attribute line that every spinner is reading.
+        // `apply` runs under `feedback.busy`, so the only racing writer
+        // is an external `set_waiting_policy`, which raced the old swap
+        // just the same.
+        let mut changed = store_if_changed_u32(&self.attrs.spin_limit, spin);
         if let Some(d) = delay {
-            changed |= self.delay.swap(d, Ordering::Relaxed) != d;
+            changed |= store_if_changed_u32(&self.attrs.delay, d);
         }
         if let Some(t) = timeout {
-            changed |= self.timeout_nanos.swap(t, Ordering::Relaxed) != t;
+            changed |= store_if_changed_u64(&self.attrs.timeout_nanos, t);
         }
         if changed {
-            self.reconfigurations.fetch_add(1, Ordering::Relaxed);
+            self.stats.bump(RECONFIGURATIONS);
         }
     }
 
@@ -818,18 +948,19 @@ impl<T> AdaptiveMutex<T> {
     /// (the paper's charged `configure` operation, minus the simulated
     /// charge). The feedback loop may override it at its next sample.
     pub fn set_waiting_policy(&self, p: NativeWaitingPolicy) {
-        self.spin_limit.store(p.spin, Ordering::Relaxed);
-        self.delay.store(p.delay, Ordering::Relaxed);
-        self.timeout_nanos
+        self.attrs.spin_limit.store(p.spin, Ordering::Relaxed);
+        self.attrs.delay.store(p.delay, Ordering::Relaxed);
+        self.attrs
+            .timeout_nanos
             .store(p.timeout.map_or(0, |d| d.as_nanos() as u64), Ordering::Relaxed);
     }
 
     /// Current `{spin, delay, timeout}` attribute set.
     pub fn waiting_policy(&self) -> NativeWaitingPolicy {
-        let ns = self.timeout_nanos.load(Ordering::Relaxed);
+        let ns = self.attrs.timeout_nanos.load(Ordering::Relaxed);
         NativeWaitingPolicy {
-            spin: self.spin_limit.load(Ordering::Relaxed),
-            delay: self.delay.load(Ordering::Relaxed),
+            spin: self.attrs.spin_limit.load(Ordering::Relaxed),
+            delay: self.attrs.delay.load(Ordering::Relaxed),
             timeout: (ns != 0).then(|| Duration::from_nanos(ns)),
         }
     }
@@ -846,22 +977,24 @@ impl<T> AdaptiveMutex<T> {
     /// them) would let a 100%-try_lock workload pin the policy at its
     /// initial configuration forever.
     pub fn try_lock(&self) -> Option<AdaptiveMutexGuard<'_, T>> {
-        let mut s = self.state.0.load(Ordering::Relaxed);
+        let mut s = self.state.word.0.load(Ordering::Relaxed);
         loop {
             if s & LOCKED != 0 {
-                self.try_failures.fetch_add(1, Ordering::Relaxed);
-                self.observe(self.waiters.load(Ordering::Relaxed) as u64 + 1);
+                // Failures pace their own per-stripe gate stream, at
+                // the same period as acquisitions.
+                if self.gate.fires(self.stats.bump_and_count(TRY_FAILURES)) {
+                    self.observe(self.waiters.load(Ordering::Relaxed) as u64 + 1);
+                }
                 return None;
             }
-            match self.state.0.compare_exchange_weak(
+            match self.state.word.0.compare_exchange_weak(
                 s,
                 s | LOCKED,
                 Ordering::Acquire,
                 Ordering::Relaxed,
             ) {
                 Ok(_) => {
-                    self.acquisitions.fetch_add(1, Ordering::Relaxed);
-                    return Some(AdaptiveMutexGuard { mutex: self });
+                    return Some(AdaptiveMutexGuard { mutex: self, adapt: self.charge_acquisition() });
                 }
                 Err(e) => s = e,
             }
@@ -870,7 +1003,7 @@ impl<T> AdaptiveMutex<T> {
 
     /// Current value of the spin attribute.
     pub fn spin_limit(&self) -> u32 {
-        self.spin_limit.load(Ordering::Relaxed)
+        self.attrs.spin_limit.load(Ordering::Relaxed)
     }
 
     /// Current waiter count (monitoring).
@@ -880,30 +1013,34 @@ impl<T> AdaptiveMutex<T> {
 
     /// Whether the lock is currently held (monitoring; instantly stale).
     pub fn is_locked(&self) -> bool {
-        self.state.0.load(Ordering::Relaxed) & LOCKED != 0
+        self.state.word.0.load(Ordering::Relaxed) & LOCKED != 0
     }
 
     /// Whether the waiter queue is non-empty (monitoring; instantly
     /// stale).
     pub fn has_queued_waiters(&self) -> bool {
-        self.state.0.load(Ordering::Relaxed) & PTR_MASK != 0
+        self.state.word.0.load(Ordering::Relaxed) & PTR_MASK != 0
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot, aggregated lazily across the counter stripes —
+    /// `O(stripes)` relaxed loads per field, paid by the monitor, never
+    /// by the acquire/release hot path. Exact once writers are
+    /// quiescent (e.g. after joining workers); the acquisition count is
+    /// exact at all times (it is serialized by the lock itself).
     pub fn stats(&self) -> MutexStats {
         MutexStats {
-            acquisitions: self.acquisitions.load(Ordering::Relaxed),
-            contended: self.contended.load(Ordering::Relaxed),
-            parked: self.parked.load(Ordering::Relaxed),
-            handoffs: self.handoffs.load(Ordering::Relaxed),
-            reconfigurations: self.reconfigurations.load(Ordering::Relaxed),
-            try_failures: self.try_failures.load(Ordering::Relaxed),
-            timeouts: self.timeouts.load(Ordering::Relaxed),
-            poison_events: self.poison_events.load(Ordering::Relaxed),
-            poison_clears: self.poison_clears.load(Ordering::Relaxed),
-            policy_panics: self.policy_panics.load(Ordering::Relaxed),
-            quarantines: self.quarantines.load(Ordering::Relaxed),
-            heals: self.heals.load(Ordering::Relaxed),
+            acquisitions: self.state.acquisitions.load(Ordering::Relaxed),
+            contended: self.stats.sum(CONTENDED),
+            parked: self.stats.sum(PARKED),
+            handoffs: self.stats.sum(HANDOFFS),
+            reconfigurations: self.stats.sum(RECONFIGURATIONS),
+            try_failures: self.stats.sum(TRY_FAILURES),
+            timeouts: self.stats.sum(TIMEOUTS),
+            poison_events: self.stats.sum(POISON_EVENTS),
+            poison_clears: self.stats.sum(POISON_CLEARS),
+            policy_panics: self.stats.sum(POLICY_PANICS),
+            quarantines: self.stats.sum(QUARANTINES),
+            heals: self.stats.sum(HEALS),
         }
     }
 
@@ -945,10 +1082,13 @@ impl<T> Drop for AdaptiveMutexGuard<'_, T> {
             // skipped, so the feedback state is bit-identical to a run in
             // which this acquisition's unlock was simply never sampled.
             self.mutex.poisoned.store(true, Ordering::Release);
-            self.mutex.poison_events.fetch_add(1, Ordering::Relaxed);
+            self.mutex.stats.bump(POISON_EVENTS);
             self.mutex.unlock_raw();
         } else {
-            self.mutex.unlock();
+            self.mutex.unlock_raw();
+            if self.adapt {
+                self.mutex.adapt();
+            }
         }
     }
 }
@@ -957,8 +1097,8 @@ impl<T: Send> HealthProbe for AdaptiveMutex<T> {
     fn health(&self) -> LockHealth {
         LockHealth {
             waiting: self.waiting_now(),
-            acquisitions: self.acquisitions.load(Ordering::Relaxed),
-            handoffs: self.handoffs.load(Ordering::Relaxed),
+            acquisitions: self.state.acquisitions.load(Ordering::Relaxed),
+            handoffs: self.stats.sum(HANDOFFS),
             locked: self.is_locked(),
             queued: self.has_queued_waiters(),
             poisoned: self.is_poisoned(),

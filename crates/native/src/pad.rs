@@ -1,0 +1,98 @@
+//! Cache-line padding for hot shared words.
+//!
+//! The paper prices every lock operation in memory references
+//! (`t = n1·R + n2·W`, Section 3.1) because on the Butterfly a remote
+//! reference dominated the cost of a lock; on a modern multicore the
+//! analogous unit is a *cache-line transfer* between cores. Two
+//! unrelated atomics that happen to share a 64-byte line ping-pong that
+//! line between writers even though the program never races on a word —
+//! false sharing turns one logical write into a remote transfer for
+//! every other user of the line. [`CachePadded`] gives a value its own
+//! line so the only transfers left are the ones the protocol actually
+//! requires (DESIGN.md §12 maps each lock path to the lines it
+//! touches).
+//!
+//! Alignment is 128 rather than 64: recent Intel parts prefetch lines
+//! in adjacent pairs (the "spatial prefetcher" destroys the isolation
+//! of a 64-byte pad), and Apple/ARM big cores use 128-byte lines
+//! outright. This matches what crossbeam and folly ship.
+
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns `T` to 128 bytes so it occupies its own cache
+/// line(s) and cannot false-share with a neighbour.
+///
+/// ```
+/// use adaptive_native::CachePadded;
+/// use std::sync::atomic::AtomicU64;
+///
+/// let slot = CachePadded::new(AtomicU64::new(0));
+/// assert_eq!(std::mem::align_of_val(&slot), 128);
+/// assert_eq!(slot.load(std::sync::atomic::Ordering::Relaxed), 0);
+/// ```
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Pad `value` out to its own cache line.
+    pub const fn new(value: T) -> CachePadded<T> {
+        CachePadded { value }
+    }
+
+    /// Unwrap the padded value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> CachePadded<T> {
+        CachePadded::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn padded_values_have_their_own_lines() {
+        // Adjacent array elements must be >= 128 bytes apart — the whole
+        // point of the type.
+        let pair = [CachePadded::new(AtomicU64::new(1)), CachePadded::new(AtomicU64::new(2))];
+        let a = &pair[0] as *const _ as usize;
+        let b = &pair[1] as *const _ as usize;
+        assert!(b - a >= 128, "elements {a:#x} and {b:#x} share a line pair");
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 128);
+        assert!(std::mem::size_of::<CachePadded<u8>>() >= 128);
+    }
+
+    #[test]
+    fn deref_and_into_inner_are_transparent() {
+        let mut p = CachePadded::new(41u32);
+        *p += 1;
+        assert_eq!(*p, 42);
+        assert_eq!(p.into_inner(), 42);
+        let q: CachePadded<AtomicU64> = AtomicU64::new(7).into();
+        assert_eq!(q.load(Ordering::Relaxed), 7);
+        assert_eq!(q.into_inner().into_inner(), 7);
+    }
+}

@@ -20,6 +20,8 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::thread::Thread;
 use std::time::{Duration, Instant};
 
+use crate::pad::CachePadded;
+
 /// Rescue-poll interval for untimed waits: instead of parking
 /// unboundedly, a waiter re-checks its grant word at least this often.
 /// The status word stays the source of truth, so the poll changes
@@ -36,10 +38,15 @@ const ABANDONED: u32 = 2;
 
 /// One waiter's entry in the mutex's intrusive queue.
 ///
-/// Alignment of 8 keeps the low bits of a `WaitNode` pointer free for the
-/// mutex's state-word flag bits.
+/// The handoff word sits on its own [`CachePadded`] line: the parked
+/// waiter polls `status` while the releaser walks the queue rewriting
+/// `next` links during pruning — without the pad, every link edit would
+/// bounce the line the waiter is polling (and, since nodes are heap
+/// allocations, two different waiters' words could land on one line).
+/// The 128-byte alignment this induces subsumes the old `align(8)`
+/// requirement that keeps the low bits of a `WaitNode` pointer free for
+/// the mutex's state-word flag bits.
 #[derive(Debug)]
-#[repr(align(8))]
 pub(crate) struct WaitNode {
     /// Intrusive link toward the *older* end of the queue (the queue is a
     /// prepend-ordered singly-linked list: head = newest, tail = oldest).
@@ -48,8 +55,9 @@ pub(crate) struct WaitNode {
     /// thereafter only by threads holding the queue-lock bit, so a plain
     /// `Cell` suffices (see the `Sync` safety comment).
     pub(crate) next: Cell<*const WaitNode>,
-    status: AtomicU32,
     thread: Thread,
+    /// The three-state grant/abandon word (the parker state).
+    status: CachePadded<AtomicU32>,
 }
 
 // SAFETY: `next` is only written (a) by the owning thread before the node
@@ -64,8 +72,8 @@ impl WaitNode {
     pub(crate) fn new() -> WaitNode {
         WaitNode {
             next: Cell::new(std::ptr::null()),
-            status: AtomicU32::new(WAITING),
             thread: std::thread::current(),
+            status: CachePadded::new(AtomicU32::new(WAITING)),
         }
     }
 

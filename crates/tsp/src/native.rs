@@ -60,8 +60,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use adaptive_native::{
-    AdaptiveMutex, FaultHook, FaultPlan, HealthProbe, MutexStats, NativeWaitingPolicy,
-    PolicyChoice, Watchdog, WorkerKilled,
+    AdaptiveMutex, CachePadded, FaultHook, FaultPlan, HealthProbe, MutexStats,
+    NativeWaitingPolicy, PolicyChoice, Watchdog, WorkerKilled,
 };
 
 use crate::instance::{TspInstance, INF};
@@ -178,19 +178,22 @@ pub struct NativeResult {
     pub stats: SearchStats,
     /// Wall-clock solve time.
     pub elapsed: Duration,
-    /// Merged counters of the work-queue lock(s) (the paper's `qlock`) —
-    /// the sum over [`NativeResult::per_queue_locks`].
-    pub queue_lock: MutexStats,
     /// Per-queue `qlock` counters (one entry for Centralized, one per
     /// searcher for the distributed structures) — the contention
     /// collapse is visible here: a distributed queue is touched by its
     /// owner plus the occasional thief, so its contended count stays
     /// near zero while the centralized queue's grows with searchers.
+    ///
+    /// These are the only lock-counter snapshots taken per run (once,
+    /// after the timed region, `O(stripes)` relaxed loads each); merged
+    /// views are computed lazily by [`NativeResult::queue_lock`] /
+    /// [`NativeResult::best_lock`] so consumers that only read timing
+    /// fields never pay for aggregation.
     pub per_queue_locks: Vec<MutexStats>,
-    /// Merged counters of the best-tour lock(s) (the paper's
+    /// Per-slot counters of the best-tour lock(s) (the paper's
     /// `glob-low-lock`; per-searcher copies in the distributed
     /// structures).
-    pub best_lock: MutexStats,
+    pub per_best_locks: Vec<MutexStats>,
     /// Successful steals: ring scans that took at least one subproblem
     /// from a remote queue.
     pub steals: u64,
@@ -223,6 +226,21 @@ pub struct NativeResult {
     pub residual_drained: u64,
     /// Waiting-policy retunes applied by the [`RetunePlan`].
     pub retunes: u64,
+}
+
+impl NativeResult {
+    /// Merged counters of the work-queue lock(s), folded lazily from
+    /// [`NativeResult::per_queue_locks`]. Callers that only consume
+    /// timing fields never trigger this aggregation.
+    pub fn queue_lock(&self) -> MutexStats {
+        merge_mutex_stats(self.per_queue_locks.iter())
+    }
+
+    /// Merged counters of the best-tour lock(s), folded lazily from
+    /// [`NativeResult::per_best_locks`].
+    pub fn best_lock(&self) -> MutexStats {
+        merge_mutex_stats(self.per_best_locks.iter())
+    }
 }
 
 /// Queue entry ordered best-first: smallest bound first, FIFO within a
@@ -260,14 +278,17 @@ impl Ord for QItem {
 /// `qlock` for idle polling, ring scanning, and balance decisions).
 struct QueueSlot {
     lock: Arc<AdaptiveMutex<BinaryHeap<QItem>>>,
-    len: AtomicUsize,
+    /// Cache-line padded: every idle searcher polls every ring slot's
+    /// mirror, so a mirror write must invalidate one line per queue,
+    /// not one line shared by several slots of the `Vec`.
+    len: CachePadded<AtomicUsize>,
 }
 
 impl QueueSlot {
     fn new(policy: PolicyChoice) -> QueueSlot {
         QueueSlot {
             lock: Arc::new(policy.build_mutex(BinaryHeap::new())),
-            len: AtomicUsize::new(0),
+            len: CachePadded::new(AtomicUsize::new(0)),
         }
     }
 
@@ -281,14 +302,17 @@ impl QueueSlot {
 /// read-modify-writes).
 struct BestSlot {
     lock: Arc<AdaptiveMutex<u32>>,
-    cached: AtomicU32,
+    /// Padded like [`QueueSlot::len`]: every expansion reads the
+    /// incumbent mirror, and an improvement must not invalidate a
+    /// neighbouring slot's copy.
+    cached: CachePadded<AtomicU32>,
 }
 
 impl BestSlot {
     fn new(policy: PolicyChoice) -> BestSlot {
         BestSlot {
             lock: Arc::new(policy.build_mutex(INF)),
-            cached: AtomicU32::new(INF),
+            cached: CachePadded::new(AtomicU32::new(INF)),
         }
     }
 }
@@ -691,10 +715,7 @@ pub fn solve_native(inst: &TspInstance, cfg: NativeTspConfig) -> NativeResult {
         best,
         stats,
         elapsed,
-        queue_lock: merge_mutex_stats(per_queue_locks.iter()),
-        best_lock: merge_mutex_stats(
-            shared.best.iter().map(|b| b.lock.stats()).collect::<Vec<_>>().iter(),
-        ),
+        per_best_locks: shared.best.iter().map(|b| b.lock.stats()).collect(),
         per_queue_locks,
         steals: shared.steals.load(Ordering::Relaxed),
         steal_failures: shared.steal_failures.load(Ordering::Relaxed),
@@ -1046,12 +1067,12 @@ mod tests {
             },
         );
         // Every pop and push goes through the queue lock.
-        assert!(res.queue_lock.acquisitions > res.stats.expanded);
-        assert!(res.best_lock.acquisitions > 0);
+        assert!(res.queue_lock().acquisitions > res.stats.expanded);
+        assert!(res.best_lock().acquisitions > 0);
         assert_eq!(res.per_queue_locks.len(), 1);
         assert_eq!(
             res.per_queue_locks[0].acquisitions,
-            res.queue_lock.acquisitions
+            res.queue_lock().acquisitions
         );
     }
 

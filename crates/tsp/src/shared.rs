@@ -4,12 +4,13 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicU64, Ordering as AOrd};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AOrd};
 use std::sync::{Arc, Mutex};
 
 use adaptive_locks::{
     AdaptiveLock, BlockingLock, Lock, SimpleAdapt, SpinBackoffLock, SpinLock,
 };
+use adaptive_native::CachePadded;
 use butterfly_sim::{ctx, NodeId, SimCell};
 
 use crate::instance::INF;
@@ -97,6 +98,12 @@ pub struct WorkQueue {
     transfer_refs: u32,
     heap: Mutex<BinaryHeap<QEntry>>,
     seq: AtomicU64,
+    /// Lock-free length mirror on its own cache line, maintained by
+    /// every heap mutation while the heap mutex is still held. Monitors
+    /// and peek paths read it without touching the mutex, and the pad
+    /// keeps those polls from bouncing the line the queue's other
+    /// fields (or a neighbouring queue) live on.
+    len: CachePadded<AtomicUsize>,
 }
 
 impl WorkQueue {
@@ -107,6 +114,7 @@ impl WorkQueue {
             transfer_refs,
             heap: Mutex::new(BinaryHeap::new()),
             seq: AtomicU64::new(0),
+            len: CachePadded::new(AtomicUsize::new(0)),
         }
     }
 
@@ -133,16 +141,23 @@ impl WorkQueue {
     pub fn push(&self, sp: SubProblem) {
         self.charge(ctx::MemOp::Write);
         let seq = self.seq.fetch_add(1, AOrd::Relaxed);
-        self.heap().push(QEntry {
+        let mut heap = self.heap();
+        heap.push(QEntry {
             bound: sp.bound,
             seq,
             sp,
         });
+        self.len.store(heap.len(), AOrd::Release);
     }
 
     /// Pop the best subproblem (call with the queue's `qlock` held).
     pub fn pop(&self) -> Option<SubProblem> {
-        let e = self.heap().pop();
+        let e = {
+            let mut heap = self.heap();
+            let e = heap.pop();
+            self.len.store(heap.len(), AOrd::Release);
+            e
+        };
         if e.is_some() {
             self.charge(ctx::MemOp::Read);
         } else {
@@ -166,6 +181,7 @@ impl WorkQueue {
                     None => break,
                 }
             }
+            self.len.store(heap.len(), AOrd::Release);
         }
         if out.is_empty() {
             ctx::charge_mem(ctx::MemOp::Read, self.home);
@@ -195,22 +211,26 @@ impl WorkQueue {
                 sp,
             });
         }
+        self.len.store(heap.len(), AOrd::Release);
     }
 
-    /// Remote-visible emptiness probe (one charged read).
+    /// Remote-visible emptiness probe (one charged read). Reads the
+    /// lock-free length mirror — an unlocked single-word read, which is
+    /// exactly what the single charged reference models.
     pub fn looks_empty(&self) -> bool {
         ctx::charge_mem(ctx::MemOp::Read, self.home);
-        self.heap().is_empty()
+        self.len.load(AOrd::Acquire) == 0
     }
 
-    /// Cost-free emptiness peek (for assertions/monitors).
+    /// Cost-free emptiness peek (for assertions/monitors). Lock-free:
+    /// reads the padded length mirror, never the heap mutex.
     pub fn peek_empty(&self) -> bool {
-        self.heap().is_empty()
+        self.len.load(AOrd::Acquire) == 0
     }
 
-    /// Cost-free length peek.
+    /// Cost-free length peek. Lock-free, same as [`WorkQueue::peek_empty`].
     pub fn peek_len(&self) -> usize {
-        self.heap().len()
+        self.len.load(AOrd::Acquire)
     }
 }
 

@@ -505,7 +505,7 @@ fn distributed_structures_stay_exact_under_mid_run_retuning() {
             // Quiescence: the merged qlock books balance — every
             // contended acquisition was eventually granted and released
             // (a stranded waiter would have hung the solver's join).
-            assert!(res.queue_lock.acquisitions > 0, "{label} x {searchers}");
+            assert!(res.queue_lock().acquisitions > 0, "{label} x {searchers}");
         }
     }
 }

@@ -1,0 +1,174 @@
+//! Property and regression tests for the striped statistics slabs
+//! behind `AdaptiveMutex::stats()`.
+//!
+//! The hot-path refactor split the counters two ways: the acquisition
+//! count moved *onto* the state line (plain load + store under the
+//! lock — no RMW), and every other counter moved into per-stripe
+//! cache-padded slabs aggregated lazily. These tests pin the two
+//! behaviors that refactor must not change: (1) the counts are
+//! *exact* — no lost or double counts under arbitrary cross-thread
+//! interleavings, including the poison/panic paths — and (2) the
+//! sampling gate still observes every other unlock (the paper's
+//! monitor cadence), now decided at acquire time from the serialized
+//! acquisition count.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use adaptive_core::AdaptationPolicy;
+use adaptive_objects::native::{AdaptiveMutex, NativeDecision, NativeObservation};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16,
+        ..ProptestConfig::default()
+    })]
+
+    /// For any thread count, per-thread workload, try_lock mix, and
+    /// panic cadence: the striped counters, summed lazily by `stats()`,
+    /// equal ground truth tallied independently by the workers
+    /// themselves. Threads land on different stripes (and migrate
+    /// between runs), so this exercises arbitrary interleavings of
+    /// increments across the slab.
+    #[test]
+    fn striped_aggregation_is_exact(
+        threads in 1usize..8,
+        iters in 1u64..64,
+        try_every in 1u64..8,
+        panic_every in 2u64..32,
+    ) {
+        let mutex = Arc::new(AdaptiveMutex::new(0u64));
+        let true_acquisitions = Arc::new(AtomicU64::new(0));
+        let true_try_failures = Arc::new(AtomicU64::new(0));
+        let true_panics = Arc::new(AtomicU64::new(0));
+
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let mutex = Arc::clone(&mutex);
+                let acq = Arc::clone(&true_acquisitions);
+                let tf = Arc::clone(&true_try_failures);
+                let pan = Arc::clone(&true_panics);
+                std::thread::spawn(move || {
+                    for i in 0..iters {
+                        let step = t as u64 * iters + i;
+                        if step.is_multiple_of(try_every) {
+                            // try_lock leg: a success is an acquisition,
+                            // a failure must be counted exactly once.
+                            match mutex.try_lock() {
+                                Some(mut g) => {
+                                    acq.fetch_add(1, Ordering::Relaxed);
+                                    *g += 1;
+                                }
+                                None => {
+                                    tf.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            continue;
+                        }
+                        let _ = catch_unwind(AssertUnwindSafe(|| {
+                            let mut g = match mutex.lock_checked() {
+                                Ok(g) => g,
+                                Err(poisoned) => {
+                                    mutex.clear_poison();
+                                    poisoned.into_inner()
+                                }
+                            };
+                            acq.fetch_add(1, Ordering::Relaxed);
+                            *g += 1;
+                            if step.is_multiple_of(panic_every) {
+                                pan.fetch_add(1, Ordering::Relaxed);
+                                panic!("striping test: poison-path increment");
+                            }
+                        }));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("workers absorb their own panics");
+        }
+
+        // Writers quiescent: the lazy sum must now be exact.
+        let stats = mutex.stats();
+        prop_assert_eq!(
+            stats.acquisitions,
+            true_acquisitions.load(Ordering::Relaxed),
+            "lost or doubled acquisition counts across stripes"
+        );
+        prop_assert_eq!(
+            stats.try_failures,
+            true_try_failures.load(Ordering::Relaxed),
+            "lost or doubled try-failure counts across stripes"
+        );
+        prop_assert_eq!(
+            stats.poison_events,
+            true_panics.load(Ordering::Relaxed),
+            "poison path missed the striped slab"
+        );
+        // The sum is stable while nothing increments.
+        let again = mutex.stats();
+        prop_assert_eq!(stats.acquisitions, again.acquisitions);
+        // Internal consistency: contended acquisitions are a subset.
+        prop_assert!(stats.contended <= stats.acquisitions);
+    }
+}
+
+/// A policy that only counts how many observations reach `decide` —
+/// the monitor-side witness of the sampling gate's cadence.
+struct CountingPolicy {
+    decides: Arc<AtomicU64>,
+}
+
+impl AdaptationPolicy<NativeObservation> for CountingPolicy {
+    type Decision = NativeDecision;
+
+    fn decide(&mut self, _obs: NativeObservation) -> Option<NativeDecision> {
+        self.decides.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+}
+
+/// Regression: under the new layout the gate must still observe every
+/// other unlock. The acquisition count is serialized by the lock
+/// itself, so it ticks exactly like the old shared gate: `N` unlocks
+/// at sample period 2 produce exactly `N / 2` observations.
+#[test]
+fn sampling_gate_still_observes_every_other_unlock() {
+    for n in [1u64, 2, 3, 10, 101, 256] {
+        let decides = Arc::new(AtomicU64::new(0));
+        let m = AdaptiveMutex::with_policy(
+            0u64,
+            Box::new(CountingPolicy { decides: Arc::clone(&decides) }),
+            2,
+        );
+        for _ in 0..n {
+            *m.lock() += 1;
+        }
+        assert_eq!(
+            decides.load(Ordering::Relaxed),
+            n / 2,
+            "gate cadence drifted at n={n}"
+        );
+    }
+}
+
+/// The cadence generalizes: at sample period `p` the gate fires on
+/// every `p`-th acquisition, so a run of `N` unlocks observes exactly
+/// `N / p` times.
+#[test]
+fn sampling_gate_cadence_matches_any_period()  {
+    for p in [1u64, 3, 7] {
+        let decides = Arc::new(AtomicU64::new(0));
+        let m = AdaptiveMutex::with_policy(
+            0u64,
+            Box::new(CountingPolicy { decides: Arc::clone(&decides) }),
+            p,
+        );
+        for _ in 0..100 {
+            *m.lock() += 1;
+        }
+        assert_eq!(decides.load(Ordering::Relaxed), 100 / p, "period {p}");
+    }
+}
