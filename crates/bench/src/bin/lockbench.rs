@@ -6,13 +6,17 @@
 //! reference is a cross-core cache-line transfer, and this runner puts
 //! a number on it. It measures ns/op for uncontended acquire+release
 //! and `try_lock`, and contended throughput across 1–8 threads, for
-//! `AdaptiveMutex` vs `std::sync::Mutex` vs a raw spin lock, then
-//! writes `BENCH_native_hotpath.json` at the workspace root with the
+//! `AdaptiveMutex` vs `std::sync::Mutex` vs a raw spin lock — plus one
+//! row set per zoo engine (`ticket`, `clh`, `flat-combining`), each an
+//! `AdaptiveMutex` pinned to that engine so the rows price the
+//! *algorithms* side by side, not different wrappers. It then writes
+//! `BENCH_native_hotpath.json` at the workspace root with the
 //! pre-PR baseline rows embedded and the acceptance verdicts
 //! (uncontended overhead vs `std::sync::Mutex` within 2x; at least
-//! 1.5x over the pre-refactor hot path). DESIGN.md §12 explains how to
-//! read the numbers against the cost model; EXPERIMENTS.md has the
-//! run recipe.
+//! 1.5x over the pre-refactor hot path; at least one contention regime
+//! where the queue or combining engine beats the spin-park adaptive
+//! mutex by 1.3x ns/op). DESIGN.md §12–§13 explain how to read the
+//! numbers against the cost model; EXPERIMENTS.md has the run recipe.
 //!
 //! Run with `EXPERIMENT_SCALE=full cargo run --release -p bench --bin
 //! lockbench` for committed numbers; the default quick scale is sized
@@ -24,7 +28,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Barrier, Mutex};
 use std::time::Instant;
 
-use adaptive_native::AdaptiveMutex;
+use adaptive_native::{AdaptiveMutex, LockAlgorithm, PolicyChoice};
 use bench::{workspace_root, Scale};
 use serde::Serialize;
 use serde_json::json;
@@ -36,6 +40,11 @@ const REPEATS: u32 = 5;
 
 /// Thread counts for the contended sweep.
 const THREADS: [u32; 4] = [1, 2, 4, 8];
+
+/// Zoo engines measured as their own row sets (the spin-park engine IS
+/// the `adaptive` rows).
+const ZOO: [LockAlgorithm; 3] =
+    [LockAlgorithm::Ticket, LockAlgorithm::Queue, LockAlgorithm::Combining];
 
 /// Pre-PR hot-path baseline: `lockbench` rows measured on this host
 /// against the pre-refactor `AdaptiveMutex` (single-cell stat
@@ -233,8 +242,14 @@ fn contended_cell(threads: u32, iters: u64, op: impl Fn() + Sync) -> f64 {
                     }
                 });
             }
-            barrier.wait();
+            // Start the clock *before* releasing the barrier: the last
+            // arrival frees everyone, and on a single-core host the
+            // workers can run to completion before this thread is
+            // rescheduled — a clock started after our wait() returns
+            // would miss nearly the whole run. Started here, the only
+            // overcount is the barrier release itself.
             let t0 = Instant::now();
+            barrier.wait();
             // The scope's implicit joins bound the measured region.
             t0
         })
@@ -273,6 +288,54 @@ fn run_contended(iters: u64, rows: &mut Vec<BenchRow>) {
     }
 }
 
+/// One critical-section cycle through a zoo-pinned mutex, using the
+/// API that gives each engine its natural shape: `with_locked` for the
+/// combining engine (operation publication is *how* it combines; a
+/// plain `lock()` would price only its degraded slots-full path) and a
+/// guarded `lock()` everywhere else (`with_locked` compiles to exactly
+/// that on non-combining engines).
+fn zoo_op(m: &AdaptiveMutex<u64>, algo: LockAlgorithm) {
+    if algo == LockAlgorithm::Combining {
+        black_box(m).with_locked(|v| *v += 1);
+    } else {
+        *black_box(m).lock() += 1;
+    }
+}
+
+/// Uncontended, try_lock, and contended cells for every zoo engine.
+/// Each cell runs an `AdaptiveMutex` pinned to one engine (static
+/// policy, no feedback), so differences between rows are the
+/// algorithms themselves — same wrapper, same stats discipline.
+fn run_zoo(unc_iters: u64, con_iters: u64, rows: &mut Vec<BenchRow>) {
+    for algo in ZOO {
+        let label = algo.label();
+        let m = PolicyChoice::Algorithm(algo).build_mutex(0u64);
+        rows.push(row(
+            label,
+            "uncontended",
+            1,
+            unc_iters,
+            best_ns_per_op(unc_iters, || zoo_op(&m, algo)),
+        ));
+        rows.push(row(
+            label,
+            "try_lock",
+            1,
+            unc_iters,
+            best_ns_per_op(unc_iters, || {
+                if let Some(mut g) = black_box(&m).try_lock() {
+                    *g += 1;
+                }
+            }),
+        ));
+        for &threads in &THREADS {
+            let m = PolicyChoice::Algorithm(algo).build_mutex(0u64);
+            let ns = contended_cell(threads, con_iters, || zoo_op(&m, algo));
+            rows.push(row(label, "contended", threads, con_iters, ns));
+        }
+    }
+}
+
 /// Find the ns/op of a (lock, mode, threads) cell.
 fn cell<'a>(rows: &'a [BenchRow], lock: &str, mode: &str, threads: u32) -> Option<&'a BenchRow> {
     rows.iter()
@@ -291,6 +354,7 @@ fn main() -> ExitCode {
     let mut rows: Vec<BenchRow> = Vec::new();
     run_uncontended(unc_iters, &mut rows);
     run_contended(con_iters, &mut rows);
+    run_zoo(unc_iters, con_iters, &mut rows);
 
     println!();
     println!("{:<10} {:<12} {:>7} {:>12} {:>16}", "lock", "mode", "threads", "ns/op", "ops/sec");
@@ -322,6 +386,24 @@ fn main() -> ExitCode {
     };
     let improved_1_5x = speedup_vs_pre_pr.map(|s| s >= 1.5);
 
+    // Verdict 3: in at least one contention regime the queue or the
+    // combining engine beats the spin-park adaptive mutex by >= 1.3x
+    // ns/op — the zoo has to earn its place, not just exist.
+    let mut zoo_best: Option<(f64, &str, u32)> = None;
+    for &t in &THREADS {
+        let Some(a) = cell(&rows, "adaptive", "contended", t) else { continue };
+        for name in [LockAlgorithm::Queue.label(), LockAlgorithm::Combining.label()] {
+            let Some(z) = cell(&rows, name, "contended", t) else { continue };
+            if z.ns_per_op > 0.0 {
+                let ratio = a.ns_per_op / z.ns_per_op;
+                if zoo_best.is_none_or(|(best, _, _)| ratio > best) {
+                    zoo_best = Some((ratio, name, t));
+                }
+            }
+        }
+    }
+    let zoo_beats_1_3x = zoo_best.map(|(r, _, _)| r >= 1.3);
+
     println!();
     match vs_std_ratio {
         Some(r) => println!(
@@ -337,6 +419,13 @@ fn main() -> ExitCode {
         ),
         None => println!("uncontended adaptive vs pre-PR: no baseline recorded yet"),
     }
+    match zoo_best {
+        Some((r, name, t)) => println!(
+            "best zoo regime: {name} at {t} threads, {r:.2}x vs adaptive ({})",
+            if r >= 1.3 { ">=1.3x: PASS" } else { ">=1.3x: FAIL" }
+        ),
+        None => println!("best zoo regime: missing cells"),
+    }
 
     let baseline_rows: Vec<serde_json::Value> = PRE_PR_BASELINE
         .iter()
@@ -350,8 +439,11 @@ fn main() -> ExitCode {
         })
         .collect();
 
+    let zoo_best_speedup = zoo_best.map(|(r, _, _)| r);
+    let zoo_best_regime = zoo_best.map(|(_, name, t)| json!({ "lock": name, "threads": t }));
+
     let out = json!({
-        "description": "ns-scale lock hot-path microbench: AdaptiveMutex vs std::sync::Mutex vs raw spin (DESIGN.md §12)",
+        "description": "ns-scale lock hot-path microbench: AdaptiveMutex vs std::sync::Mutex vs raw spin, plus the zoo engines (ticket, clh, flat-combining) pinned through the same AdaptiveMutex wrapper (DESIGN.md §12-§13)",
         "scale": scale_label,
         "host_parallelism": cores,
         "repeats": REPEATS,
@@ -365,6 +457,9 @@ fn main() -> ExitCode {
             "uncontended_adaptive_within_2x_std": within_2x,
             "uncontended_speedup_vs_pre_pr": speedup_vs_pre_pr,
             "uncontended_improved_at_least_1_5x": improved_1_5x,
+            "zoo_best_contended_speedup_vs_adaptive": zoo_best_speedup,
+            "zoo_best_contended_regime": zoo_best_regime,
+            "queue_or_combining_beats_adaptive_1_3x": zoo_beats_1_3x,
         },
     });
 

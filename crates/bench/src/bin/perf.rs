@@ -1,10 +1,13 @@
 //! The native perf runner: real-thread lock sweeps and TSP runs.
 //!
 //! Sweeps thread count × critical-section length × waiting policy over
-//! the native `AdaptiveMutex` (contention microbenchmark) and the
-//! native LMSK TSP solver, prints paper-style rows, and writes
-//! `BENCH_native_locks.json` + `BENCH_native_tsp.json` at the workspace
-//! root so the bench trajectory accumulates across PRs.
+//! the native `AdaptiveMutex` (contention microbenchmark), thread count
+//! × critical-section length × lock *algorithm* over the engine zoo
+//! (pinned engines plus the switching policies), and the native LMSK
+//! TSP solver, prints paper-style rows, and writes
+//! `BENCH_native_locks.json` + `BENCH_native_algos.json` +
+//! `BENCH_native_tsp.json` at the workspace root so the bench
+//! trajectory accumulates across PRs.
 //!
 //! ```text
 //! EXPERIMENT_SCALE=quick cargo run --release -p bench --bin perf   # CI smoke
@@ -23,7 +26,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
 
-use adaptive_native::PolicyChoice;
+use adaptive_native::{LockAlgorithm, PolicyChoice};
 use bench::{improvement_pct, workspace_root, Scale};
 use serde::Serialize;
 use serde_json::json;
@@ -42,6 +45,17 @@ fn policies() -> Vec<PolicyChoice> {
     ]
 }
 
+/// The algorithm sweep's policy axis: every pinned zoo engine plus the
+/// two policies that pick for themselves (attribute tuning and live
+/// engine switching), so the JSON answers both "which engine wins this
+/// regime" and "does the switching policy find it".
+fn algo_policies() -> Vec<PolicyChoice> {
+    let mut v: Vec<PolicyChoice> = LockAlgorithm::ALL.map(PolicyChoice::Algorithm).into();
+    v.push(PolicyChoice::Adaptive { threshold: 2, n: 32 });
+    v.push(PolicyChoice::AlgoAdaptive { high_water: 4, patience: 4 });
+    v
+}
+
 fn main() -> ExitCode {
     let scale = bench::scale();
     let scale_label = match scale {
@@ -52,13 +66,15 @@ fn main() -> ExitCode {
     println!("native perf runner — scale={scale_label}, host parallelism={cores}");
 
     let locks = run_lock_sweep(scale);
+    let algos = run_algo_sweep(scale);
     let tsp = run_tsp_sweep(scale);
-    let cell_errors = locks.errors.len() + tsp.errors.len();
+    let cell_errors = locks.errors.len() + algos.errors.len() + tsp.errors.len();
 
     let root = workspace_root();
     let mut ok = true;
     for (path, write) in [
         (root.join("BENCH_native_locks.json"), write_bench(&root.join("BENCH_native_locks.json"), &locks)),
+        (root.join("BENCH_native_algos.json"), write_bench(&root.join("BENCH_native_algos.json"), &algos)),
         (root.join("BENCH_native_tsp.json"), write_bench(&root.join("BENCH_native_tsp.json"), &tsp)),
     ] {
         if let Err(e) = write {
@@ -204,6 +220,128 @@ fn run_lock_sweep(scale: Scale) -> LockBench {
             "total_nanos_adaptive": adaptive,
             "adaptive_vs_best_static_improvement_pct": vs_best_pct,
             "adaptive_within_10pct_of_best_static": within,
+        }),
+    }
+}
+
+// ----------------------------------------------------------- algorithms
+
+/// Engine zoo sweep: thread count × critical-section length × lock
+/// algorithm, same workload shape as the lock sweep. Pinned-engine rows
+/// price each algorithm in each regime; the `simple-adapt` and
+/// `algo-adapt` rows show what the self-tuning policies make of the
+/// same regimes (the latter switching engines live through
+/// `SetAlgorithm`).
+fn run_algo_sweep(scale: Scale) -> LockBench {
+    let (threads, cs_lens, iters): (Vec<usize>, Vec<u64>, u32) = match scale {
+        Scale::Quick => (vec![2, 4, 8], vec![500, 5_000], 200),
+        Scale::Full => (vec![2, 4, 8, 16], vec![200, 2_000, 20_000], 2_000),
+    };
+
+    println!();
+    println!("== native algorithm sweep: threads x critical-section x engine ==");
+    println!(
+        "{:<16} {:>8} {:>10} {:>14} {:>16} {:>12}",
+        "engine", "threads", "cs (ns)", "total (ms)", "ops/sec", "lat (ns)"
+    );
+
+    let mut rows: Vec<ContentionPoint> = Vec::new();
+    let mut errors: Vec<String> = Vec::new();
+    for &t in &threads {
+        for &cs in &cs_lens {
+            for policy in algo_policies() {
+                let spec = ContentionSpec {
+                    threads: t,
+                    iters,
+                    cs_nanos: cs,
+                    think_nanos: cs,
+                    policy,
+                    seed: 0x51ee9,
+                };
+                let cell = catch_unwind(AssertUnwindSafe(|| {
+                    (0..REPEATS)
+                        .map(|_| run_contention(Backend::Native, &spec))
+                        .min_by_key(|p| p.total_nanos)
+                        .expect("at least one repeat")
+                }));
+                let best = match cell {
+                    Ok(best) => best,
+                    Err(payload) => {
+                        let msg = format!(
+                            "algos cell (engine={}, threads={t}, cs={cs}ns): {}",
+                            policy.label(),
+                            panic_msg(payload)
+                        );
+                        eprintln!("error: {msg}");
+                        errors.push(msg);
+                        continue;
+                    }
+                };
+                println!(
+                    "{:<16} {:>8} {:>10} {:>14.2} {:>16.0} {:>12.0}",
+                    best.policy,
+                    best.threads,
+                    best.cs_nanos,
+                    best.total_nanos as f64 / 1e6,
+                    best.throughput_per_sec,
+                    best.mean_latency_nanos
+                );
+                rows.push(best);
+            }
+        }
+    }
+
+    // Per-regime winners among the pinned engines, plus how close the
+    // live-switching policy comes to the best single engine overall.
+    let pinned: Vec<String> = LockAlgorithm::ALL
+        .iter()
+        .map(|a| a.label().to_string())
+        .collect();
+    let mut winners: Vec<serde_json::Value> = Vec::new();
+    for &t in &threads {
+        for &cs in &cs_lens {
+            let best = rows
+                .iter()
+                .filter(|r| r.threads == t && r.cs_nanos == cs && pinned.contains(&r.policy))
+                .min_by_key(|r| r.total_nanos);
+            if let Some(b) = best {
+                winners.push(json!({
+                    "threads": t,
+                    "cs_nanos": cs,
+                    "engine": (b.policy.clone()),
+                    "total_nanos": (b.total_nanos),
+                }));
+            }
+        }
+    }
+    let total = |label: &str| -> u64 {
+        rows.iter()
+            .filter(|r| r.policy == label)
+            .map(|r| r.total_nanos)
+            .sum()
+    };
+    let best_pinned = pinned.iter().map(|l| total(l)).filter(|&x| x > 0).min().unwrap_or(0);
+    let algo_adapt = total("algo-adapt");
+    let within = best_pinned > 0 && algo_adapt as f64 <= best_pinned as f64 * 1.25;
+    println!(
+        "algo-adapt total {:.2} ms vs best pinned engine {:.2} ms -> {}",
+        algo_adapt as f64 / 1e6,
+        best_pinned as f64 / 1e6,
+        if within { "WITHIN 25%" } else { "OUTSIDE 25%" }
+    );
+
+    LockBench {
+        bench: "native_algos",
+        scale: format!("{:?}", scale).to_lowercase(),
+        host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        repeats: REPEATS,
+        rows,
+        errors,
+        summary: json!({
+            "regime_winners": winners,
+            "total_nanos_best_pinned_engine": best_pinned,
+            "total_nanos_algo_adapt": algo_adapt,
+            "algo_adapt_within_25pct_of_best_pinned": within,
         }),
     }
 }

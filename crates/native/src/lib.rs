@@ -36,14 +36,20 @@
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used)]
 
+mod clh;
+mod combining;
 mod faults;
 mod health;
 mod mutex;
 mod pad;
 mod parker;
 mod policy;
+mod raw;
 mod stats;
+mod ticket;
 
+pub use clh::ClhLock;
+pub use combining::FcLock;
 pub use faults::{FaultHook, FaultKind, FaultPlan, FaultReport, FaultSpec, WorkerKilled};
 pub use health::{HealthProbe, LockHealth, Watchdog, WatchdogEvent, WatchdogHandle};
 pub use mutex::{
@@ -51,6 +57,8 @@ pub use mutex::{
 };
 pub use pad::CachePadded;
 pub use policy::{
-    FixedPolicy, NativeDecision, NativeObservation, NativeSimpleAdapt, NativeWaitingPolicy,
-    PolicyChoice,
+    FixedPolicy, NativeAlgorithmAdapt, NativeDecision, NativeObservation, NativeSimpleAdapt,
+    NativeWaitingPolicy, PolicyChoice,
 };
+pub use raw::{LockAlgorithm, RawLock};
+pub use ticket::TicketLock;

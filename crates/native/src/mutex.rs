@@ -36,27 +36,60 @@
 //! gate decides from that same count at acquire time — so an
 //! uncontended acquire/release touches exactly *one* line (the state
 //! line) and performs no RMW beyond its two CASes, sampled or not.
+//!
+//! # The engine zoo and live algorithm switching
+//!
+//! The spin-then-park protocol above is only the *default engine*. The
+//! mutex also embeds the native lock zoo — [`crate::TicketLock`],
+//! [`crate::ClhLock`], [`crate::FcLock`] — and an adaptation policy (or
+//! [`AdaptiveMutex::set_algorithm`]) can migrate a running, contended
+//! lock between engines with a quiesce-and-switch protocol:
+//!
+//! 1. A switch request parks in a `pending` cell; nobody blocks on it.
+//! 2. The *releasing holder* consumes the request: it publishes the new
+//!    engine in `current` and only then releases the old engine. Only
+//!    holders switch, so `current` never changes while anyone is inside
+//!    a critical section.
+//! 3. Every acquirer re-checks `current` *after* winning its engine: if
+//!    the lock migrated while it waited, it releases the stale engine
+//!    (waking the next stale waiter, so the drain cascades) and retries
+//!    on the new one. No waiter is ever lost — a stale waiter is always
+//!    woken by either the switching holder or the stale waiter before
+//!    it.
+//!
+//! Mutual exclusion across the switch: while a thread holds engine `E`
+//! with `current == E`, every other thread either waits on `E` or fails
+//! the post-acquire re-check and goes to `E` — and `current` cannot
+//! move off `E` until the holder itself releases. Value visibility
+//! rides the `current` cell: the switching holder stores it with
+//! `Release` and every acquirer re-reads it with `Acquire`, so critical
+//! sections that cross an engine transition are ordered through that
+//! pair (same-engine chains use the engine's own release/acquire).
 
 #![allow(unsafe_code)] // UnsafeCell + intrusive queue: the point of a mutex.
 
 use std::cell::UnsafeCell;
 use std::ops::{Deref, DerefMut};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use adaptive_core::AdaptationPolicy;
 
+use crate::clh::ClhLock;
+use crate::combining::{FcLock, OpPtr, SlotOutcome};
 use crate::faults::FaultHook;
 use crate::health::{HealthProbe, LockHealth};
 use crate::pad::CachePadded;
 use crate::parker::WaitNode;
 use crate::policy::{NativeDecision, NativeObservation, NativeSimpleAdapt, NativeWaitingPolicy};
+use crate::raw::{LockAlgorithm, RawLock, ALGO_NONE};
 use crate::stats::{
-    StatSlabs, CONTENDED, HANDOFFS, HEALS, PARKED, POISON_CLEARS, POISON_EVENTS,
-    POLICY_PANICS, QUARANTINES, RECONFIGURATIONS, TIMEOUTS, TRY_FAILURES,
+    StatSlabs, COMBINED_OPS, CONTENDED, HANDOFFS, HEALS, PARKED, POISON_CLEARS, POISON_EVENTS,
+    POLICY_PANICS, QUARANTINES, RECONFIGURATIONS, SWITCHES, TIMEOUTS,
 };
+use crate::ticket::TicketLock;
 
 /// State-word bit: the lock is held.
 const LOCKED: usize = 0b01;
@@ -124,6 +157,13 @@ pub struct MutexStats {
     pub quarantines: u64,
     /// Times adaptation was re-enabled after a quarantine ran down.
     pub heals: u64,
+    /// Engine migrations actually installed by the quiesce-and-switch
+    /// protocol (requests that re-affirmed the current engine are not
+    /// counted).
+    pub algorithm_switches: u64,
+    /// Critical sections executed *for another thread* by a
+    /// flat-combining drain (plus the combiner's own published op).
+    pub combined_ops: u64,
 }
 
 /// A boxed native lock adaptation policy.
@@ -194,6 +234,27 @@ fn store_if_changed_u64(cell: &AtomicU64, v: u64) -> bool {
     }
 }
 
+/// Sentinel for "no timeout" in `Attrs::timeout_nanos`.
+///
+/// `0` used to be the sentinel, which inverted the meaning of a
+/// zero-length timeout: `Some(Duration::ZERO)` (or any sub-nanosecond
+/// duration, truncated by `as_nanos() as u64`) encoded as `0` and made
+/// `lock_conditional` wait *forever* — the exact opposite of "give up
+/// immediately". With `u64::MAX` as the sentinel, real timeouts clamp
+/// into `1..=u64::MAX - 1`: zero-length waits round up to one
+/// nanosecond (a bounded wait that expires on its first deadline
+/// check) and durations beyond ~584 years saturate instead of
+/// truncating into a small — or sentinel — value.
+const TIMEOUT_NONE: u64 = u64::MAX;
+
+/// Encode an optional timeout for the `timeout_nanos` attribute cell.
+fn encode_timeout(t: Option<Duration>) -> u64 {
+    match t {
+        None => TIMEOUT_NONE,
+        Some(d) => d.as_nanos().clamp(1, (TIMEOUT_NONE - 1) as u128) as u64,
+    }
+}
+
 /// The waiter list head + flag bits. A separate type so that dropping
 /// the mutex reclaims any abandoned (timed-out) nodes still linked in.
 struct QueueWord(AtomicUsize);
@@ -242,8 +303,78 @@ struct Attrs {
     /// `delay` attribute: exponential-backoff cap, in spin-hint units.
     delay: AtomicU32,
     /// `timeout` attribute for conditional acquires, in nanoseconds
-    /// (`0` = unbounded).
+    /// ([`TIMEOUT_NONE`] = unbounded; real timeouts are clamped to
+    /// `1..=TIMEOUT_NONE - 1` by [`encode_timeout`]).
     timeout_nanos: AtomicU64,
+}
+
+/// The engine-selection words, padded together on one read-mostly line:
+/// every acquire and release loads `current`, but it is only *stored*
+/// when a switch installs, so in steady state the line is silently
+/// shared by every core (like the attribute line).
+struct EngineMeta {
+    /// The engine every acquire and release must go through, as a
+    /// `LockAlgorithm` byte. Stored only by a releasing holder (or by
+    /// `set_algorithm` on a lock it momentarily acquired), always with
+    /// `Release`; re-read by acquirers with `Acquire`.
+    current: AtomicU8,
+    /// Requested engine awaiting installation ([`ALGO_NONE`] = none).
+    /// Consumed by the next releasing holder.
+    pending: AtomicU8,
+}
+
+/// The native lock zoo embedded in every mutex: the spin-then-park
+/// protocol (on the state word) plus one instance of each `RawLock`
+/// engine, selected through [`EngineMeta`]. The inactive engines are
+/// idle memory — no thread touches their lines until a switch makes
+/// one current.
+struct Engines {
+    meta: CachePadded<EngineMeta>,
+    ticket: TicketLock,
+    queue: ClhLock,
+    combining: FcLock,
+}
+
+impl Engines {
+    fn new() -> Engines {
+        Engines {
+            meta: CachePadded::new(EngineMeta {
+                current: AtomicU8::new(LockAlgorithm::SpinPark as u8),
+                pending: AtomicU8::new(ALGO_NONE),
+            }),
+            ticket: TicketLock::new(),
+            queue: ClhLock::new(),
+            combining: FcLock::new(),
+        }
+    }
+
+    /// The engine acquires and releases must currently go through.
+    #[inline]
+    fn current(&self) -> LockAlgorithm {
+        LockAlgorithm::from_u8(self.meta.current.load(Ordering::Acquire))
+            .unwrap_or(LockAlgorithm::SpinPark)
+    }
+
+    /// Whether a switch request is parked (release-path fast check).
+    #[inline]
+    fn has_pending(&self) -> bool {
+        self.meta.pending.load(Ordering::Relaxed) != ALGO_NONE
+    }
+
+    /// Park a switch request for the next releasing holder.
+    fn request(&self, algo: LockAlgorithm) {
+        self.meta.pending.store(algo as u8, Ordering::Release);
+    }
+
+    /// Take the parked request, if any (at most one consumer wins).
+    fn take_pending(&self) -> Option<LockAlgorithm> {
+        LockAlgorithm::from_u8(self.meta.pending.swap(ALGO_NONE, Ordering::AcqRel))
+    }
+
+    /// Publish `algo` as the current engine. Caller must hold the lock.
+    fn install(&self, algo: LockAlgorithm) {
+        self.meta.current.store(algo as u8, Ordering::Release);
+    }
 }
 
 /// The feedback loop's machinery, grouped on its own padded line so a
@@ -313,6 +444,9 @@ impl SampleGate {
 pub struct AdaptiveMutex<T> {
     state: CachePadded<StateLine>,
     attrs: CachePadded<Attrs>,
+    /// Engine selection plus the zoo itself (each engine pads its own
+    /// hot words).
+    engines: Engines,
     /// Current number of waiting threads (the monitored state variable).
     /// Padded: contended acquires RMW it, and it must not invalidate
     /// the state word's line when they do.
@@ -320,6 +454,14 @@ pub struct AdaptiveMutex<T> {
     /// Striped contention/failure counters (acquisitions live on the
     /// state line instead).
     stats: StatSlabs,
+    /// Failed `try_lock` count, pacing the failure stream's sampling
+    /// gate. One *global* padded cell, not a stripe slot: the gate
+    /// period must mean "every N-th failed try" regardless of how many
+    /// stripes the failing threads spread across (a per-stripe count
+    /// multiplied the effective period by up to the stripe count), and
+    /// only the failure path writes it, so it costs the acquire/release
+    /// hot path nothing.
+    try_failures: CachePadded<AtomicU64>,
     feedback: CachePadded<Feedback>,
     /// Sticky poison flag: a holder panicked with the lock held.
     poisoned: AtomicBool,
@@ -371,10 +513,12 @@ impl<T> AdaptiveMutex<T> {
             attrs: CachePadded::new(Attrs {
                 spin_limit: AtomicU32::new(initial.spin),
                 delay: AtomicU32::new(initial.delay),
-                timeout_nanos: AtomicU64::new(0),
+                timeout_nanos: AtomicU64::new(encode_timeout(initial.timeout)),
             }),
+            engines: Engines::new(),
             waiters: CachePadded::new(AtomicU32::new(0)),
             stats: StatSlabs::new(),
+            try_failures: CachePadded::new(AtomicU64::new(0)),
             feedback: CachePadded::new(Feedback {
                 busy: AtomicBool::new(false),
                 quarantine_ticks: AtomicU64::new(0),
@@ -403,19 +547,138 @@ impl<T> AdaptiveMutex<T> {
 
     /// Acquire the mutex.
     pub fn lock(&self) -> AdaptiveMutexGuard<'_, T> {
-        // Uncontended fast path: one CAS, like a raw spin lock.
-        if self
-            .state
-            .word
-            .0
-            .compare_exchange(0, LOCKED, Ordering::Acquire, Ordering::Relaxed)
-            .is_ok()
-        {
-            return AdaptiveMutexGuard { mutex: self, adapt: self.charge_acquisition() };
-        }
-        let acquired = self.lock_contended(None);
+        let acquired = self.acquire(None);
         debug_assert!(acquired, "untimed acquire cannot fail");
         AdaptiveMutexGuard { mutex: self, adapt: self.charge_acquisition() }
+    }
+
+    /// Acquire through the current engine, re-dispatching across any
+    /// live switch (see the module doc). Returns whether the lock was
+    /// acquired — always, when `deadline` is `None`.
+    fn acquire(&self, deadline: Option<Instant>) -> bool {
+        let mut algo = self.engines.current();
+        loop {
+            let got = match algo {
+                LockAlgorithm::SpinPark => {
+                    // Uncontended fast path: one CAS, like a raw spin
+                    // lock.
+                    self.state
+                        .word
+                        .0
+                        .compare_exchange(0, LOCKED, Ordering::Acquire, Ordering::Relaxed)
+                        .is_ok()
+                        || self.lock_contended(deadline)
+                }
+                LockAlgorithm::Ticket => self.acquire_zoo(&self.engines.ticket, deadline),
+                LockAlgorithm::Queue => self.acquire_zoo(&self.engines.queue, deadline),
+                LockAlgorithm::Combining => self.acquire_zoo(&self.engines.combining, deadline),
+            };
+            if !got {
+                return false;
+            }
+            // Quiesce-and-switch re-check: a holder may have migrated
+            // the lock while we waited on engine `algo`. If so, release
+            // the stale engine (cascading the drain to the next stale
+            // waiter) and retry on the new one; the deadline still
+            // applies. `current` cannot change under us once it names
+            // the engine we hold — only a holder switches, and a
+            // would-be switcher must first acquire through `now`.
+            let now = self.engines.current();
+            if now == algo {
+                return true;
+            }
+            self.release_engine(algo);
+            algo = now;
+        }
+    }
+
+    /// Contended acquire on a zoo engine. Stats and the waiter count
+    /// work exactly like [`AdaptiveMutex::lock_contended`]; the wait
+    /// itself is the engine's. A timed wait polls `try_acquire` instead
+    /// of joining the queue — a zoo engine's queue slot cannot be
+    /// abandoned, so a timed waiter must never enter it (FIFO order is
+    /// therefore not guaranteed for timed acquires on zoo engines).
+    #[cold]
+    fn acquire_zoo(&self, raw: &dyn RawLock, deadline: Option<Instant>) -> bool {
+        if raw.try_acquire() {
+            return true;
+        }
+        self.stats.bump(CONTENDED);
+        self.waiters.fetch_add(1, Ordering::Relaxed);
+        let acquired = match deadline {
+            None => {
+                raw.acquire();
+                true
+            }
+            Some(d) => {
+                let mut backoff: u32 = 1;
+                let mut probes: u32 = 0;
+                loop {
+                    if raw.try_acquire() {
+                        break true;
+                    }
+                    probes = probes.wrapping_add(1);
+                    if probes.is_multiple_of(SPIN_DEADLINE_PROBES) && Instant::now() >= d {
+                        break false;
+                    }
+                    for _ in 0..backoff {
+                        std::hint::spin_loop();
+                    }
+                    backoff = (backoff << 1).min(self.attrs.delay.load(Ordering::Relaxed).max(1));
+                    if probes.is_multiple_of(SPIN_YIELD_PROBES) {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        };
+        self.waiters.fetch_sub(1, Ordering::Relaxed);
+        if !acquired {
+            self.stats.bump(TIMEOUTS);
+        }
+        acquired
+    }
+
+    /// Try-acquire through the current engine, re-dispatching across
+    /// any live switch. No stats, no monitor feed — callers decide what
+    /// a failure means.
+    fn try_acquire_raw(&self) -> bool {
+        let mut algo = self.engines.current();
+        loop {
+            let got = match algo {
+                LockAlgorithm::SpinPark => self.try_acquire_spin_park(),
+                LockAlgorithm::Ticket => self.engines.ticket.try_acquire(),
+                LockAlgorithm::Queue => self.engines.queue.try_acquire(),
+                LockAlgorithm::Combining => self.engines.combining.try_acquire(),
+            };
+            if !got {
+                return false;
+            }
+            let now = self.engines.current();
+            if now == algo {
+                return true;
+            }
+            self.release_engine(algo);
+            algo = now;
+        }
+    }
+
+    /// One non-waiting claim of the spin-park state word.
+    fn try_acquire_spin_park(&self) -> bool {
+        let mut s = self.state.word.0.load(Ordering::Relaxed);
+        loop {
+            if s & LOCKED != 0 {
+                return false;
+            }
+            match self.state.word.0.compare_exchange_weak(
+                s,
+                s | LOCKED,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(e) => s = e,
+            }
+        }
     }
 
     /// Acquire the mutex, reporting poisoning. Exactly
@@ -453,17 +716,13 @@ impl<T> AdaptiveMutex<T> {
     /// elapses first; the attempt leaves no trace beyond an abandoned
     /// queue node that the next contended release prunes.
     pub fn lock_timeout(&self, timeout: Duration) -> Option<AdaptiveMutexGuard<'_, T>> {
-        if self
-            .state
-            .word
-            .0
-            .compare_exchange(0, LOCKED, Ordering::Acquire, Ordering::Relaxed)
-            .is_ok()
-        {
+        if self.try_acquire_raw() {
             return Some(AdaptiveMutexGuard { mutex: self, adapt: self.charge_acquisition() });
         }
-        let deadline = Instant::now().checked_add(timeout)?;
-        if self.lock_contended(Some(deadline)) {
+        // A timeout too large for the clock to represent is no bound at
+        // all (`None` deadline = untimed), not an instant failure.
+        let deadline = Instant::now().checked_add(timeout);
+        if self.acquire(deadline) {
             Some(AdaptiveMutexGuard { mutex: self, adapt: self.charge_acquisition() })
         } else {
             None
@@ -475,7 +734,7 @@ impl<T> AdaptiveMutex<T> {
     /// unset this is a plain [`AdaptiveMutex::lock`].
     pub fn lock_conditional(&self) -> Option<AdaptiveMutexGuard<'_, T>> {
         match self.attrs.timeout_nanos.load(Ordering::Relaxed) {
-            0 => Some(self.lock()),
+            TIMEOUT_NONE => Some(self.lock()),
             ns => self.lock_timeout(Duration::from_nanos(ns)),
         }
     }
@@ -614,16 +873,52 @@ impl<T> AdaptiveMutex<T> {
     /// feedback loop's state looks exactly as if that acquisition's
     /// unlock was never sampled.
     fn unlock_raw(&self) {
-        // Uncontended fast path: queue empty, just clear LOCKED.
-        if self
-            .state
-            .word
-            .0
-            .compare_exchange(LOCKED, 0, Ordering::Release, Ordering::Relaxed)
-            .is_err()
-        {
-            self.unlock_contended();
+        let algo = self.engines.current();
+        // Quiesce-and-switch: the releasing holder is the only thread
+        // that may move `current` (nobody is inside a critical section,
+        // and every in-flight acquirer re-checks after it wins). Install
+        // the pending engine *before* releasing the old one, so the
+        // thread we wake — and everyone behind it — re-dispatches.
+        if self.engines.has_pending() {
+            self.consume_pending_switch(algo);
         }
+        self.release_engine(algo);
+    }
+
+    /// Release engine `algo` without consuming a pending switch — used
+    /// by the release half of [`AdaptiveMutex::unlock_raw`] and by
+    /// acquirers backing off an engine the lock migrated away from.
+    fn release_engine(&self, algo: LockAlgorithm) {
+        match algo {
+            LockAlgorithm::SpinPark => {
+                // Uncontended fast path: queue empty, just clear LOCKED.
+                if self
+                    .state
+                    .word
+                    .0
+                    .compare_exchange(LOCKED, 0, Ordering::Release, Ordering::Relaxed)
+                    .is_err()
+                {
+                    self.unlock_contended();
+                }
+            }
+            LockAlgorithm::Ticket => self.engines.ticket.release(),
+            LockAlgorithm::Queue => self.engines.queue.release(),
+            LockAlgorithm::Combining => self.engines.combining.release(),
+        }
+    }
+
+    /// Consume a parked switch request while holding engine `from`.
+    #[cold]
+    fn consume_pending_switch(&self, from: LockAlgorithm) {
+        let Some(to) = self.engines.take_pending() else {
+            return; // raced another consumer (e.g. set_algorithm's probe)
+        };
+        if to == from {
+            return;
+        }
+        self.engines.install(to);
+        self.stats.bump(SWITCHES);
     }
 
     #[cold]
@@ -892,6 +1187,10 @@ impl<T> AdaptiveMutex<T> {
             .quarantine_ticks
             .store(QUARANTINE_BASE_TICKS << level.min(QUARANTINE_MAX_SHIFT), Ordering::Relaxed);
         self.set_waiting_policy(NativeWaitingPolicy::pure_blocking());
+        // The spin-park engine is the safe static endpoint too: it is
+        // the only engine whose waiters park (and honour the snap to
+        // pure blocking above) instead of burning cores.
+        self.set_algorithm(LockAlgorithm::SpinPark);
     }
 
     /// Whether adaptation is currently quarantined (disabled, waiting
@@ -914,16 +1213,32 @@ impl<T> AdaptiveMutex<T> {
 
     /// Install a reconfiguration decision, counting it if it changed
     /// anything.
+    ///
+    /// Every waiting-attribute decision resolves to a *complete*
+    /// `{spin, delay, timeout}` set before it is installed (`PureSpin`,
+    /// `PureBlocking`, and `SetSpins` go through the same
+    /// [`NativeWaitingPolicy`] constructors a caller would use). The
+    /// shorthand kinds used to write only the spin attribute, leaving a
+    /// previous `SetPolicy`'s delay and — worse — conditional-timeout
+    /// attributes live underneath: after a `PureSpin` decision, every
+    /// `lock_conditional` was still bounded by a timeout no current
+    /// policy had asked for.
     fn apply(&self, decision: NativeDecision) {
-        let (spin, delay, timeout) = match decision {
-            NativeDecision::PureSpin => (SPIN_FOREVER, None, None),
-            NativeDecision::PureBlocking => (0, None, None),
-            NativeDecision::SetSpins(n) => (n, None, None),
-            NativeDecision::SetPolicy(p) => (
-                p.spin,
-                Some(p.delay),
-                Some(p.timeout.map_or(0, |d| d.as_nanos() as u64)),
-            ),
+        let p = match decision {
+            NativeDecision::PureSpin => NativeWaitingPolicy::pure_spin(),
+            NativeDecision::PureBlocking => NativeWaitingPolicy::pure_blocking(),
+            NativeDecision::SetSpins(n) => NativeWaitingPolicy::combined(n),
+            NativeDecision::SetPolicy(p) => p,
+            NativeDecision::SetAlgorithm(algo) => {
+                // An engine migration; the waiting attributes are left
+                // alone (they steer the spin-park engine and the timed
+                // zoo waits, whichever engine is current).
+                if self.engines.current() != algo {
+                    self.set_algorithm(algo);
+                    self.stats.bump(RECONFIGURATIONS);
+                }
+                return;
+            }
         };
         // Load-compare-store, not an unconditional swap: a decision that
         // re-affirms the current attribute (the steady-state case for
@@ -932,13 +1247,9 @@ impl<T> AdaptiveMutex<T> {
         // `apply` runs under `feedback.busy`, so the only racing writer
         // is an external `set_waiting_policy`, which raced the old swap
         // just the same.
-        let mut changed = store_if_changed_u32(&self.attrs.spin_limit, spin);
-        if let Some(d) = delay {
-            changed |= store_if_changed_u32(&self.attrs.delay, d);
-        }
-        if let Some(t) = timeout {
-            changed |= store_if_changed_u64(&self.attrs.timeout_nanos, t);
-        }
+        let mut changed = store_if_changed_u32(&self.attrs.spin_limit, p.spin);
+        changed |= store_if_changed_u32(&self.attrs.delay, p.delay);
+        changed |= store_if_changed_u64(&self.attrs.timeout_nanos, encode_timeout(p.timeout));
         if changed {
             self.stats.bump(RECONFIGURATIONS);
         }
@@ -952,7 +1263,7 @@ impl<T> AdaptiveMutex<T> {
         self.attrs.delay.store(p.delay, Ordering::Relaxed);
         self.attrs
             .timeout_nanos
-            .store(p.timeout.map_or(0, |d| d.as_nanos() as u64), Ordering::Relaxed);
+            .store(encode_timeout(p.timeout), Ordering::Relaxed);
     }
 
     /// Current `{spin, delay, timeout}` attribute set.
@@ -961,7 +1272,35 @@ impl<T> AdaptiveMutex<T> {
         NativeWaitingPolicy {
             spin: self.attrs.spin_limit.load(Ordering::Relaxed),
             delay: self.attrs.delay.load(Ordering::Relaxed),
-            timeout: (ns != 0).then(|| Duration::from_nanos(ns)),
+            timeout: (ns != TIMEOUT_NONE).then(|| Duration::from_nanos(ns)),
+        }
+    }
+
+    /// The engine currently serving acquires and releases.
+    pub fn algorithm(&self) -> LockAlgorithm {
+        self.engines.current()
+    }
+
+    /// The engine a parked switch request will install at the next
+    /// release, if any (monitoring; instantly stale).
+    pub fn pending_algorithm(&self) -> Option<LockAlgorithm> {
+        LockAlgorithm::from_u8(self.engines.meta.pending.load(Ordering::Relaxed))
+    }
+
+    /// Request a migration to `algo`. The switch installs via the
+    /// quiesce-and-switch protocol — consumed by the next releasing
+    /// holder, never blocking the requester — except that a currently
+    /// *free* lock is switched immediately (the request momentarily
+    /// acquires it to become that holder), so configuring an idle lock
+    /// is deterministic.
+    pub fn set_algorithm(&self, algo: LockAlgorithm) {
+        if self.engines.current() == algo && !self.engines.has_pending() {
+            return;
+        }
+        self.engines.request(algo);
+        if self.try_acquire_raw() {
+            // We are now the holder: our release consumes the request.
+            self.unlock_raw();
         }
     }
 
@@ -977,27 +1316,169 @@ impl<T> AdaptiveMutex<T> {
     /// them) would let a 100%-try_lock workload pin the policy at its
     /// initial configuration forever.
     pub fn try_lock(&self) -> Option<AdaptiveMutexGuard<'_, T>> {
-        let mut s = self.state.word.0.load(Ordering::Relaxed);
-        loop {
-            if s & LOCKED != 0 {
-                // Failures pace their own per-stripe gate stream, at
-                // the same period as acquisitions.
-                if self.gate.fires(self.stats.bump_and_count(TRY_FAILURES)) {
-                    self.observe(self.waiters.load(Ordering::Relaxed) as u64 + 1);
+        if self.try_acquire_raw() {
+            return Some(AdaptiveMutexGuard { mutex: self, adapt: self.charge_acquisition() });
+        }
+        self.note_try_failure();
+        None
+    }
+
+    /// Count a failed `try_lock` and pace the failure stream's gate.
+    /// The count is a single global cell, *not* a stripe slot: with a
+    /// per-stripe count the `count`-th-failure gate fired once per
+    /// stripe reaching the period, so the effective sampling cadence
+    /// shrank by up to the stripe count as the failing threads spread
+    /// out — a period of 64 sampled every ~8th failure at 8 threads.
+    #[cold]
+    fn note_try_failure(&self) {
+        let n = self.try_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.gate.fires(n) {
+            self.observe(self.waiters.load(Ordering::Relaxed) as u64 + 1);
+        }
+    }
+
+    /// Run `f` on the protected value as one critical section.
+    ///
+    /// On every engine but the flat-combining one this is exactly
+    /// `f(&mut *self.lock())`. Under [`LockAlgorithm::Combining`] the
+    /// operation is *published* instead: a waiter hands its critical
+    /// section to whichever thread holds the lock (the combiner), which
+    /// executes whole batches under one hold — the queue-of-work
+    /// alternative to a queue of waiters. Guard-based `lock()` calls
+    /// keep working under the combining engine too; they simply never
+    /// combine.
+    ///
+    /// # Panics
+    ///
+    /// If `f` panics the mutex is poisoned and the panic resurfaces in
+    /// *this* thread (a combiner executing it on our behalf catches it
+    /// and keeps running its batch).
+    pub fn with_locked<R: Send>(&self, f: impl FnOnce(&mut T) -> R + Send) -> R {
+        if self.engines.current() != LockAlgorithm::Combining {
+            return f(&mut *self.lock());
+        }
+        // Combining fast path: the lock is free — take it and run `f`
+        // directly, helping any published backlog while we hold it.
+        // Publication (slot claim, outcome polling, reclaim: three
+        // extra line transfers plus the closure-erasure plumbing) only
+        // pays off when a combiner already holds the lock and can
+        // batch us; an uncontended `with_locked` costs a guarded
+        // `lock()` plus one pending-hint load. A panic in `f` unwinds
+        // through the guard and poisons, exactly like the `lock()`
+        // path.
+        if self.try_acquire_raw() {
+            let guard = AdaptiveMutexGuard {
+                mutex: self,
+                adapt: self.charge_acquisition(),
+            };
+            // SAFETY: we hold the mutex (the guard above releases it).
+            let r = f(unsafe { &mut *self.value.get() });
+            self.drain_combined();
+            drop(guard);
+            return r;
+        }
+        self.run_combined(f)
+    }
+
+    /// The combining path of [`AdaptiveMutex::with_locked`].
+    #[cold]
+    fn run_combined<R: Send>(&self, f: impl FnOnce(&mut T) -> R + Send) -> R {
+        /// A `*mut T` the op closure may carry across threads; the
+        /// executor holds the mutex when it dereferences.
+        struct ValuePtr<T>(*mut T);
+        // SAFETY: see above — access is serialized by the mutex.
+        unsafe impl<T> Send for ValuePtr<T> {}
+        unsafe impl<T> Sync for ValuePtr<T> {}
+
+        let value = ValuePtr(self.value.get());
+        let mut result: Option<R> = None;
+        {
+            // Capture the Sync wrapper, not the raw pointer field (2021
+            // disjoint capture would otherwise pull in the bare `*mut T`).
+            let value = &value;
+            let mut f = Some(f);
+            let mut op = || {
+                if let Some(f) = f.take() {
+                    // SAFETY: whoever runs the op (us after acquiring,
+                    // or a combiner that already holds the lock) owns
+                    // the mutex for its duration.
+                    result = Some(f(unsafe { &mut *value.0 }));
                 }
-                return None;
-            }
-            match self.state.word.0.compare_exchange_weak(
-                s,
-                s | LOCKED,
-                Ordering::Acquire,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => {
-                    return Some(AdaptiveMutexGuard { mutex: self, adapt: self.charge_acquisition() });
+            };
+            let op_dyn: &mut (dyn FnMut() + Send) = &mut op;
+            // SAFETY: the pointer's lifetime is erased, but `PublishedOp`
+            // guarantees (cancelling or waiting out execution on drop)
+            // that it is never used after this scope unwinds.
+            let op_ptr: OpPtr = unsafe { std::mem::transmute(op_dyn) };
+            match self.engines.combining.publish(op_ptr) {
+                Some(published) => {
+                    let mut probes: u32 = 0;
+                    loop {
+                        match published.outcome() {
+                            SlotOutcome::Done => {
+                                published.finish();
+                                break;
+                            }
+                            SlotOutcome::Panicked => {
+                                published.finish();
+                                panic!("adaptive mutex combined critical section panicked");
+                            }
+                            SlotOutcome::Pending => {
+                                // Try to become the combiner ourselves
+                                // (through the full engine protocol, so
+                                // this stays correct across a live
+                                // switch away from Combining).
+                                if self.try_acquire_raw() {
+                                    let guard = AdaptiveMutexGuard {
+                                        mutex: self,
+                                        adapt: self.charge_acquisition(),
+                                    };
+                                    self.drain_combined();
+                                    drop(guard);
+                                    continue;
+                                }
+                                probes = probes.wrapping_add(1);
+                                if probes.is_multiple_of(SPIN_YIELD_PROBES) {
+                                    std::thread::yield_now();
+                                } else {
+                                    std::hint::spin_loop();
+                                }
+                            }
+                        }
+                    }
                 }
-                Err(e) => s = e,
+                None => {
+                    // Publication slots full: run inline under the lock
+                    // (and help drain the backlog while holding it).
+                    let guard = self.lock();
+                    op();
+                    self.drain_combined();
+                    drop(guard);
+                }
             }
+        }
+        match result {
+            Some(r) => r,
+            // `Done` without a result would mean the op ran without
+            // taking `f` — impossible by construction.
+            None => unreachable!("combined op completed without running"),
+        }
+    }
+
+    /// Execute every published combining op. The caller must hold the
+    /// mutex (any engine). Panicked ops poison the mutex — their
+    /// publishers re-raise — and executed ops are charged to
+    /// [`MutexStats::combined_ops`] in one batch RMW.
+    fn drain_combined(&self) {
+        // SAFETY: the caller holds the mutex, which is the exclusion
+        // `drain` requires.
+        let report = unsafe { self.engines.combining.drain() };
+        if report.executed > 0 {
+            self.stats.bump_by(COMBINED_OPS, u64::from(report.executed));
+        }
+        if report.panicked > 0 {
+            self.poisoned.store(true, Ordering::Release);
+            self.stats.bump_by(POISON_EVENTS, u64::from(report.panicked));
         }
     }
 
@@ -1013,11 +1494,17 @@ impl<T> AdaptiveMutex<T> {
 
     /// Whether the lock is currently held (monitoring; instantly stale).
     pub fn is_locked(&self) -> bool {
-        self.state.word.0.load(Ordering::Relaxed) & LOCKED != 0
+        match self.engines.current() {
+            LockAlgorithm::SpinPark => self.state.word.0.load(Ordering::Relaxed) & LOCKED != 0,
+            LockAlgorithm::Ticket => self.engines.ticket.is_locked(),
+            LockAlgorithm::Queue => self.engines.queue.is_locked(),
+            LockAlgorithm::Combining => self.engines.combining.is_locked(),
+        }
     }
 
-    /// Whether the waiter queue is non-empty (monitoring; instantly
-    /// stale).
+    /// Whether the spin-park waiter queue is non-empty (monitoring;
+    /// instantly stale). Zoo engines keep their waiters in their own
+    /// structures — [`AdaptiveMutex::waiting_now`] covers every engine.
     pub fn has_queued_waiters(&self) -> bool {
         self.state.word.0.load(Ordering::Relaxed) & PTR_MASK != 0
     }
@@ -1034,13 +1521,15 @@ impl<T> AdaptiveMutex<T> {
             parked: self.stats.sum(PARKED),
             handoffs: self.stats.sum(HANDOFFS),
             reconfigurations: self.stats.sum(RECONFIGURATIONS),
-            try_failures: self.stats.sum(TRY_FAILURES),
+            try_failures: self.try_failures.load(Ordering::Relaxed),
             timeouts: self.stats.sum(TIMEOUTS),
             poison_events: self.stats.sum(POISON_EVENTS),
             poison_clears: self.stats.sum(POISON_CLEARS),
             policy_panics: self.stats.sum(POLICY_PANICS),
             quarantines: self.stats.sum(QUARANTINES),
             heals: self.stats.sum(HEALS),
+            algorithm_switches: self.stats.sum(SWITCHES),
+            combined_ops: self.stats.sum(COMBINED_OPS),
         }
     }
 
@@ -1591,5 +2080,277 @@ mod tests {
             plan.report().unparks_dropped > 0,
             "the run must actually have exercised lost wakeups"
         );
+    }
+
+    #[test]
+    fn zero_timeout_conditional_gives_up_immediately() {
+        // Regression test: the timeout attribute used `0` ns as its
+        // "no timeout" sentinel, so `Some(Duration::ZERO)` (and any
+        // sub-nanosecond timeout) encoded as *unbounded* — a
+        // lock_conditional that was asked to give up instantly would
+        // instead wait the full hold. It must now fail fast.
+        let m = Arc::new(AdaptiveMutex::new(()));
+        m.set_waiting_policy(
+            NativeWaitingPolicy::pure_blocking().with_timeout(Duration::ZERO),
+        );
+        assert_eq!(
+            m.waiting_policy().timeout,
+            Some(Duration::from_nanos(1)),
+            "a zero timeout must stay a (minimal) bound, not become the sentinel"
+        );
+        let g = m.lock();
+        let m2 = Arc::clone(&m);
+        let waiter = std::thread::spawn(move || {
+            let t0 = std::time::Instant::now();
+            let got = m2.lock_conditional();
+            (got.is_some(), t0.elapsed())
+        });
+        let (acquired, waited) = waiter.join().unwrap();
+        assert!(!acquired, "zero timeout must not wait out the holder");
+        assert!(
+            waited < Duration::from_secs(2),
+            "zero timeout blocked for {waited:?} — the sentinel inversion is back"
+        );
+        drop(g);
+        assert!(
+            m.lock_conditional().is_some(),
+            "a free lock is acquired within any bound"
+        );
+    }
+
+    #[test]
+    fn huge_timeouts_saturate_instead_of_truncating() {
+        // `as_nanos() as u64` truncation could turn a ~585-year timeout
+        // into a tiny (or zero) one. It must saturate near u64::MAX.
+        let m = AdaptiveMutex::new(());
+        m.set_waiting_policy(
+            NativeWaitingPolicy::pure_blocking()
+                .with_timeout(Duration::new(u64::MAX, 999_999_999)),
+        );
+        let t = m.waiting_policy().timeout.expect("timeout must survive");
+        assert!(
+            t >= Duration::from_secs(u64::MAX / 1_000_000_000),
+            "huge timeout truncated to {t:?}"
+        );
+        // And the bounded-but-huge wait acquires a free lock instantly.
+        assert!(m.lock_conditional().is_some());
+    }
+
+    /// A policy that replays a fixed decision script, one per sample.
+    struct ScriptedPolicy(std::vec::IntoIter<NativeDecision>);
+
+    impl AdaptationPolicy<NativeObservation> for ScriptedPolicy {
+        type Decision = NativeDecision;
+
+        fn decide(&mut self, _obs: NativeObservation) -> Option<NativeDecision> {
+            self.0.next()
+        }
+
+        fn name(&self) -> &'static str {
+            "scripted"
+        }
+    }
+
+    #[test]
+    fn decisions_install_complete_attribute_sets() {
+        // Regression test: PureSpin/PureBlocking/SetSpins used to write
+        // only the spin attribute, leaving a previous SetPolicy's delay
+        // and conditional-timeout attributes live underneath.
+        let script = vec![
+            NativeDecision::SetPolicy(
+                NativeWaitingPolicy::combined(7).with_timeout(Duration::from_millis(5)),
+            ),
+            NativeDecision::PureSpin,
+        ];
+        let m = AdaptiveMutex::with_policy((), Box::new(ScriptedPolicy(script.into_iter())), 1);
+        drop(m.lock());
+        assert!(
+            m.waiting_policy().timeout.is_some(),
+            "SetPolicy must install its timeout"
+        );
+        drop(m.lock());
+        let p = m.waiting_policy();
+        assert_eq!(p.spin, SPIN_FOREVER);
+        assert_eq!(
+            p.timeout, None,
+            "PureSpin left a stale conditional timeout behind"
+        );
+        assert_eq!(p.delay, NativeWaitingPolicy::pure_spin().delay);
+    }
+
+    #[test]
+    fn set_algorithm_switches_a_free_lock_immediately() {
+        let m = AdaptiveMutex::new(0u32);
+        assert_eq!(m.algorithm(), LockAlgorithm::SpinPark);
+        for algo in LockAlgorithm::ALL {
+            m.set_algorithm(algo);
+            assert_eq!(m.algorithm(), algo, "free lock must switch in place");
+            assert_eq!(m.pending_algorithm(), None);
+            *m.lock() += 1;
+            assert!(!m.is_locked());
+        }
+        assert_eq!(*m.lock(), LockAlgorithm::ALL.len() as u32);
+        // SpinPark -> Ticket -> Queue -> Combining and back: 3 real
+        // switches plus the final return... ALL starts at SpinPark, so
+        // the first request re-affirms and does not count.
+        assert_eq!(m.stats().algorithm_switches, LockAlgorithm::ALL.len() as u64 - 1);
+    }
+
+    #[test]
+    fn pending_switch_installs_at_the_next_release() {
+        let m = Arc::new(AdaptiveMutex::new(0u32));
+        let g = m.lock();
+        m.set_algorithm(LockAlgorithm::Queue);
+        assert_eq!(
+            m.algorithm(),
+            LockAlgorithm::SpinPark,
+            "a held lock must not switch under its holder"
+        );
+        assert_eq!(m.pending_algorithm(), Some(LockAlgorithm::Queue));
+        drop(g);
+        assert_eq!(m.algorithm(), LockAlgorithm::Queue, "release installs the switch");
+        assert_eq!(m.pending_algorithm(), None);
+        assert_eq!(m.stats().algorithm_switches, 1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn live_switching_under_contention_loses_no_updates() {
+        let m = Arc::new(AdaptiveMutex::new(0u64));
+        let threads = 8u64;
+        let iters = 500u64;
+        let stop = Arc::new(AtomicBool::new(false));
+        let switcher = {
+            let m = Arc::clone(&m);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut k = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    m.set_algorithm(LockAlgorithm::ALL[k % LockAlgorithm::ALL.len()]);
+                    k += 1;
+                    std::thread::yield_now();
+                }
+            })
+        };
+        let handles: Vec<_> = (0..threads)
+            .map(|i| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for j in 0..iters {
+                        if (i + j).is_multiple_of(3) {
+                            m.with_locked(|v| *v += 1);
+                        } else {
+                            *m.lock() += 1;
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        switcher.join().unwrap();
+        m.set_algorithm(LockAlgorithm::SpinPark);
+        assert_eq!(*m.lock(), threads * iters, "a live switch dropped an update");
+        assert_eq!(m.waiting_now(), 0, "no stranded waiter after switching");
+        assert!(m.stats().algorithm_switches > 0, "the run never actually switched");
+    }
+
+    #[test]
+    fn with_locked_combines_under_the_combining_engine() {
+        let m = Arc::new(AdaptiveMutex::new(0u64));
+        m.set_algorithm(LockAlgorithm::Combining);
+        // A free lock takes the fast path: the op runs inline under a
+        // plain acquisition, no slot traffic.
+        m.with_locked(|v| *v += 1);
+        assert_eq!(m.stats().combined_ops, 0, "fast path must not publish");
+        // A held lock forces publication: park the lock under a guard,
+        // wait until every worker's op sits in a slot, then release —
+        // whoever acquires first drains the whole batch.
+        let workers = 4u64;
+        let guard = m.lock();
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    m.with_locked(|v| *v += 1);
+                })
+            })
+            .collect();
+        while m.engines.combining.pending_ops() < workers as usize {
+            std::thread::yield_now();
+        }
+        drop(guard);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.with_locked(|v| *v), 1 + workers);
+        let s = m.stats();
+        assert_eq!(
+            s.combined_ops, workers,
+            "every published op must be executed by a drain"
+        );
+        // Concurrent mixed traffic still sums exactly (fast path and
+        // slots may interleave freely).
+        let threads = 4u64;
+        let iters = 500u64;
+        let before = m.with_locked(|v| *v);
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..iters {
+                        m.with_locked(|v| *v += 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.with_locked(|v| *v), before + threads * iters);
+    }
+
+    #[test]
+    fn combined_panic_poisons_and_rethrows_to_the_publisher() {
+        let m = AdaptiveMutex::new(0u32);
+        m.set_algorithm(LockAlgorithm::Combining);
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            m.with_locked(|_| panic!("die combined"));
+        }))
+        .expect_err("the publisher must see its op's panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("panicked") || msg.contains("die combined"), "{msg}");
+        assert!(m.is_poisoned(), "a dead combined op must poison the mutex");
+        assert!(m.stats().poison_events >= 1);
+        // The lock itself stays serviceable.
+        m.with_locked(|v| *v += 1);
+        assert_eq!(m.with_locked(|v| *v), 1);
+    }
+
+    #[test]
+    fn timed_acquires_time_out_on_zoo_engines() {
+        for algo in [LockAlgorithm::Ticket, LockAlgorithm::Queue, LockAlgorithm::Combining] {
+            let m = AdaptiveMutex::new(());
+            m.set_algorithm(algo);
+            let g = m.lock();
+            assert!(
+                m.lock_timeout(Duration::from_millis(5)).is_none(),
+                "{algo:?}: timed acquire must expire while held"
+            );
+            assert_eq!(m.stats().timeouts, 1, "{algo:?}");
+            drop(g);
+            assert!(
+                m.lock_timeout(Duration::from_secs(5)).is_some(),
+                "{algo:?}: lock must be free after the hold"
+            );
+            assert_eq!(m.waiting_now(), 0, "{algo:?}: no leaked waiter count");
+        }
     }
 }

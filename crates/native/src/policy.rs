@@ -7,6 +7,7 @@ use std::time::Duration;
 use adaptive_core::AdaptationPolicy;
 
 use crate::mutex::SPIN_FOREVER;
+use crate::raw::LockAlgorithm;
 
 /// The paper's mutable waiting-policy attributes, on the native side:
 /// `{spin, delay, timeout}` (Section 5.1's attribute table, minus
@@ -110,6 +111,18 @@ pub enum PolicyChoice {
         /// Spin increment `n`.
         n: u32,
     },
+    /// Pin the lock to one zoo algorithm with default attributes and no
+    /// feedback — the static baselines of the algorithm sweep.
+    Algorithm(LockAlgorithm),
+    /// Attribute tuning plus live algorithm switching
+    /// ([`NativeAlgorithmAdapt`]): queue under sustained heavy
+    /// pressure, attribute-tuned spin-park otherwise.
+    AlgoAdaptive {
+        /// Waiting count that counts as heavy pressure.
+        high_water: u64,
+        /// Consecutive heavy (or calm) samples before switching.
+        patience: u32,
+    },
 }
 
 impl PolicyChoice {
@@ -119,6 +132,8 @@ impl PolicyChoice {
             PolicyChoice::FixedSpin(k) => format!("fixed-spin({k})"),
             PolicyChoice::PureBlocking => "blocking".into(),
             PolicyChoice::Adaptive { .. } => "simple-adapt".into(),
+            PolicyChoice::Algorithm(algo) => algo.label().into(),
+            PolicyChoice::AlgoAdaptive { .. } => "algo-adapt".into(),
         }
     }
 
@@ -150,6 +165,22 @@ impl PolicyChoice {
             PolicyChoice::Adaptive { threshold, n } => {
                 AdaptiveMutex::with_policy(value, Box::new(NativeSimpleAdapt::new(threshold, n)), 2)
             }
+            PolicyChoice::Algorithm(algo) => {
+                let m = AdaptiveMutex::with_policy(
+                    value,
+                    Box::new(FixedPolicy(NativeDecision::SetAlgorithm(algo))),
+                    u64::MAX,
+                );
+                // The lock is unshared, so the switch installs
+                // immediately rather than waiting for a release.
+                m.set_algorithm(algo);
+                m
+            }
+            PolicyChoice::AlgoAdaptive { high_water, patience } => AdaptiveMutex::with_policy(
+                value,
+                Box::new(NativeAlgorithmAdapt::new(high_water, patience)),
+                2,
+            ),
         }
     }
 }
@@ -174,6 +205,10 @@ pub enum NativeDecision {
     SetSpins(u32),
     /// Install a full `{spin, delay, timeout}` attribute set.
     SetPolicy(NativeWaitingPolicy),
+    /// Migrate the lock to a different mutual-exclusion algorithm; the
+    /// switch installs at the next release (quiesce-and-switch), so no
+    /// waiter is lost mid-migration.
+    SetAlgorithm(LockAlgorithm),
 }
 
 /// The paper's `simple-adapt`, scaled for spin-loop iterations instead
@@ -223,6 +258,88 @@ impl AdaptationPolicy<NativeObservation> for NativeSimpleAdapt {
 
     fn name(&self) -> &'static str {
         "native-simple-adapt"
+    }
+}
+
+/// Algorithm-level adaptation — the full expression of the paper's
+/// configurable object, where the feedback loop swaps the lock's
+/// *implementation*, not just its attributes.
+///
+/// On the spin-park engine the inner [`NativeSimpleAdapt`] tunes the
+/// spin count as usual. When the sampled waiting count stays at or
+/// above `high_water` for `patience` consecutive samples — sustained
+/// FIFO pressure, where spin-park handoff makes every waiter hammer the
+/// shared state word — the policy migrates the lock to the CLH queue
+/// engine (strict FIFO, local spinning). A streak of `patience` calm
+/// samples (waiting at or below `high_water / 2`) migrates it back to
+/// attribute-tuned spin-park, which is cheaper when uncontended.
+#[derive(Debug, Clone)]
+pub struct NativeAlgorithmAdapt {
+    /// Attribute tuning used while on the spin-park engine.
+    attrs: NativeSimpleAdapt,
+    /// Waiting count that counts as heavy pressure.
+    pub high_water: u64,
+    /// Consecutive heavy (or calm) samples before switching.
+    pub patience: u32,
+    heavy_streak: u32,
+    calm_streak: u32,
+    algo: LockAlgorithm,
+}
+
+impl NativeAlgorithmAdapt {
+    /// Policy that rides `simple-adapt` until `high_water` waiters are
+    /// sustained for `patience` samples.
+    pub fn new(high_water: u64, patience: u32) -> NativeAlgorithmAdapt {
+        NativeAlgorithmAdapt {
+            attrs: NativeSimpleAdapt::new(2, 32),
+            high_water: high_water.max(1),
+            patience: patience.max(1),
+            heavy_streak: 0,
+            calm_streak: 0,
+            algo: LockAlgorithm::SpinPark,
+        }
+    }
+
+    /// The algorithm this policy believes is installed (it mirrors its
+    /// own `SetAlgorithm` decisions; a re-request after an external
+    /// switch is harmless — the mutex drops no-op switches).
+    pub fn algorithm(&self) -> LockAlgorithm {
+        self.algo
+    }
+}
+
+impl AdaptationPolicy<NativeObservation> for NativeAlgorithmAdapt {
+    type Decision = NativeDecision;
+
+    fn decide(&mut self, obs: NativeObservation) -> Option<NativeDecision> {
+        if obs.waiting >= self.high_water {
+            self.heavy_streak += 1;
+            self.calm_streak = 0;
+        } else if obs.waiting <= self.high_water / 2 {
+            self.calm_streak += 1;
+            self.heavy_streak = 0;
+        } else {
+            self.heavy_streak = 0;
+            self.calm_streak = 0;
+        }
+        match self.algo {
+            LockAlgorithm::SpinPark if self.heavy_streak >= self.patience => {
+                self.algo = LockAlgorithm::Queue;
+                self.heavy_streak = 0;
+                Some(NativeDecision::SetAlgorithm(LockAlgorithm::Queue))
+            }
+            LockAlgorithm::SpinPark => self.attrs.decide(obs),
+            _ if self.calm_streak >= self.patience => {
+                self.algo = LockAlgorithm::SpinPark;
+                self.calm_streak = 0;
+                Some(NativeDecision::SetAlgorithm(LockAlgorithm::SpinPark))
+            }
+            _ => None,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "native-algo-adapt"
     }
 }
 
@@ -309,6 +426,11 @@ mod tests {
             PolicyChoice::FixedSpin(16),
             PolicyChoice::PureBlocking,
             PolicyChoice::Adaptive { threshold: 2, n: 32 },
+            PolicyChoice::Algorithm(LockAlgorithm::SpinPark),
+            PolicyChoice::Algorithm(LockAlgorithm::Ticket),
+            PolicyChoice::Algorithm(LockAlgorithm::Queue),
+            PolicyChoice::Algorithm(LockAlgorithm::Combining),
+            PolicyChoice::AlgoAdaptive { high_water: 4, patience: 4 },
         ] {
             let m = choice.build_mutex(0u32);
             *m.lock() += 1;
@@ -320,9 +442,59 @@ mod tests {
             PolicyChoice::Adaptive { threshold: 2, n: 32 }.label(),
             "simple-adapt"
         );
+        assert_eq!(PolicyChoice::Algorithm(LockAlgorithm::Queue).label(), "clh");
+        assert_eq!(
+            PolicyChoice::AlgoAdaptive { high_water: 4, patience: 4 }.label(),
+            "algo-adapt"
+        );
+        // Pinning an algorithm installs it immediately on an unshared lock.
+        let m = PolicyChoice::Algorithm(LockAlgorithm::Ticket).build_mutex(());
+        assert_eq!(m.algorithm(), LockAlgorithm::Ticket);
         // Static choices pin the attribute set.
         let m = PolicyChoice::PureBlocking.build_mutex(());
         assert_eq!(m.waiting_policy(), NativeWaitingPolicy::pure_blocking());
+    }
+
+    #[test]
+    fn sustained_pressure_switches_to_the_queue_and_calm_switches_back() {
+        let mut p = NativeAlgorithmAdapt::new(4, 3);
+        assert_eq!(p.algorithm(), LockAlgorithm::SpinPark);
+        // Two heavy samples: not yet patient enough; attribute tuning
+        // keeps running underneath.
+        assert!(p.decide(NativeObservation { waiting: 6 }).is_some());
+        assert!(p.decide(NativeObservation { waiting: 6 }).is_some());
+        assert_eq!(p.algorithm(), LockAlgorithm::SpinPark);
+        // Third consecutive heavy sample crosses patience.
+        assert_eq!(
+            p.decide(NativeObservation { waiting: 6 }),
+            Some(NativeDecision::SetAlgorithm(LockAlgorithm::Queue))
+        );
+        assert_eq!(p.algorithm(), LockAlgorithm::Queue);
+        // On the queue engine the policy stays quiet until calm.
+        assert_eq!(p.decide(NativeObservation { waiting: 6 }), None);
+        assert_eq!(p.decide(NativeObservation { waiting: 1 }), None);
+        assert_eq!(p.decide(NativeObservation { waiting: 0 }), None);
+        assert_eq!(
+            p.decide(NativeObservation { waiting: 0 }),
+            Some(NativeDecision::SetAlgorithm(LockAlgorithm::SpinPark))
+        );
+        assert_eq!(p.algorithm(), LockAlgorithm::SpinPark);
+    }
+
+    #[test]
+    fn a_heavy_sample_resets_the_calm_streak() {
+        let mut p = NativeAlgorithmAdapt::new(4, 2);
+        for _ in 0..2 {
+            p.decide(NativeObservation { waiting: 8 });
+        }
+        assert_eq!(p.algorithm(), LockAlgorithm::Queue);
+        assert_eq!(p.decide(NativeObservation { waiting: 0 }), None);
+        assert_eq!(p.decide(NativeObservation { waiting: 8 }), None);
+        assert_eq!(p.decide(NativeObservation { waiting: 0 }), None);
+        assert_eq!(
+            p.decide(NativeObservation { waiting: 0 }),
+            Some(NativeDecision::SetAlgorithm(LockAlgorithm::SpinPark))
+        );
     }
 
     #[test]

@@ -17,9 +17,10 @@
 //! counter costs no RMW and no extra line at all — and the sampling
 //! gate derives its decision from that same count at acquire time, so
 //! a release performs no counter work whatsoever (the decision rides
-//! in the guard). The slab still paces the try-lock failure stream via
-//! [`StatSlabs::bump_and_count`]: that path holds no lock, so it keeps
-//! the striped RMW.
+//! in the guard). The try-lock failure counter is not here either: it
+//! paces a sampling gate, and a per-stripe count would make the cadence
+//! depend on how many stripes the failing threads spread across, so it
+//! lives as one dedicated padded global on the mutex instead.
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -32,22 +33,24 @@ use crate::pad::CachePadded;
 pub(crate) const STRIPE_COUNT: usize = 8;
 
 /// Counter slots within a stripe (acquisitions are counted on the
-/// mutex's state line instead — see the module doc). One slab line
-/// holds them all (11 × 8 B = 88 B ≤ 128 B), so a thread's whole
-/// off-state-line statistical life touches exactly one line.
+/// mutex's state line and try failures on a dedicated global — see the
+/// module doc). One slab line holds them all (12 × 8 B = 96 B ≤ 128 B),
+/// so a thread's whole off-state-line statistical life touches exactly
+/// one line.
 pub(crate) const CONTENDED: usize = 0;
 pub(crate) const PARKED: usize = 1;
 pub(crate) const HANDOFFS: usize = 2;
 pub(crate) const RECONFIGURATIONS: usize = 3;
-pub(crate) const TRY_FAILURES: usize = 4;
-pub(crate) const TIMEOUTS: usize = 5;
-pub(crate) const POISON_EVENTS: usize = 6;
-pub(crate) const POISON_CLEARS: usize = 7;
-pub(crate) const POLICY_PANICS: usize = 8;
-pub(crate) const QUARANTINES: usize = 9;
-pub(crate) const HEALS: usize = 10;
+pub(crate) const TIMEOUTS: usize = 4;
+pub(crate) const POISON_EVENTS: usize = 5;
+pub(crate) const POISON_CLEARS: usize = 6;
+pub(crate) const POLICY_PANICS: usize = 7;
+pub(crate) const QUARANTINES: usize = 8;
+pub(crate) const HEALS: usize = 9;
+pub(crate) const SWITCHES: usize = 10;
+pub(crate) const COMBINED_OPS: usize = 11;
 /// Slots per stripe.
-pub(crate) const COUNTER_COUNT: usize = 11;
+pub(crate) const COUNTER_COUNT: usize = 12;
 
 /// The calling thread's stripe. Assigned round-robin on first use and
 /// cached in a thread-local, so the steady-state cost is one TLS read —
@@ -91,12 +94,12 @@ impl StatSlabs {
         self.stripes[stripe_index()][counter].fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Count one event and return the stripe's new per-stripe total —
-    /// how the try-lock failure stream paces its own sampling: one RMW
-    /// both counts and paces.
+    /// Count `n` events at once on the calling thread's stripe — used by
+    /// the flat-combining drain, which executes a batch of critical
+    /// sections under one hold and charges them with one RMW.
     #[inline]
-    pub(crate) fn bump_and_count(&self, counter: usize) -> u64 {
-        self.stripes[stripe_index()][counter].fetch_add(1, Ordering::Relaxed) + 1
+    pub(crate) fn bump_by(&self, counter: usize, n: u64) {
+        self.stripes[stripe_index()][counter].fetch_add(n, Ordering::Relaxed);
     }
 
     /// Lazy total across stripes (`O(STRIPE_COUNT)` relaxed loads).
@@ -142,13 +145,13 @@ mod tests {
                 s.spawn(move || {
                     for _ in 0..iters {
                         slabs.bump(CONTENDED);
-                        slabs.bump_and_count(TRY_FAILURES);
+                        slabs.bump_by(SWITCHES, 2);
                     }
                 });
             }
         });
         assert_eq!(slabs.sum(CONTENDED), threads * iters);
-        assert_eq!(slabs.sum(TRY_FAILURES), threads * iters);
+        assert_eq!(slabs.sum(SWITCHES), 2 * threads * iters);
         assert_eq!(slabs.sum(HEALS), 0);
     }
 

@@ -623,6 +623,8 @@ fn merge_mutex_stats<'a>(stats: impl Iterator<Item = &'a MutexStats>) -> MutexSt
         policy_panics: a.policy_panics + s.policy_panics,
         quarantines: a.quarantines + s.quarantines,
         heals: a.heals + s.heals,
+        algorithm_switches: a.algorithm_switches + s.algorithm_switches,
+        combined_ops: a.combined_ops + s.combined_ops,
     })
 }
 
@@ -977,6 +979,10 @@ mod tests {
             PolicyChoice::FixedSpin(32),
             PolicyChoice::PureBlocking,
             PolicyChoice::Adaptive { threshold: 2, n: 32 },
+            PolicyChoice::Algorithm(adaptive_native::LockAlgorithm::Ticket),
+            PolicyChoice::Algorithm(adaptive_native::LockAlgorithm::Queue),
+            PolicyChoice::Algorithm(adaptive_native::LockAlgorithm::Combining),
+            PolicyChoice::AlgoAdaptive { high_water: 4, patience: 4 },
         ] {
             for searchers in [1, 4] {
                 let res = solve_native(

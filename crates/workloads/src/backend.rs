@@ -96,10 +96,19 @@ pub struct ContentionPoint {
 
 /// The simulator lock corresponding to a native policy choice.
 pub fn sim_lock_spec(policy: PolicyChoice) -> LockSpec {
+    use adaptive_native::LockAlgorithm;
     match policy {
         PolicyChoice::FixedSpin(k) => LockSpec::Combined(k),
         PolicyChoice::PureBlocking => LockSpec::Blocking,
         PolicyChoice::Adaptive { threshold, n } => LockSpec::Adaptive { threshold, n },
+        // Each native engine maps to its simulator cousin; the
+        // flat-combining engine has no sim twin, so it maps to the
+        // plain spin lock its waiters degrade to when nothing combines.
+        PolicyChoice::Algorithm(LockAlgorithm::Ticket) => LockSpec::Ticket,
+        PolicyChoice::Algorithm(LockAlgorithm::Queue) => LockSpec::Mcs,
+        PolicyChoice::Algorithm(LockAlgorithm::Combining) => LockSpec::Spin,
+        PolicyChoice::Algorithm(LockAlgorithm::SpinPark) => LockSpec::Combined(64),
+        PolicyChoice::AlgoAdaptive { .. } => LockSpec::Adaptive { threshold: 2, n: 32 },
     }
 }
 
@@ -145,11 +154,13 @@ fn run_native(spec: &ContentionSpec) -> u64 {
         for _ in 0..spec.threads {
             scope.spawn(|| {
                 for _ in 0..spec.iters {
-                    {
-                        let mut g = mutex.lock();
-                        *g += 1;
+                    // `with_locked` so a combining engine actually
+                    // combines; on every other engine it is exactly a
+                    // guarded lock().
+                    mutex.with_locked(|v| {
+                        *v += 1;
                         busy_wait(cs);
-                    }
+                    });
                     busy_wait(think);
                 }
             });
@@ -207,22 +218,52 @@ mod tests {
 
     #[test]
     fn policy_choices_map_onto_sim_lock_specs() {
+        use adaptive_native::LockAlgorithm;
         assert_eq!(sim_lock_spec(PolicyChoice::FixedSpin(10)), LockSpec::Combined(10));
         assert_eq!(sim_lock_spec(PolicyChoice::PureBlocking), LockSpec::Blocking);
         assert_eq!(
             sim_lock_spec(PolicyChoice::Adaptive { threshold: 3, n: 5 }),
             LockSpec::Adaptive { threshold: 3, n: 5 }
         );
+        assert_eq!(
+            sim_lock_spec(PolicyChoice::Algorithm(LockAlgorithm::Ticket)),
+            LockSpec::Ticket
+        );
+        assert_eq!(
+            sim_lock_spec(PolicyChoice::Algorithm(LockAlgorithm::Queue)),
+            LockSpec::Mcs
+        );
+        assert_eq!(
+            sim_lock_spec(PolicyChoice::Algorithm(LockAlgorithm::Combining)),
+            LockSpec::Spin
+        );
+        assert!(matches!(
+            sim_lock_spec(PolicyChoice::AlgoAdaptive { high_water: 4, patience: 4 }),
+            LockSpec::Adaptive { .. }
+        ));
     }
 
     #[test]
     fn native_points_cover_every_policy() {
-        for policy in [
+        use adaptive_native::LockAlgorithm;
+        let mut policies = vec![
             PolicyChoice::FixedSpin(32),
             PolicyChoice::PureBlocking,
             PolicyChoice::Adaptive { threshold: 2, n: 32 },
-        ] {
+            PolicyChoice::AlgoAdaptive { high_water: 4, patience: 4 },
+        ];
+        policies.extend(LockAlgorithm::ALL.map(PolicyChoice::Algorithm));
+        for policy in policies {
             let p = run_contention(Backend::Native, &quick_spec(policy));
+            assert!(p.total_nanos > 0, "{}", p.policy);
+        }
+    }
+
+    #[test]
+    fn every_native_policy_also_runs_on_the_simulator() {
+        use adaptive_native::LockAlgorithm;
+        for policy in LockAlgorithm::ALL.map(PolicyChoice::Algorithm) {
+            let p = run_contention(Backend::Sim, &quick_spec(policy));
             assert!(p.total_nanos > 0, "{}", p.policy);
         }
     }

@@ -33,7 +33,7 @@ use std::time::Duration;
 
 use adaptive_objects::locks::LockOracle;
 use adaptive_objects::native::{
-    AdaptiveMutex, FaultKind, FaultPlan, FaultSpec, FixedPolicy, NativeDecision,
+    AdaptiveMutex, FaultKind, FaultPlan, FaultSpec, FixedPolicy, LockAlgorithm, NativeDecision,
     NativeSimpleAdapt, NativeWaitingPolicy, SPIN_FOREVER,
 };
 use adaptive_objects::sim::ThreadId;
@@ -193,6 +193,27 @@ fn oracle_invariants_hold_with_timed_waiters_in_the_mix() {
         "timed grants must be exact"
     );
     assert_eq!(mutex.waiting_now(), 0);
+}
+
+#[test]
+fn oracle_invariants_hold_on_every_zoo_engine() {
+    // The same stress pattern as the spin-park tests above, pinned to
+    // each zoo engine: exclusion, exactness, and conservation are
+    // engine-independent properties of the mutex.
+    for algo in [LockAlgorithm::Ticket, LockAlgorithm::Queue, LockAlgorithm::Combining] {
+        let mutex = Arc::new(AdaptiveMutex::new(Oracle::default()));
+        mutex.set_algorithm(algo);
+        stress(Arc::clone(&mutex), 8, 300, |i, m| {
+            if i % 50 == 0 {
+                // Attribute flips must be harmless on engines that
+                // ignore most of the attribute set.
+                m.set_waiting_policy(NativeWaitingPolicy::combined(25));
+            }
+        });
+        assert_eq!(mutex.lock().completed, 8 * 300, "{algo:?}: lost critical sections");
+        assert_eq!(mutex.waiting_now(), 0, "{algo:?}: stranded waiting count");
+        assert_eq!(mutex.algorithm(), algo, "{algo:?}: nothing requested a switch");
+    }
 }
 
 // ------------------------------------------------------------------------
@@ -408,6 +429,122 @@ fn unpark_faults_and_abandon_storms_never_strand_waiters() {
     assert!(report.abandon_storms > 0, "storm stream never fired");
     assert!(report.unparks_dropped > 0 && report.unparks_delayed > 0);
     assert!(report.monitor_stalls > 0, "monitor-stall stream never fired");
+}
+
+#[test]
+fn cs_panics_poison_every_zoo_engine_without_breaking_the_oracle() {
+    // `faulted_stress` (lock_checked + clear_poison + poison-reporting
+    // unwinds) must behave identically on every engine.
+    for algo in [LockAlgorithm::Ticket, LockAlgorithm::Queue, LockAlgorithm::Combining] {
+        let plan = Arc::new(FaultPlan::new(FaultSpec::seeded(0xfa118).with_cs_panics(16)));
+        let mutex = Arc::new(AdaptiveMutex::new(Oracle::default()));
+        mutex.set_algorithm(algo);
+        let oracle = LockOracle::mutex();
+        let (threads, iters) = (8usize, 150u64);
+        let clean = faulted_stress(&mutex, &oracle, &plan, threads, iters);
+        let injected = plan.report().cs_panics;
+        assert!(injected > 0, "{algo:?}: the CS-panic stream never fired");
+        assert_eq!(clean, threads as u64 * iters - injected, "{algo:?}");
+        assert_eq!(mutex.lock().completed, threads as u64 * iters, "{algo:?}");
+        assert_eq!(mutex.waiting_now(), 0, "{algo:?}: stranded waiting count");
+        oracle.assert_quiescent();
+        let counts = oracle.counts();
+        assert_eq!(counts.poisons, injected, "{algo:?}");
+        assert_eq!(counts.releases + counts.poisons, counts.acquires, "{algo:?}");
+        assert_eq!(mutex.algorithm(), algo, "{algo:?}");
+    }
+}
+
+/// The tentpole acceptance test: a running, contended lock migrates
+/// between all four engines while 10 threads (half through guards, half
+/// through `with_locked`) hammer it, critical sections panic, and
+/// unparks are dropped. The `LockOracle` audits every event; zero lost
+/// waiters means the joins complete and the waiting count conserves.
+#[test]
+fn live_algorithm_switches_under_faults_lose_no_waiters() {
+    let plan = Arc::new(FaultPlan::new(
+        FaultSpec::seeded(0x5147c4)
+            .with_cs_panics(64)
+            .with_unpark_drops(64),
+    ));
+    let mutex = Arc::new(AdaptiveMutex::new(Oracle::default()));
+    mutex.set_fault_hook(Arc::clone(&plan) as Arc<_>);
+    let oracle = LockOracle::mutex();
+    let (threads, iters) = (10usize, 200u64);
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let mutex = Arc::clone(&mutex);
+            let oracle = Arc::clone(&oracle);
+            let plan = Arc::clone(&plan);
+            std::thread::spawn(move || {
+                let tid = ThreadId(t);
+                for i in 0..iters {
+                    if t == 0 && i % 10 == 0 {
+                        // The switcher: cycle through every engine while
+                        // the other 9 threads contend.
+                        let algos = LockAlgorithm::ALL;
+                        mutex.set_algorithm(algos[((i / 10) as usize) % algos.len()]);
+                    }
+                    if t % 2 == 0 {
+                        // Publication path: combines under the combining
+                        // engine, plain guarded lock elsewhere.
+                        let _ = catch_unwind(AssertUnwindSafe(|| {
+                            mutex.with_locked(|o| {
+                                oracle.on_acquire(tid);
+                                o.completed += 1;
+                                if plan.fires(FaultKind::CsPanic) {
+                                    oracle.on_poison(tid);
+                                    panic!("fault-injection: combined CS panic");
+                                }
+                                oracle.on_release(tid);
+                            });
+                        }));
+                        mutex.clear_poison();
+                    } else {
+                        // Guard path, recovering any poison it meets.
+                        let _ = catch_unwind(AssertUnwindSafe(|| {
+                            let mut g = match mutex.lock_checked() {
+                                Ok(g) => g,
+                                Err(poisoned) => {
+                                    mutex.clear_poison();
+                                    poisoned.into_inner()
+                                }
+                            };
+                            oracle.on_acquire(tid);
+                            g.completed += 1;
+                            if plan.fires(FaultKind::CsPanic) {
+                                oracle.on_poison(tid);
+                                panic!("fault-injection: critical-section panic");
+                            }
+                            oracle.on_release(tid);
+                        }));
+                    }
+                }
+            })
+        })
+        .collect();
+    // Zero lost waiters: every thread joins (a waiter stranded by a
+    // mid-switch lost wakeup would hang here).
+    for h in handles {
+        h.join().expect("no stress thread may panic");
+    }
+    mutex.set_algorithm(LockAlgorithm::SpinPark);
+    assert_eq!(
+        mutex.lock().completed,
+        threads as u64 * iters,
+        "a live switch dropped a critical section"
+    );
+    assert_eq!(mutex.waiting_now(), 0, "stranded waiting count");
+    oracle.assert_quiescent();
+    let counts = oracle.counts();
+    assert_eq!(counts.acquires, threads as u64 * iters);
+    assert_eq!(counts.releases + counts.poisons, counts.acquires);
+    let stats = mutex.stats();
+    assert!(
+        stats.algorithm_switches > 0,
+        "the run never actually migrated engines"
+    );
+    assert!(plan.report().cs_panics > 0, "the CS-panic stream never fired");
 }
 
 /// The acceptance demo of the failure model, end to end: 25% of the TSP

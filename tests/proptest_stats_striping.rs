@@ -172,3 +172,55 @@ fn sampling_gate_cadence_matches_any_period()  {
         assert_eq!(decides.load(Ordering::Relaxed), 100 / p, "period {p}");
     }
 }
+
+/// Regression: the *failure* stream's cadence must not depend on how
+/// many threads generate the failures. The try-failure count used to
+/// live in the striped slab and each stripe paced its own gate, so the
+/// same total number of failed `try_lock`s produced up to `stripes`×
+/// fewer policy observations once the failing threads spread across
+/// stripes — the monitor effectively went deaf on bigger machines.
+/// The count is now a single global cell: `N` failures at period `p`
+/// reach the policy exactly `N / p` times whether one thread or eight
+/// produced them.
+#[test]
+fn try_failure_cadence_is_independent_of_thread_count() {
+    const PERIOD: u64 = 4;
+    const TOTAL: u64 = 64;
+    let mut decides_per_threadcount = Vec::new();
+    for threads in [1u64, 2, 8] {
+        let decides = Arc::new(AtomicU64::new(0));
+        let m = Arc::new(AdaptiveMutex::with_policy(
+            0u64,
+            Box::new(CountingPolicy { decides: Arc::clone(&decides) }),
+            PERIOD,
+        ));
+        // Hold the lock so every try_lock below fails deterministically.
+        let guard = m.lock();
+        for _ in 0..threads {
+            let m = Arc::clone(&m);
+            // One worker at a time: each lands on its own stripe (the
+            // pre-fix failure mode) but never races another worker to
+            // the policy's non-blocking busy flag, so the observation
+            // count stays exact.
+            std::thread::spawn(move || {
+                for _ in 0..TOTAL / threads {
+                    assert!(m.try_lock().is_none(), "lock is held");
+                }
+            })
+            .join()
+            .expect("try-failure worker");
+        }
+        drop(guard);
+        assert_eq!(m.stats().try_failures, TOTAL, "{threads} threads");
+        decides_per_threadcount.push(decides.load(Ordering::Relaxed));
+    }
+    assert_eq!(
+        decides_per_threadcount[0],
+        TOTAL / PERIOD,
+        "single-threaded failure stream samples every {PERIOD}th failure"
+    );
+    assert!(
+        decides_per_threadcount.windows(2).all(|w| w[0] == w[1]),
+        "sampling cadence drifted with thread count: {decides_per_threadcount:?}"
+    );
+}
