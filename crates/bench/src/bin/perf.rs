@@ -31,7 +31,10 @@ use bench::{improvement_pct, workspace_root, Scale};
 use serde::Serialize;
 use serde_json::json;
 use tsp_app::{solve_native, solve_sequential, NativeTspConfig, NativeVariant, TspInstance};
-use workloads::{run_contention, Backend, ContentionPoint, ContentionSpec};
+use workloads::{
+    run_contention, run_fairness, run_structure, Backend, ContentionPoint, ContentionSpec,
+    FairnessPoint, FairnessSpec, StructureKind, StructurePoint, StructureSpec,
+};
 
 /// Repeats per configuration (best-of).
 const REPEATS: u32 = 3;
@@ -67,14 +70,17 @@ fn main() -> ExitCode {
 
     let locks = run_lock_sweep(scale);
     let algos = run_algo_sweep(scale);
+    let fairness = run_fairness_sweep(scale);
     let tsp = run_tsp_sweep(scale);
-    let cell_errors = locks.errors.len() + algos.errors.len() + tsp.errors.len();
+    let cell_errors =
+        locks.errors.len() + algos.errors.len() + fairness.errors.len() + tsp.errors.len();
 
     let root = workspace_root();
     let mut ok = true;
     for (path, write) in [
         (root.join("BENCH_native_locks.json"), write_bench(&root.join("BENCH_native_locks.json"), &locks)),
         (root.join("BENCH_native_algos.json"), write_bench(&root.join("BENCH_native_algos.json"), &algos)),
+        (root.join("BENCH_native_fairness.json"), write_bench(&root.join("BENCH_native_fairness.json"), &fairness)),
         (root.join("BENCH_native_tsp.json"), write_bench(&root.join("BENCH_native_tsp.json"), &tsp)),
     ] {
         if let Err(e) = write {
@@ -344,6 +350,397 @@ fn run_algo_sweep(scale: Scale) -> LockBench {
             "algo_adapt_within_25pct_of_best_pinned": within,
         }),
     }
+}
+
+// ------------------------------------------------------------- fairness
+
+#[derive(Serialize)]
+struct FairnessBench {
+    bench: &'static str,
+    scale: String,
+    host_parallelism: usize,
+    repeats: u32,
+    /// Why fairness rows keep the median repeat, not the fastest.
+    selection: &'static str,
+    /// Native synthetic fairness sweep: threads × policy × imbalance ×
+    /// non-critical-section length.
+    rows: Vec<FairnessPoint>,
+    /// Simulator rows for the same imbalanced shape (virtual time,
+    /// deterministic), so the two backends stay comparable.
+    sim_rows: Vec<FairnessPoint>,
+    /// Real-structure rows: lock-protected counter vs lock-free CAS,
+    /// queue, hashmap.
+    structure_rows: Vec<StructurePoint>,
+    /// Sweep cells that failed, as `"<cell>: <panic message>"`.
+    errors: Vec<String>,
+    summary: serde_json::Value,
+}
+
+/// One (imbalance, non-critical-section length) regime.
+#[derive(Clone, Copy)]
+struct FairRegime {
+    /// Group B gets a 3000-iteration critical section (vs A's 1000).
+    imbalanced: bool,
+    /// Busy-loop iterations between acquisitions.
+    ncs: u32,
+}
+
+/// The swept regimes: the full non-critical-section ladder
+/// (0/10/100/1k/10k/100k iterations, saturated → rare) on the balanced
+/// shape, plus the imbalanced 1000-vs-3000 shape at the contended end
+/// where fairness collapse lives.
+fn fairness_regimes(scale: Scale) -> Vec<FairRegime> {
+    match scale {
+        Scale::Quick => vec![
+            FairRegime { imbalanced: false, ncs: 0 },
+            FairRegime { imbalanced: true, ncs: 0 },
+            FairRegime { imbalanced: false, ncs: 100 },
+            FairRegime { imbalanced: true, ncs: 100 },
+            FairRegime { imbalanced: false, ncs: 10_000 },
+        ],
+        Scale::Full => vec![
+            FairRegime { imbalanced: false, ncs: 0 },
+            FairRegime { imbalanced: true, ncs: 0 },
+            FairRegime { imbalanced: false, ncs: 10 },
+            FairRegime { imbalanced: false, ncs: 100 },
+            FairRegime { imbalanced: true, ncs: 100 },
+            FairRegime { imbalanced: false, ncs: 1_000 },
+            FairRegime { imbalanced: true, ncs: 1_000 },
+            FairRegime { imbalanced: false, ncs: 10_000 },
+            FairRegime { imbalanced: false, ncs: 100_000 },
+        ],
+    }
+}
+
+/// The repeat with the median total time. Fairness cells must NOT keep
+/// the fastest repeat like the timing sweeps do: a barging engine's
+/// fastest run is systematically its most *unfair* one (one thread
+/// streaks through cache-hot), so min-by-time selection would censor
+/// exactly the collapse this sweep measures.
+fn median_by_total(mut runs: Vec<FairnessPoint>) -> FairnessPoint {
+    runs.sort_by_key(|p| p.total_nanos);
+    let mid = runs.len() / 2;
+    runs.swap_remove(mid)
+}
+
+fn run_fairness_sweep(scale: Scale) -> FairnessBench {
+    let (threads, base_iters, repeats): (Vec<usize>, u32, u32) = match scale {
+        Scale::Quick => (vec![2, 4], 40, 1),
+        Scale::Full => (vec![2, 4, 8], 240, 3),
+    };
+    let (cs_a, cs_b_imbalanced) = (1_000u32, 3_000u32);
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    println!();
+    println!("== native fairness sweep: threads x policy x imbalance x ncs ==");
+    println!(
+        "{:<16} {:>8} {:>6} {:>8} {:>10} {:>8} {:>8} {:>12} {:>12}",
+        "policy", "threads", "imbal", "ncs", "total(ms)", "jain", "spread", "lat(ns)", "ns/op"
+    );
+
+    let mut rows: Vec<FairnessPoint> = Vec::new();
+    let mut errors: Vec<String> = Vec::new();
+    for &t in &threads {
+        for regime in fairness_regimes(scale) {
+            // Long think times multiply wall time on an oversubscribed
+            // host; shrink the per-thread quota so the rare-visit end of
+            // the ladder stays affordable without losing its regime.
+            let iters = (base_iters / (1 + regime.ncs / 2_000)).max(32);
+            for policy in algo_policies() {
+                let spec = FairnessSpec {
+                    threads: t,
+                    group_a: (t / 2).max(1),
+                    iters,
+                    cs_iters_a: cs_a,
+                    cs_iters_b: if regime.imbalanced { cs_b_imbalanced } else { cs_a },
+                    ncs_iters: regime.ncs,
+                    policy,
+                    seed: 0x51ee9,
+                };
+                let cell = catch_unwind(AssertUnwindSafe(|| {
+                    median_by_total(
+                        (0..repeats).map(|_| run_fairness(Backend::Native, &spec)).collect(),
+                    )
+                }));
+                let point = match cell {
+                    Ok(point) => point,
+                    Err(payload) => {
+                        let msg = format!(
+                            "fairness cell (policy={}, threads={t}, imbalanced={}, ncs={}): {}",
+                            policy.label(),
+                            regime.imbalanced,
+                            regime.ncs,
+                            panic_msg(payload)
+                        );
+                        eprintln!("error: {msg}");
+                        errors.push(msg);
+                        continue;
+                    }
+                };
+                println!(
+                    "{:<16} {:>8} {:>6} {:>8} {:>10.2} {:>8.3} {:>8.2} {:>12.0} {:>12.0}",
+                    point.policy,
+                    point.threads,
+                    point.imbalanced,
+                    point.ncs_iters,
+                    point.total_nanos as f64 / 1e6,
+                    point.fairness_index,
+                    point.thread_spread,
+                    point.mean_latency_nanos,
+                    point.wall_nanos_per_op,
+                );
+                rows.push(point);
+            }
+        }
+    }
+
+    // Simulator rows, same imbalanced shape: deterministic, one run.
+    let mut sim_rows: Vec<FairnessPoint> = Vec::new();
+    for imbalanced in [false, true] {
+        for policy in algo_policies() {
+            let spec = FairnessSpec {
+                threads: 4,
+                group_a: 2,
+                iters: 40,
+                cs_iters_a: cs_a,
+                cs_iters_b: if imbalanced { cs_b_imbalanced } else { cs_a },
+                ncs_iters: 100,
+                policy,
+                seed: 0x51ee9,
+            };
+            match catch_unwind(AssertUnwindSafe(|| run_fairness(Backend::Sim, &spec))) {
+                Ok(p) => sim_rows.push(p),
+                Err(payload) => {
+                    let msg = format!(
+                        "sim fairness cell (policy={}, imbalanced={imbalanced}): {}",
+                        policy.label(),
+                        panic_msg(payload)
+                    );
+                    eprintln!("error: {msg}");
+                    errors.push(msg);
+                }
+            }
+        }
+    }
+
+    // Real-structure rows: every lock-protected structure under every
+    // policy, plus the lock-free CAS baseline once per thread count.
+    println!();
+    println!("== native structure sweep: structure x policy x threads ==");
+    println!(
+        "{:<12} {:<16} {:>8} {:>10} {:>14} {:>8} {:>12}",
+        "structure", "policy", "threads", "total(ms)", "ops/sec", "jain", "lat(ns)"
+    );
+    let structure_iters = match scale {
+        Scale::Quick => 150,
+        Scale::Full => 1_500,
+    };
+    let mut structure_rows: Vec<StructurePoint> = Vec::new();
+    for &t in &threads {
+        for structure in StructureKind::ALL {
+            let policies: Vec<PolicyChoice> = if structure.lock_protected() {
+                algo_policies()
+            } else {
+                vec![PolicyChoice::FixedSpin(64)] // ignored; one baseline row
+            };
+            for policy in policies {
+                let spec = StructureSpec {
+                    structure,
+                    threads: t,
+                    iters: structure_iters,
+                    ncs_iters: 100,
+                    policy,
+                };
+                match catch_unwind(AssertUnwindSafe(|| run_structure(&spec))) {
+                    Ok(p) => {
+                        println!(
+                            "{:<12} {:<16} {:>8} {:>10.2} {:>14.0} {:>8.3} {:>12.0}",
+                            p.structure,
+                            p.policy,
+                            p.threads,
+                            p.total_nanos as f64 / 1e6,
+                            p.throughput_per_sec,
+                            p.fairness_index,
+                            p.mean_latency_nanos,
+                        );
+                        structure_rows.push(p);
+                    }
+                    Err(payload) => {
+                        let msg = format!(
+                            "structure cell (structure={}, policy={}, threads={t}): {}",
+                            structure.label(),
+                            policy.label(),
+                            panic_msg(payload)
+                        );
+                        eprintln!("error: {msg}");
+                        errors.push(msg);
+                    }
+                }
+            }
+        }
+    }
+
+    let summary = fairness_summary(&rows, &structure_rows, &threads);
+    FairnessBench {
+        bench: "native_fairness",
+        scale: format!("{:?}", scale).to_lowercase(),
+        host_parallelism: host,
+        repeats,
+        selection: "fairness rows keep the median-by-total repeat: a barging engine's \
+                    fastest repeat is systematically its most unfair one, so min-by-time \
+                    would censor the collapse",
+        rows,
+        sim_rows,
+        structure_rows,
+        errors,
+        summary,
+    }
+}
+
+/// Per-regime fairness winners, the FIFO-vs-spin-park separation
+/// verdict, and the CAS-vs-lock counter ratio.
+fn fairness_summary(
+    rows: &[FairnessPoint],
+    structure_rows: &[StructurePoint],
+    threads: &[usize],
+) -> serde_json::Value {
+    let pinned: Vec<&str> = LockAlgorithm::ALL.iter().map(|a| a.label()).collect();
+    let fifo_engines = [LockAlgorithm::Ticket.label(), LockAlgorithm::Queue.label()];
+    let spin_park = LockAlgorithm::SpinPark.label();
+
+    // Group native rows by regime.
+    let mut regimes: Vec<(usize, bool, u32)> = rows
+        .iter()
+        .map(|r| (r.threads, r.imbalanced, r.ncs_iters))
+        .collect();
+    regimes.sort_unstable();
+    regimes.dedup();
+
+    struct Separation {
+        sep: f64,
+        threads: usize,
+        imbalanced: bool,
+        ncs_iters: u32,
+        fifo_engine: String,
+        fifo_fairness: f64,
+        fifo_spread: f64,
+        spin_park_fairness: f64,
+        spin_park_spread: f64,
+    }
+
+    let mut winners: Vec<serde_json::Value> = Vec::new();
+    let mut best_sep: Option<Separation> = None;
+    for &(t, imb, ncs) in &regimes {
+        let regime_rows: Vec<&FairnessPoint> = rows
+            .iter()
+            .filter(|r| r.threads == t && r.imbalanced == imb && r.ncs_iters == ncs)
+            .collect();
+        let fairest = regime_rows
+            .iter()
+            .filter(|r| pinned.contains(&r.policy.as_str()))
+            .max_by(|a, b| a.fairness_index.total_cmp(&b.fairness_index));
+        if let Some(w) = fairest {
+            winners.push(json!({
+                "threads": t,
+                "imbalanced": imb,
+                "ncs_iters": ncs,
+                "engine": (w.policy.clone()),
+                "fairness_index": (w.fairness_index),
+                "thread_spread": (w.thread_spread),
+            }));
+        }
+        // FIFO-vs-spin-park separation: does a FIFO engine hold Jain >=
+        // 0.9 in a regime where the barging spin-park engine degrades?
+        let sp = regime_rows.iter().find(|r| r.policy == spin_park);
+        let fifo = regime_rows
+            .iter()
+            .filter(|r| fifo_engines.contains(&r.policy.as_str()))
+            .max_by(|a, b| a.fairness_index.total_cmp(&b.fairness_index));
+        if let (Some(sp), Some(fifo)) = (sp, fifo) {
+            if fifo.fairness_index >= 0.9 {
+                let sep = fifo.fairness_index - sp.fairness_index;
+                if best_sep.as_ref().is_none_or(|best| sep > best.sep) {
+                    best_sep = Some(Separation {
+                        sep,
+                        threads: t,
+                        imbalanced: imb,
+                        ncs_iters: ncs,
+                        fifo_engine: fifo.policy.clone(),
+                        fifo_fairness: fifo.fairness_index,
+                        fifo_spread: fifo.thread_spread,
+                        spin_park_fairness: sp.fairness_index,
+                        spin_park_spread: sp.thread_spread,
+                    });
+                }
+            }
+        }
+    }
+    let fifo_fair_while_spin_park_degrades = best_sep.as_ref().map(|s| s.sep >= 0.10);
+    match &best_sep {
+        Some(s) => println!(
+            "fairness separation: {} jain {:.3} vs spin-park {:.3} (sep {:.3}) at \
+             threads={} imbalanced={} ncs={} -> {}",
+            s.fifo_engine,
+            s.fifo_fairness,
+            s.spin_park_fairness,
+            s.sep,
+            s.threads,
+            s.imbalanced,
+            s.ncs_iters,
+            if s.sep >= 0.10 { "FIFO FAIR WHERE SPIN-PARK DEGRADES" } else { "SEPARATION < 0.10" }
+        ),
+        None => println!("fairness separation: no regime with a FIFO engine at jain >= 0.9"),
+    }
+
+    // CAS baseline vs the lock-protected counter at the highest thread
+    // count: what the cheapest possible synchronization buys.
+    let max_t = threads.iter().copied().max().unwrap_or(1);
+    let cas = structure_rows
+        .iter()
+        .find(|r| r.structure == "cas-counter" && r.threads == max_t);
+    let best_lock_counter = structure_rows
+        .iter()
+        .filter(|r| r.structure == "counter" && r.threads == max_t)
+        .max_by(|a, b| a.throughput_per_sec.total_cmp(&b.throughput_per_sec));
+    let cas_vs_lock = match (cas, best_lock_counter) {
+        (Some(c), Some(l)) if l.throughput_per_sec > 0.0 => {
+            let ratio = c.throughput_per_sec / l.throughput_per_sec;
+            println!(
+                "cas-counter {:.0} ops/sec vs best lock counter ({}) {:.0} ops/sec = {ratio:.2}x \
+                 at {max_t} threads",
+                c.throughput_per_sec, l.policy, l.throughput_per_sec
+            );
+            json!({
+                "threads": max_t,
+                "cas_ops_per_sec": (c.throughput_per_sec),
+                "best_lock_policy": (l.policy.clone()),
+                "best_lock_ops_per_sec": (l.throughput_per_sec),
+                "cas_speedup": ratio,
+            })
+        }
+        _ => serde_json::Value::Null,
+    };
+
+    let fifo_vs_spin_park = match &best_sep {
+        Some(s) => json!({
+            "threads": (s.threads),
+            "imbalanced": (s.imbalanced),
+            "ncs_iters": (s.ncs_iters),
+            "fifo_engine": (s.fifo_engine.clone()),
+            "fifo_fairness_index": (s.fifo_fairness),
+            "fifo_thread_spread": (s.fifo_spread),
+            "spin_park_fairness_index": (s.spin_park_fairness),
+            "spin_park_thread_spread": (s.spin_park_spread),
+            "separation": (s.sep),
+        }),
+        None => serde_json::Value::Null,
+    };
+    json!({
+        "regime_fairness_winners": winners,
+        "fifo_vs_spin_park": fifo_vs_spin_park,
+        "fifo_fair_while_spin_park_degrades": fifo_fair_while_spin_park_degrades,
+        "cas_vs_lock_counter": cas_vs_lock,
+    })
 }
 
 // ------------------------------------------------------------------ tsp

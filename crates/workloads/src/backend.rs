@@ -9,13 +9,45 @@
 //! hardware), so sim results and native results populate the same
 //! tables. [`PolicyChoice`] maps onto the simulator's [`LockSpec`] via
 //! [`sim_lock_spec`].
+//!
+//! ## Measurement discipline
+//!
+//! Both executions follow the same rules, so their rows are comparable:
+//!
+//! * **The clock excludes setup.** Native workers rendezvous on a start
+//!   barrier and the clock starts immediately *before* the barrier
+//!   release (the same fix `lockbench` carries: started after our own
+//!   `wait()` returns, a single-core host can run the workers to
+//!   completion before the main thread is rescheduled; started before
+//!   spawn, the row measures thread-creation cost instead of lock
+//!   behavior). The simulator forks in zero virtual time, so its clock
+//!   needs no barrier.
+//! * **Per-thread accounting.** Every worker tallies its own completed
+//!   ops, its summed *acquisition latency* (enter-to-acquired: from
+//!   just before the lock call to the first instruction of the critical
+//!   section), and its own elapsed time from the common epoch to its
+//!   last completed op. Those feed the fairness fields of every row
+//!   ([`ContentionPoint::fairness_index`] and the min/max per-thread
+//!   throughput spread) on both backends.
+//! * **Honest latency names.** `mean_latency_nanos` is measured
+//!   acquisition latency. The old quantity — total wall time divided by
+//!   op count, which bakes think time and backend scheduling into a
+//!   number that was *called* latency — survives under the honest name
+//!   [`ContentionPoint::wall_nanos_per_op`], so JSON consumers migrate
+//!   deliberately instead of silently reading a different metric.
+//! * **Lost updates fail loudly.** The shared counter is re-checked
+//!   against `threads × iters` with an always-on `assert_eq!`, not a
+//!   `debug_assert!`: perf sweeps run `--release`, which is exactly
+//!   where a release-only engine bug would otherwise pass silently.
 
 use adaptive_native::PolicyChoice;
-use butterfly_sim::Duration as SimDuration;
+use butterfly_sim::{self as sim, ctx, Duration as SimDuration, ProcId, SimConfig};
+use cthreads::fork;
 use serde::Serialize;
+use std::sync::{Arc, Barrier, OnceLock};
 use std::time::{Duration, Instant};
 
-use crate::csweep::{self, SweepConfig};
+use crate::fairness::spread_stats;
 use crate::spec::LockSpec;
 
 /// Where a workload runs.
@@ -82,7 +114,8 @@ pub struct ContentionPoint {
     pub threads: usize,
     /// Critical-section length (ns).
     pub cs_nanos: u64,
-    /// Total execution time (virtual ns on sim, wall ns on native).
+    /// Total execution time (virtual ns on sim, wall ns on native),
+    /// measured from the start-barrier release — thread spawn excluded.
     pub total_nanos: u64,
     /// Native only: more worker threads than host hardware parallelism,
     /// so the point measures scheduler time-slicing, not contention.
@@ -90,8 +123,24 @@ pub struct ContentionPoint {
     pub oversubscribed: bool,
     /// Lock acquisitions per second of (virtual or wall) time.
     pub throughput_per_sec: f64,
-    /// Mean time per acquisition across all threads (ns).
+    /// Total time divided by total ops (ns). This is *not* latency — it
+    /// includes think time and scheduling — but it is the per-op pace
+    /// the old `mean_latency_nanos` field actually reported, kept under
+    /// an honest name.
+    pub wall_nanos_per_op: f64,
+    /// Mean measured acquisition latency (enter-to-acquired, ns),
+    /// averaged over every op of every thread.
     pub mean_latency_nanos: f64,
+    /// Jain's fairness index over per-thread throughput (1.0 = every
+    /// thread got identical service; 1/threads = one thread got it all).
+    pub fairness_index: f64,
+    /// Slowest thread's throughput (its ops over its own elapsed time).
+    pub min_thread_ops_per_sec: f64,
+    /// Fastest thread's throughput.
+    pub max_thread_ops_per_sec: f64,
+    /// `max_thread_ops_per_sec / min_thread_ops_per_sec` — the per-row
+    /// spread; 1.0 is perfectly even service.
+    pub thread_spread: f64,
 }
 
 /// The simulator lock corresponding to a native policy choice.
@@ -112,12 +161,75 @@ pub fn sim_lock_spec(policy: PolicyChoice) -> LockSpec {
     }
 }
 
+/// What a worker does per op: critical-section work and think-time
+/// work, each either a calibrated wall-clock burn (`Nanos`) or a raw
+/// busy-loop iteration count (`Iters`, the dlock2-style unit). On the
+/// simulator both advance virtual time, one virtual nanosecond per
+/// iteration.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Work {
+    /// Busy-wait for this many wall nanoseconds (virtual on sim).
+    Nanos(u64),
+    /// Spin this many loop iterations (≈1 virtual ns each on sim).
+    Iters(u32),
+}
+
+impl Work {
+    fn run(self) {
+        match self {
+            Work::Nanos(n) => busy_wait(Duration::from_nanos(n)),
+            Work::Iters(n) => busy_iters(n),
+        }
+    }
+
+    fn sim_duration(self) -> SimDuration {
+        match self {
+            Work::Nanos(n) => SimDuration::nanos(n),
+            Work::Iters(n) => SimDuration::nanos(u64::from(n)),
+        }
+    }
+}
+
+/// One worker's share of a contention workload. Plans differ per thread
+/// only for the imbalanced fairness workloads; `run_contention` hands
+/// every thread the same plan.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct WorkerPlan {
+    /// Lock/unlock iterations this worker performs.
+    pub iters: u32,
+    /// Critical-section work per op.
+    pub cs: Work,
+    /// Think-time (non-critical-section) work per op.
+    pub think: Work,
+}
+
+/// What one worker measured about itself.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ThreadSample {
+    /// Ops this thread completed (always its full `iters` quota — the
+    /// workload is iteration-bounded — but tallied by the worker itself
+    /// so accounting bugs show up as a sum mismatch, not a silent pass).
+    pub ops: u64,
+    /// Summed enter-to-acquired acquisition latency across those ops (ns).
+    pub latency_nanos: u64,
+    /// This thread's elapsed time from the common epoch (barrier
+    /// release / sim fork point) to its last completed op (ns).
+    pub elapsed_nanos: u64,
+}
+
 /// Run one contention workload on the chosen backend.
 pub fn run_contention(backend: Backend, spec: &ContentionSpec) -> ContentionPoint {
-    let total_nanos = match backend {
-        Backend::Sim => run_sim(spec),
-        Backend::Native => run_native(spec),
+    let plan = WorkerPlan {
+        iters: spec.iters,
+        cs: Work::Nanos(spec.cs_nanos),
+        think: Work::Nanos(spec.think_nanos),
     };
+    let plans = vec![plan; spec.threads];
+    let (total_nanos, samples) = match backend {
+        Backend::Sim => run_sim_plans(spec.policy, &plans, spec.seed),
+        Backend::Native => run_native_plans(spec.policy, &plans, Duration::ZERO),
+    };
+    let s = spread_stats(&samples);
     let ops = spec.threads as u64 * u64::from(spec.iters);
     ContentionPoint {
         backend: backend.label().into(),
@@ -128,50 +240,171 @@ pub fn run_contention(backend: Backend, spec: &ContentionSpec) -> ContentionPoin
         oversubscribed: matches!(backend, Backend::Native)
             && spec.threads > std::thread::available_parallelism().map_or(1, |n| n.get()),
         throughput_per_sec: ops as f64 / (total_nanos.max(1) as f64 / 1e9),
-        mean_latency_nanos: total_nanos as f64 / ops.max(1) as f64,
+        wall_nanos_per_op: total_nanos as f64 / ops.max(1) as f64,
+        mean_latency_nanos: s.mean_latency_nanos,
+        fairness_index: s.fairness_index,
+        min_thread_ops_per_sec: s.min_thread_ops_per_sec,
+        max_thread_ops_per_sec: s.max_thread_ops_per_sec,
+        thread_spread: s.thread_spread,
     }
 }
 
-fn run_sim(spec: &ContentionSpec) -> u64 {
-    let cfg = SweepConfig {
-        processors: spec.threads.max(1),
-        threads: spec.threads,
-        iters: spec.iters,
-        think: SimDuration::nanos(spec.think_nanos),
-        seed: spec.seed,
-        ..SweepConfig::default()
+/// Run per-worker plans on the simulator; returns total virtual time
+/// and per-thread samples (all in virtual nanoseconds).
+pub(crate) fn run_sim_plans(
+    policy: PolicyChoice,
+    plans: &[WorkerPlan],
+    seed: u64,
+) -> (u64, Vec<ThreadSample>) {
+    use adaptive_locks::{with_lock, Lock};
+
+    let processors = plans.len().max(1);
+    let sim_cfg = SimConfig {
+        processors,
+        quantum: Some(SimDuration::millis(2)),
+        seed,
+        ..SimConfig::default()
     };
-    csweep::run_once(&cfg, sim_lock_spec(spec.policy), SimDuration::nanos(spec.cs_nanos))
-        .as_nanos()
+    let plans = plans.to_vec();
+    let ((total, samples), _) = sim::run(sim_cfg, move || {
+        let lock: Arc<dyn Lock> = sim_lock_spec(policy).build(ctx::current_node());
+        let t0 = ctx::now();
+        let handles: Vec<_> = plans
+            .iter()
+            .enumerate()
+            .map(|(i, plan)| {
+                let lock = Arc::clone(&lock);
+                let plan = *plan;
+                fork(ProcId(i % processors), format!("w{i}"), move || {
+                    let mut ops = 0u64;
+                    let mut latency_nanos = 0u64;
+                    for _ in 0..plan.iters {
+                        let enter = ctx::now();
+                        with_lock(lock.as_ref(), || {
+                            latency_nanos += ctx::now().since(enter).as_nanos();
+                            ctx::advance(plan.cs.sim_duration());
+                        });
+                        ops += 1;
+                        ctx::advance(plan.think.sim_duration());
+                    }
+                    ThreadSample {
+                        ops,
+                        latency_nanos,
+                        elapsed_nanos: ctx::now().since(t0).as_nanos().max(1),
+                    }
+                })
+            })
+            .collect();
+        let samples: Vec<ThreadSample> = handles.into_iter().map(|h| h.join()).collect();
+        (ctx::now().since(t0).as_nanos(), samples)
+    })
+    .expect("contention simulation runs to completion");
+    (total, samples)
 }
 
-fn run_native(spec: &ContentionSpec) -> u64 {
-    let mutex = spec.policy.build_mutex(0u64);
-    let cs = Duration::from_nanos(spec.cs_nanos);
-    let think = Duration::from_nanos(spec.think_nanos);
-    let t0 = Instant::now();
-    std::thread::scope(|scope| {
-        for _ in 0..spec.threads {
-            scope.spawn(|| {
-                for _ in 0..spec.iters {
-                    // `with_locked` so a combining engine actually
-                    // combines; on every other engine it is exactly a
-                    // guarded lock().
-                    mutex.with_locked(|v| {
-                        *v += 1;
-                        busy_wait(cs);
-                    });
-                    busy_wait(think);
-                }
+/// Run per-worker plans on OS threads through an [`adaptive_native`]
+/// mutex built for `policy`. Returns total wall nanoseconds (measured
+/// from the start-barrier release) and per-thread samples.
+///
+/// `pre_start_stall` is a test hook: a sleep inserted between thread
+/// spawn and the clock start, standing in for slow spawn. A correctly
+/// bounded measurement window excludes it entirely; the pre-fix window
+/// (clock started before spawn) charged all of it to the row.
+pub(crate) fn run_native_plans(
+    policy: PolicyChoice,
+    plans: &[WorkerPlan],
+    pre_start_stall: Duration,
+) -> (u64, Vec<ThreadSample>) {
+    let mutex = policy.build_mutex(0u64);
+    let expected: u64 = plans.iter().map(|p| u64::from(p.iters)).sum();
+    let (total, samples) = run_native_workers(plans.len(), pre_start_stall, |i| {
+        let plan = plans[i];
+        let mut latency_nanos = 0u64;
+        let mut ops = 0u64;
+        for _ in 0..plan.iters {
+            let enter = Instant::now();
+            // `with_locked` so a combining engine actually combines; on
+            // every other engine it is exactly a guarded `lock()`. The
+            // latency tick runs as the critical section's first
+            // instruction, so it measures enter-to-acquired (for a
+            // combined op: enter-to-served) without the CS body.
+            mutex.with_locked(|v| {
+                latency_nanos += saturating_nanos(enter.elapsed());
+                *v += 1;
+                plan.cs.run();
             });
+            ops += 1;
+            plan.think.run();
         }
+        (ops, latency_nanos)
     });
-    let elapsed = t0.elapsed();
-    debug_assert_eq!(
+    // Always-on (not debug_assert!): perf sweeps run --release, which
+    // is exactly where a release-only lost-update bug in an engine
+    // would otherwise pass silently.
+    assert_eq!(
         mutex.into_inner(),
-        spec.threads as u64 * u64::from(spec.iters)
+        expected,
+        "lost update: shared counter disagrees with threads x iters"
     );
-    elapsed.as_nanos().min(u128::from(u64::MAX)) as u64
+    (total, samples)
+}
+
+/// Spawn `nworkers` scoped threads, rendezvous on a start barrier, and
+/// run `work(i)` on each; `work` returns `(ops, summed latency ns)`.
+/// Returns total wall nanoseconds and per-thread samples.
+///
+/// The clock starts immediately *before* the barrier release (the last
+/// arrival frees everyone): started after our own `wait()` returned, a
+/// single-core host can run the workers to completion before this
+/// thread is rescheduled; started before spawn, the row would charge
+/// thread-creation time to the lock. `pre_start_stall` (tests only)
+/// sleeps between spawn and clock start to make that exclusion
+/// observable.
+pub(crate) fn run_native_workers<F>(
+    nworkers: usize,
+    pre_start_stall: Duration,
+    work: F,
+) -> (u64, Vec<ThreadSample>)
+where
+    F: Fn(usize) -> (u64, u64) + Sync,
+{
+    let barrier = Barrier::new(nworkers + 1);
+    let epoch: OnceLock<Instant> = OnceLock::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..nworkers)
+            .map(|i| {
+                let (barrier, epoch, work) = (&barrier, &epoch, &work);
+                scope.spawn(move || {
+                    barrier.wait();
+                    // Set by the main thread before its own wait(), so
+                    // it is always present once ours returns.
+                    let t0 = epoch.get().copied().unwrap_or_else(Instant::now);
+                    let (ops, latency_nanos) = work(i);
+                    ThreadSample {
+                        ops,
+                        latency_nanos,
+                        elapsed_nanos: saturating_nanos(t0.elapsed()).max(1),
+                    }
+                })
+            })
+            .collect();
+        if !pre_start_stall.is_zero() {
+            std::thread::sleep(pre_start_stall);
+        }
+        let t0 = Instant::now();
+        let _ = epoch.set(t0);
+        barrier.wait();
+        let samples: Vec<ThreadSample> = handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect();
+        (saturating_nanos(t0.elapsed()), samples)
+    })
+}
+
+/// `Duration` → `u64` nanoseconds, saturating.
+pub(crate) fn saturating_nanos(d: Duration) -> u64 {
+    d.as_nanos().min(u128::from(u64::MAX)) as u64
 }
 
 /// Burn CPU for (at least) `d`, without sleeping — critical-section
@@ -183,6 +416,16 @@ fn busy_wait(d: Duration) {
     }
     let end = Instant::now() + d;
     while Instant::now() < end {
+        std::hint::spin_loop();
+    }
+}
+
+/// Spin exactly `n` loop iterations — the dlock2-style critical- and
+/// non-critical-section unit, which prices *work* rather than a clock
+/// target (a `busy_wait` under heavy preemption can overshoot wildly;
+/// an iteration count cannot).
+pub(crate) fn busy_iters(n: u32) {
+    for _ in 0..n {
         std::hint::spin_loop();
     }
 }
@@ -212,7 +455,84 @@ mod tests {
             assert_eq!(p.threads, 3);
             assert!(p.total_nanos > 0, "{}", p.backend);
             assert!(p.throughput_per_sec > 0.0);
-            assert!(p.mean_latency_nanos > 0.0);
+            assert!(p.wall_nanos_per_op > 0.0);
+            assert!(p.mean_latency_nanos >= 0.0);
+            assert!(
+                p.fairness_index > 0.0 && p.fairness_index <= 1.0 + 1e-9,
+                "{}: fairness {}",
+                p.backend,
+                p.fairness_index
+            );
+            assert!(p.min_thread_ops_per_sec > 0.0);
+            assert!(p.max_thread_ops_per_sec >= p.min_thread_ops_per_sec);
+            assert!(p.thread_spread >= 1.0);
+        }
+    }
+
+    #[test]
+    fn wall_pace_and_latency_are_different_metrics() {
+        // Long think time, tiny critical section: the wall pace is
+        // dominated by think time, which acquisition latency must not
+        // include. Pre-fix, "mean_latency_nanos" WAS the wall pace.
+        let spec = ContentionSpec {
+            threads: 2,
+            iters: 30,
+            cs_nanos: 100,
+            think_nanos: 40_000,
+            policy: PolicyChoice::FixedSpin(64),
+            seed: 7,
+        };
+        let p = run_contention(Backend::Native, &spec);
+        assert!(
+            p.wall_nanos_per_op >= spec.think_nanos as f64 / 2.0,
+            "wall pace {} must reflect think time",
+            p.wall_nanos_per_op
+        );
+        assert!(
+            p.mean_latency_nanos < p.wall_nanos_per_op / 2.0,
+            "acquisition latency {} must not absorb think time (wall pace {})",
+            p.mean_latency_nanos,
+            p.wall_nanos_per_op
+        );
+    }
+
+    #[test]
+    fn measured_window_excludes_time_before_the_start_barrier() {
+        // Regression for the spawn-time bug: the clock used to start
+        // before thread spawn, so anything between spawn and the first
+        // op — here an injected 80 ms stall standing in for slow spawn
+        // — was charged to the row, and small-iter rows scaled with
+        // thread count from spawn overhead alone. With the barrier,
+        // total time is work only.
+        let stall = Duration::from_millis(80);
+        for threads in [1usize, 4] {
+            let plan = WorkerPlan { iters: 1, cs: Work::Nanos(0), think: Work::Nanos(0) };
+            let (total, samples) =
+                run_native_plans(PolicyChoice::FixedSpin(64), &vec![plan; threads], stall);
+            assert_eq!(samples.len(), threads);
+            assert!(
+                Duration::from_nanos(total) < stall,
+                "{threads} threads: measured window {total} ns swallowed the pre-start stall"
+            );
+        }
+    }
+
+    #[test]
+    fn per_thread_samples_account_for_every_op() {
+        let spec = quick_spec(PolicyChoice::Algorithm(adaptive_native::LockAlgorithm::Ticket));
+        let plan =
+            WorkerPlan { iters: spec.iters, cs: Work::Nanos(spec.cs_nanos), think: Work::Nanos(0) };
+        for backend in [Backend::Sim, Backend::Native] {
+            let (_, samples) = match backend {
+                Backend::Sim => run_sim_plans(spec.policy, &vec![plan; spec.threads], spec.seed),
+                Backend::Native => {
+                    run_native_plans(spec.policy, &vec![plan; spec.threads], Duration::ZERO)
+                }
+            };
+            assert_eq!(samples.len(), spec.threads);
+            let total_ops: u64 = samples.iter().map(|s| s.ops).sum();
+            assert_eq!(total_ops, spec.threads as u64 * u64::from(spec.iters));
+            assert!(samples.iter().all(|s| s.elapsed_nanos > 0));
         }
     }
 
@@ -256,6 +576,7 @@ mod tests {
         for policy in policies {
             let p = run_contention(Backend::Native, &quick_spec(policy));
             assert!(p.total_nanos > 0, "{}", p.policy);
+            assert!(p.fairness_index > 0.0, "{}", p.policy);
         }
     }
 
@@ -274,5 +595,6 @@ mod tests {
         let a = run_contention(Backend::Sim, &spec);
         let b = run_contention(Backend::Sim, &spec);
         assert_eq!(a.total_nanos, b.total_nanos);
+        assert_eq!(a.fairness_index, b.fairness_index);
     }
 }

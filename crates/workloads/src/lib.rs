@@ -14,7 +14,13 @@
 //! * [`phased`] — a phase-changing pattern demonstrating when adaptation
 //!   pays;
 //! * [`backend`] — backend-neutral contention workloads: the same spec
-//!   runs on the butterfly simulator or on real OS threads.
+//!   runs on the butterfly simulator or on real OS threads, with
+//!   per-thread op/latency accounting behind every row;
+//! * [`fairness`] — the dlock2-style imbalance suite: two critical-
+//!   section groups, a non-critical-section length sweep, and Jain's
+//!   fairness index + per-thread throughput spread per row;
+//! * [`structures`] — real-data-structure workloads (lock-protected
+//!   counter vs lock-free CAS, queue, hashmap) under every policy.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -25,11 +31,17 @@ pub mod clientserver;
 pub mod crossover;
 pub mod csweep;
 pub mod cycle;
+pub mod fairness;
 pub mod measure;
 pub mod phased;
 pub mod spec;
+pub mod structures;
 
-pub use backend::{run_contention, sim_lock_spec, Backend, ContentionPoint, ContentionSpec};
+pub use backend::{
+    run_contention, sim_lock_spec, Backend, ContentionPoint, ContentionSpec, ThreadSample,
+};
+pub use fairness::{jains_index, run_fairness, FairnessPoint, FairnessSpec};
+pub use structures::{run_structure, StructureKind, StructurePoint, StructureSpec};
 pub use clientserver::{run_all_schedulers, run_client_server, ClientServerConfig, ClientServerResult};
 pub use crossover::{find_crossover, Crossover};
 pub use csweep::{figure1_locks, run_once, run_sweep, SweepConfig, SweepPoint};
