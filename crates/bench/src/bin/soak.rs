@@ -1,0 +1,365 @@
+//! The breaker soak runner: chaos soaks over the control plane plus an
+//! open-vs-closed throughput comparison, written to
+//! `BENCH_native_breaker.json` at the workspace root.
+//!
+//! ```text
+//! EXPERIMENT_SCALE=quick cargo run --release -p bench --bin soak   # CI smoke
+//! EXPERIMENT_SCALE=full  cargo run --release -p bench --bin soak   # real numbers
+//! ```
+//!
+//! Two measurements:
+//!
+//! * **Soak rows** — seeded `workloads::soak` runs (CS panics, dropped
+//!   unparks, monitor stalls, 25% worker kills, live command traffic),
+//!   reporting per-run time-to-quarantine (supervisor polls from wedge
+//!   to `Quarantined`), time-to-heal (calm polls until every breaker
+//!   re-armed), state-dwell totals, and the oracle outcomes.
+//! * **Throughput open vs closed** — the same contention workload
+//!   through a healthy adaptive mutex ("closed") and through a mutex
+//!   held in quarantine by a supervisor-style re-assertion thread
+//!   ("open": the breaker-open endpoint configuration, pure blocking on
+//!   a spin-park engine). The `open_over_closed` ratio quantifies the
+//!   cost of running through an open breaker; the verdict requires it
+//!   to stay above 0.5.
+//!
+//! Failure policy: a cell that panics lands in the `errors` array and
+//! the sweep continues; an unwritable JSON is a one-line error and a
+//! non-zero exit.
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use adaptive_native::{FaultSpec, PolicyChoice};
+use bench::{workspace_root, Scale};
+use serde::Serialize;
+use serde_json::json;
+use workloads::{run_soak, SoakSpec, StallEpisode};
+
+/// Repeats for the throughput cells (best-of).
+const REPEATS: u32 = 3;
+
+fn main() -> ExitCode {
+    let scale = bench::scale();
+    let scale_label = match scale {
+        Scale::Quick => "quick",
+        Scale::Full => "full",
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("breaker soak runner — scale={scale_label}, host parallelism={cores}");
+
+    let mut errors: Vec<String> = Vec::new();
+    let rows = run_soak_rows(scale, &mut errors);
+    let throughput = run_throughput(scale, &mut errors);
+    let summary = summarize(&rows, &throughput);
+
+    println!("\nsummary: {}", serde_json::to_string(&summary).unwrap_or_default());
+    let report = json!({
+        "bench": "native_breaker",
+        "scale": scale_label,
+        "host_parallelism": cores,
+        "rows": rows,
+        "throughput": throughput,
+        "summary": summary,
+        "errors": errors,
+    });
+    let path = workspace_root().join("BENCH_native_breaker.json");
+    match serde_json::to_string_pretty(&report) {
+        Ok(text) => {
+            if let Err(e) = std::fs::write(&path, text + "\n") {
+                eprintln!("error: could not write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {}", path.display());
+        }
+        Err(e) => {
+            eprintln!("error: could not serialize report: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if !errors.is_empty() {
+        eprintln!("warning: {} cell(s) failed; results are partial", errors.len());
+    }
+    ExitCode::SUCCESS
+}
+
+// ------------------------------------------------------------- soak rows
+
+/// One soak run's reportable slice (the full event log stays out of the
+/// committed JSON; the oracles have already consumed it).
+#[derive(Debug, Serialize)]
+struct SoakRow {
+    seed: u64,
+    polls: u64,
+    poll_millis: u64,
+    ops: u64,
+    episodes: Vec<StallEpisode>,
+    episodes_skipped: usize,
+    polls_to_quarantine_max: Option<u64>,
+    time_to_quarantine_millis_max: Option<u64>,
+    heal_polls: u64,
+    time_to_heal_millis: u64,
+    opened_targets: usize,
+    healed_targets: usize,
+    all_healed: bool,
+    conservation_ok: bool,
+    quiescent: bool,
+    chain_legal: bool,
+    transitions: usize,
+    state_dwell_polls: BTreeMap<String, u64>,
+    commands_ok: u64,
+    commands_err: u64,
+    heal_commands: u64,
+    workers_killed: usize,
+    panics_absorbed: u64,
+    faults_cs_panics: u64,
+    faults_unparks_dropped: u64,
+    faults_monitor_stalls: u64,
+}
+
+fn soak_spec(scale: Scale, seed: u64) -> SoakSpec {
+    let mut spec = SoakSpec::quick(seed);
+    match scale {
+        Scale::Quick => {
+            spec.storm_polls = 16;
+            spec.calm_polls = 6;
+            spec.poll_millis = 15;
+        }
+        Scale::Full => {
+            spec.locks = 6;
+            spec.storm_polls = 60;
+            spec.calm_polls = 10;
+            spec.poll_millis = 25;
+            spec.stall_episodes = 5;
+            spec.faults = FaultSpec::seeded(seed)
+                .with_cs_panics(64)
+                .with_unpark_drops(96)
+                .with_monitor_stalls(48)
+                .with_worker_kills(25, 400);
+        }
+    }
+    spec
+}
+
+fn run_soak_rows(scale: Scale, errors: &mut Vec<String>) -> Vec<SoakRow> {
+    let seeds: &[u64] = match scale {
+        Scale::Quick => &[0xb0a7],
+        Scale::Full => &[0xb0a7, 0x5eaf, 0xc0de],
+    };
+    let mut rows = Vec::new();
+    for &seed in seeds {
+        let spec = soak_spec(scale, seed);
+        match catch_unwind(AssertUnwindSafe(|| run_soak(&spec))) {
+            Ok(r) => {
+                let q_max = r
+                    .episodes
+                    .iter()
+                    .filter_map(|e| e.polls_to_quarantine)
+                    .max();
+                let heal_polls = spec.calm_polls + r.convergence_polls;
+                println!(
+                    "soak seed={seed:#x}: {} polls, {} ops, quarantine<= {:?} polls, \
+                     heal {} polls, opened {}, healed {}, ok={}",
+                    r.polls,
+                    r.ops,
+                    q_max,
+                    heal_polls,
+                    r.opened_targets,
+                    r.healed_targets,
+                    r.conservation_ok && r.quiescent && r.all_healed && r.illegal.is_none()
+                );
+                rows.push(SoakRow {
+                    seed,
+                    polls: r.polls,
+                    poll_millis: spec.poll_millis,
+                    ops: r.ops,
+                    polls_to_quarantine_max: q_max,
+                    time_to_quarantine_millis_max: q_max.map(|p| p * spec.poll_millis),
+                    heal_polls,
+                    time_to_heal_millis: heal_polls * spec.poll_millis,
+                    episodes: r.episodes,
+                    episodes_skipped: r.episodes_skipped,
+                    opened_targets: r.opened_targets,
+                    healed_targets: r.healed_targets,
+                    all_healed: r.all_healed,
+                    conservation_ok: r.conservation_ok,
+                    quiescent: r.quiescent,
+                    chain_legal: r.illegal.is_none(),
+                    transitions: r.transitions,
+                    state_dwell_polls: r.dwell,
+                    commands_ok: r.commands_ok,
+                    commands_err: r.commands_err,
+                    heal_commands: r.heal_commands,
+                    workers_killed: r.workers_killed,
+                    panics_absorbed: r.panics_absorbed,
+                    faults_cs_panics: r.faults_cs_panics,
+                    faults_unparks_dropped: r.faults_unparks_dropped,
+                    faults_monitor_stalls: r.faults_monitor_stalls,
+                });
+            }
+            Err(e) => errors.push(format!("soak seed={seed:#x}: {}", panic_msg(e))),
+        }
+    }
+    rows
+}
+
+// ------------------------------------------------- open vs closed cost
+
+#[derive(Debug, Serialize)]
+struct Throughput {
+    threads: usize,
+    iters_per_thread: u32,
+    cs_nanos: u64,
+    closed_ops_per_sec: f64,
+    open_ops_per_sec: f64,
+    open_over_closed: f64,
+}
+
+/// Ops/sec through one adaptive mutex; with `open`, a supervisor-style
+/// thread keeps the mutex quarantined for the whole run (the hub's
+/// re-assertion loop, compressed), so every acquisition pays the
+/// breaker-open configuration: pure blocking on the spin-park engine.
+fn measured_ops_per_sec(open: bool, threads: usize, iters: u32, cs_nanos: u64) -> f64 {
+    let m = Arc::new(PolicyChoice::Adaptive { threshold: 2, n: 32 }.build_mutex(0u64));
+    let stop = AtomicBool::new(false);
+    let barrier = Barrier::new(threads + 1);
+    let elapsed = std::thread::scope(|s| {
+        if open {
+            m.quarantine();
+            let (m, stop) = (&m, &stop);
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    if !m.is_quarantined() {
+                        m.quarantine();
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            });
+        }
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                let (m, barrier) = (&m, &barrier);
+                s.spawn(move || {
+                    barrier.wait();
+                    for _ in 0..iters {
+                        m.with_locked(|v| {
+                            *v += 1;
+                            busy(cs_nanos);
+                        });
+                        busy(cs_nanos); // think, same length as the CS
+                    }
+                })
+            })
+            .collect();
+        let t0 = Instant::now();
+        barrier.wait();
+        for w in workers {
+            let _ = w.join();
+        }
+        let elapsed = t0.elapsed();
+        stop.store(true, Ordering::Relaxed);
+        elapsed
+    });
+    (threads as u64 * u64::from(iters)) as f64 / elapsed.as_secs_f64().max(1e-9)
+}
+
+fn busy(nanos: u64) {
+    let end = Instant::now() + Duration::from_nanos(nanos);
+    while Instant::now() < end {
+        std::hint::spin_loop();
+    }
+}
+
+fn run_throughput(scale: Scale, errors: &mut Vec<String>) -> Option<Throughput> {
+    let (threads, iters, cs_nanos) = match scale {
+        Scale::Quick => (4, 2_000, 3_000),
+        Scale::Full => (4, 20_000, 3_000),
+    };
+    let cell = catch_unwind(AssertUnwindSafe(|| {
+        let best = |open: bool| {
+            (0..REPEATS)
+                .map(|_| measured_ops_per_sec(open, threads, iters, cs_nanos))
+                .fold(0.0f64, f64::max)
+        };
+        let closed = best(false);
+        let open = best(true);
+        (closed, open)
+    }));
+    match cell {
+        Ok((closed, open)) => {
+            let ratio = open / closed.max(1e-9);
+            println!(
+                "throughput: closed {closed:.0} ops/s, open {open:.0} ops/s, ratio {ratio:.2}"
+            );
+            Some(Throughput {
+                threads,
+                iters_per_thread: iters,
+                cs_nanos,
+                closed_ops_per_sec: closed,
+                open_ops_per_sec: open,
+                open_over_closed: ratio,
+            })
+        }
+        Err(e) => {
+            errors.push(format!("throughput: {}", panic_msg(e)));
+            None
+        }
+    }
+}
+
+// ------------------------------------------------------------- summary
+
+fn summarize(rows: &[SoakRow], throughput: &Option<Throughput>) -> serde_json::Value {
+    let mut dwell: BTreeMap<String, u64> = BTreeMap::new();
+    for row in rows {
+        for (state, polls) in &row.state_dwell_polls {
+            *dwell.entry(state.clone()).or_insert(0) += polls;
+        }
+    }
+    let every_stall_quarantined = !rows.is_empty()
+        && rows.iter().all(|r| {
+            !r.episodes.is_empty()
+                && r.episodes
+                    .iter()
+                    .all(|e| e.polls_to_quarantine.is_some_and(|p| p <= 2))
+        });
+    let ratio = throughput.as_ref().map_or(0.0, |t| t.open_over_closed);
+    let quarantine_polls_max = rows.iter().filter_map(|r| r.polls_to_quarantine_max).max();
+    let heal_polls_max = rows.iter().map(|r| r.heal_polls).max();
+    let all_healed = !rows.is_empty() && rows.iter().all(|r| r.all_healed);
+    let chains_legal = !rows.is_empty() && rows.iter().all(|r| r.chain_legal);
+    let conservation = !rows.is_empty() && rows.iter().all(|r| r.conservation_ok);
+    let quiescent = !rows.is_empty() && rows.iter().all(|r| r.quiescent);
+    let no_command_errors = rows.iter().all(|r| r.commands_err == 0);
+    let ratio_ok = ratio >= 0.5;
+    json!({
+        "state_dwell_polls": dwell,
+        "time_to_quarantine_polls_max": quarantine_polls_max,
+        "time_to_heal_polls_max": heal_polls_max,
+        "throughput_open_over_closed": ratio,
+        "verdicts": {
+            "every_stall_quarantined_within_two_polls": every_stall_quarantined,
+            "every_breaker_healed_after_storm": all_healed,
+            "no_stuck_open": all_healed,
+            "chains_legal": chains_legal,
+            "conservation": conservation,
+            "zero_lost_waiters": quiescent,
+            "zero_command_errors": no_command_errors,
+            "open_throughput_ge_half_closed": ratio_ok,
+        },
+    })
+}
+
+/// Render a caught panic payload as a message.
+fn panic_msg(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

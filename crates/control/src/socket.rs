@@ -1,0 +1,228 @@
+//! Line-oriented local-socket transport for the control plane.
+//!
+//! A Unix-domain stream socket an operator can drive with `nc -U` (or
+//! any line client). Protocol, chosen for copy-paste ergonomics over a
+//! terminal:
+//!
+//! * client sends one command per line;
+//! * server replies with `ok` or `err <diagnostic>`, then the response
+//!   body (possibly multi-line), then a single `.` terminator line —
+//!   SMTP-style, so multi-line bodies like `snapshot` need no length
+//!   prefix (body lines consisting of a bare `.` are dot-stuffed);
+//! * `quit` closes the connection.
+//!
+//! Each connection is served by its own thread; the listener thread
+//! accepts until the [`SocketServer`] handle is dropped (which unblocks
+//! the accept loop by connecting to itself).
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::plane::ControlPlane;
+
+/// A running control-plane socket server.
+pub struct SocketServer {
+    path: PathBuf,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl SocketServer {
+    /// Bind `path` (removing any stale socket file first) and serve
+    /// `plane` on a background accept loop.
+    pub fn bind(path: impl AsRef<Path>, plane: ControlPlane) -> std::io::Result<SocketServer> {
+        let path = path.as_ref().to_path_buf();
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop2.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(conn) = conn else { continue };
+                let plane = plane.clone();
+                std::thread::spawn(move || serve_connection(conn, &plane));
+            }
+        });
+        Ok(SocketServer {
+            path,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The socket path being served.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for SocketServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock accept() with a throwaway connection, then join.
+        let _ = UnixStream::connect(&self.path);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+fn serve_connection(conn: UnixStream, plane: &ControlPlane) {
+    let Ok(read_half) = conn.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(read_half);
+    let mut writer = conn;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line == "quit" {
+            break;
+        }
+        let response = plane.execute(line);
+        if write_response(&mut writer, &response).is_err() {
+            break;
+        }
+    }
+}
+
+fn write_response(
+    w: &mut impl Write,
+    response: &Result<String, String>,
+) -> std::io::Result<()> {
+    match response {
+        Ok(body) => {
+            writeln!(w, "ok")?;
+            for line in body.lines() {
+                // Dot-stuff so a body line of `.` cannot end the frame.
+                if line.starts_with('.') {
+                    writeln!(w, ".{line}")?;
+                } else {
+                    writeln!(w, "{line}")?;
+                }
+            }
+        }
+        Err(e) => writeln!(w, "err {e}")?,
+    }
+    writeln!(w, ".")?;
+    w.flush()
+}
+
+/// A minimal blocking client for the socket protocol (used by tests,
+/// the soak harness's command driver, and scripts).
+pub struct SocketClient {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl SocketClient {
+    /// Connect to a [`SocketServer`].
+    pub fn connect(path: impl AsRef<Path>) -> std::io::Result<SocketClient> {
+        let stream = UnixStream::connect(path)?;
+        let read_half = stream.try_clone()?;
+        Ok(SocketClient {
+            reader: BufReader::new(read_half),
+            writer: stream,
+        })
+    }
+
+    /// Send one command and read the framed response.
+    pub fn send(&mut self, line: &str) -> std::io::Result<Result<String, String>> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut status = String::new();
+        if self.reader.read_line(&mut status)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let status = status.trim_end().to_string();
+        let mut body = Vec::new();
+        loop {
+            let mut l = String::new();
+            if self.reader.read_line(&mut l)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "truncated response frame",
+                ));
+            }
+            let l = l.trim_end_matches('\n');
+            if l == "." {
+                break;
+            }
+            // Undo dot-stuffing: any body line starting with `.` was
+            // sent with one extra leading dot (the bare-`.` terminator
+            // was already handled above).
+            body.push(l.strip_prefix('.').unwrap_or(l).to_string());
+        }
+        if status == "ok" {
+            Ok(Ok(body.join("\n")))
+        } else if let Some(e) = status.strip_prefix("err ") {
+            Ok(Err(e.to_string()))
+        } else {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad status line {status:?}"),
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hub::BreakerHub;
+    use adaptive_native::AdaptiveMutex;
+    use std::sync::Arc;
+
+    fn temp_socket(tag: &str) -> PathBuf {
+        let pid = std::process::id();
+        std::env::temp_dir().join(format!("adaptive-control-{tag}-{pid}.sock"))
+    }
+
+    #[test]
+    fn socket_round_trips_commands_and_multiline_bodies() {
+        let hub = Arc::new(BreakerHub::default());
+        let m = Arc::new(AdaptiveMutex::new(0u32));
+        hub.register("net.lock", m.clone());
+        hub.register("disk.lock", Arc::new(AdaptiveMutex::new(0u32)));
+        let server =
+            SocketServer::bind(temp_socket("rt"), ControlPlane::new(hub)).expect("bind");
+
+        let mut client = SocketClient::connect(server.path()).expect("connect");
+        assert_eq!(
+            client.send("targets").unwrap().unwrap(),
+            "disk.lock\nnet.lock"
+        );
+        let snap = client.send("snapshot").unwrap().unwrap();
+        assert!(snap.lines().count() > 10, "multi-line body survives framing");
+        assert!(snap.contains("breaker_state{lock=\"net.lock\"} 0"));
+        client.send("quarantine net.lock").unwrap().unwrap();
+        assert!(m.is_quarantined(), "command reached the live lock");
+        let err = client.send("retune net.lock spin soon").unwrap();
+        assert!(err.is_err());
+        // A second concurrent client works (per-connection threads).
+        let mut c2 = SocketClient::connect(server.path()).expect("connect 2");
+        assert!(c2.send("health net.lock").unwrap().unwrap().contains("quarantined"));
+        drop(server);
+    }
+
+    #[test]
+    fn server_drop_removes_the_socket_file() {
+        let path = temp_socket("rm");
+        let server =
+            SocketServer::bind(&path, ControlPlane::new(Arc::new(BreakerHub::default())))
+                .expect("bind");
+        assert!(path.exists());
+        drop(server);
+        assert!(!path.exists());
+    }
+}

@@ -70,6 +70,22 @@ impl ChromeTrace {
         self
     }
 
+    /// Add an instant event (a vertical marker in the trace viewer) —
+    /// used for discrete occurrences like a circuit-breaker transition,
+    /// with `detail` shown in the event's args.
+    pub fn add_instant(&mut self, name: impl Into<String>, at_nanos: u64, detail: &str) -> &mut Self {
+        self.events.push(TraceEventJson {
+            name: name.into(),
+            ph: "i",
+            ts: at_nanos as f64 / 1e3,
+            dur: None,
+            pid: 1,
+            tid: 0,
+            args: Some(serde_json::json!({ "detail": detail })),
+        });
+        self
+    }
+
     /// Number of events accumulated.
     pub fn len(&self) -> usize {
         self.events.len()

@@ -19,12 +19,14 @@
 mod central;
 mod chrome;
 mod local;
+mod snapshot;
 mod timeseries;
 mod trace;
 
 pub use central::{spawn_pipeline, CentralReport, ForwardingMonitor, SummaryBatch};
 pub use chrome::ChromeTrace;
 pub use local::{spawn_local_monitor, MonitorReport, Probe, ProbePort, SensorSummary};
+pub use snapshot::{SnapshotSink, TextSnapshot};
 pub use timeseries::{to_long_csv, Series};
 pub use trace::{TraceBuffer, TraceEvent};
 

@@ -1,0 +1,223 @@
+//! Prometheus-style text snapshots.
+//!
+//! The Chrome-trace exporter answers "what happened over time"; this
+//! module answers "what is true right now" in the de-facto standard
+//! scrape format: one `name{label="value"} number` line per metric.
+//! [`TextSnapshot`] is the builder (fed from [`Series`] tails, lock
+//! stats, or arbitrary gauges) and [`SnapshotSink`] is the periodic
+//! collector — a background thread that re-renders on an interval and
+//! keeps the latest text available to whatever serves it (the control
+//! plane's `snapshot` command, a file writer, a debug endpoint).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::timeseries::Series;
+
+/// Builder for one point-in-time text exposition.
+#[derive(Debug, Default, Clone)]
+pub struct TextSnapshot {
+    lines: Vec<String>,
+}
+
+impl TextSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> TextSnapshot {
+        TextSnapshot::default()
+    }
+
+    /// Add one gauge sample: `name{labels...} value`.
+    pub fn gauge(&mut self, name: &str, labels: &[(&str, &str)], value: f64) -> &mut Self {
+        let mut line = String::from(name);
+        if !labels.is_empty() {
+            line.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                line.push_str(k);
+                line.push_str("=\"");
+                // Minimal escaping per the exposition format.
+                for c in v.chars() {
+                    match c {
+                        '\\' => line.push_str("\\\\"),
+                        '"' => line.push_str("\\\""),
+                        '\n' => line.push_str("\\n"),
+                        c => line.push(c),
+                    }
+                }
+                line.push('"');
+            }
+            line.push('}');
+        }
+        line.push(' ');
+        // Integers render without a trailing `.0` so counters look like
+        // counters.
+        if value.fract() == 0.0 && value.abs() < 9e15 {
+            line.push_str(&format!("{}", value as i64));
+        } else {
+            line.push_str(&format!("{value}"));
+        }
+        self.lines.push(line);
+        self
+    }
+
+    /// Add the most recent value of a series as a gauge (no-op for an
+    /// empty series).
+    pub fn series_last(&mut self, name: &str, labels: &[(&str, &str)], series: &Series) -> &mut Self {
+        if let Some(&(_, v)) = series.points.last() {
+            self.gauge(name, labels, v);
+        }
+        self
+    }
+
+    /// Number of samples added.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether no samples were added.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Render the exposition text: lines sorted (stable scrape diffs),
+    /// newline-terminated.
+    pub fn render(&self) -> String {
+        let mut lines = self.lines.clone();
+        lines.sort();
+        let mut out = lines.join("\n");
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A periodic snapshot collector: re-runs `collect` every `interval`
+/// on a background thread and retains the latest rendered text.
+pub struct SnapshotSink {
+    latest: Arc<Mutex<String>>,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl SnapshotSink {
+    /// Spawn the collector. The first collection happens immediately,
+    /// so [`SnapshotSink::latest`] is never empty after construction.
+    pub fn spawn(
+        interval: Duration,
+        collect: impl Fn() -> TextSnapshot + Send + 'static,
+    ) -> SnapshotSink {
+        let latest = Arc::new(Mutex::new(collect().render()));
+        let latest2 = Arc::clone(&latest);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || {
+            while !stop2.load(Ordering::Acquire) {
+                std::thread::park_timeout(interval);
+                if stop2.load(Ordering::Acquire) {
+                    break;
+                }
+                let text = collect().render();
+                if let Ok(mut l) = latest2.lock() {
+                    *l = text;
+                }
+            }
+        });
+        SnapshotSink {
+            latest,
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// The most recently rendered exposition text.
+    pub fn latest(&self) -> String {
+        match self.latest.lock() {
+            Ok(l) => l.clone(),
+            Err(p) => p.into_inner().clone(),
+        }
+    }
+
+    /// Stop and join the collector.
+    pub fn stop(mut self) {
+        self.signal();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    fn signal(&self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = &self.thread {
+            t.thread().unpark();
+        }
+    }
+}
+
+impl Drop for SnapshotSink {
+    fn drop(&mut self) {
+        self.signal();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn gauges_render_sorted_prometheus_lines() {
+        let mut s = TextSnapshot::new();
+        s.gauge("lock_waiting", &[("lock", "b")], 3.0)
+            .gauge("lock_waiting", &[("lock", "a")], 1.5)
+            .gauge("up", &[], 1.0);
+        let text = s.render();
+        assert_eq!(
+            text,
+            "lock_waiting{lock=\"a\"} 1.5\nlock_waiting{lock=\"b\"} 3\nup 1\n"
+        );
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut s = TextSnapshot::new();
+        s.gauge("m", &[("path", "a\"b\\c")], 1.0);
+        assert_eq!(s.render(), "m{path=\"a\\\"b\\\\c\"} 1\n");
+    }
+
+    #[test]
+    fn series_last_takes_the_tail_sample() {
+        let series = Series::from_points("w", vec![(1, 4.0), (9, 7.0), (5, 6.0)]);
+        let mut s = TextSnapshot::new();
+        s.series_last("lock_waiting", &[("lock", "w")], &series);
+        assert_eq!(s.render(), "lock_waiting{lock=\"w\"} 7\n");
+        let empty = Series::new("none");
+        let before = s.len();
+        s.series_last("x", &[], &empty);
+        assert_eq!(s.len(), before, "empty series adds nothing");
+    }
+
+    #[test]
+    fn sink_collects_periodically_and_serves_latest() {
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = Arc::clone(&n);
+        let sink = SnapshotSink::spawn(Duration::from_millis(1), move || {
+            let mut s = TextSnapshot::new();
+            s.gauge("ticks", &[], n2.fetch_add(1, Ordering::Relaxed) as f64);
+            s
+        });
+        assert!(sink.latest().starts_with("ticks "), "collected immediately");
+        // Wait until at least one periodic re-collection happened.
+        while n.load(Ordering::Relaxed) < 3 {
+            std::thread::yield_now();
+        }
+        sink.stop();
+        assert!(n.load(Ordering::Relaxed) >= 3);
+    }
+}

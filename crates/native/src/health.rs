@@ -44,6 +44,11 @@ pub struct LockHealth {
     pub poisoned: bool,
     /// Whether adaptation is currently quarantined.
     pub quarantined: bool,
+    /// Adaptation-policy callbacks that have panicked so far (each one
+    /// quarantined the lock from the inside). A count rather than a
+    /// flag so a supervisor can detect *repeated* policy panics across
+    /// polls and escalate instead of treating them as one incident.
+    pub policy_panics: u64,
 }
 
 /// A lock the watchdog can examine and heal.
@@ -76,6 +81,12 @@ struct WatchTarget {
     label: String,
     probe: Arc<dyn HealthProbe>,
     last: Option<LockHealth>,
+    /// Whether the previous poll already intervened on a stall that is
+    /// still in force. Interventions are edge-triggered: a target that
+    /// stays stalled across many polls is quarantined exactly once, and
+    /// only re-quarantined after it makes progress (or drains its
+    /// waiters) and then stalls *again*.
+    stalled: bool,
 }
 
 /// Polls registered locks and quarantines + nudges any that stall.
@@ -103,6 +114,7 @@ impl Watchdog {
             label: label.into(),
             probe,
             last: None,
+            stalled: false,
         });
     }
 
@@ -110,6 +122,14 @@ impl Watchdog {
     /// intervening on stalls. Returns the number of interventions this
     /// poll. Call on an interval (or from a test, interleaved with the
     /// workload) — the first poll only baselines.
+    ///
+    /// Interventions are gated on a state *change*: a stall fires
+    /// quarantine + nudge once when it is first detected, not again on
+    /// every subsequent poll while the same stall persists (quarantine
+    /// is level-triggered on the mutex side, so re-asserting it every
+    /// interval only inflated the backoff and the stats). The gate
+    /// re-arms as soon as the target makes progress or drains its
+    /// waiters.
     pub fn poll(&mut self) -> usize {
         let mut interventions = 0;
         for t in &mut self.targets {
@@ -118,7 +138,7 @@ impl Watchdog {
                 let no_progress =
                     now.acquisitions == prev.acquisitions && now.handoffs == prev.handoffs;
                 let stalled = now.waiting > 0 && prev.waiting > 0 && no_progress;
-                if stalled {
+                if stalled && !t.stalled {
                     t.probe.quarantine();
                     let nudged = t.probe.nudge();
                     self.events.push(WatchdogEvent {
@@ -128,6 +148,7 @@ impl Watchdog {
                     });
                     interventions += 1;
                 }
+                t.stalled = stalled;
             }
             t.last = Some(now);
         }
@@ -204,7 +225,7 @@ mod tests {
     /// snapshots and records quarantine/nudge calls.
     struct Scripted {
         frames: Mutex<Vec<LockHealth>>,
-        quarantined: AtomicBool,
+        quarantines: std::sync::atomic::AtomicU64,
         nudges: std::sync::atomic::AtomicU64,
     }
 
@@ -212,9 +233,13 @@ mod tests {
         fn new(frames: Vec<LockHealth>) -> Arc<Scripted> {
             Arc::new(Scripted {
                 frames: Mutex::new(frames),
-                quarantined: AtomicBool::new(false),
+                quarantines: std::sync::atomic::AtomicU64::new(0),
                 nudges: std::sync::atomic::AtomicU64::new(0),
             })
+        }
+
+        fn quarantined(&self) -> bool {
+            self.quarantines.load(Ordering::Relaxed) > 0
         }
     }
 
@@ -229,7 +254,7 @@ mod tests {
         }
 
         fn quarantine(&self) {
-            self.quarantined.store(true, Ordering::Release);
+            self.quarantines.fetch_add(1, Ordering::Relaxed);
         }
 
         fn nudge(&self) -> bool {
@@ -255,7 +280,7 @@ mod tests {
         for _ in 0..4 {
             assert_eq!(dog.poll(), 0);
         }
-        assert!(!probe.quarantined.load(Ordering::Acquire));
+        assert!(!probe.quarantined());
         assert!(dog.events().is_empty());
     }
 
@@ -268,7 +293,7 @@ mod tests {
         for _ in 0..5 {
             assert_eq!(dog.poll(), 0);
         }
-        assert!(!probe.quarantined.load(Ordering::Acquire));
+        assert!(!probe.quarantined());
     }
 
     #[test]
@@ -279,11 +304,53 @@ mod tests {
         dog.watch("wedged", Arc::clone(&probe) as Arc<dyn HealthProbe>);
         assert_eq!(dog.poll(), 0, "first poll only baselines");
         assert_eq!(dog.poll(), 1, "second identical frame is a stall");
-        assert!(probe.quarantined.load(Ordering::Acquire));
+        assert!(probe.quarantined());
         assert_eq!(probe.nudges.load(Ordering::Relaxed), 1);
         let ev = &dog.events()[0];
         assert_eq!(ev.target, "wedged");
         assert!(ev.nudged);
+    }
+
+    #[test]
+    fn persistent_stall_is_quarantined_exactly_once() {
+        // Regression: a target that stays stalled used to be
+        // re-quarantined on *every* poll, inflating the mutex's
+        // exponential backoff and drowning the event log. The
+        // intervention must fire on the not-stalled → stalled edge only.
+        let probe = Scripted::new(vec![frame(2, 4)]);
+        let mut dog = Watchdog::new();
+        dog.watch("wedged", Arc::clone(&probe) as Arc<dyn HealthProbe>);
+        assert_eq!(dog.poll(), 0, "baseline");
+        assert_eq!(dog.poll(), 1, "stall detected");
+        for _ in 0..10 {
+            assert_eq!(dog.poll(), 0, "same stall must not re-fire");
+        }
+        assert_eq!(probe.quarantines.load(Ordering::Relaxed), 1);
+        assert_eq!(probe.nudges.load(Ordering::Relaxed), 1);
+        assert_eq!(dog.events().len(), 1);
+    }
+
+    #[test]
+    fn recovery_rearms_the_stall_gate() {
+        // Stall → progress → stall again: two distinct incidents, two
+        // interventions.
+        let probe = Scripted::new(vec![
+            frame(2, 4), // baseline
+            frame(2, 4), // stall #1 detected here
+            frame(0, 9), // progress, waiters drained: gate re-arms
+            frame(3, 9), // waiters back, but prev frame had none
+            frame(3, 9), // stall #2 detected here
+        ]);
+        let mut dog = Watchdog::new();
+        dog.watch("flappy", Arc::clone(&probe) as Arc<dyn HealthProbe>);
+        assert_eq!(dog.poll(), 0);
+        assert_eq!(dog.poll(), 1, "first stall");
+        assert_eq!(dog.poll(), 0, "progress frame");
+        assert_eq!(dog.poll(), 0, "waiters back, but only one frame so far");
+        assert_eq!(dog.poll(), 1, "second stall after recovery");
+        assert_eq!(dog.poll(), 0, "second stall persists without re-firing");
+        assert_eq!(probe.quarantines.load(Ordering::Relaxed), 2);
+        assert_eq!(dog.events().len(), 2);
     }
 
     #[test]
@@ -293,7 +360,7 @@ mod tests {
         dog.watch("bg", Arc::clone(&probe) as Arc<dyn HealthProbe>);
         let handle = dog.spawn(Duration::from_millis(1));
         // Let it poll a few times, then stop.
-        while !probe.quarantined.load(Ordering::Acquire) {
+        while !probe.quarantined() {
             std::thread::yield_now();
         }
         let dog = handle.stop();

@@ -1199,6 +1199,28 @@ impl<T> AdaptiveMutex<T> {
         self.feedback.quarantine_ticks.load(Ordering::Relaxed) > 0
     }
 
+    /// End a quarantine immediately (an operator- or breaker-driven
+    /// heal): re-enable adaptation now instead of waiting out the
+    /// backoff ticks. The lock keeps whatever waiting policy the
+    /// quarantine snapped it to until the policy decides otherwise, and
+    /// adaptation restarts *on probation* — the backoff level is only
+    /// forgiven after a fixed run of clean decisions, so a lock
+    /// healed by an optimistic operator still re-quarantines with a
+    /// longer sentence if the underlying fault persists.
+    ///
+    /// Returns whether a quarantine was actually in force. The tick
+    /// swap races benignly with the sampled countdown in the feedback
+    /// loop (both only move ticks toward zero; the loser of the race
+    /// re-runs a single countdown step).
+    pub fn heal(&self) -> bool {
+        if self.feedback.quarantine_ticks.swap(0, Ordering::Relaxed) == 0 {
+            return false;
+        }
+        self.feedback.probation.store(PROBATION_DECIDES, Ordering::Relaxed);
+        self.stats.bump(HEALS);
+        true
+    }
+
     /// Install a fault-injection hook (testing). At most one per mutex,
     /// for its whole lifetime.
     ///
@@ -1592,6 +1614,7 @@ impl<T: Send> HealthProbe for AdaptiveMutex<T> {
             queued: self.has_queued_waiters(),
             poisoned: self.is_poisoned(),
             quarantined: self.is_quarantined(),
+            policy_panics: self.stats.sum(POLICY_PANICS),
         }
     }
 
@@ -1961,6 +1984,25 @@ mod tests {
         drop(m.lock());
         assert_eq!(m.spin_limit(), SPIN_FOREVER, "healed policy runs again");
         assert_eq!(m.stats().policy_panics, 1, "no further panics");
+    }
+
+    #[test]
+    fn operator_heal_ends_quarantine_immediately() {
+        let m = AdaptiveMutex::new(0u32);
+        assert!(!m.heal(), "healing a healthy lock is a no-op");
+        m.quarantine();
+        assert!(m.is_quarantined());
+        assert!(m.heal());
+        assert!(!m.is_quarantined(), "heal skips the backoff countdown");
+        let s = m.stats();
+        assert_eq!(s.quarantines, 1);
+        assert_eq!(s.heals, 1);
+        assert!(!m.heal(), "double heal reports nothing to do");
+        // A healed lock re-quarantines with a longer sentence until the
+        // probation period is served (the level was not reset).
+        m.quarantine();
+        assert!(m.is_quarantined());
+        assert_eq!(m.stats().quarantines, 2);
     }
 
     /// A policy that counts how often it is consulted.

@@ -83,6 +83,31 @@ impl NativeWaitingPolicy {
             None => base,
         }
     }
+
+    /// Parse a control-plane policy descriptor: `spin`, `blocking`, or
+    /// `combined:<spins>`, optionally suffixed with `+timeout:<nanos>`
+    /// (`spin+timeout:1000000`). The inverse, up to formatting, of
+    /// [`NativeWaitingPolicy::descriptor`]; returns `None` on anything
+    /// it does not recognise.
+    pub fn parse(s: &str) -> Option<NativeWaitingPolicy> {
+        let (base, timeout) = match s.split_once("+timeout:") {
+            Some((base, nanos)) => {
+                let nanos: u64 = nanos.parse().ok()?;
+                (base, Some(Duration::from_nanos(nanos)))
+            }
+            None => (s, None),
+        };
+        let mut policy = match base {
+            "spin" => NativeWaitingPolicy::pure_spin(),
+            "blocking" => NativeWaitingPolicy::pure_blocking(),
+            _ => {
+                let spins: u32 = base.strip_prefix("combined:")?.parse().ok()?;
+                NativeWaitingPolicy::combined(spins)
+            }
+        };
+        policy.timeout = timeout;
+        Some(policy)
+    }
 }
 
 impl Default for NativeWaitingPolicy {
@@ -408,6 +433,29 @@ mod tests {
                 Some(NativeDecision::SetSpins(7))
             );
         }
+    }
+
+    #[test]
+    fn waiting_policy_parse_round_trips_the_descriptor_shapes() {
+        assert_eq!(
+            NativeWaitingPolicy::parse("spin"),
+            Some(NativeWaitingPolicy::pure_spin())
+        );
+        assert_eq!(
+            NativeWaitingPolicy::parse("blocking"),
+            Some(NativeWaitingPolicy::pure_blocking())
+        );
+        assert_eq!(
+            NativeWaitingPolicy::parse("combined:48"),
+            Some(NativeWaitingPolicy::combined(48))
+        );
+        assert_eq!(
+            NativeWaitingPolicy::parse("blocking+timeout:250000"),
+            Some(NativeWaitingPolicy::pure_blocking().with_timeout(Duration::from_nanos(250_000)))
+        );
+        assert_eq!(NativeWaitingPolicy::parse("adaptive"), None);
+        assert_eq!(NativeWaitingPolicy::parse("combined:lots"), None);
+        assert_eq!(NativeWaitingPolicy::parse("spin+timeout:soon"), None);
     }
 
     #[test]

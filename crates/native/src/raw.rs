@@ -82,6 +82,12 @@ impl LockAlgorithm {
         }
     }
 
+    /// Decode a [`LockAlgorithm::label`] string, for control-plane
+    /// commands (`set-algorithm <lock> clh`). `None` for unknown labels.
+    pub fn from_label(label: &str) -> Option<LockAlgorithm> {
+        LockAlgorithm::ALL.into_iter().find(|a| a.label() == label)
+    }
+
     /// Decode the `repr(u8)` value; `None` for out-of-range bytes
     /// (including [`ALGO_NONE`]).
     pub(crate) fn from_u8(v: u8) -> Option<LockAlgorithm> {
@@ -106,6 +112,14 @@ mod tests {
         }
         assert_eq!(LockAlgorithm::from_u8(ALGO_NONE), None);
         assert_eq!(LockAlgorithm::from_u8(4), None);
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for algo in LockAlgorithm::ALL {
+            assert_eq!(LockAlgorithm::from_label(algo.label()), Some(algo));
+        }
+        assert_eq!(LockAlgorithm::from_label("mcs"), None);
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //!   section groups, a non-critical-section length sweep, and Jain's
 //!   fairness index + per-thread throughput spread per row;
 //! * [`structures`] — real-data-structure workloads (lock-protected
-//!   counter vs lock-free CAS, queue, hashmap) under every policy.
+//!   counter vs lock-free CAS, queue, hashmap) under every policy;
+//! * [`soak`] — the chaos soak: contention under a seeded fault storm
+//!   with live control-plane traffic, graded against conservation,
+//!   breaker-lifecycle, and quiescence oracles.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -34,6 +37,7 @@ pub mod cycle;
 pub mod fairness;
 pub mod measure;
 pub mod phased;
+pub mod soak;
 pub mod spec;
 pub mod structures;
 
@@ -48,4 +52,5 @@ pub use csweep::{figure1_locks, run_once, run_sweep, SweepConfig, SweepPoint};
 pub use cycle::{measure_cycle, measure_cycle_on};
 pub use measure::{atomior_cost, config_op_costs, config_op_rw_costs, lock_unlock_cost};
 pub use phased::{compare_phased, run_phased, PhasedConfig, PhasedResult};
+pub use soak::{run_soak, SoakResult, SoakSpec, StallEpisode};
 pub use spec::LockSpec;

@@ -20,7 +20,11 @@
 //!   centralized / distributed / load-balanced forms;
 //! * [`workloads`] — synthetic workloads behind the paper's figures;
 //! * [`native`] — a real-thread adaptive mutex with the same feedback
-//!   loop, usable as an ordinary synchronization primitive.
+//!   loop, usable as an ordinary synchronization primitive;
+//! * [`control`] — the operator control plane over the native locks:
+//!   circuit-breaker lifecycle supervision, a line-oriented command
+//!   router (in-process channel or local socket), and Prometheus-style
+//!   snapshots.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every table and figure.
@@ -42,6 +46,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub use adaptive_control as control;
 pub use adaptive_core as model;
 pub use adaptive_locks as locks;
 pub use adaptive_native as native;
