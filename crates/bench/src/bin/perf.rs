@@ -56,6 +56,7 @@ fn algo_policies() -> Vec<PolicyChoice> {
     let mut v: Vec<PolicyChoice> = LockAlgorithm::ALL.map(PolicyChoice::Algorithm).into();
     v.push(PolicyChoice::Adaptive { threshold: 2, n: 32 });
     v.push(PolicyChoice::AlgoAdaptive { high_water: 4, patience: 4 });
+    v.push(PolicyChoice::FairAdaptive { unfair_wait_nanos: 200_000, patience: 3 });
     v
 }
 

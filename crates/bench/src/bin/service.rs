@@ -1,0 +1,466 @@
+//! The service sweep: the sharded adaptive KV/counter store under an
+//! open-loop, Zipf-skewed, bursty load — shards × skew × policy ×
+//! workers — writing `BENCH_service.json` at the workspace root.
+//!
+//! ```text
+//! EXPERIMENT_SCALE=quick cargo run --release -p bench --bin service   # CI smoke
+//! EXPERIMENT_SCALE=full  cargo run --release -p bench --bin service   # real numbers
+//! ```
+//!
+//! The sweep answers the paper's question at service scale: do
+//! per-object (here per-shard) adaptive locks beat the best *statically
+//! chosen* configuration? Static cells pin a shard count (resharding
+//! disabled) and one of the paper's fixed lock configurations for every
+//! shard — spin-then-park, FIFO ticket, pure blocking: the choices a
+//! non-adaptive deployment actually has. The adaptive cell starts at
+//! the smallest static depth and deploys the machinery under test:
+//! hot shards migrate to the flat-combining write-batching path (the
+//! op-shipping layer, not a static baseline), cold shards keep
+//! attribute-tuned spin-park, and shards whose contended-acquisition
+//! rate crosses the threshold are split. The offered rate deliberately
+//! exceeds service capacity, so throughput measures capacity and the
+//! enter-to-complete percentiles (taken from the *scheduled* arrival —
+//! coordinated-omission-safe) measure how each configuration absorbs
+//! the backlog.
+//!
+//! Failure policy matches `perf`: a cell that panics lands in `errors`
+//! and the sweep continues; an unwritable JSON is a one-line error and
+//! a non-zero exit.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::process::ExitCode;
+use std::time::Duration;
+
+use adaptive_native::{LockAlgorithm, PolicyChoice};
+use adaptive_service::{ServiceConfig, ServicePolicy};
+use bench::{improvement_pct, workspace_root, Scale};
+use serde::Serialize;
+use serde_json::json;
+use workloads::{run_service_load, ServiceLoadPoint, ServiceLoadSpec};
+
+/// One sweep cell: a store configuration to offer the load to.
+#[derive(Clone, Copy)]
+struct Cell {
+    mode: &'static str,
+    initial_depth: u32,
+    max_depth: u32,
+    policy: ServicePolicy,
+    wire_control: bool,
+}
+
+/// One row of `BENCH_service.json`: the cell identity, the measured
+/// point, and the divergence evidence — flat, so shape checks can
+/// assert every percentile field on every row.
+#[derive(Serialize)]
+struct ServiceRow {
+    mode: &'static str,
+    initial_depth: u32,
+    max_depth: u32,
+    policy: String,
+    workers: usize,
+    zipf_s: f64,
+    read_pct: u32,
+    ops: u64,
+    writes: u64,
+    shards_initial: usize,
+    shards_final: usize,
+    splits: u64,
+    total_nanos: u64,
+    oversubscribed: bool,
+    throughput_per_sec: f64,
+    mean_latency_nanos: f64,
+    p50_latency_nanos: u64,
+    p90_latency_nanos: u64,
+    p99_latency_nanos: u64,
+    p999_latency_nanos: u64,
+    max_latency_nanos: u64,
+    diverged: bool,
+    engines: Vec<String>,
+    hot_shard_algorithm: Option<String>,
+    cold_shard_algorithm: Option<String>,
+    control_targets: Option<usize>,
+    control_snapshot_bytes: Option<usize>,
+    /// Full per-shard evidence, kept only for adaptive cells (static
+    /// cells are uniform by construction): where the divergence verdict
+    /// comes from, and the raw material for re-deriving heat/split
+    /// rates from the committed artifact.
+    shards: Vec<adaptive_service::ShardSnapshot>,
+}
+
+impl ServiceRow {
+    fn from_point(cell: &Cell, p: ServiceLoadPoint) -> ServiceRow {
+        let shards = if cell.mode == "adaptive" { p.shards.clone() } else { Vec::new() };
+        let (diverged, engines, hot, cold) = match &p.divergence {
+            Some(v) => (
+                v.diverged,
+                v.engines.clone(),
+                Some(v.hot_algorithm.clone()),
+                Some(v.cold_algorithm.clone()),
+            ),
+            None => (false, Vec::new(), None, None),
+        };
+        ServiceRow {
+            mode: cell.mode,
+            initial_depth: cell.initial_depth,
+            max_depth: cell.max_depth,
+            policy: p.policy,
+            workers: p.workers,
+            zipf_s: p.zipf_s,
+            read_pct: p.read_pct,
+            ops: p.ops,
+            writes: p.writes,
+            shards_initial: p.shards_initial,
+            shards_final: p.shards_final,
+            splits: p.splits,
+            total_nanos: p.total_nanos,
+            oversubscribed: p.oversubscribed,
+            throughput_per_sec: p.throughput_per_sec,
+            mean_latency_nanos: p.mean_latency_nanos,
+            p50_latency_nanos: p.p50_latency_nanos,
+            p90_latency_nanos: p.p90_latency_nanos,
+            p99_latency_nanos: p.p99_latency_nanos,
+            p999_latency_nanos: p.p999_latency_nanos,
+            max_latency_nanos: p.max_latency_nanos,
+            diverged,
+            engines,
+            hot_shard_algorithm: hot,
+            cold_shard_algorithm: cold,
+            control_targets: p.control_targets,
+            control_snapshot_bytes: p.control_snapshot_bytes,
+            shards,
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct ServiceBench {
+    bench: &'static str,
+    scale: String,
+    host_parallelism: usize,
+    repeats: u32,
+    /// How repeats collapse to one row: the median by throughput.
+    aggregation: &'static str,
+    keyspace: u64,
+    rows: Vec<ServiceRow>,
+    errors: Vec<String>,
+    summary: serde_json::Value,
+}
+
+/// Static cells: every shard-count × fixed-lock-configuration
+/// combination the adaptive cell competes against — the paper's static
+/// choices (spin-then-park, FIFO ticket, pure blocking). Resharding is
+/// disabled (`max_depth == initial_depth`) and every shard pins its
+/// configuration for the whole run. Flat combining is deliberately not
+/// on this axis: op-shipping write batching is the adaptive layer's
+/// mechanism (it turns on for hot shards), not a static deployment
+/// choice.
+fn static_cells(depths: &[u32]) -> Vec<Cell> {
+    let mut v = Vec::new();
+    for &d in depths {
+        for policy in [
+            PolicyChoice::Algorithm(LockAlgorithm::SpinPark),
+            PolicyChoice::Algorithm(LockAlgorithm::Ticket),
+            PolicyChoice::PureBlocking,
+        ] {
+            v.push(Cell {
+                mode: "static",
+                initial_depth: d,
+                max_depth: d,
+                policy: ServicePolicy::Static(policy),
+                wire_control: false,
+            });
+        }
+    }
+    v
+}
+
+/// The adaptive cell: starts at the smallest static depth, batches hot
+/// shards via flat combining, and splits under sustained contention.
+fn adaptive_cell(initial_depth: u32, max_depth: u32, wire_control: bool) -> Cell {
+    Cell {
+        mode: "adaptive",
+        initial_depth,
+        max_depth,
+        policy: ServicePolicy::HotShard { high_water: 3, patience: 2 },
+        wire_control,
+    }
+}
+
+fn spec_for(cell: &Cell, workers: usize, zipf_s: f64, ops_per_worker: u32, keyspace: u64) -> ServiceLoadSpec {
+    ServiceLoadSpec {
+        workers,
+        ops_per_worker,
+        keyspace,
+        zipf_s,
+        read_pct: 70,
+        // Per-request processing under the shard lock (~2µs reads,
+        // ~4µs writes at ~12ns/iter): the critical-section regime where
+        // lock configuration is priced hardest — long enough that 50ns
+        // HashMap ops don't vanish into scheduler noise, short enough
+        // that per-acquisition costs aren't amortized away.
+        read_work_iters: 150,
+        write_work_iters: 300,
+        // Offered rate well beyond capacity: throughput measures what
+        // the configuration can actually absorb.
+        rate_per_worker: 5_000_000.0,
+        burst_on_nanos: 10_000_000,
+        burst_off_nanos: 2_000_000,
+        config: ServiceConfig {
+            initial_depth: cell.initial_depth,
+            max_depth: cell.max_depth,
+            split_contended_per_sec: 200.0,
+            split_min_acquisitions: 10_000,
+            split_imbalance_factor: 3.0,
+            split_sustain: 3,
+            policy: cell.policy,
+        },
+        maintenance_every: if cell.max_depth > cell.initial_depth {
+            Duration::from_millis(5)
+        } else {
+            Duration::ZERO
+        },
+        wire_control: cell.wire_control,
+        seed: 0x5e21_1ce,
+    }
+}
+
+fn cell_label(cell: &Cell, workers: usize, zipf_s: f64) -> String {
+    format!(
+        "{} depth={} policy={} workers={workers} s={zipf_s}",
+        cell.mode,
+        cell.initial_depth,
+        cell.policy.label()
+    )
+}
+
+fn main() -> ExitCode {
+    let scale = bench::scale();
+    let scale_label = match scale {
+        Scale::Quick => "quick",
+        Scale::Full => "full",
+    };
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("service sweep — scale={scale_label}, host parallelism={host}");
+
+    // `total_ops` is split evenly across workers so every cell does
+    // the same amount of work regardless of worker count.
+    let (workers_axis, skews, depths, adaptive_max, total_ops, keyspace, repeats): (
+        Vec<usize>,
+        Vec<f64>,
+        Vec<u32>,
+        u32,
+        u32,
+        u64,
+        u32,
+    ) = match scale {
+        Scale::Quick => (vec![4], vec![0.0, 1.3], vec![2, 4], 6, 60_000, 20_000, 1),
+        Scale::Full => (vec![8, 16], vec![0.0, 0.8, 1.3], vec![2, 4, 6], 6, 800_000, 200_000, 3),
+    };
+    let high_skew = skews.iter().copied().fold(0.0f64, f64::max);
+
+    println!(
+        "{:<10} {:>6} {:>6} {:>5} {:<12} {:>8} {:>12} {:>10} {:>10} {:>10} {:>6}",
+        "mode", "depth", "shards", "w", "policy", "s", "ops/sec", "p50(us)", "p99(us)", "p999(us)", "split"
+    );
+
+    let mut rows: Vec<ServiceRow> = Vec::new();
+    let mut errors: Vec<String> = Vec::new();
+    for &workers in &workers_axis {
+        for &s in &skews {
+            let mut cells = static_cells(&depths);
+            // Wire the control plane on the high-skew adaptive cell so
+            // the committed JSON carries socket/sink evidence. The
+            // adaptive cell starts one depth above the smallest static
+            // grid point (it reshards itself to whatever the load
+            // needs) — a mid-grid start keeps per-shard traffic rates
+            // cleanly separable for the heat detector.
+            let wire = (s - high_skew).abs() < f64::EPSILON;
+            cells.push(adaptive_cell(depths[0] + 1, adaptive_max, wire));
+            for cell in cells {
+                let ops_per_worker = (total_ops as usize / workers).max(1) as u32;
+                let spec = spec_for(&cell, workers, s, ops_per_worker, keyspace);
+                // Median-of-repeats by throughput. The best-static
+                // comparison already takes a max over many cells, so a
+                // best-of-repeats aggregate would compound the upward
+                // noise bias; the median is what a typical run of each
+                // configuration actually delivers.
+                let mut oks: Vec<ServiceLoadPoint> = Vec::new();
+                let mut first_err: Option<String> = None;
+                for _ in 0..repeats {
+                    match catch_unwind(AssertUnwindSafe(|| run_service_load(&spec))) {
+                        Ok(p) => oks.push(p),
+                        Err(payload) => {
+                            first_err.get_or_insert_with(|| bench_panic_msg(payload));
+                        }
+                    }
+                }
+                oks.sort_by(|a, b| a.throughput_per_sec.total_cmp(&b.throughput_per_sec));
+                let median = if oks.is_empty() {
+                    Err(first_err.unwrap_or_else(|| "no repeats ran".to_string()))
+                } else {
+                    Ok(oks.swap_remove(oks.len() / 2))
+                };
+                let point = match median {
+                    Ok(p) => p,
+                    Err(msg) => {
+                        let label = cell_label(&cell, workers, s);
+                        let msg = format!("service cell ({label}): {msg}");
+                        eprintln!("error: {msg}");
+                        errors.push(msg);
+                        continue;
+                    }
+                };
+                let row = ServiceRow::from_point(&cell, point);
+                println!(
+                    "{:<10} {:>6} {:>6} {:>5} {:<12} {:>8.2} {:>12.0} {:>10.1} {:>10.1} {:>10.1} {:>6}",
+                    row.mode,
+                    row.initial_depth,
+                    row.shards_final,
+                    row.workers,
+                    row.policy,
+                    row.zipf_s,
+                    row.throughput_per_sec,
+                    row.p50_latency_nanos as f64 / 1e3,
+                    row.p99_latency_nanos as f64 / 1e3,
+                    row.p999_latency_nanos as f64 / 1e3,
+                    row.splits,
+                );
+                rows.push(row);
+            }
+        }
+    }
+
+    let summary = summarize(&rows, high_skew);
+    let bench = ServiceBench {
+        bench: "service",
+        scale: scale_label.to_string(),
+        host_parallelism: host,
+        repeats,
+        aggregation: "median-of-repeats",
+        keyspace,
+        rows,
+        errors,
+        summary,
+    };
+
+    let path = workspace_root().join("BENCH_service.json");
+    let ok = match serde_json::to_string_pretty(&bench) {
+        Ok(text) => match std::fs::write(&path, text + "\n") {
+            Ok(()) => {
+                println!("wrote {}", path.display());
+                true
+            }
+            Err(e) => {
+                eprintln!("error: could not write {}: {e}", path.display());
+                false
+            }
+        },
+        Err(e) => {
+            eprintln!("error: could not serialize bench: {e}");
+            false
+        }
+    };
+    if !bench.errors.is_empty() {
+        eprintln!(
+            "warning: {} sweep cell(s) failed; results are partial (see the errors array)",
+            bench.errors.len()
+        );
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// The headline verdicts, computed at the highest swept skew and the
+/// highest swept worker count — the regime the service claim is about,
+/// where oversubscription makes lock configuration decisive: does the
+/// adaptive cell diverge hot-vs-cold, beat the best static shard-count
+/// × engine cell on throughput, and hold p99? Lower worker counts stay
+/// in the `high_skew` detail array (with their own per-worker verdict
+/// fields) as the regime map.
+fn summarize(rows: &[ServiceRow], high_skew: f64) -> serde_json::Value {
+    let at = |mode: &'static str, w: usize| {
+        rows.iter()
+            .filter(move |r| r.mode == mode && r.workers == w && (r.zipf_s - high_skew).abs() < f64::EPSILON)
+    };
+    let workers: Vec<usize> = {
+        let mut v: Vec<usize> = rows.iter().map(|r| r.workers).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+
+    let headline_workers = workers.last().copied();
+    let mut per_workers = Vec::new();
+    let mut divergence_at_scale = false;
+    let mut beats_at_scale = false;
+    let mut p99_holds_at_scale = false;
+    for &w in &workers {
+        let headline = Some(w) == headline_workers;
+        let adaptive = at("adaptive", w).max_by(|a, b| {
+            a.throughput_per_sec.total_cmp(&b.throughput_per_sec)
+        });
+        let best_static = at("static", w).max_by(|a, b| {
+            a.throughput_per_sec.total_cmp(&b.throughput_per_sec)
+        });
+        let (Some(a), Some(s)) = (adaptive, best_static) else {
+            continue;
+        };
+        let beats = a.throughput_per_sec > s.throughput_per_sec;
+        let p99_ok = a.p99_latency_nanos <= s.p99_latency_nanos;
+        if headline {
+            divergence_at_scale = a.diverged;
+            beats_at_scale = beats;
+            p99_holds_at_scale = p99_ok;
+        }
+        let improvement = improvement_pct(
+            1.0 / s.throughput_per_sec.max(f64::MIN_POSITIVE),
+            1.0 / a.throughput_per_sec.max(f64::MIN_POSITIVE),
+        );
+        per_workers.push(json!({
+            "workers": w,
+            "zipf_s": high_skew,
+            "adaptive": {
+                "policy": (a.policy),
+                "throughput_per_sec": (a.throughput_per_sec),
+                "p99_latency_nanos": (a.p99_latency_nanos),
+                "shards_final": (a.shards_final),
+                "splits": (a.splits),
+                "diverged": (a.diverged),
+                "engines": (a.engines),
+                "hot_shard_algorithm": (a.hot_shard_algorithm),
+                "cold_shard_algorithm": (a.cold_shard_algorithm),
+            },
+            "best_static": {
+                "policy": (s.policy),
+                "initial_depth": (s.initial_depth),
+                "throughput_per_sec": (s.throughput_per_sec),
+                "p99_latency_nanos": (s.p99_latency_nanos),
+            },
+            "throughput_improvement_pct": improvement,
+            "adaptive_beats_best_static": beats,
+            "adaptive_p99_no_worse": p99_ok,
+        }));
+    }
+
+    json!({
+        "headline_workers": headline_workers,
+        "hot_cold_divergence": divergence_at_scale,
+        "adaptive_beats_best_static_high_skew": beats_at_scale,
+        "adaptive_p99_no_worse": p99_holds_at_scale,
+        "high_skew": per_workers,
+    })
+}
+
+/// Render a caught panic payload as a message.
+fn bench_panic_msg(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

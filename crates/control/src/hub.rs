@@ -104,6 +104,13 @@ impl BreakerHub {
         );
     }
 
+    /// Remove `name` from the registry (a retired lock — e.g. a shard
+    /// that was split — stops being polled; its past events stay in the
+    /// log). Returns whether the name was known.
+    pub fn unregister(&self, name: &str) -> bool {
+        self.locked().targets.remove(name).is_some()
+    }
+
     /// Registered names, sorted.
     pub fn names(&self) -> Vec<String> {
         self.locked().targets.keys().cloned().collect()
@@ -436,6 +443,20 @@ mod tests {
         assert!(!m.is_quarantined(), "probe heals the mutex side");
         assert_eq!(hub.states()[0].1, BreakerState::HalfOpen);
         validate_events(&hub.events()).expect("legal chain");
+    }
+
+    #[test]
+    fn unregister_removes_the_target_but_keeps_its_events() {
+        let hub = BreakerHub::default();
+        let m = Arc::new(AdaptiveMutex::new(()));
+        hub.register("shard-0", m);
+        hub.force_open("shard-0");
+        assert!(!hub.events().is_empty());
+        assert!(hub.unregister("shard-0"));
+        assert!(!hub.unregister("shard-0"), "second removal finds nothing");
+        assert!(hub.names().is_empty());
+        assert_eq!(hub.poll(), 0, "retired targets are no longer polled");
+        assert!(!hub.events().is_empty(), "history survives retirement");
     }
 
     #[test]

@@ -57,8 +57,8 @@ pub use mutex::{
 };
 pub use pad::CachePadded;
 pub use policy::{
-    FixedPolicy, NativeAlgorithmAdapt, NativeDecision, NativeObservation, NativeSimpleAdapt,
-    NativeWaitingPolicy, PolicyChoice,
+    FixedPolicy, NativeAlgorithmAdapt, NativeDecision, NativeFairnessAdapt, NativeObservation,
+    NativeSimpleAdapt, NativeWaitingPolicy, PolicyChoice,
 };
 pub use raw::{LockAlgorithm, RawLock};
 pub use ticket::TicketLock;

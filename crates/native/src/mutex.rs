@@ -451,6 +451,14 @@ pub struct AdaptiveMutex<T> {
     /// Padded: contended acquires RMW it, and it must not invalidate
     /// the state word's line when they do.
     waiters: CachePadded<AtomicU32>,
+    /// Longest single contended wait (enter-to-acquired, ns) observed
+    /// since the previous monitor sample — the cheap online proxy for
+    /// the per-thread fairness signal. Written with a relaxed
+    /// `fetch_max` by contended acquirers (who already paid a park or a
+    /// spin phase) and consumed with `swap(0)` by the sampled monitor,
+    /// so each observation reports the worst wait of its own window.
+    /// Shares the waiter-count pattern: padded, off the state line.
+    max_wait: CachePadded<AtomicU64>,
     /// Striped contention/failure counters (acquisitions live on the
     /// state line instead).
     stats: StatSlabs,
@@ -517,6 +525,7 @@ impl<T> AdaptiveMutex<T> {
             }),
             engines: Engines::new(),
             waiters: CachePadded::new(AtomicU32::new(0)),
+            max_wait: CachePadded::new(AtomicU64::new(0)),
             stats: StatSlabs::new(),
             try_failures: CachePadded::new(AtomicU64::new(0)),
             feedback: CachePadded::new(Feedback {
@@ -605,6 +614,7 @@ impl<T> AdaptiveMutex<T> {
         }
         self.stats.bump(CONTENDED);
         self.waiters.fetch_add(1, Ordering::Relaxed);
+        let wait_start = Instant::now();
         let acquired = match deadline {
             None => {
                 raw.acquire();
@@ -632,7 +642,9 @@ impl<T> AdaptiveMutex<T> {
             }
         };
         self.waiters.fetch_sub(1, Ordering::Relaxed);
-        if !acquired {
+        if acquired {
+            self.note_wait(wait_start);
+        } else {
             self.stats.bump(TIMEOUTS);
         }
         acquired
@@ -746,6 +758,7 @@ impl<T> AdaptiveMutex<T> {
     fn lock_contended(&self, deadline: Option<Instant>) -> bool {
         self.stats.bump(CONTENDED);
         self.waiters.fetch_add(1, Ordering::Relaxed);
+        let wait_start = Instant::now();
         let acquired = 'acquire: {
             // --- Spin phase, bounded by the mutable spin attribute. ---
             let mut limit = self.attrs.spin_limit.load(Ordering::Relaxed);
@@ -859,10 +872,20 @@ impl<T> AdaptiveMutex<T> {
         self.waiters.fetch_sub(1, Ordering::Relaxed);
         // Acquisitions are charged by the caller when it builds the
         // guard (the charge also decides the guard's sample flag).
-        if !acquired {
+        if acquired {
+            self.note_wait(wait_start);
+        } else {
             self.stats.bump(TIMEOUTS);
         }
         acquired
+    }
+
+    /// Record a completed contended wait into the per-window maximum
+    /// (the monitor's fairness proxy). Two clock reads per *contended*
+    /// acquisition — noise next to the spin phase or park it just paid.
+    fn note_wait(&self, since: Instant) {
+        let ns = since.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.max_wait.fetch_max(ns, Ordering::Relaxed);
     }
 
     /// Release (and hand off) without feeding the monitor. Sampling is
@@ -1140,8 +1163,12 @@ impl<T> AdaptiveMutex<T> {
         }
         // SAFETY: `feedback.busy` grants exclusive access to the slot.
         let policy = unsafe { &mut *self.feedback.policy.get() };
+        // Consume the window's worst contended wait: the next window
+        // starts empty, so a single historic stall cannot keep a
+        // fairness policy pinned to FIFO forever.
+        let max_wait_nanos = self.max_wait.swap(0, Ordering::Relaxed);
         match catch_unwind(AssertUnwindSafe(|| {
-            policy.decide(NativeObservation { waiting })
+            policy.decide(NativeObservation { waiting, max_wait_nanos })
         })) {
             Ok(decision) => {
                 if let Some(decision) = decision {
@@ -1389,13 +1416,13 @@ impl<T> AdaptiveMutex<T> {
         // through the guard and poisons, exactly like the `lock()`
         // path.
         if self.try_acquire_raw() {
-            let guard = AdaptiveMutexGuard {
+            let mut guard = AdaptiveMutexGuard {
                 mutex: self,
                 adapt: self.charge_acquisition(),
             };
             // SAFETY: we hold the mutex (the guard above releases it).
             let r = f(unsafe { &mut *self.value.get() });
-            self.drain_combined();
+            guard.adapt |= self.drain_combined();
             drop(guard);
             return r;
         }
@@ -1405,6 +1432,14 @@ impl<T> AdaptiveMutex<T> {
     /// The combining path of [`AdaptiveMutex::with_locked`].
     #[cold]
     fn run_combined<R: Send>(&self, f: impl FnOnce(&mut T) -> R + Send) -> R {
+        // An op lands here because the lock was held when it arrived:
+        // that is a contended acquisition in every sense that matters
+        // to observers (the shipped op waits for a holder exactly like
+        // a queued waiter), so it counts in `MutexStats::contended` —
+        // otherwise a lock that migrates to combining goes dark to
+        // contention-rate monitors (e.g. resharding triggers) at the
+        // moment it becomes hottest.
+        self.stats.bump(CONTENDED);
         /// A `*mut T` the op closure may carry across threads; the
         /// executor holds the mutex when it dereferences.
         struct ValuePtr<T>(*mut T);
@@ -1451,11 +1486,11 @@ impl<T> AdaptiveMutex<T> {
                                 // this stays correct across a live
                                 // switch away from Combining).
                                 if self.try_acquire_raw() {
-                                    let guard = AdaptiveMutexGuard {
+                                    let mut guard = AdaptiveMutexGuard {
                                         mutex: self,
                                         adapt: self.charge_acquisition(),
                                     };
-                                    self.drain_combined();
+                                    guard.adapt |= self.drain_combined();
                                     drop(guard);
                                     continue;
                                 }
@@ -1472,9 +1507,9 @@ impl<T> AdaptiveMutex<T> {
                 None => {
                     // Publication slots full: run inline under the lock
                     // (and help drain the backlog while holding it).
-                    let guard = self.lock();
+                    let mut guard = self.lock();
                     op();
-                    self.drain_combined();
+                    guard.adapt |= self.drain_combined();
                     drop(guard);
                 }
             }
@@ -1491,17 +1526,34 @@ impl<T> AdaptiveMutex<T> {
     /// mutex (any engine). Panicked ops poison the mutex — their
     /// publishers re-raise — and executed ops are charged to
     /// [`MutexStats::combined_ops`] in one batch RMW.
-    fn drain_combined(&self) {
+    ///
+    /// Returns whether the batch crossed a monitor-sample boundary, so
+    /// the caller can fold it into its guard's `adapt` flag. Shipped
+    /// ops are charged to the acquisition count too: an op the lock
+    /// serviced is an op the lock serviced, whichever thread ran it —
+    /// and if batches didn't advance the sample clock, a lock that
+    /// migrates to combining would starve its own policy of samples at
+    /// peak load (reading as idle exactly when hottest, then flapping
+    /// engines), and look frozen to the breaker's stall detector.
+    fn drain_combined(&self) -> bool {
         // SAFETY: the caller holds the mutex, which is the exclusion
         // `drain` requires.
         let report = unsafe { self.engines.combining.drain() };
+        let mut fired = false;
         if report.executed > 0 {
             self.stats.bump_by(COMBINED_OPS, u64::from(report.executed));
+            // Plain load + store: we hold the lock, same argument as
+            // `charge_acquisition`.
+            let n0 = self.state.acquisitions.load(Ordering::Relaxed);
+            let n = n0 + u64::from(report.executed);
+            self.state.acquisitions.store(n, Ordering::Relaxed);
+            fired = (n0 + 1..=n).any(|i| self.gate.fires(i));
         }
         if report.panicked > 0 {
             self.poisoned.store(true, Ordering::Release);
             self.stats.bump_by(POISON_EVENTS, u64::from(report.panicked));
         }
+        fired
     }
 
     /// Current value of the spin attribute.
@@ -1512,6 +1564,14 @@ impl<T> AdaptiveMutex<T> {
     /// Current waiter count (monitoring).
     pub fn waiting_now(&self) -> u32 {
         self.waiters.load(Ordering::Relaxed)
+    }
+
+    /// Longest single contended wait (enter-to-acquired, ns) observed
+    /// since the last monitor sample — the fairness proxy fed to
+    /// policies as [`NativeObservation::max_wait_nanos`]. Peeks without
+    /// resetting; each sampled observation consumes the window.
+    pub fn max_recent_wait_nanos(&self) -> u64 {
+        self.max_wait.load(Ordering::Relaxed)
     }
 
     /// Whether the lock is currently held (monitoring; instantly stale).

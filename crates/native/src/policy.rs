@@ -148,6 +148,17 @@ pub enum PolicyChoice {
         /// Consecutive heavy (or calm) samples before switching.
         patience: u32,
     },
+    /// Fairness-aware switching ([`NativeFairnessAdapt`]): FIFO ticket
+    /// engine when the per-window worst wait says barging is starving
+    /// someone, barging spin-park (with attribute tuning) when service
+    /// is even and throughput matters.
+    FairAdaptive {
+        /// A single contended wait this long (ns) counts as a fairness
+        /// collapse signal.
+        unfair_wait_nanos: u64,
+        /// Consecutive unfair (or calm) samples before switching.
+        patience: u32,
+    },
 }
 
 impl PolicyChoice {
@@ -159,6 +170,7 @@ impl PolicyChoice {
             PolicyChoice::Adaptive { .. } => "simple-adapt".into(),
             PolicyChoice::Algorithm(algo) => algo.label().into(),
             PolicyChoice::AlgoAdaptive { .. } => "algo-adapt".into(),
+            PolicyChoice::FairAdaptive { .. } => "fair-adapt".into(),
         }
     }
 
@@ -206,6 +218,13 @@ impl PolicyChoice {
                 Box::new(NativeAlgorithmAdapt::new(high_water, patience)),
                 2,
             ),
+            PolicyChoice::FairAdaptive { unfair_wait_nanos, patience } => {
+                AdaptiveMutex::with_policy(
+                    value,
+                    Box::new(NativeFairnessAdapt::new(unfair_wait_nanos, patience)),
+                    2,
+                )
+            }
         }
     }
 }
@@ -217,6 +236,21 @@ pub struct NativeObservation {
     /// attempt is sampled as one would-be waiter on top of the parked
     /// and spinning ones).
     pub waiting: u64,
+    /// Longest single contended wait (enter-to-acquired, ns) completed
+    /// since the previous sample — the cheap online proxy for the
+    /// per-thread spread signal. On a fair engine every wait is about
+    /// `waiting × holding time`; under barging collapse one victim's
+    /// wait stretches far past that, so this maximum diverges from the
+    /// mean long before a full per-thread histogram could say so.
+    pub max_wait_nanos: u64,
+}
+
+impl NativeObservation {
+    /// Observation with only the waiter count (no recorded wait in the
+    /// window) — the common case for tests and synthetic feeds.
+    pub fn of(waiting: u64) -> NativeObservation {
+        NativeObservation { waiting, max_wait_nanos: 0 }
+    }
 }
 
 /// Reconfiguration decision for the native mutex.
@@ -368,6 +402,94 @@ impl AdaptationPolicy<NativeObservation> for NativeAlgorithmAdapt {
     }
 }
 
+/// Fairness-aware adaptation: barging for throughput until the fairness
+/// proxy says someone is being starved, FIFO until service is cheap to
+/// make even again.
+///
+/// The signal is [`NativeObservation::max_wait_nanos`] — the worst
+/// single contended wait completed in the sample window. On a fair
+/// engine that maximum tracks `waiting × holding time`; when a barging
+/// spin-park lock starts re-granting to the thread whose line is hot,
+/// one victim's wait stretches far beyond it (the per-thread spread
+/// collapse `BENCH_native_fairness.json` measures offline, here read
+/// from one atomic `fetch_max`). `patience` consecutive unfair samples
+/// migrate the lock to the strict-FIFO ticket engine; `patience`
+/// consecutive calm samples (worst wait under half the threshold, at
+/// most one waiter) migrate it back to attribute-tuned spin-park, which
+/// is cheaper when fairness is not at risk. While on spin-park, the
+/// inner [`NativeSimpleAdapt`] keeps tuning the spin attribute.
+#[derive(Debug, Clone)]
+pub struct NativeFairnessAdapt {
+    /// Attribute tuning used while on the spin-park engine.
+    attrs: NativeSimpleAdapt,
+    /// A single contended wait this long (ns) counts as unfair.
+    pub unfair_wait_nanos: u64,
+    /// Consecutive unfair (or calm) samples before switching.
+    pub patience: u32,
+    unfair_streak: u32,
+    calm_streak: u32,
+    algo: LockAlgorithm,
+}
+
+impl NativeFairnessAdapt {
+    /// Policy that tolerates worst waits up to `unfair_wait_nanos`
+    /// before trading barging throughput for FIFO fairness.
+    pub fn new(unfair_wait_nanos: u64, patience: u32) -> NativeFairnessAdapt {
+        NativeFairnessAdapt {
+            attrs: NativeSimpleAdapt::new(2, 32),
+            unfair_wait_nanos: unfair_wait_nanos.max(1),
+            patience: patience.max(1),
+            unfair_streak: 0,
+            calm_streak: 0,
+            algo: LockAlgorithm::SpinPark,
+        }
+    }
+
+    /// The algorithm this policy believes is installed (mirrors its own
+    /// `SetAlgorithm` decisions, like [`NativeAlgorithmAdapt`]).
+    pub fn algorithm(&self) -> LockAlgorithm {
+        self.algo
+    }
+}
+
+impl AdaptationPolicy<NativeObservation> for NativeFairnessAdapt {
+    type Decision = NativeDecision;
+
+    fn decide(&mut self, obs: NativeObservation) -> Option<NativeDecision> {
+        let unfair = obs.max_wait_nanos >= self.unfair_wait_nanos;
+        // Calm needs more than "not unfair": the worst wait must sit
+        // comfortably under the threshold *and* pressure must be light,
+        // or the switch back would re-trigger immediately (hysteresis,
+        // same shape as [`NativeAlgorithmAdapt`]).
+        let calm = obs.max_wait_nanos <= self.unfair_wait_nanos / 2 && obs.waiting <= 1;
+        match self.algo {
+            LockAlgorithm::SpinPark => {
+                self.unfair_streak = if unfair { self.unfair_streak + 1 } else { 0 };
+                if self.unfair_streak >= self.patience {
+                    self.algo = LockAlgorithm::Ticket;
+                    self.unfair_streak = 0;
+                    self.calm_streak = 0;
+                    return Some(NativeDecision::SetAlgorithm(LockAlgorithm::Ticket));
+                }
+                self.attrs.decide(obs)
+            }
+            _ => {
+                self.calm_streak = if calm { self.calm_streak + 1 } else { 0 };
+                if self.calm_streak >= self.patience {
+                    self.algo = LockAlgorithm::SpinPark;
+                    self.calm_streak = 0;
+                    return Some(NativeDecision::SetAlgorithm(LockAlgorithm::SpinPark));
+                }
+                None
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "native-fairness-adapt"
+    }
+}
+
 /// A fixed (non-adaptive) policy, for using `AdaptiveMutex` as a plain
 /// spin-then-park mutex in comparisons.
 #[derive(Debug, Clone, Copy)]
@@ -396,7 +518,7 @@ mod tests {
     fn zero_waiting_means_pure_spin() {
         let mut p = NativeSimpleAdapt::new(2, 8);
         assert_eq!(
-            p.decide(NativeObservation { waiting: 0 }),
+            p.decide(NativeObservation::of(0)),
             Some(NativeDecision::PureSpin)
         );
     }
@@ -405,11 +527,11 @@ mod tests {
     fn light_waiting_grows_spins_heavy_cuts_double() {
         let mut p = NativeSimpleAdapt::new(2, 8);
         assert_eq!(
-            p.decide(NativeObservation { waiting: 1 }),
+            p.decide(NativeObservation::of(1)),
             Some(NativeDecision::SetSpins(72))
         );
         assert_eq!(
-            p.decide(NativeObservation { waiting: 9 }),
+            p.decide(NativeObservation::of(9)),
             Some(NativeDecision::SetSpins(56))
         );
     }
@@ -419,7 +541,7 @@ mod tests {
         let mut p = NativeSimpleAdapt::new(0, 16);
         let mut last = None;
         for _ in 0..10 {
-            last = p.decide(NativeObservation { waiting: 5 });
+            last = p.decide(NativeObservation::of(5));
         }
         assert_eq!(last, Some(NativeDecision::PureBlocking));
     }
@@ -429,7 +551,7 @@ mod tests {
         let mut p = FixedPolicy(NativeDecision::SetSpins(7));
         for w in 0..5 {
             assert_eq!(
-                p.decide(NativeObservation { waiting: w }),
+                p.decide(NativeObservation::of(w)),
                 Some(NativeDecision::SetSpins(7))
             );
         }
@@ -509,21 +631,21 @@ mod tests {
         assert_eq!(p.algorithm(), LockAlgorithm::SpinPark);
         // Two heavy samples: not yet patient enough; attribute tuning
         // keeps running underneath.
-        assert!(p.decide(NativeObservation { waiting: 6 }).is_some());
-        assert!(p.decide(NativeObservation { waiting: 6 }).is_some());
+        assert!(p.decide(NativeObservation::of(6)).is_some());
+        assert!(p.decide(NativeObservation::of(6)).is_some());
         assert_eq!(p.algorithm(), LockAlgorithm::SpinPark);
         // Third consecutive heavy sample crosses patience.
         assert_eq!(
-            p.decide(NativeObservation { waiting: 6 }),
+            p.decide(NativeObservation::of(6)),
             Some(NativeDecision::SetAlgorithm(LockAlgorithm::Queue))
         );
         assert_eq!(p.algorithm(), LockAlgorithm::Queue);
         // On the queue engine the policy stays quiet until calm.
-        assert_eq!(p.decide(NativeObservation { waiting: 6 }), None);
-        assert_eq!(p.decide(NativeObservation { waiting: 1 }), None);
-        assert_eq!(p.decide(NativeObservation { waiting: 0 }), None);
+        assert_eq!(p.decide(NativeObservation::of(6)), None);
+        assert_eq!(p.decide(NativeObservation::of(1)), None);
+        assert_eq!(p.decide(NativeObservation::of(0)), None);
         assert_eq!(
-            p.decide(NativeObservation { waiting: 0 }),
+            p.decide(NativeObservation::of(0)),
             Some(NativeDecision::SetAlgorithm(LockAlgorithm::SpinPark))
         );
         assert_eq!(p.algorithm(), LockAlgorithm::SpinPark);
@@ -533,16 +655,72 @@ mod tests {
     fn a_heavy_sample_resets_the_calm_streak() {
         let mut p = NativeAlgorithmAdapt::new(4, 2);
         for _ in 0..2 {
-            p.decide(NativeObservation { waiting: 8 });
+            p.decide(NativeObservation::of(8));
         }
         assert_eq!(p.algorithm(), LockAlgorithm::Queue);
-        assert_eq!(p.decide(NativeObservation { waiting: 0 }), None);
-        assert_eq!(p.decide(NativeObservation { waiting: 8 }), None);
-        assert_eq!(p.decide(NativeObservation { waiting: 0 }), None);
+        assert_eq!(p.decide(NativeObservation::of(0)), None);
+        assert_eq!(p.decide(NativeObservation::of(8)), None);
+        assert_eq!(p.decide(NativeObservation::of(0)), None);
         assert_eq!(
-            p.decide(NativeObservation { waiting: 0 }),
+            p.decide(NativeObservation::of(0)),
             Some(NativeDecision::SetAlgorithm(LockAlgorithm::SpinPark))
         );
+    }
+
+    /// Observation carrying a worst-wait signal.
+    fn obs(waiting: u64, max_wait_nanos: u64) -> NativeObservation {
+        NativeObservation { waiting, max_wait_nanos }
+    }
+
+    #[test]
+    fn sustained_unfair_waits_switch_to_ticket_and_calm_switches_back() {
+        let mut p = NativeFairnessAdapt::new(1_000_000, 3);
+        assert_eq!(p.algorithm(), LockAlgorithm::SpinPark);
+        // Two unfair samples: not patient enough yet; attribute tuning
+        // keeps running underneath.
+        assert!(p.decide(obs(3, 2_000_000)).is_some());
+        assert!(p.decide(obs(3, 5_000_000)).is_some());
+        assert_eq!(p.algorithm(), LockAlgorithm::SpinPark);
+        // Third consecutive unfair sample crosses patience.
+        assert_eq!(
+            p.decide(obs(3, 1_000_000)),
+            Some(NativeDecision::SetAlgorithm(LockAlgorithm::Ticket))
+        );
+        assert_eq!(p.algorithm(), LockAlgorithm::Ticket);
+        // On the FIFO engine: stays put while loaded or while the worst
+        // wait is still near the threshold.
+        assert_eq!(p.decide(obs(4, 600_000)), None);
+        assert_eq!(p.decide(obs(0, 900_000)), None, "wait above half threshold is not calm");
+        // Calm = light pressure AND comfortable worst wait, sustained.
+        assert_eq!(p.decide(obs(1, 100_000)), None);
+        assert_eq!(p.decide(obs(0, 0)), None);
+        assert_eq!(
+            p.decide(obs(0, 200_000)),
+            Some(NativeDecision::SetAlgorithm(LockAlgorithm::SpinPark))
+        );
+        assert_eq!(p.algorithm(), LockAlgorithm::SpinPark);
+    }
+
+    #[test]
+    fn a_fair_sample_resets_the_unfair_streak() {
+        let mut p = NativeFairnessAdapt::new(1_000, 2);
+        assert!(p.decide(obs(2, 5_000)).is_some());
+        assert!(p.decide(obs(2, 0)).is_some(), "fair sample breaks the streak");
+        assert!(p.decide(obs(2, 5_000)).is_some());
+        assert_eq!(p.algorithm(), LockAlgorithm::SpinPark, "streak must restart");
+        assert_eq!(
+            p.decide(obs(2, 5_000)),
+            Some(NativeDecision::SetAlgorithm(LockAlgorithm::Ticket))
+        );
+    }
+
+    #[test]
+    fn fair_adaptive_choice_builds_a_working_mutex() {
+        let choice = PolicyChoice::FairAdaptive { unfair_wait_nanos: 1_000_000, patience: 4 };
+        assert_eq!(choice.label(), "fair-adapt");
+        let m = choice.build_mutex(0u32);
+        *m.lock() += 1;
+        assert_eq!(m.into_inner(), 1);
     }
 
     #[test]

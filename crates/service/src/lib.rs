@@ -1,0 +1,45 @@
+//! # adaptive-service
+//!
+//! The paper's claim, taken to service scale: a sharded in-memory
+//! KV/counter store where **every shard is guarded by its own
+//! [`AdaptiveMutex`](adaptive_native::AdaptiveMutex)** — so per-object
+//! lock configuration can diverge with per-shard load, which a single
+//! global lock choice cannot do.
+//!
+//! Three adaptive mechanisms stack on the plain sharded store:
+//!
+//! * **Per-shard policy divergence** — each shard lock runs
+//!   [`HotShardPolicy`] (or any static
+//!   [`PolicyChoice`](adaptive_native::PolicyChoice)); under Zipfian
+//!   skew the hot shards observably settle on different engines and
+//!   spin attributes than the cold ones ([`divergence`] asserts this
+//!   from stats, not vibes).
+//! * **Hot-shard write batching** — every mutation goes through the
+//!   mutex's `with_locked` op-shipping path, so when a hot shard's
+//!   policy installs the flat-combining engine, queued writes are
+//!   batched through a single combiner pass instead of a handoff
+//!   per op.
+//! * **Resharding** — [`ShardedStore::maintenance`] splits a shard
+//!   (extendible-hashing style: local depth + directory doubling) when
+//!   its contended-acquisition rate crosses a threshold, halving the
+//!   load the hottest lock sees.
+//!
+//! The store integrates with the PR 8 control plane: pass a
+//! [`BreakerHub`](adaptive_control::BreakerHub) and every shard lock is
+//! registered (and retired shards unregistered) by name, so breakers,
+//! the socket command router, and snapshot sinks see shard locks like
+//! any other supervised lock.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+#![warn(clippy::unwrap_used)]
+
+mod policy;
+mod router;
+mod store;
+
+pub use policy::HotShardPolicy;
+pub use router::{scramble, ShardRouter};
+pub use store::{
+    divergence, DivergenceVerdict, ServiceConfig, ShardSnapshot, ShardedStore, ServicePolicy,
+};

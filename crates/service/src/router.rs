@@ -1,0 +1,97 @@
+//! Hash-based shard routing.
+//!
+//! Keys are `u64`s (a real service would hash its string keys down to
+//! one); the router finalizes them through the splitmix64 mixer so
+//! *adjacent* keys — and the low-rank keys a Zipfian sampler emits —
+//! land on unrelated shards, then routes on the low bits of the mixed
+//! hash. Low bits (not high) because the store grows by extendible
+//! hashing: a directory of `2^global_depth` slots indexed by
+//! `hash & (2^global_depth - 1)`, where splitting a shard only needs
+//! one more low bit.
+
+/// splitmix64's finalizer: a cheap, statistically strong bit mixer
+/// (Steele et al.'s SplittableRandom). Used both to spread keys across
+/// shards and to decorrelate per-worker RNG seeds.
+pub fn scramble(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Routes keys to directory slots: the pure-arithmetic half of the
+/// store, separated so routing invariants are testable without any
+/// locks or shards in the picture.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardRouter {
+    global_depth: u32,
+}
+
+impl ShardRouter {
+    /// Router over a directory of `2^global_depth` slots.
+    pub fn new(global_depth: u32) -> ShardRouter {
+        assert!(global_depth <= 32, "directory of 2^{global_depth} slots is absurd");
+        ShardRouter { global_depth }
+    }
+
+    /// The directory's slot count.
+    pub fn slots(&self) -> usize {
+        1usize << self.global_depth
+    }
+
+    /// Current global depth (low bits consumed by routing).
+    pub fn global_depth(&self) -> u32 {
+        self.global_depth
+    }
+
+    /// Mixed hash of a key — the value all routing bits come from.
+    pub fn hash(&self, key: u64) -> u64 {
+        scramble(key)
+    }
+
+    /// Directory slot for a key.
+    pub fn slot(&self, key: u64) -> usize {
+        (self.hash(key) & (self.slots() as u64 - 1)) as usize
+    }
+
+    /// The router after one directory doubling.
+    pub fn deepened(&self) -> ShardRouter {
+        ShardRouter::new(self.global_depth + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scramble_spreads_adjacent_keys() {
+        // The 8 hottest Zipf ranks must not pile onto one slot of an
+        // 8-slot directory just because they are numerically adjacent.
+        let router = ShardRouter::new(3);
+        let slots: std::collections::BTreeSet<usize> = (0..8).map(|k| router.slot(k)).collect();
+        assert!(slots.len() >= 4, "adjacent keys collapsed onto {slots:?}");
+    }
+
+    #[test]
+    fn slot_is_stable_and_in_range() {
+        let router = ShardRouter::new(4);
+        for key in [0u64, 1, 17, u64::MAX, 0xdead_beef] {
+            let s = router.slot(key);
+            assert!(s < router.slots());
+            assert_eq!(s, router.slot(key), "routing must be deterministic");
+        }
+    }
+
+    #[test]
+    fn deepening_preserves_the_low_bits() {
+        // Extendible hashing's contract: after a directory doubling,
+        // a key's new slot differs from its old slot only in the new
+        // top bit — so only split shards need their entries moved.
+        let before = ShardRouter::new(3);
+        let after = before.deepened();
+        for key in 0..2000u64 {
+            assert_eq!(after.slot(key) % before.slots(), before.slot(key));
+        }
+    }
+}

@@ -1,0 +1,898 @@
+//! The sharded store: an extendible-hashing directory of shards, each
+//! guarded by its own `AdaptiveMutex`.
+//!
+//! ## Concurrency protocol
+//!
+//! The directory (`RwLock<Vec<Arc<Shard>>>`) and the shard locks are
+//! never held together by an operation: an op reads the directory,
+//! clones the routed shard's `Arc`, **drops the directory guard**, and
+//! only then takes the shard lock. A shard found `retired` means a
+//! split raced the routing — the op re-reads the directory and retries
+//! (the rewire is a handful of pointer stores, so the window is tiny).
+//!
+//! A split holds the shard lock only to mark it retired and take its
+//! contents, releases it, then takes the directory write lock to
+//! rewire. Since no op holds directory-then-shard, the two lock levels
+//! cannot deadlock.
+//!
+//! ## Resharding
+//!
+//! Classic extendible hashing: the directory has `2^global_depth`
+//! slots indexed by the low bits of the mixed hash; each shard carries
+//! a `local_depth ≤ global_depth` and owns every slot whose low
+//! `local_depth` bits match. Splitting partitions the shard's keys on
+//! hash bit `local_depth`, doubling the directory first if
+//! `local_depth == global_depth`. [`ShardedStore::maintenance`] splits
+//! any shard whose *contended-acquisition ratio* crossed the configured
+//! threshold — the lock's own contention statistics, not key counts,
+//! decide where more parallelism is needed.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+use adaptive_control::BreakerHub;
+use adaptive_native::{AdaptiveMutex, LockAlgorithm, PolicyChoice};
+use serde::Serialize;
+
+use crate::policy::HotShardPolicy;
+use crate::router::{scramble, ShardRouter};
+
+/// How each shard's lock is configured.
+#[derive(Debug, Clone, Copy)]
+pub enum ServicePolicy {
+    /// Every shard gets the same fixed configuration — the baseline the
+    /// adaptive layer must beat.
+    Static(PolicyChoice),
+    /// Every shard runs [`HotShardPolicy`]: attribute tuning while
+    /// cold, flat-combining write batching while hot.
+    HotShard {
+        /// Waiting level that marks a shard hot.
+        high_water: u64,
+        /// Consecutive samples before migrating (both directions).
+        patience: u32,
+    },
+}
+
+impl ServicePolicy {
+    /// Row label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            ServicePolicy::Static(p) => p.label(),
+            ServicePolicy::HotShard { .. } => "hot-shard".into(),
+        }
+    }
+
+    fn build(&self, data: ShardData) -> AdaptiveMutex<ShardData> {
+        match *self {
+            ServicePolicy::Static(p) => p.build_mutex(data),
+            ServicePolicy::HotShard { high_water, patience } => AdaptiveMutex::with_policy(
+                data,
+                Box::new(HotShardPolicy::new(high_water, patience)),
+                2,
+            ),
+        }
+    }
+
+    /// Build the lock for a split child: adaptive children inherit the
+    /// parent's installed engine (a hot shard's halves are still hot —
+    /// resetting them to spin-park would un-batch the hottest keys
+    /// exactly when batching pays), while static children stay whatever
+    /// the static choice dictates.
+    fn build_child(&self, data: ShardData, parent: LockAlgorithm) -> AdaptiveMutex<ShardData> {
+        match *self {
+            ServicePolicy::Static(_) => self.build(data),
+            ServicePolicy::HotShard { high_water, patience } => {
+                let m = AdaptiveMutex::with_policy(
+                    data,
+                    Box::new(HotShardPolicy::starting(high_water, patience, parent)),
+                    2,
+                );
+                // The lock is unshared until the directory rewire
+                // publishes it, so the switch installs immediately.
+                m.set_algorithm(parent);
+                m
+            }
+        }
+    }
+}
+
+/// Store configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Initial directory depth: the store starts with `2^initial_depth`
+    /// shards.
+    pub initial_depth: u32,
+    /// No shard ever exceeds this local depth (caps the shard count at
+    /// `2^max_depth`).
+    pub max_depth: u32,
+    /// Split a shard once its contended-acquisition *rate* — contended
+    /// acquisitions per second, measured between maintenance passes —
+    /// reaches this. A rate, not a ratio: on an oversubscribed host the
+    /// contended *fraction* stays tiny everywhere (contention appears
+    /// only at preemption boundaries), but hot shards still rack up
+    /// contended events orders of magnitude faster than cold ones.
+    pub split_contended_per_sec: f64,
+    /// ... but only after it has absorbed this many acquisitions
+    /// (don't split on startup noise).
+    pub split_min_acquisitions: u64,
+    /// ... and only while its contended rate is at least this multiple
+    /// of the mean rate across all shards. Splitting answers *skew*:
+    /// a uniformly busy store gains nothing from more shards (every
+    /// split briefly retires a shard mid-run), so uniform contention —
+    /// however high in absolute terms — must not cascade the whole
+    /// directory to `max_depth`. Zero disables the gate. A store with
+    /// a single shard has no imbalance to measure and always passes.
+    pub split_imbalance_factor: f64,
+    /// ... held for this many *consecutive* maintenance passes. One
+    /// pass's rates are a handful of events on a short window — on a
+    /// saturated host they concentrate on whichever shards sat at a
+    /// scheduler slice boundary, so any single window shows some shard
+    /// far above the mean and the imbalance gate alone would still
+    /// cascade. Genuine skew re-elects the same shard pass after pass;
+    /// noise rotates. Values ≤ 1 split on the first qualifying pass.
+    pub split_sustain: u32,
+    /// Per-shard lock policy.
+    pub policy: ServicePolicy,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            initial_depth: 3,
+            max_depth: 8,
+            split_contended_per_sec: 50.0,
+            split_min_acquisitions: 10_000,
+            split_imbalance_factor: 3.0,
+            split_sustain: 3,
+            policy: ServicePolicy::HotShard { high_water: 3, patience: 2 },
+        }
+    }
+}
+
+/// What a shard lock protects.
+struct ShardData {
+    map: HashMap<u64, u64>,
+    /// Set by a split after the contents were taken; routes that still
+    /// reach this shard must retry through the (rewired) directory.
+    retired: bool,
+}
+
+/// One shard: an immutable identity plus the guarded data.
+struct Shard {
+    id: u64,
+    local_depth: u32,
+    lock: Arc<AdaptiveMutex<ShardData>>,
+    /// Contended-acquisition count as of the last maintenance pass;
+    /// the baseline for the per-second split-rate computation.
+    seen_contended: AtomicU64,
+    /// Consecutive maintenance passes this shard's contended rate has
+    /// satisfied every split gate (see `ServiceConfig::split_sustain`).
+    split_streak: AtomicU32,
+}
+
+impl Shard {
+    fn name(&self) -> String {
+        format!("shard-{}", self.id)
+    }
+}
+
+/// Point-in-time view of one shard: identity, occupancy, and the lock
+/// configuration its policy has settled on — the evidence rows for the
+/// hot-vs-cold divergence verdict.
+#[derive(Debug, Clone, Serialize)]
+pub struct ShardSnapshot {
+    /// Registry name (`shard-<id>`).
+    pub name: String,
+    /// Extendible-hashing local depth.
+    pub local_depth: u32,
+    /// Live keys.
+    pub keys: usize,
+    /// Engine currently installed on the shard lock.
+    pub algorithm: String,
+    /// Current spin attribute.
+    pub spin_limit: u32,
+    /// Waiters at snapshot time.
+    pub waiting: u32,
+    /// Total lock acquisitions — the load ranking.
+    pub acquisitions: u64,
+    /// Acquisitions that found the lock held.
+    pub contended: u64,
+    /// Times a waiter fully parked.
+    pub parked: u64,
+    /// Critical sections executed for other threads by a combining
+    /// drain — direct evidence of write batching.
+    pub combined_ops: u64,
+    /// Engine migrations installed on this lock.
+    pub algorithm_switches: u64,
+    /// Attribute retunes applied by the feedback loop.
+    pub reconfigurations: u64,
+}
+
+/// The hot-vs-cold divergence verdict, computed from shard snapshots:
+/// did the busiest and idlest shards actually settle on different lock
+/// configurations?
+#[derive(Debug, Clone, Serialize)]
+pub struct DivergenceVerdict {
+    /// Busiest shard (most acquisitions).
+    pub hot_name: String,
+    /// Its engine.
+    pub hot_algorithm: String,
+    /// Its spin attribute.
+    pub hot_spin_limit: u32,
+    /// Its acquisition count.
+    pub hot_acquisitions: u64,
+    /// Idlest shard (fewest acquisitions).
+    pub cold_name: String,
+    /// Its engine.
+    pub cold_algorithm: String,
+    /// Its spin attribute.
+    pub cold_spin_limit: u32,
+    /// Its acquisition count.
+    pub cold_acquisitions: u64,
+    /// Distinct engines across all shards.
+    pub engines: Vec<String>,
+    /// True when hot and cold settled on different engines or
+    /// different spin attributes.
+    pub diverged: bool,
+}
+
+/// Compute the divergence verdict over a set of shard snapshots.
+pub fn divergence(snapshots: &[ShardSnapshot]) -> Option<DivergenceVerdict> {
+    let hot = snapshots.iter().max_by_key(|s| s.acquisitions)?;
+    let cold = snapshots.iter().min_by_key(|s| s.acquisitions)?;
+    let engines: BTreeSet<&str> = snapshots.iter().map(|s| s.algorithm.as_str()).collect();
+    Some(DivergenceVerdict {
+        hot_name: hot.name.clone(),
+        hot_algorithm: hot.algorithm.clone(),
+        hot_spin_limit: hot.spin_limit,
+        hot_acquisitions: hot.acquisitions,
+        cold_name: cold.name.clone(),
+        cold_algorithm: cold.algorithm.clone(),
+        cold_spin_limit: cold.spin_limit,
+        cold_acquisitions: cold.acquisitions,
+        engines: engines.iter().map(|e| e.to_string()).collect(),
+        diverged: hot.algorithm != cold.algorithm || hot.spin_limit != cold.spin_limit,
+    })
+}
+
+/// The sharded KV/counter store. See the module docs for the
+/// concurrency protocol.
+pub struct ShardedStore {
+    dir: RwLock<Vec<Arc<Shard>>>,
+    config: ServiceConfig,
+    next_id: AtomicU64,
+    splits: AtomicU64,
+    hub: Mutex<Option<Arc<BreakerHub>>>,
+    last_maintenance: Mutex<Instant>,
+}
+
+impl ShardedStore {
+    /// An empty store with `2^initial_depth` shards.
+    pub fn new(config: ServiceConfig) -> ShardedStore {
+        let depth = config.initial_depth.min(config.max_depth);
+        let next_id = AtomicU64::new(0);
+        let shards: Vec<Arc<Shard>> = (0..1u64 << depth)
+            .map(|_| {
+                Arc::new(Shard {
+                    id: next_id.fetch_add(1, Ordering::Relaxed),
+                    local_depth: depth,
+                    lock: Arc::new(config.policy.build(ShardData {
+                        map: HashMap::new(),
+                        retired: false,
+                    })),
+                    seen_contended: AtomicU64::new(0),
+                    split_streak: AtomicU32::new(0),
+                })
+            })
+            .collect();
+        ShardedStore {
+            dir: RwLock::new(shards),
+            config,
+            next_id,
+            splits: AtomicU64::new(0),
+            hub: Mutex::new(None),
+            last_maintenance: Mutex::new(Instant::now()),
+        }
+    }
+
+    fn read_dir(&self) -> std::sync::RwLockReadGuard<'_, Vec<Arc<Shard>>> {
+        match self.dir.read() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    fn write_dir(&self) -> std::sync::RwLockWriteGuard<'_, Vec<Arc<Shard>>> {
+        match self.dir.write() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    fn router(&self) -> ShardRouter {
+        ShardRouter::new(self.read_dir().len().trailing_zeros())
+    }
+
+    fn shard_for(&self, key: u64) -> Arc<Shard> {
+        let dir = self.read_dir();
+        let slot = (scramble(key) & (dir.len() as u64 - 1)) as usize;
+        Arc::clone(&dir[slot])
+    }
+
+    fn shard_at(&self, slot: usize) -> Option<Arc<Shard>> {
+        let dir = self.read_dir();
+        dir.get(slot).map(Arc::clone)
+    }
+
+    /// Run `f` on the shard owning `key`, retrying through the
+    /// directory if a split retired the routed shard mid-flight.
+    fn with_key_shard<R: Send>(
+        &self,
+        key: u64,
+        f: impl Fn(&mut HashMap<u64, u64>) -> R + Send + Sync,
+    ) -> R {
+        loop {
+            let shard = self.shard_for(key);
+            let fr = &f;
+            let done = shard
+                .lock
+                .with_locked(move |data| if data.retired { None } else { Some(fr(&mut data.map)) });
+            if let Some(r) = done {
+                return r;
+            }
+            // The routed shard is retired: its keys are being
+            // partitioned right now on another thread. Yield rather
+            // than spin — on a saturated host a spin loop here steals
+            // the timeslice the partitioner needs to finish.
+            std::thread::yield_now();
+        }
+    }
+
+    /// Like `with_key_shard` for one-shot closures: the
+    /// op moves into the critical section and is executed exactly once
+    /// — a routed-to-retired shard returns it un-run for the retry.
+    fn with_key_shard_once<R, F>(&self, key: u64, mut f: F) -> R
+    where
+        R: Send,
+        F: FnOnce(&mut HashMap<u64, u64>) -> R + Send,
+    {
+        loop {
+            let shard = self.shard_for(key);
+            let done = shard.lock.with_locked(
+                move |data| {
+                    if data.retired {
+                        Err(f)
+                    } else {
+                        Ok(f(&mut data.map))
+                    }
+                },
+            );
+            match done {
+                Ok(r) => return r,
+                Err(back) => {
+                    f = back;
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Read a key.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        self.with_key_shard(key, move |m| m.get(&key).copied())
+    }
+
+    /// Write a key; returns the previous value.
+    pub fn put(&self, key: u64, value: u64) -> Option<u64> {
+        self.with_key_shard(key, move |m| m.insert(key, value))
+    }
+
+    /// Add `by` to a counter key (missing counters start at 0); returns
+    /// the new value. On a flat-combining hot shard these ship as ops
+    /// and are executed in batches by a single combiner.
+    pub fn increment(&self, key: u64, by: u64) -> u64 {
+        self.with_key_shard(key, move |m| {
+            let v = m.entry(key).or_insert(0);
+            *v = v.wrapping_add(by);
+            *v
+        })
+    }
+
+    /// Read `key` through `f` inside the shard critical section: `f`
+    /// sees the current value (or `None`) and computes the response
+    /// while the record is pinned. This is the knob every other
+    /// workload in this workspace exposes as `cs_iters` — the request
+    /// processing a real service does under the lock (decode,
+    /// validate, serialize). Runs exactly once.
+    pub fn read<R: Send>(&self, key: u64, f: impl FnOnce(Option<u64>) -> R + Send) -> R {
+        self.with_key_shard_once(key, move |m| f(m.get(&key).copied()))
+    }
+
+    /// Read-modify-write `key` inside the shard critical section: `f`
+    /// maps the current value (or `None`) to the new value, which is
+    /// stored and returned. Like [`ShardedStore::read`], the closure is
+    /// where a workload models per-request work done under the lock.
+    /// Runs exactly once.
+    pub fn update(&self, key: u64, f: impl FnOnce(Option<u64>) -> u64 + Send) -> u64 {
+        self.with_key_shard_once(key, move |m| {
+            let v = f(m.get(&key).copied());
+            m.insert(key, v);
+            v
+        })
+    }
+
+    /// Fold over every key/value pair, shard by shard (each shard
+    /// visited atomically under its lock; the whole scan is not a
+    /// snapshot — run it at quiescence when exact totals matter).
+    pub fn scan<A: Send>(&self, mut acc: A, f: impl Fn(&mut A, u64, u64) + Send + Sync) -> A {
+        let mut seen: BTreeSet<u64> = BTreeSet::new();
+        let mut slot = 0usize;
+        while let Some(shard) = self.shard_at(slot) {
+            if seen.contains(&shard.id) {
+                slot += 1;
+                continue;
+            }
+            let fr = &f;
+            let acc_ref = &mut acc;
+            let visited = shard.lock.with_locked(move |data| {
+                if data.retired {
+                    return false;
+                }
+                for (&k, &v) in &data.map {
+                    fr(acc_ref, k, v);
+                }
+                true
+            });
+            if visited {
+                seen.insert(shard.id);
+                slot += 1;
+            }
+            // A retired shard means a split is rewiring this slot;
+            // re-read it until the child appears.
+        }
+        acc
+    }
+
+    /// Total number of live keys.
+    pub fn len(&self) -> usize {
+        self.scan(0usize, |n, _, _| *n += 1)
+    }
+
+    /// Whether the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sum of every value — the conservation oracle for counter
+    /// workloads.
+    pub fn total(&self) -> u128 {
+        self.scan(0u128, |t, _, v| *t += u128::from(v))
+    }
+
+    /// Distinct shards currently wired into the directory.
+    pub fn shard_count(&self) -> usize {
+        self.distinct_shards().len()
+    }
+
+    /// Splits performed since creation.
+    pub fn splits(&self) -> u64 {
+        self.splits.load(Ordering::Relaxed)
+    }
+
+    /// Current directory slot count (`2^global_depth`).
+    pub fn slots(&self) -> usize {
+        self.read_dir().len()
+    }
+
+    fn distinct_shards(&self) -> Vec<Arc<Shard>> {
+        let dir = self.read_dir();
+        let mut by_id: BTreeMap<u64, Arc<Shard>> = BTreeMap::new();
+        for shard in dir.iter() {
+            by_id.entry(shard.id).or_insert_with(|| Arc::clone(shard));
+        }
+        by_id.into_values().collect()
+    }
+
+    /// Snapshot every shard's identity, occupancy, and lock
+    /// configuration.
+    pub fn snapshots(&self) -> Vec<ShardSnapshot> {
+        self.distinct_shards()
+            .iter()
+            .map(|shard| {
+                let stats = shard.lock.stats();
+                ShardSnapshot {
+                    name: shard.name(),
+                    local_depth: shard.local_depth,
+                    keys: shard.lock.with_locked(|d| d.map.len()),
+                    algorithm: shard.lock.algorithm().label().to_string(),
+                    spin_limit: shard.lock.spin_limit(),
+                    waiting: shard.lock.waiting_now(),
+                    acquisitions: stats.acquisitions,
+                    contended: stats.contended,
+                    parked: stats.parked,
+                    combined_ops: stats.combined_ops,
+                    algorithm_switches: stats.algorithm_switches,
+                    reconfigurations: stats.reconfigurations,
+                }
+            })
+            .collect()
+    }
+
+    /// Register every shard lock with a [`BreakerHub`] (names
+    /// `shard-<id>`). The store keeps the hub and maintains the
+    /// registry across splits: retired shards are unregistered, their
+    /// children registered.
+    pub fn register_with_hub(&self, hub: Arc<BreakerHub>) {
+        for shard in self.distinct_shards() {
+            hub.register(shard.name(), shard.lock.clone());
+        }
+        *self.hub_slot() = Some(hub);
+    }
+
+    fn hub_slot(&self) -> std::sync::MutexGuard<'_, Option<Arc<BreakerHub>>> {
+        match self.hub.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// One maintenance pass: split every shard whose contended-
+    /// acquisition rate (per second, measured since the previous pass)
+    /// crossed the configured threshold *and* stands out against the
+    /// directory — at least `split_imbalance_factor` times the mean
+    /// rate across all shards. Returns the number of splits made. Call
+    /// periodically from a maintenance tick (the load generator does);
+    /// ops never split inline, so their tail is not taxed.
+    pub fn maintenance(&self) -> usize {
+        let secs = {
+            let mut last = match self.last_maintenance.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            let now = Instant::now();
+            let dt = now - *last;
+            *last = now;
+            // Back-to-back passes still get a sane denominator.
+            (dt.as_nanos() as f64 / 1e9).max(1e-6)
+        };
+        // First pass: roll every shard's contended baseline forward and
+        // compute this interval's rates, so the mean is taken over the
+        // same window for everyone (and a shard that later crosses the
+        // acquisition floor doesn't report its whole history as one
+        // interval's rate).
+        let shards = self.distinct_shards();
+        let rated: Vec<(Arc<Shard>, u64, f64)> = shards
+            .into_iter()
+            .map(|shard| {
+                let stats = shard.lock.stats();
+                let prev = shard.seen_contended.swap(stats.contended, Ordering::Relaxed);
+                let rate = stats.contended.saturating_sub(prev) as f64 / secs;
+                (shard, stats.acquisitions, rate)
+            })
+            .collect();
+        let peers = rated.len();
+        let mean_rate = rated.iter().map(|&(_, _, r)| r).sum::<f64>() / peers.max(1) as f64;
+        let mut performed = 0;
+        for (shard, acquisitions, rate) in rated {
+            // The imbalance gate: a lone shard has no peers to compare
+            // against, so it always passes.
+            let stands_out =
+                peers <= 1 || rate >= self.config.split_imbalance_factor * mean_rate;
+            let qualifies = shard.local_depth < self.config.max_depth
+                && acquisitions >= self.config.split_min_acquisitions
+                && rate >= self.config.split_contended_per_sec
+                && stands_out;
+            if !qualifies {
+                // One window's contended events are sparse and cluster at
+                // scheduler slice boundaries; a shard that fails any gate
+                // restarts its streak rather than coasting on old heat.
+                shard.split_streak.store(0, Ordering::Relaxed);
+                continue;
+            }
+            let streak = shard.split_streak.fetch_add(1, Ordering::Relaxed) + 1;
+            if streak < self.config.split_sustain {
+                continue;
+            }
+            if self.split(&shard) {
+                performed += 1;
+            } else {
+                // Lost the race (someone else retired it); start over.
+                shard.split_streak.store(0, Ordering::Relaxed);
+            }
+        }
+        self.splits.fetch_add(performed as u64, Ordering::Relaxed);
+        performed
+    }
+
+    /// Split one shard: retire it, partition its keys on hash bit
+    /// `local_depth`, rewire (and double, if needed) the directory.
+    fn split(&self, old: &Arc<Shard>) -> bool {
+        // Phase 1 — retire under the shard lock only.
+        let taken = old.lock.with_locked(|data| {
+            if data.retired {
+                return None;
+            }
+            data.retired = true;
+            Some(std::mem::take(&mut data.map))
+        });
+        let Some(map) = taken else {
+            return false; // another maintenance pass won the race
+        };
+
+        // Phase 2 — partition on the next hash bit.
+        let bit = 1u64 << old.local_depth;
+        let (mut low, mut high) = (HashMap::new(), HashMap::new());
+        for (k, v) in map {
+            if scramble(k) & bit != 0 {
+                high.insert(k, v);
+            } else {
+                low.insert(k, v);
+            }
+        }
+        let parent_algo = old.lock.algorithm();
+        let child = |map: HashMap<u64, u64>| {
+            // Only a child that actually received keys inherits the
+            // parent's (possibly hot) engine; an empty child has no
+            // traffic to justify it — and, getting no samples, would
+            // otherwise sit on the inherited engine forever.
+            let algo = if map.is_empty() { LockAlgorithm::SpinPark } else { parent_algo };
+            Arc::new(Shard {
+                id: self.next_id.fetch_add(1, Ordering::Relaxed),
+                local_depth: old.local_depth + 1,
+                lock: Arc::new(
+                    self.config
+                        .policy
+                        .build_child(ShardData { map, retired: false }, algo),
+                ),
+                seen_contended: AtomicU64::new(0),
+                split_streak: AtomicU32::new(0),
+            })
+        };
+        let (s_low, s_high) = (child(low), child(high));
+
+        // Phase 3 — rewire under the directory write lock.
+        {
+            let mut dir = self.write_dir();
+            let global_depth = dir.len().trailing_zeros();
+            if old.local_depth == global_depth {
+                // Double: new slot i mirrors old slot i % old_len.
+                let doubled: Vec<Arc<Shard>> = dir.iter().chain(dir.iter()).cloned().collect();
+                *dir = doubled;
+            }
+            for (slot, entry) in dir.iter_mut().enumerate() {
+                if entry.id == old.id {
+                    *entry =
+                        Arc::clone(if slot as u64 & bit != 0 { &s_high } else { &s_low });
+                }
+            }
+        }
+
+        // Phase 4 — keep the control-plane registry current.
+        if let Some(hub) = self.hub_slot().clone() {
+            hub.unregister(&old.name());
+            hub.register(s_low.name(), s_low.lock.clone());
+            hub.register(s_high.name(), s_high.lock.clone());
+        }
+        true
+    }
+
+    /// The store's current router (slot arithmetic for the present
+    /// directory size).
+    pub fn current_router(&self) -> ShardRouter {
+        self.router()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(policy: ServicePolicy) -> ServiceConfig {
+        ServiceConfig {
+            initial_depth: 1,
+            max_depth: 4,
+            split_contended_per_sec: 0.0,
+            split_min_acquisitions: 1,
+            split_imbalance_factor: 0.0,
+            split_sustain: 1,
+            policy,
+        }
+    }
+
+    #[test]
+    fn get_put_increment_scan_round_trip() {
+        let store = ShardedStore::new(ServiceConfig::default());
+        assert!(store.is_empty());
+        assert_eq!(store.put(7, 100), None);
+        assert_eq!(store.put(7, 200), Some(100));
+        assert_eq!(store.get(7), Some(200));
+        assert_eq!(store.get(8), None);
+        assert_eq!(store.increment(9, 5), 5);
+        assert_eq!(store.increment(9, 5), 10);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.total(), 210);
+        let keys = store.scan(Vec::new(), |v: &mut Vec<u64>, k, _| v.push(k));
+        assert_eq!(keys.len(), 2);
+    }
+
+    #[test]
+    fn read_and_update_run_their_closure_exactly_once_across_splits() {
+        let store = ShardedStore::new(tiny(ServicePolicy::Static(PolicyChoice::FixedSpin(64))));
+        // Upsert semantics: None for a missing key, then read-modify-write.
+        assert_eq!(store.update(3, |v| v.unwrap_or(0) + 10), 10);
+        assert_eq!(store.update(3, |v| v.unwrap_or(0) + 10), 20);
+        assert_eq!(store.read(3, |v| v.map(|x| x * 2)), Some(40));
+        assert!(!store.read(4, |v| v.is_some()));
+        // Splits rewire the directory under the ops; each closure must
+        // still run exactly once (runs counts every execution).
+        for k in 0..200u64 {
+            store.put(k, 1);
+        }
+        while store.maintenance() > 0 {}
+        assert!(store.splits() > 0);
+        let mut runs = 0u32;
+        for k in 0..200u64 {
+            store.update(k, |v| {
+                runs += 1;
+                v.expect("key was written before the splits") + 1
+            });
+        }
+        assert_eq!(runs, 200, "an update closure ran twice or not at all");
+        // The put loop overwrote key 3, so every key holds exactly 2.
+        assert_eq!(store.total(), 400);
+    }
+
+    #[test]
+    fn splits_preserve_every_key_and_deepen_the_directory() {
+        let store = ShardedStore::new(tiny(ServicePolicy::Static(PolicyChoice::FixedSpin(64))));
+        assert_eq!(store.shard_count(), 2);
+        for k in 0..500u64 {
+            store.put(k, k);
+        }
+        // Thresholds are zeroed, so every touched shard splits.
+        let mut rounds = 0;
+        while store.maintenance() > 0 && rounds < 8 {
+            rounds += 1;
+        }
+        assert!(store.splits() > 0, "zeroed thresholds must trigger splits");
+        assert!(store.shard_count() > 2);
+        assert!(store.slots() >= store.shard_count());
+        // Nothing lost, nothing duplicated, every key still routable.
+        assert_eq!(store.len(), 500);
+        for k in 0..500u64 {
+            assert_eq!(store.get(k), Some(k), "key {k} lost across resharding");
+        }
+        // Every shard is capped at max_depth.
+        assert!(store.snapshots().iter().all(|s| s.local_depth <= 4));
+    }
+
+    #[test]
+    fn concurrent_increments_survive_a_mid_run_split() {
+        let store = Arc::new(ShardedStore::new(tiny(ServicePolicy::HotShard {
+            high_water: 2,
+            patience: 2,
+        })));
+        let threads = 4;
+        let per = 2_000u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let store = Arc::clone(&store);
+                scope.spawn(move || {
+                    for i in 0..per {
+                        store.increment((t * per + i) % 97, 1);
+                        if i % 500 == 0 {
+                            store.maintenance();
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            store.total(),
+            u128::from(threads * per),
+            "increments lost or double-applied across concurrent resharding"
+        );
+        assert!(store.len() <= 97);
+    }
+
+    #[test]
+    fn split_children_inherit_a_hot_parents_engine() {
+        // One shard takes every op: back-to-back increments give the
+        // policy sub-microsecond sample gaps, which read as heat and
+        // migrate the shard to flat combining.
+        let store = ShardedStore::new(ServiceConfig {
+            initial_depth: 0,
+            max_depth: 2,
+            split_contended_per_sec: 0.0,
+            split_min_acquisitions: 1,
+            split_imbalance_factor: 0.0,
+            split_sustain: 1,
+            policy: ServicePolicy::HotShard { high_water: 64, patience: 2 },
+        });
+        let mut flipped = false;
+        for i in 0..40_000u64 {
+            store.increment(i % 64, 1);
+            if i % 512 == 0
+                && store.snapshots().iter().any(|s| s.algorithm == "flat-combining")
+            {
+                flipped = true;
+                break;
+            }
+        }
+        assert!(flipped, "sustained single-shard traffic must batch");
+        // Zeroed thresholds split it; the children must come up batched
+        // rather than re-paying cold-start detection.
+        assert!(store.maintenance() > 0, "the hot shard must split");
+        let snaps = store.snapshots();
+        assert!(snaps.len() >= 2);
+        for s in &snaps {
+            assert_eq!(
+                s.algorithm, "flat-combining",
+                "{} lost the parent's engine across the split", s.name
+            );
+        }
+    }
+
+    #[test]
+    fn snapshots_rank_load_and_feed_the_divergence_verdict() {
+        let store = ShardedStore::new(ServiceConfig {
+            initial_depth: 2,
+            ..ServiceConfig::default()
+        });
+        // Hammer one key so its shard outranks the others.
+        for _ in 0..200 {
+            store.increment(42, 1);
+        }
+        let snaps = store.snapshots();
+        assert_eq!(snaps.len(), 4);
+        let verdict = divergence(&snaps).expect("non-empty snapshot set");
+        assert!(verdict.hot_acquisitions >= verdict.cold_acquisitions);
+        assert!(!verdict.engines.is_empty());
+    }
+
+    #[test]
+    fn hub_registry_follows_splits() {
+        let store = ShardedStore::new(tiny(ServicePolicy::Static(PolicyChoice::FixedSpin(64))));
+        let hub = Arc::new(BreakerHub::default());
+        store.register_with_hub(Arc::clone(&hub));
+        assert_eq!(hub.names().len(), 2);
+        for k in 0..200u64 {
+            store.increment(k, 1);
+        }
+        while store.maintenance() > 0 {}
+        let names = hub.names();
+        assert_eq!(names.len(), store.shard_count(), "registry must track live shards");
+        let snaps = store.snapshots();
+        for s in &snaps {
+            assert!(names.contains(&s.name), "{} missing from hub", s.name);
+        }
+    }
+
+    #[test]
+    fn divergence_on_identical_configs_is_false() {
+        let mk = |name: &str, acq: u64| ShardSnapshot {
+            name: name.into(),
+            local_depth: 2,
+            keys: 1,
+            algorithm: "spin-park".into(),
+            spin_limit: 64,
+            waiting: 0,
+            acquisitions: acq,
+            contended: 0,
+            parked: 0,
+            combined_ops: 0,
+            algorithm_switches: 0,
+            reconfigurations: 0,
+        };
+        let v = divergence(&[mk("a", 100), mk("b", 1)]).expect("two snapshots");
+        assert!(!v.diverged);
+        let mut hot = mk("a", 100);
+        hot.algorithm = "flat-combining".into();
+        let v = divergence(&[hot, mk("b", 1)]).expect("two snapshots");
+        assert!(v.diverged);
+        assert_eq!(v.hot_name, "a");
+        assert_eq!(v.cold_name, "b");
+    }
+}

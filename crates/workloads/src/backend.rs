@@ -48,6 +48,7 @@ use std::sync::{Arc, Barrier, OnceLock};
 use std::time::{Duration, Instant};
 
 use crate::fairness::spread_stats;
+use crate::measure::LatencyHistogram;
 use crate::spec::LockSpec;
 
 /// Where a workload runs.
@@ -131,6 +132,12 @@ pub struct ContentionPoint {
     /// Mean measured acquisition latency (enter-to-acquired, ns),
     /// averaged over every op of every thread.
     pub mean_latency_nanos: f64,
+    /// Median acquisition latency (ns), from the merged per-op
+    /// histogram — what a typical op saw, immune to tail pull.
+    pub p50_latency_nanos: u64,
+    /// 99th-percentile acquisition latency (ns) — the tail the mean
+    /// hides.
+    pub p99_latency_nanos: u64,
     /// Jain's fairness index over per-thread throughput (1.0 = every
     /// thread got identical service; 1/threads = one thread got it all).
     pub fairness_index: f64,
@@ -157,7 +164,9 @@ pub fn sim_lock_spec(policy: PolicyChoice) -> LockSpec {
         PolicyChoice::Algorithm(LockAlgorithm::Queue) => LockSpec::Mcs,
         PolicyChoice::Algorithm(LockAlgorithm::Combining) => LockSpec::Spin,
         PolicyChoice::Algorithm(LockAlgorithm::SpinPark) => LockSpec::Combined(64),
-        PolicyChoice::AlgoAdaptive { .. } => LockSpec::Adaptive { threshold: 2, n: 32 },
+        PolicyChoice::AlgoAdaptive { .. } | PolicyChoice::FairAdaptive { .. } => {
+            LockSpec::Adaptive { threshold: 2, n: 32 }
+        }
     }
 }
 
@@ -225,7 +234,7 @@ pub fn run_contention(backend: Backend, spec: &ContentionSpec) -> ContentionPoin
         think: Work::Nanos(spec.think_nanos),
     };
     let plans = vec![plan; spec.threads];
-    let (total_nanos, samples) = match backend {
+    let (total_nanos, samples, hist) = match backend {
         Backend::Sim => run_sim_plans(spec.policy, &plans, spec.seed),
         Backend::Native => run_native_plans(spec.policy, &plans, Duration::ZERO),
     };
@@ -242,6 +251,8 @@ pub fn run_contention(backend: Backend, spec: &ContentionSpec) -> ContentionPoin
         throughput_per_sec: ops as f64 / (total_nanos.max(1) as f64 / 1e9),
         wall_nanos_per_op: total_nanos as f64 / ops.max(1) as f64,
         mean_latency_nanos: s.mean_latency_nanos,
+        p50_latency_nanos: hist.percentile(50.0),
+        p99_latency_nanos: hist.percentile(99.0),
         fairness_index: s.fairness_index,
         min_thread_ops_per_sec: s.min_thread_ops_per_sec,
         max_thread_ops_per_sec: s.max_thread_ops_per_sec,
@@ -249,13 +260,14 @@ pub fn run_contention(backend: Backend, spec: &ContentionSpec) -> ContentionPoin
     }
 }
 
-/// Run per-worker plans on the simulator; returns total virtual time
-/// and per-thread samples (all in virtual nanoseconds).
+/// Run per-worker plans on the simulator; returns total virtual time,
+/// per-thread samples, and the merged per-op acquisition-latency
+/// histogram (all in virtual nanoseconds).
 pub(crate) fn run_sim_plans(
     policy: PolicyChoice,
     plans: &[WorkerPlan],
     seed: u64,
-) -> (u64, Vec<ThreadSample>) {
+) -> (u64, Vec<ThreadSample>, LatencyHistogram) {
     use adaptive_locks::{with_lock, Lock};
 
     let processors = plans.len().max(1);
@@ -266,7 +278,7 @@ pub(crate) fn run_sim_plans(
         ..SimConfig::default()
     };
     let plans = plans.to_vec();
-    let ((total, samples), _) = sim::run(sim_cfg, move || {
+    let ((total, samples, hist), _) = sim::run(sim_cfg, move || {
         let lock: Arc<dyn Lock> = sim_lock_spec(policy).build(ctx::current_node());
         let t0 = ctx::now();
         let handles: Vec<_> = plans
@@ -278,28 +290,40 @@ pub(crate) fn run_sim_plans(
                 fork(ProcId(i % processors), format!("w{i}"), move || {
                     let mut ops = 0u64;
                     let mut latency_nanos = 0u64;
+                    let mut hist = LatencyHistogram::new();
                     for _ in 0..plan.iters {
                         let enter = ctx::now();
                         with_lock(lock.as_ref(), || {
-                            latency_nanos += ctx::now().since(enter).as_nanos();
+                            let waited = ctx::now().since(enter).as_nanos();
+                            latency_nanos += waited;
+                            hist.record(waited);
                             ctx::advance(plan.cs.sim_duration());
                         });
                         ops += 1;
                         ctx::advance(plan.think.sim_duration());
                     }
-                    ThreadSample {
+                    let sample = ThreadSample {
                         ops,
                         latency_nanos,
                         elapsed_nanos: ctx::now().since(t0).as_nanos().max(1),
-                    }
+                    };
+                    (sample, hist)
                 })
             })
             .collect();
-        let samples: Vec<ThreadSample> = handles.into_iter().map(|h| h.join()).collect();
-        (ctx::now().since(t0).as_nanos(), samples)
+        let mut hist = LatencyHistogram::new();
+        let samples: Vec<ThreadSample> = handles
+            .into_iter()
+            .map(|h| {
+                let (sample, h) = h.join();
+                hist.merge(&h);
+                sample
+            })
+            .collect();
+        (ctx::now().since(t0).as_nanos(), samples, hist)
     })
     .expect("contention simulation runs to completion");
-    (total, samples)
+    (total, samples, hist)
 }
 
 /// Run per-worker plans on OS threads through an [`adaptive_native`]
@@ -314,13 +338,14 @@ pub(crate) fn run_native_plans(
     policy: PolicyChoice,
     plans: &[WorkerPlan],
     pre_start_stall: Duration,
-) -> (u64, Vec<ThreadSample>) {
+) -> (u64, Vec<ThreadSample>, LatencyHistogram) {
     let mutex = policy.build_mutex(0u64);
     let expected: u64 = plans.iter().map(|p| u64::from(p.iters)).sum();
-    let (total, samples) = run_native_workers(plans.len(), pre_start_stall, |i| {
+    let (total, samples, hist) = run_native_workers(plans.len(), pre_start_stall, |i| {
         let plan = plans[i];
         let mut latency_nanos = 0u64;
         let mut ops = 0u64;
+        let mut hist = LatencyHistogram::new();
         for _ in 0..plan.iters {
             let enter = Instant::now();
             // `with_locked` so a combining engine actually combines; on
@@ -329,14 +354,16 @@ pub(crate) fn run_native_plans(
             // instruction, so it measures enter-to-acquired (for a
             // combined op: enter-to-served) without the CS body.
             mutex.with_locked(|v| {
-                latency_nanos += saturating_nanos(enter.elapsed());
+                let waited = saturating_nanos(enter.elapsed());
+                latency_nanos += waited;
+                hist.record(waited);
                 *v += 1;
                 plan.cs.run();
             });
             ops += 1;
             plan.think.run();
         }
-        (ops, latency_nanos)
+        (ops, latency_nanos, hist)
     });
     // Always-on (not debug_assert!): perf sweeps run --release, which
     // is exactly where a release-only lost-update bug in an engine
@@ -346,12 +373,13 @@ pub(crate) fn run_native_plans(
         expected,
         "lost update: shared counter disagrees with threads x iters"
     );
-    (total, samples)
+    (total, samples, hist)
 }
 
 /// Spawn `nworkers` scoped threads, rendezvous on a start barrier, and
-/// run `work(i)` on each; `work` returns `(ops, summed latency ns)`.
-/// Returns total wall nanoseconds and per-thread samples.
+/// run `work(i)` on each; `work` returns `(ops, summed latency ns,
+/// per-op latency histogram)`. Returns total wall nanoseconds,
+/// per-thread samples, and the merged histogram.
 ///
 /// The clock starts immediately *before* the barrier release (the last
 /// arrival frees everyone): started after our own `wait()` returned, a
@@ -364,9 +392,9 @@ pub(crate) fn run_native_workers<F>(
     nworkers: usize,
     pre_start_stall: Duration,
     work: F,
-) -> (u64, Vec<ThreadSample>)
+) -> (u64, Vec<ThreadSample>, LatencyHistogram)
 where
-    F: Fn(usize) -> (u64, u64) + Sync,
+    F: Fn(usize) -> (u64, u64, LatencyHistogram) + Sync,
 {
     let barrier = Barrier::new(nworkers + 1);
     let epoch: OnceLock<Instant> = OnceLock::new();
@@ -379,12 +407,13 @@ where
                     // Set by the main thread before its own wait(), so
                     // it is always present once ours returns.
                     let t0 = epoch.get().copied().unwrap_or_else(Instant::now);
-                    let (ops, latency_nanos) = work(i);
-                    ThreadSample {
+                    let (ops, latency_nanos, hist) = work(i);
+                    let sample = ThreadSample {
                         ops,
                         latency_nanos,
                         elapsed_nanos: saturating_nanos(t0.elapsed()).max(1),
-                    }
+                    };
+                    (sample, hist)
                 })
             })
             .collect();
@@ -393,12 +422,17 @@ where
         }
         let t0 = Instant::now();
         let _ = epoch.set(t0);
+        let mut hist = LatencyHistogram::new();
         barrier.wait();
         let samples: Vec<ThreadSample> = handles
             .into_iter()
-            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .map(|h| {
+                let (sample, h) = h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+                hist.merge(&h);
+                sample
+            })
             .collect();
-        (saturating_nanos(t0.elapsed()), samples)
+        (saturating_nanos(t0.elapsed()), samples, hist)
     })
 }
 
@@ -458,6 +492,13 @@ mod tests {
             assert!(p.wall_nanos_per_op > 0.0);
             assert!(p.mean_latency_nanos >= 0.0);
             assert!(
+                p.p50_latency_nanos <= p.p99_latency_nanos,
+                "{}: p50 {} > p99 {}",
+                p.backend,
+                p.p50_latency_nanos,
+                p.p99_latency_nanos
+            );
+            assert!(
                 p.fairness_index > 0.0 && p.fairness_index <= 1.0 + 1e-9,
                 "{}: fairness {}",
                 p.backend,
@@ -507,7 +548,7 @@ mod tests {
         let stall = Duration::from_millis(80);
         for threads in [1usize, 4] {
             let plan = WorkerPlan { iters: 1, cs: Work::Nanos(0), think: Work::Nanos(0) };
-            let (total, samples) =
+            let (total, samples, _) =
                 run_native_plans(PolicyChoice::FixedSpin(64), &vec![plan; threads], stall);
             assert_eq!(samples.len(), threads);
             assert!(
@@ -523,7 +564,7 @@ mod tests {
         let plan =
             WorkerPlan { iters: spec.iters, cs: Work::Nanos(spec.cs_nanos), think: Work::Nanos(0) };
         for backend in [Backend::Sim, Backend::Native] {
-            let (_, samples) = match backend {
+            let (_, samples, hist) = match backend {
                 Backend::Sim => run_sim_plans(spec.policy, &vec![plan; spec.threads], spec.seed),
                 Backend::Native => {
                     run_native_plans(spec.policy, &vec![plan; spec.threads], Duration::ZERO)
@@ -533,6 +574,9 @@ mod tests {
             let total_ops: u64 = samples.iter().map(|s| s.ops).sum();
             assert_eq!(total_ops, spec.threads as u64 * u64::from(spec.iters));
             assert!(samples.iter().all(|s| s.elapsed_nanos > 0));
+            // The merged histogram holds exactly one sample per op.
+            assert_eq!(hist.count(), total_ops, "{}", backend.label());
+            assert!(hist.percentile(50.0) <= hist.percentile(99.0));
         }
     }
 

@@ -101,6 +101,13 @@ pub struct FairnessPoint {
     pub wall_nanos_per_op: f64,
     /// Mean measured acquisition latency (enter-to-acquired, ns).
     pub mean_latency_nanos: f64,
+    /// Median acquisition latency (ns), from the merged per-op
+    /// histogram.
+    pub p50_latency_nanos: u64,
+    /// 99th-percentile acquisition latency (ns) — under a barging
+    /// engine this is where starved threads show up long before the
+    /// mean moves.
+    pub p99_latency_nanos: u64,
     /// Jain's fairness index over per-thread throughput.
     pub fairness_index: f64,
     /// Slowest thread's throughput (ops over its own elapsed time).
@@ -188,7 +195,7 @@ pub fn run_fairness(backend: Backend, spec: &FairnessSpec) -> FairnessPoint {
             think: Work::Iters(spec.ncs_iters),
         })
         .collect();
-    let (total_nanos, samples) = match backend {
+    let (total_nanos, samples, hist) = match backend {
         Backend::Sim => run_sim_plans(spec.policy, &plans, spec.seed),
         Backend::Native => run_native_plans(spec.policy, &plans, std::time::Duration::ZERO),
     };
@@ -209,6 +216,8 @@ pub fn run_fairness(backend: Backend, spec: &FairnessSpec) -> FairnessPoint {
         throughput_per_sec: s.total_ops as f64 / (total_nanos.max(1) as f64 / 1e9),
         wall_nanos_per_op: total_nanos as f64 / s.total_ops.max(1) as f64,
         mean_latency_nanos: s.mean_latency_nanos,
+        p50_latency_nanos: hist.percentile(50.0),
+        p99_latency_nanos: hist.percentile(99.0),
         fairness_index: s.fairness_index,
         min_thread_ops_per_sec: s.min_thread_ops_per_sec,
         max_thread_ops_per_sec: s.max_thread_ops_per_sec,
@@ -269,6 +278,7 @@ mod tests {
             assert!(p.fairness_index > 0.0 && p.fairness_index <= 1.0 + 1e-9);
             assert!(p.thread_spread >= 1.0);
             assert!(p.total_nanos > 0);
+            assert!(p.p50_latency_nanos <= p.p99_latency_nanos, "{}", p.backend);
         }
     }
 
@@ -279,6 +289,7 @@ mod tests {
             PolicyChoice::PureBlocking,
             PolicyChoice::Adaptive { threshold: 2, n: 32 },
             PolicyChoice::AlgoAdaptive { high_water: 2, patience: 2 },
+            PolicyChoice::FairAdaptive { unfair_wait_nanos: 200_000, patience: 2 },
         ];
         policies.extend(LockAlgorithm::ALL.map(PolicyChoice::Algorithm));
         for policy in policies {

@@ -21,6 +21,9 @@
 //!   fairness index + per-thread throughput spread per row;
 //! * [`structures`] — real-data-structure workloads (lock-protected
 //!   counter vs lock-free CAS, queue, hashmap) under every policy;
+//! * [`loadgen`] — the open-loop service load generator: Zipf-skewed,
+//!   bursty arrival schedules against the sharded adaptive store, with
+//!   coordinated-omission-safe enter-to-complete tail latencies;
 //! * [`soak`] — the chaos soak: contention under a seeded fault storm
 //!   with live control-plane traffic, graded against conservation,
 //!   breaker-lifecycle, and quiescence oracles.
@@ -35,6 +38,7 @@ pub mod crossover;
 pub mod csweep;
 pub mod cycle;
 pub mod fairness;
+pub mod loadgen;
 pub mod measure;
 pub mod phased;
 pub mod soak;
@@ -45,12 +49,17 @@ pub use backend::{
     run_contention, sim_lock_spec, Backend, ContentionPoint, ContentionSpec, ThreadSample,
 };
 pub use fairness::{jains_index, run_fairness, FairnessPoint, FairnessSpec};
+pub use loadgen::{
+    arrival_schedule, run_service_load, ServiceLoadPoint, ServiceLoadSpec, ZipfSampler,
+};
 pub use structures::{run_structure, StructureKind, StructurePoint, StructureSpec};
 pub use clientserver::{run_all_schedulers, run_client_server, ClientServerConfig, ClientServerResult};
 pub use crossover::{find_crossover, Crossover};
 pub use csweep::{figure1_locks, run_once, run_sweep, SweepConfig, SweepPoint};
 pub use cycle::{measure_cycle, measure_cycle_on};
-pub use measure::{atomior_cost, config_op_costs, config_op_rw_costs, lock_unlock_cost};
+pub use measure::{
+    atomior_cost, config_op_costs, config_op_rw_costs, lock_unlock_cost, LatencyHistogram,
+};
 pub use phased::{compare_phased, run_phased, PhasedConfig, PhasedResult};
 pub use soak::{run_soak, SoakResult, SoakSpec, StallEpisode};
 pub use spec::LockSpec;

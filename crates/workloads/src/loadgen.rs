@@ -1,0 +1,604 @@
+//! Open-loop service load generator: millions of simulated users
+//! against the sharded adaptive store.
+//!
+//! ## Why open-loop
+//!
+//! A closed-loop driver (each worker fires its next request only after
+//! the previous one completes) commits *coordinated omission*: when the
+//! service stalls, the driver politely stops offering load, so the
+//! stall never shows up in the latency record. Here every worker
+//! precomputes an **arrival schedule** — the times its users would have
+//! hit the service — and each op's latency is measured from its
+//! *scheduled* arrival to completion. A worker that falls behind does
+//! not wait for its schedule to catch up; the backlog is charged to the
+//! ops that queued behind the stall, exactly as real users would have
+//! experienced it.
+//!
+//! ## Workload shape
+//!
+//! * **Zipfian key skew** ([`ZipfSampler`], configurable exponent `s`):
+//!   rank 0 is the hottest key. The store's router scrambles keys, so
+//!   hot ranks land on unrelated shards — heat concentrates on a few
+//!   shards, the long tail stays cold, and per-shard lock divergence
+//!   has something to diverge over.
+//! * **Bursty arrivals**: on/off phases over a jittered paced schedule
+//!   ([`arrival_schedule`], deterministic per seed), so each burst
+//!   front slams the locks and the off-phase lets adaptation settle.
+//! * **Mixed read/write ratio**: reads are `get`, writes are
+//!   `increment` — which keeps the *conservation oracle* exact: after
+//!   the run, the store's summed counters must equal the number of
+//!   writes applied, across every split the run performed.
+//!
+//! Latencies land in the shared [`LatencyHistogram`], so the row
+//! reports real p50/p90/p99/p999, not means.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, OnceLock};
+use std::time::{Duration, Instant};
+
+use adaptive_control::{BreakerHub, ControlPlane};
+use adaptive_service::{divergence, scramble, DivergenceVerdict, ServiceConfig, ShardSnapshot, ShardedStore};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use thread_monitor::SnapshotSink;
+
+use crate::backend::{busy_iters, saturating_nanos};
+use crate::measure::LatencyHistogram;
+
+/// Zipfian key sampler over ranks `0..n` (rank 0 hottest), via an
+/// exact CDF table — `O(n)` build, `O(log n)` per sample, correct for
+/// any exponent `s ≥ 0` (`s = 0` is uniform).
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+    total: f64,
+}
+
+impl ZipfSampler {
+    /// Sampler over `n` keys with exponent `s`.
+    pub fn new(n: u64, s: f64) -> ZipfSampler {
+        let n = n.max(1);
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for rank in 1..=n {
+            acc += (rank as f64).powf(s).recip();
+            cdf.push(acc);
+        }
+        ZipfSampler { total: acc, cdf }
+    }
+
+    /// Keyspace size.
+    pub fn keyspace(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+
+    /// Draw one key (0-based rank).
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        let u = rng.gen::<f64>() * self.total;
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1) as u64
+    }
+}
+
+/// One service load workload.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceLoadSpec {
+    /// Concurrent workers (each multiplexing many simulated users).
+    pub workers: usize,
+    /// Scheduled arrivals per worker.
+    pub ops_per_worker: u32,
+    /// Distinct keys.
+    pub keyspace: u64,
+    /// Zipf exponent (0 = uniform; ≥ 1 = heavily skewed).
+    pub zipf_s: f64,
+    /// Percentage of ops that are reads (`get`); the rest are
+    /// `increment` writes.
+    pub read_pct: u32,
+    /// Busy-loop iterations a read performs inside the shard critical
+    /// section — the per-request processing (decode, serialize) a real
+    /// service does while the record is pinned; the service-scale
+    /// analogue of every other workload's `cs_iters` knob.
+    pub read_work_iters: u32,
+    /// Busy-loop iterations a write performs inside the shard critical
+    /// section (validation before the stored value changes).
+    pub write_work_iters: u32,
+    /// Offered arrival rate per worker during an on-phase (ops/sec).
+    pub rate_per_worker: f64,
+    /// Burst on-phase length (ns).
+    pub burst_on_nanos: u64,
+    /// Burst off-phase length (ns); 0 = steady arrivals.
+    pub burst_off_nanos: u64,
+    /// Store configuration (shard count, policy, split thresholds).
+    pub config: ServiceConfig,
+    /// Interval between resharding maintenance passes; zero disables
+    /// the maintenance thread entirely.
+    pub maintenance_every: Duration,
+    /// Register shards with a [`BreakerHub`], run its poll loop, serve
+    /// the command router on a Unix socket, and stream snapshot pages
+    /// to a sink for the duration of the run.
+    pub wire_control: bool,
+    /// Schedule/workload seed.
+    pub seed: u64,
+}
+
+impl Default for ServiceLoadSpec {
+    fn default() -> Self {
+        ServiceLoadSpec {
+            workers: 4,
+            ops_per_worker: 10_000,
+            keyspace: 100_000,
+            zipf_s: 1.1,
+            read_pct: 80,
+            read_work_iters: 0,
+            write_work_iters: 0,
+            rate_per_worker: 200_000.0,
+            burst_on_nanos: 20_000_000,
+            burst_off_nanos: 5_000_000,
+            config: ServiceConfig::default(),
+            maintenance_every: Duration::from_millis(5),
+            wire_control: false,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// One measured service load point.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServiceLoadPoint {
+    /// Shard-lock policy label.
+    pub policy: String,
+    /// Concurrent workers.
+    pub workers: usize,
+    /// Completed ops (reads + writes).
+    pub ops: u64,
+    /// Writes applied (the conservation oracle's expected total).
+    pub writes: u64,
+    /// Distinct keys offered.
+    pub keyspace: u64,
+    /// Zipf exponent.
+    pub zipf_s: f64,
+    /// Read percentage.
+    pub read_pct: u32,
+    /// Shards at start.
+    pub shards_initial: usize,
+    /// Shards at end (> initial when resharding fired).
+    pub shards_final: usize,
+    /// Splits performed during the run.
+    pub splits: u64,
+    /// Wall time of the measured window (ns).
+    pub total_nanos: u64,
+    /// More workers than host hardware parallelism.
+    pub oversubscribed: bool,
+    /// Completed ops per second of wall time.
+    pub throughput_per_sec: f64,
+    /// Mean enter-to-complete latency (ns), from scheduled arrival.
+    pub mean_latency_nanos: f64,
+    /// Median latency (ns).
+    pub p50_latency_nanos: u64,
+    /// 90th-percentile latency (ns).
+    pub p90_latency_nanos: u64,
+    /// 99th-percentile latency (ns).
+    pub p99_latency_nanos: u64,
+    /// 99.9th-percentile latency (ns).
+    pub p999_latency_nanos: u64,
+    /// Worst single op (ns, exact).
+    pub max_latency_nanos: u64,
+    /// Per-shard end-of-run configuration evidence.
+    pub shards: Vec<ShardSnapshot>,
+    /// Hot-vs-cold configuration divergence verdict.
+    pub divergence: Option<DivergenceVerdict>,
+    /// Control-plane wiring evidence (when enabled): targets the socket
+    /// command router listed, and the byte length of the last streamed
+    /// snapshot page.
+    pub control_targets: Option<usize>,
+    /// Length of the last snapshot page streamed to the sink.
+    pub control_snapshot_bytes: Option<usize>,
+}
+
+/// The deterministic arrival schedule for one worker: `ops_per_worker`
+/// scheduled enter times (ns from the epoch), nondecreasing, jitter-
+/// paced at `rate_per_worker` during on-phases and silent during
+/// off-phases. Pure function of `(spec, worker)` — same seed, same
+/// schedule.
+pub fn arrival_schedule(spec: &ServiceLoadSpec, worker: usize) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ scramble(worker as u64 + 1));
+    let mean_gap = 1e9 / spec.rate_per_worker.max(1.0);
+    let on = spec.burst_on_nanos.max(1) as f64;
+    let period = on + spec.burst_off_nanos as f64;
+    let mut t = 0.0f64;
+    (0..spec.ops_per_worker)
+        .map(|_| {
+            // Jittered pacing: gaps in [0.5, 1.5) × mean keep the rate
+            // while decorrelating workers' arrival instants.
+            t += mean_gap * (0.5 + rng.gen::<f64>());
+            if spec.burst_off_nanos > 0 {
+                let pos = t % period;
+                if pos >= on {
+                    // Fell into an off-phase: next user arrives when
+                    // the next burst opens.
+                    t += period - pos;
+                }
+            }
+            t as u64
+        })
+        .collect()
+}
+
+/// Busy-wait (sleeping through long gaps) until `sched` ns past the
+/// epoch. Returns immediately if the moment already passed — the
+/// open-loop contract.
+fn wait_until(epoch: Instant, sched: u64) {
+    loop {
+        let now = saturating_nanos(epoch.elapsed());
+        if now >= sched {
+            return;
+        }
+        let gap = sched - now;
+        if gap > 1_000_000 {
+            std::thread::sleep(Duration::from_nanos(gap / 2));
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Everything the control satellite wires up for the duration of a run.
+struct ControlWiring {
+    hub_handle: adaptive_control::HubHandle,
+    sink: SnapshotSink,
+    #[cfg(unix)]
+    socket: Option<adaptive_control::SocketServer>,
+    plane: ControlPlane,
+}
+
+fn wire_control(store: &Arc<ShardedStore>, seed: u64) -> ControlWiring {
+    let hub = Arc::new(BreakerHub::default());
+    store.register_with_hub(Arc::clone(&hub));
+    let hub_handle = hub.spawn(Duration::from_millis(10));
+    let sink_plane = ControlPlane::new(Arc::clone(&hub));
+    let sink = SnapshotSink::spawn(Duration::from_millis(10), move || sink_plane.snapshot());
+    #[cfg(unix)]
+    let socket = {
+        let path = std::env::temp_dir().join(format!(
+            "adaptive-service-{}-{seed:x}.sock",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        adaptive_control::SocketServer::bind(&path, ControlPlane::new(Arc::clone(&hub))).ok()
+    };
+    ControlWiring {
+        hub_handle,
+        sink,
+        #[cfg(unix)]
+        socket,
+        plane: ControlPlane::new(hub),
+    }
+}
+
+/// Run one open-loop service load workload. Panics (always-on assert)
+/// if the store's summed counters disagree with the writes applied —
+/// conservation across concurrent ops and any mid-run resharding.
+pub fn run_service_load(spec: &ServiceLoadSpec) -> ServiceLoadPoint {
+    let store = Arc::new(ShardedStore::new(spec.config));
+    let shards_initial = store.shard_count();
+    let zipf = ZipfSampler::new(spec.keyspace, spec.zipf_s);
+    let writes_total = AtomicU64::new(0);
+
+    let control = spec.wire_control.then(|| wire_control(&store, spec.seed));
+
+    // Maintenance ticker: resharding happens here, never inline in an
+    // op, so splits tax a background thread instead of a user's tail.
+    let stop_maint = Arc::new(AtomicBool::new(false));
+    let maint = (!spec.maintenance_every.is_zero()).then(|| {
+        let store = Arc::clone(&store);
+        let stop = Arc::clone(&stop_maint);
+        let every = spec.maintenance_every;
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                store.maintenance();
+                std::thread::park_timeout(every);
+            }
+        })
+    });
+
+    let nworkers = spec.workers.max(1);
+    let barrier = Barrier::new(nworkers + 1);
+    let epoch: OnceLock<Instant> = OnceLock::new();
+    let (total_nanos, hist) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..nworkers)
+            .map(|w| {
+                let (barrier, epoch) = (&barrier, &epoch);
+                let (store, zipf, writes_total) = (&store, &zipf, &writes_total);
+                let schedule = arrival_schedule(spec, w);
+                let read_pct = spec.read_pct.min(100);
+                let (read_work, write_work) = (spec.read_work_iters, spec.write_work_iters);
+                let mut rng = StdRng::seed_from_u64(spec.seed ^ scramble(0x10_000 + w as u64));
+                scope.spawn(move || {
+                    let mut hist = LatencyHistogram::new();
+                    let mut writes = 0u64;
+                    barrier.wait();
+                    let t0 = epoch.get().copied().unwrap_or_else(Instant::now);
+                    for &sched in &schedule {
+                        wait_until(t0, sched);
+                        let key = zipf.sample(&mut rng);
+                        if rng.gen_range(0..100u32) < read_pct {
+                            store.read(key, |v| {
+                                busy_iters(read_work);
+                                v
+                            });
+                        } else {
+                            store.update(key, |v| {
+                                busy_iters(write_work);
+                                v.unwrap_or(0).wrapping_add(1)
+                            });
+                            writes += 1;
+                        }
+                        let done = saturating_nanos(t0.elapsed());
+                        hist.record(done.saturating_sub(sched));
+                    }
+                    writes_total.fetch_add(writes, Ordering::Relaxed);
+                    hist
+                })
+            })
+            .collect();
+        let t0 = Instant::now();
+        let _ = epoch.set(t0);
+        barrier.wait();
+        let mut hist = LatencyHistogram::new();
+        for h in handles {
+            let worker_hist = h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+            hist.merge(&worker_hist);
+        }
+        (saturating_nanos(t0.elapsed()), hist)
+    });
+
+    stop_maint.store(true, Ordering::Release);
+    if let Some(t) = maint {
+        t.thread().unpark();
+        let _ = t.join();
+    }
+
+    let writes = writes_total.load(Ordering::Relaxed);
+    // Always-on conservation oracle: every increment must be visible
+    // exactly once, across every split the run performed.
+    assert_eq!(
+        store.total(),
+        u128::from(writes),
+        "service lost or double-applied writes across concurrent ops/resharding"
+    );
+
+    let (control_targets, control_snapshot_bytes) = match &control {
+        Some(wiring) => {
+            // Prefer counting targets through the socket command router
+            // — a full client→socket→plane→hub round trip — falling
+            // back to the in-process plane where sockets are absent.
+            #[cfg(unix)]
+            let targets = wiring
+                .socket
+                .as_ref()
+                .and_then(|s| adaptive_control::SocketClient::connect(s.path()).ok())
+                .and_then(|mut c| c.send("targets").ok())
+                .and_then(Result::ok)
+                .map_or_else(|| wiring.plane.hub().names().len(), |t| t.lines().count());
+            #[cfg(not(unix))]
+            let targets = wiring.plane.hub().names().len();
+            let page = wiring.sink.latest().len();
+            (Some(targets), Some(page))
+        }
+        None => (None, None),
+    };
+    if let Some(wiring) = control {
+        #[cfg(unix)]
+        drop(wiring.socket);
+        wiring.sink.stop();
+        wiring.hub_handle.stop();
+    }
+
+    let shards = store.snapshots();
+    let verdict = divergence(&shards);
+    let ops = nworkers as u64 * u64::from(spec.ops_per_worker);
+    ServiceLoadPoint {
+        policy: spec.config.policy.label(),
+        workers: nworkers,
+        ops,
+        writes,
+        keyspace: spec.keyspace,
+        zipf_s: spec.zipf_s,
+        read_pct: spec.read_pct.min(100),
+        shards_initial,
+        shards_final: store.shard_count(),
+        splits: store.splits(),
+        total_nanos,
+        oversubscribed: nworkers > std::thread::available_parallelism().map_or(1, |n| n.get()),
+        throughput_per_sec: ops as f64 / (total_nanos.max(1) as f64 / 1e9),
+        mean_latency_nanos: hist.mean(),
+        p50_latency_nanos: hist.percentile(50.0),
+        p90_latency_nanos: hist.percentile(90.0),
+        p99_latency_nanos: hist.percentile(99.0),
+        p999_latency_nanos: hist.percentile(99.9),
+        max_latency_nanos: hist.max(),
+        shards,
+        divergence: verdict,
+        control_targets,
+        control_snapshot_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptive_service::ServicePolicy;
+
+    fn quick_spec() -> ServiceLoadSpec {
+        ServiceLoadSpec {
+            workers: 4,
+            ops_per_worker: 1_500,
+            keyspace: 512,
+            zipf_s: 1.2,
+            read_pct: 50,
+            read_work_iters: 32,
+            write_work_iters: 64,
+            rate_per_worker: 500_000.0,
+            burst_on_nanos: 2_000_000,
+            burst_off_nanos: 500_000,
+            config: ServiceConfig {
+                initial_depth: 2,
+                max_depth: 5,
+                split_contended_per_sec: 1.0,
+                split_min_acquisitions: 200,
+                split_imbalance_factor: 0.0,
+                split_sustain: 1,
+                policy: ServicePolicy::HotShard { high_water: 2, patience: 2 },
+            },
+            maintenance_every: Duration::from_millis(2),
+            wire_control: false,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn schedules_are_deterministic_per_seed_and_monotone() {
+        let spec = quick_spec();
+        let a = arrival_schedule(&spec, 0);
+        let b = arrival_schedule(&spec, 0);
+        assert_eq!(a, b, "same seed and worker must give the same schedule");
+        let other_worker = arrival_schedule(&spec, 1);
+        assert_ne!(a, other_worker, "workers must not share one schedule");
+        let reseeded = arrival_schedule(&ServiceLoadSpec { seed: 43, ..spec }, 0);
+        assert_ne!(a, reseeded, "the seed must matter");
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "arrivals must be nondecreasing");
+        assert_eq!(a.len(), spec.ops_per_worker as usize);
+    }
+
+    #[test]
+    fn off_phases_leave_silent_gaps() {
+        let spec = ServiceLoadSpec {
+            burst_on_nanos: 1_000_000,
+            burst_off_nanos: 4_000_000,
+            rate_per_worker: 1e6,
+            ..quick_spec()
+        };
+        let sched = arrival_schedule(&spec, 0);
+        let max_gap = sched.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0);
+        assert!(
+            max_gap >= spec.burst_off_nanos,
+            "bursty schedule must contain an off-phase gap, max was {max_gap}"
+        );
+        let period = (spec.burst_on_nanos + spec.burst_off_nanos) as f64;
+        for &t in &sched {
+            let pos = t as f64 % period;
+            assert!(
+                pos <= spec.burst_on_nanos as f64 + 1.0,
+                "arrival at {t} lands inside an off-phase"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_sampler_skews_toward_low_ranks() {
+        let zipf = ZipfSampler::new(1000, 1.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut head = 0u64;
+        let n = 20_000;
+        for _ in 0..n {
+            let k = zipf.sample(&mut rng);
+            assert!(k < 1000);
+            if k < 10 {
+                head += 1;
+            }
+        }
+        assert!(
+            head > n / 2,
+            "with s=1.2 the 10 hottest of 1000 keys must absorb most traffic, got {head}/{n}"
+        );
+        // Uniform control: the same 10 keys get about 1% of traffic.
+        let flat = ZipfSampler::new(1000, 0.0);
+        let mut head_flat = 0u64;
+        for _ in 0..n {
+            if flat.sample(&mut rng) < 10 {
+                head_flat += 1;
+            }
+        }
+        assert!(head_flat < n / 20, "uniform sampling must not concentrate, got {head_flat}/{n}");
+    }
+
+    #[test]
+    fn service_load_conserves_writes_and_reports_percentiles() {
+        let p = run_service_load(&quick_spec());
+        assert_eq!(p.ops, 4 * 1_500);
+        assert!(p.writes > 0 && p.writes < p.ops);
+        assert!(p.throughput_per_sec > 0.0);
+        assert!(p.p50_latency_nanos <= p.p90_latency_nanos);
+        assert!(p.p90_latency_nanos <= p.p99_latency_nanos);
+        assert!(p.p99_latency_nanos <= p.p999_latency_nanos);
+        assert!(p.p999_latency_nanos <= p.max_latency_nanos);
+        assert!(!p.shards.is_empty());
+        assert!(p.divergence.is_some());
+        assert_eq!(p.shards_initial, 4);
+        assert!(p.shards_final >= p.shards_initial);
+    }
+
+    #[test]
+    fn sustained_hot_shard_traffic_switches_its_engine() {
+        // Near-total skew: one key absorbs almost everything, so its
+        // shard must go hot (flat-combining write batching) while the
+        // cold shards keep the spin-park default — the observable
+        // per-shard divergence the service exists to demonstrate. The
+        // critical section sits in the policy's design regime (a few
+        // µs): heat is a *rate* signal, and a CS long enough to pin
+        // lock utilization near 100% pushes the sample gap into the
+        // no-man's-land between the hot and calm thresholds where the
+        // engine would ride scheduler noise instead of load.
+        let spec = ServiceLoadSpec {
+            workers: 4,
+            ops_per_worker: 4_000,
+            keyspace: 1_000,
+            zipf_s: 5.0,
+            read_pct: 0,
+            read_work_iters: 0,
+            write_work_iters: 250,
+            rate_per_worker: 5_000_000.0,
+            burst_on_nanos: 10_000_000,
+            burst_off_nanos: 0,
+            config: ServiceConfig {
+                initial_depth: 2,
+                max_depth: 2,
+                split_contended_per_sec: f64::INFINITY,
+                split_min_acquisitions: u64::MAX,
+                split_imbalance_factor: 0.0,
+                split_sustain: 1,
+                policy: ServicePolicy::HotShard { high_water: 2, patience: 2 },
+            },
+            maintenance_every: Duration::ZERO,
+            wire_control: false,
+            seed: 7,
+        };
+        let p = run_service_load(&spec);
+        for s in &p.shards {
+            eprintln!(
+                "{}: acq={} contended={} parked={} combined={} switches={} algo={}",
+                s.name, s.acquisitions, s.contended, s.parked, s.combined_ops,
+                s.algorithm_switches, s.algorithm
+            );
+        }
+        let verdict = p.divergence.expect("shards exist");
+        assert!(
+            verdict.engines.contains(&"flat-combining".to_string()),
+            "the hot shard never switched to write batching: {verdict:?}"
+        );
+        assert!(verdict.diverged, "hot and cold shards ended identically: {verdict:?}");
+    }
+
+    #[test]
+    fn control_wiring_registers_shards_and_streams_snapshots() {
+        let spec = ServiceLoadSpec {
+            wire_control: true,
+            ops_per_worker: 400,
+            ..quick_spec()
+        };
+        let p = run_service_load(&spec);
+        let targets = p.control_targets.expect("control wiring was requested");
+        assert_eq!(targets, p.shards_final, "every live shard must be hub-registered");
+        let page = p.control_snapshot_bytes.expect("sink streamed at least one page");
+        assert!(page > 0, "snapshot page must not be empty");
+    }
+}

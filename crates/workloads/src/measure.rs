@@ -1,8 +1,145 @@
 //! Micro-measurements behind the paper's Tables 4, 5, and 8: latencies
 //! of individual lock, unlock, and configuration operations for locks
-//! placed in local vs remote memory.
+//! placed in local vs remote memory — plus the shared fixed-bucket
+//! log-scale [`LatencyHistogram`] every contention/fairness/service row
+//! records real percentiles through.
 
 use std::sync::Arc;
+
+/// Sub-bucket resolution: each power-of-two octave is split into
+/// `2^SUB_BITS` linear sub-buckets, bounding relative error at
+/// `1 / 2^SUB_BITS` = 12.5%.
+const SUB_BITS: u32 = 3;
+const SUBS: u64 = 1 << SUB_BITS;
+/// Values below `2^(SUB_BITS + 1)` get an exact bucket each.
+const EXACT: u64 = SUBS * 2;
+/// Octaves above the exact region for a u64 value domain.
+const OCTAVES: usize = 60;
+/// Total bucket count: the exact region plus `SUBS` per octave.
+const BUCKETS: usize = EXACT as usize + OCTAVES * SUBS as usize;
+
+/// Fixed-bucket log-scale latency histogram (nanoseconds).
+///
+/// Constant memory (496 `u64` buckets), O(1) insert, ≤ 12.5% relative
+/// error on reported quantiles — the standard HdrHistogram-style shape,
+/// sized so every worker thread can own one and merge at the end.
+/// Values are recorded exactly below 16 ns and bucketed by
+/// `(octave, 1/8th-of-octave)` above.
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    buckets: Box<[u64; BUCKETS]>,
+    count: u64,
+    total: u128,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count)
+            .field("p50", &self.percentile(50.0))
+            .field("p99", &self.percentile(99.0))
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: Box::new([0u64; BUCKETS]),
+            count: 0,
+            total: 0,
+            max: 0,
+        }
+    }
+
+    fn index_of(value: u64) -> usize {
+        if value < EXACT {
+            return value as usize;
+        }
+        // Highest set bit is >= SUB_BITS + 1 here.
+        let msb = 63 - value.leading_zeros();
+        let shift = msb - SUB_BITS;
+        let sub = (value >> shift) - SUBS;
+        (EXACT + u64::from(shift - 1) * SUBS + sub) as usize
+    }
+
+    /// Upper bound (inclusive) of the bucket at `index` — what
+    /// percentile queries report.
+    fn bucket_upper(index: usize) -> u64 {
+        let index = index as u64;
+        if index < EXACT {
+            return index;
+        }
+        let shift = (index - EXACT) / SUBS + 1;
+        let sub = (index - EXACT) % SUBS;
+        ((SUBS + sub + 1) << shift) - 1
+    }
+
+    /// Record one latency sample, in nanoseconds.
+    pub fn record(&mut self, nanos: u64) {
+        self.buckets[Self::index_of(nanos)] += 1;
+        self.count += 1;
+        self.total += u128::from(nanos);
+        self.max = self.max.max(nanos);
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += *theirs;
+        }
+        self.count += other.count;
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded sample (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of all recorded samples, in nanoseconds.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.total as f64 / self.count as f64
+    }
+
+    /// Value at or below which `pct`% of samples fall (bucket upper
+    /// bound; within 12.5% of the true quantile). Returns 0 on an empty
+    /// histogram.
+    pub fn percentile(&self, pct: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let pct = pct.clamp(0.0, 100.0);
+        let rank = ((pct / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Never report past the observed maximum.
+                return Self::bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+}
 
 use adaptive_locks::{agent, Lock, ReconfigurableLock, SchedKind, WaitingPolicy};
 use adaptive_locks::LockCosts;
@@ -203,5 +340,89 @@ mod tests {
         assert!(remote.0 > local.0);
         assert!(remote.1 > local.1);
         assert!(remote.2 > local.2);
+    }
+
+    #[test]
+    fn histogram_small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.percentile(100.0), 15);
+        // The first sample (0) is the smallest; p1 lands in bucket 0.
+        assert_eq!(h.percentile(1.0), 0);
+    }
+
+    #[test]
+    fn histogram_percentiles_bound_relative_error() {
+        let mut h = LatencyHistogram::new();
+        for v in [100u64, 1_000, 10_000, 1_000_000, 50_000_000, u64::from(u32::MAX) * 7] {
+            let mut single = LatencyHistogram::new();
+            single.record(v);
+            let got = single.percentile(50.0);
+            assert!(got >= v, "bucket upper bound {got} must cover {v}");
+            assert!(
+                (got - v) as f64 <= v as f64 * 0.125 + 1.0,
+                "value {v} reported as {got}: > 12.5% error"
+            );
+            h.record(v);
+        }
+        assert_eq!(h.percentile(100.0), h.max());
+    }
+
+    #[test]
+    fn histogram_percentile_ordering_and_mean() {
+        let mut h = LatencyHistogram::new();
+        // 90 fast ops at 100ns, 9 at 10µs, 1 at 1ms.
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..9 {
+            h.record(10_000);
+        }
+        h.record(1_000_000);
+        let (p50, p90, p99, p999) = (
+            h.percentile(50.0),
+            h.percentile(90.0),
+            h.percentile(99.0),
+            h.percentile(99.9),
+        );
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= p999);
+        assert!(p50 >= 100 && p50 < 200, "p50 {p50} should sit at ~100ns");
+        assert!(p99 >= 10_000 && p99 < 12_000, "p99 {p99} should sit at ~10µs");
+        assert_eq!(p999, 1_000_000);
+        let mean = h.mean();
+        assert!((mean - 10_990.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn histogram_merge_equals_combined_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut both = LatencyHistogram::new();
+        for i in 0..1000u64 {
+            let v = i * 37 % 100_000;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.max(), both.max());
+        for pct in [50.0, 90.0, 99.0, 99.9] {
+            assert_eq!(a.percentile(pct), both.percentile(pct));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(h.mean(), 0.0);
     }
 }

@@ -26,6 +26,7 @@ use serde::Serialize;
 
 use crate::backend::{busy_iters, run_native_workers, saturating_nanos, ThreadSample};
 use crate::fairness::spread_stats;
+use crate::measure::LatencyHistogram;
 
 /// Bound on live hashmap keys, so the map measures steady-state
 /// insert/remove churn instead of unbounded growth.
@@ -127,6 +128,10 @@ pub struct StructurePoint {
     /// Mean enter-to-acquired latency (ns); for the CAS baseline, the
     /// cost of the atomic op itself.
     pub mean_latency_nanos: f64,
+    /// Median per-op latency (ns), from the merged histogram.
+    pub p50_latency_nanos: u64,
+    /// 99th-percentile per-op latency (ns).
+    pub p99_latency_nanos: u64,
     /// Jain's fairness index over per-thread throughput.
     pub fairness_index: f64,
     /// Slowest thread's throughput.
@@ -148,20 +153,24 @@ pub fn run_structure(spec: &StructureSpec) -> StructurePoint {
     let ncs = spec.ncs_iters;
     let expected = threads as u64 * u64::from(iters);
 
-    let (total_nanos, samples): (u64, Vec<ThreadSample>) = match spec.structure {
+    let (total_nanos, samples, hist): (u64, Vec<ThreadSample>, LatencyHistogram) =
+        match spec.structure {
         StructureKind::Counter => {
             let m = spec.policy.build_mutex(0u64);
             let r = run_native_workers(threads, Duration::ZERO, |_| {
                 let mut latency = 0u64;
+                let mut hist = LatencyHistogram::new();
                 for _ in 0..iters {
                     let enter = Instant::now();
                     m.with_locked(|v| {
-                        latency += saturating_nanos(enter.elapsed());
+                        let waited = saturating_nanos(enter.elapsed());
+                        latency += waited;
+                        hist.record(waited);
                         *v += 1;
                     });
                     busy_iters(ncs);
                 }
-                (u64::from(iters), latency)
+                (u64::from(iters), latency, hist)
             });
             assert_eq!(m.into_inner(), expected, "lost update in lock-protected counter");
             r
@@ -170,13 +179,16 @@ pub fn run_structure(spec: &StructureSpec) -> StructurePoint {
             let c = AtomicU64::new(0);
             let r = run_native_workers(threads, Duration::ZERO, |_| {
                 let mut latency = 0u64;
+                let mut hist = LatencyHistogram::new();
                 for _ in 0..iters {
                     let enter = Instant::now();
                     c.fetch_add(1, Ordering::Relaxed);
-                    latency += saturating_nanos(enter.elapsed());
+                    let waited = saturating_nanos(enter.elapsed());
+                    latency += waited;
+                    hist.record(waited);
                     busy_iters(ncs);
                 }
-                (u64::from(iters), latency)
+                (u64::from(iters), latency, hist)
             });
             assert_eq!(c.load(Ordering::Relaxed), expected, "lost update in CAS counter");
             r
@@ -187,18 +199,23 @@ pub fn run_structure(spec: &StructureSpec) -> StructurePoint {
             let pops = AtomicU64::new(0);
             let r = run_native_workers(threads, Duration::ZERO, |t| {
                 let mut latency = 0u64;
+                let mut hist = LatencyHistogram::new();
                 let (mut my_pushes, mut my_pops) = (0u64, 0u64);
                 for i in 0..u64::from(iters) {
                     let enter = Instant::now();
                     if i % 2 == 0 {
                         m.with_locked(|q| {
-                            latency += saturating_nanos(enter.elapsed());
+                            let waited = saturating_nanos(enter.elapsed());
+                            latency += waited;
+                            hist.record(waited);
                             q.push_back(t as u64);
                         });
                         my_pushes += 1;
                     } else {
                         let popped = m.with_locked(|q| {
-                            latency += saturating_nanos(enter.elapsed());
+                            let waited = saturating_nanos(enter.elapsed());
+                            latency += waited;
+                            hist.record(waited);
                             q.pop_front().is_some()
                         });
                         if popped {
@@ -209,7 +226,7 @@ pub fn run_structure(spec: &StructureSpec) -> StructurePoint {
                 }
                 pushes.fetch_add(my_pushes, Ordering::Relaxed);
                 pops.fetch_add(my_pops, Ordering::Relaxed);
-                (u64::from(iters), latency)
+                (u64::from(iters), latency, hist)
             });
             let left = m.into_inner().len() as u64;
             assert_eq!(
@@ -226,6 +243,7 @@ pub fn run_structure(spec: &StructureSpec) -> StructurePoint {
             let net = AtomicI64::new(0);
             let r = run_native_workers(threads, Duration::ZERO, |t| {
                 let mut latency = 0u64;
+                let mut hist = LatencyHistogram::new();
                 let mut my_net = 0i64;
                 for i in 0..u64::from(iters) {
                     // Spread keys across the bounded keyspace; odd ops
@@ -234,7 +252,9 @@ pub fn run_structure(spec: &StructureSpec) -> StructurePoint {
                     let enter = Instant::now();
                     if i % 2 == 0 {
                         let fresh = m.with_locked(|h| {
-                            latency += saturating_nanos(enter.elapsed());
+                            let waited = saturating_nanos(enter.elapsed());
+                            latency += waited;
+                            hist.record(waited);
                             h.insert(key, i).is_none()
                         });
                         if fresh {
@@ -242,7 +262,9 @@ pub fn run_structure(spec: &StructureSpec) -> StructurePoint {
                         }
                     } else {
                         let hit = m.with_locked(|h| {
-                            latency += saturating_nanos(enter.elapsed());
+                            let waited = saturating_nanos(enter.elapsed());
+                            latency += waited;
+                            hist.record(waited);
                             h.remove(&key).is_some()
                         });
                         if hit {
@@ -252,7 +274,7 @@ pub fn run_structure(spec: &StructureSpec) -> StructurePoint {
                     busy_iters(ncs);
                 }
                 net.fetch_add(my_net, Ordering::Relaxed);
-                (u64::from(iters), latency)
+                (u64::from(iters), latency, hist)
             });
             let map = m.into_inner();
             assert!(map.len() as u64 <= KEYSPACE, "hashmap escaped its bounded keyspace");
@@ -282,6 +304,8 @@ pub fn run_structure(spec: &StructureSpec) -> StructurePoint {
         throughput_per_sec: s.total_ops as f64 / (total_nanos.max(1) as f64 / 1e9),
         wall_nanos_per_op: total_nanos as f64 / s.total_ops.max(1) as f64,
         mean_latency_nanos: s.mean_latency_nanos,
+        p50_latency_nanos: hist.percentile(50.0),
+        p99_latency_nanos: hist.percentile(99.0),
         fairness_index: s.fairness_index,
         min_thread_ops_per_sec: s.min_thread_ops_per_sec,
         max_thread_ops_per_sec: s.max_thread_ops_per_sec,

@@ -24,7 +24,10 @@
 //! * [`control`] — the operator control plane over the native locks:
 //!   circuit-breaker lifecycle supervision, a line-oriented command
 //!   router (in-process channel or local socket), and Prometheus-style
-//!   snapshots.
+//!   snapshots;
+//! * [`service`] — the sharded adaptive KV/counter store: every shard
+//!   guarded by its own `AdaptiveMutex`, hot-shard write batching via
+//!   flat combining, and contention-triggered resharding.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every table and figure.
@@ -50,6 +53,7 @@ pub use adaptive_control as control;
 pub use adaptive_core as model;
 pub use adaptive_locks as locks;
 pub use adaptive_native as native;
+pub use adaptive_service as service;
 pub use butterfly_sim as sim;
 pub use cthreads;
 pub use thread_monitor as monitor;

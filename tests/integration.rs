@@ -191,7 +191,7 @@ fn simulated_and_native_policies_agree() {
         waiting: 0,
         at: VirtualTime::ZERO,
     });
-    let zero_n = native_policy.decide(adaptive_objects::native::NativeObservation { waiting: 0 });
+    let zero_n = native_policy.decide(adaptive_objects::native::NativeObservation::of(0));
     assert_eq!(zero_s, Some(LockDecision::PureSpin));
     assert_eq!(zero_n, Some(NativeDecision::PureSpin));
 
@@ -205,7 +205,7 @@ fn simulated_and_native_policies_agree() {
         {
             sim_blocked = true;
         }
-        if native_policy.decide(adaptive_objects::native::NativeObservation { waiting: 9 })
+        if native_policy.decide(adaptive_objects::native::NativeObservation::of(9))
             == Some(NativeDecision::PureBlocking)
         {
             native_blocked = true;
