@@ -1,0 +1,570 @@
+//! TCP front end for the sharded adaptive store.
+//!
+//! Serves [`ShardedStore`] over real TCP using the control plane's
+//! line-oriented protocol (one command per line; `ok`/`err <diag>`,
+//! dot-stuffed body, `.` terminator — see `adaptive_control::socket`).
+//! Connections are **tasks**, not threads: the listener and every
+//! connection run on an asyncx [`Runtime`], so a thousand idle
+//! connections cost a thousand parked tasks, and the store's shard
+//! locks see the exact async regime the poll-vs-park adaptation tunes.
+//!
+//! The workspace vendors no event loop, so readiness is handled the
+//! same way the mutex handles contention: nonblocking sockets retried
+//! across a bounded run of yields (poll), then timer-paced sleeps
+//! (park). See [`retry_would_block`].
+//!
+//! Commands:
+//!
+//! | command            | body                                   |
+//! |--------------------|----------------------------------------|
+//! | `get <key>`        | the value, or `none`                   |
+//! | `put <key> <val>`  | the previous value, or `none`          |
+//! | `incr <key> <by>`  | the new value                          |
+//! | `total`            | sum of every value                     |
+//! | `len`              | number of entries                      |
+//! | `shards`           | current shard count                    |
+//! | `stats`            | server counters, one `name value`/line |
+//! | `ctl <command...>` | forwarded to the control plane         |
+//! | `quit`             | closes the connection                  |
+//!
+//! `ctl` is the piece that makes the mid-run retune scenario real: an
+//! operator (or the bench driver) connects over the same TCP port the
+//! data path uses and quarantines, heals, or retunes a live shard lock
+//! while gets and puts keep flowing.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use adaptive_control::{BreakerHub, ControlPlane};
+use adaptive_service::ShardedStore;
+
+use crate::mutex::AsyncAdaptiveMutex;
+use crate::rt::{self, Runtime};
+
+/// How a [`serve_store`] server is built.
+pub struct StoreServerConfig {
+    /// Bind address; port 0 picks a free port (read it back from
+    /// [`StoreServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads of the serving runtime.
+    pub workers: usize,
+    /// Control plane reachable through the `ctl` command; `None`
+    /// makes `ctl` answer `err no control plane`.
+    pub plane: Option<ControlPlane>,
+    /// Hub to register the server's own stats lock with (as
+    /// `tcp-server.stats`), so the circuit breakers supervise the
+    /// async mutex alongside the shard locks.
+    pub hub: Option<Arc<BreakerHub>>,
+}
+
+impl Default for StoreServerConfig {
+    fn default() -> StoreServerConfig {
+        StoreServerConfig { addr: "127.0.0.1:0".into(), workers: 2, plane: None, hub: None }
+    }
+}
+
+/// Server-side counters, guarded by an [`AsyncAdaptiveMutex`] — the
+/// server's own metadata lock is a live specimen of the lock under
+/// study (every command takes it once).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Commands served (any outcome).
+    pub ops: u64,
+    /// `get` commands.
+    pub gets: u64,
+    /// `put` commands.
+    pub puts: u64,
+    /// `incr` commands.
+    pub incrs: u64,
+    /// `ctl` commands forwarded to the control plane.
+    pub ctls: u64,
+    /// Commands answered with `err`.
+    pub errors: u64,
+}
+
+/// A running TCP store server. Dropping it (or calling
+/// [`StoreServerHandle::shutdown`]) stops the acceptor, drains live
+/// connections briefly, and joins the runtime.
+pub struct StoreServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    active: Arc<AtomicU32>,
+    stats: Arc<AsyncAdaptiveMutex<ServerStats>>,
+    runtime: Option<Runtime>,
+}
+
+impl StoreServerHandle {
+    /// The actually-bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections currently being served.
+    pub fn active_connections(&self) -> u32 {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// Snapshot of the server counters (taken through the async lock).
+    pub fn stats(&self) -> ServerStats {
+        match &self.runtime {
+            Some(rt) => *rt.block_on(self.stats.lock()),
+            None => ServerStats::default(),
+        }
+    }
+
+    /// The server's stats lock, for registering with additional
+    /// supervisors or probing its adaptation directly.
+    pub fn stats_lock(&self) -> Arc<AsyncAdaptiveMutex<ServerStats>> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Stop accepting, wait up to `grace` for in-flight connections to
+    /// drain, then join the runtime. Returns whether the drain
+    /// completed (false = connections were cut off).
+    pub fn shutdown(mut self, grace: Duration) -> bool {
+        self.stop.store(true, Ordering::Release);
+        let deadline = Instant::now() + grace;
+        while self.active.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let drained = self.active.load(Ordering::Acquire) == 0;
+        self.runtime.take(); // joins the workers
+        drained
+    }
+}
+
+impl Drop for StoreServerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+    }
+}
+
+/// Serve `store` over TCP on its own runtime. Returns once the
+/// listener is bound; serving continues until the handle is shut down.
+pub fn serve_store(
+    store: Arc<ShardedStore>,
+    config: StoreServerConfig,
+) -> std::io::Result<StoreServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let runtime = Runtime::multi_thread(config.workers);
+    let stop = Arc::new(AtomicBool::new(false));
+    let active = Arc::new(AtomicU32::new(0));
+    let stats = Arc::new(AsyncAdaptiveMutex::new(ServerStats::default()));
+    if let Some(hub) = &config.hub {
+        hub.register("tcp-server.stats", stats.clone());
+    }
+    let shared = Arc::new(ServerShared {
+        store,
+        plane: config.plane,
+        stop: Arc::clone(&stop),
+        active: Arc::clone(&active),
+        stats: Arc::clone(&stats),
+    });
+    runtime.handle().spawn(accept_loop(listener, shared));
+    Ok(StoreServerHandle { addr, stop, active, stats, runtime: Some(runtime) })
+}
+
+/// Everything a connection task needs.
+struct ServerShared {
+    store: Arc<ShardedStore>,
+    plane: Option<ControlPlane>,
+    stop: Arc<AtomicBool>,
+    active: Arc<AtomicU32>,
+    stats: Arc<AsyncAdaptiveMutex<ServerStats>>,
+}
+
+async fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                shared.active.fetch_add(1, Ordering::AcqRel);
+                shared.stats.lock().await.connections += 1;
+                let shared2 = Arc::clone(&shared);
+                rt::spawn(async move {
+                    let _ = serve_connection(stream, &shared2).await;
+                    shared2.active.fetch_sub(1, Ordering::AcqRel);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                // No pending connection: park until the next poll tick.
+                rt::sleep(Duration::from_millis(1)).await;
+            }
+            Err(_) => {
+                rt::sleep(Duration::from_millis(1)).await;
+            }
+        }
+    }
+}
+
+/// Retry a nonblocking socket op across the poll-then-park ladder: a
+/// bounded run of yields first (another task on this worker may be
+/// about to produce the bytes we need), then timer-paced sleeps. The
+/// server's stop flag aborts the wait so shutdown cannot hang on an
+/// idle connection.
+async fn retry_would_block<T>(
+    stop: &AtomicBool,
+    mut op: impl FnMut() -> std::io::Result<T>,
+) -> std::io::Result<T> {
+    const YIELD_BUDGET: u32 = 16;
+    let mut attempts = 0u32;
+    loop {
+        match op() {
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if stop.load(Ordering::Acquire) {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::ConnectionAborted,
+                        "server shutting down",
+                    ));
+                }
+                if attempts < YIELD_BUDGET {
+                    attempts += 1;
+                    rt::yield_now().await;
+                } else {
+                    rt::sleep(Duration::from_micros(500)).await;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            other => return other,
+        }
+    }
+}
+
+/// A nonblocking stream plus its carry buffer of unconsumed bytes.
+struct Conn {
+    stream: TcpStream,
+    carry: Vec<u8>,
+}
+
+impl Conn {
+    /// Read one `\n`-terminated line (without the terminator); `None`
+    /// at EOF.
+    async fn read_line(&mut self, stop: &AtomicBool) -> std::io::Result<Option<String>> {
+        loop {
+            if let Some(pos) = self.carry.iter().position(|&b| b == b'\n') {
+                let mut line: Vec<u8> = self.carry.drain(..=pos).collect();
+                line.pop(); // the \n
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+            }
+            let mut chunk = [0u8; 4096];
+            let n = retry_would_block(stop, || self.stream.read(&mut chunk)).await?;
+            if n == 0 {
+                return Ok(None); // EOF (any carry without \n is discarded)
+            }
+            self.carry.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    async fn write_all(&mut self, mut bytes: &[u8], stop: &AtomicBool) -> std::io::Result<()> {
+        while !bytes.is_empty() {
+            let n = retry_would_block(stop, || self.stream.write(bytes)).await?;
+            bytes = &bytes[n..];
+        }
+        Ok(())
+    }
+}
+
+/// Render a response in the socket protocol's frame.
+fn render_frame(response: &Result<String, String>) -> String {
+    let mut out = String::new();
+    match response {
+        Ok(body) => {
+            out.push_str("ok\n");
+            for line in body.lines() {
+                if line.starts_with('.') {
+                    out.push('.');
+                }
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        Err(e) => {
+            out.push_str("err ");
+            out.push_str(e);
+            out.push('\n');
+        }
+    }
+    out.push_str(".\n");
+    out
+}
+
+async fn serve_connection(stream: TcpStream, shared: &ServerShared) -> std::io::Result<()> {
+    let mut conn = Conn { stream, carry: Vec::new() };
+    loop {
+        let Some(line) = conn.read_line(&shared.stop).await? else {
+            return Ok(());
+        };
+        let line = line.trim().to_string();
+        if line == "quit" {
+            return Ok(());
+        }
+        if line.is_empty() {
+            continue;
+        }
+        let response = execute(&line, shared).await;
+        {
+            let mut s = shared.stats.lock().await;
+            s.ops += 1;
+            if response.is_err() {
+                s.errors += 1;
+            }
+        }
+        let frame = render_frame(&response);
+        conn.write_all(frame.as_bytes(), &shared.stop).await?;
+    }
+}
+
+async fn execute(line: &str, shared: &ServerShared) -> Result<String, String> {
+    let mut parts = line.split_whitespace();
+    let cmd = parts.next().unwrap_or_default();
+    let parse = |s: Option<&str>, what: &str| -> Result<u64, String> {
+        s.ok_or_else(|| format!("missing {what}"))?
+            .parse::<u64>()
+            .map_err(|_| format!("bad {what}"))
+    };
+    match cmd {
+        "get" => {
+            let key = parse(parts.next(), "key")?;
+            shared.stats.lock().await.gets += 1;
+            Ok(match shared.store.get(key) {
+                Some(v) => v.to_string(),
+                None => "none".into(),
+            })
+        }
+        "put" => {
+            let key = parse(parts.next(), "key")?;
+            let val = parse(parts.next(), "value")?;
+            shared.stats.lock().await.puts += 1;
+            Ok(match shared.store.put(key, val) {
+                Some(prev) => prev.to_string(),
+                None => "none".into(),
+            })
+        }
+        "incr" => {
+            let key = parse(parts.next(), "key")?;
+            let by = parse(parts.next(), "by")?;
+            shared.stats.lock().await.incrs += 1;
+            Ok(shared.store.increment(key, by).to_string())
+        }
+        "total" => Ok(shared.store.total().to_string()),
+        "len" => Ok(shared.store.len().to_string()),
+        "shards" => Ok(shared.store.shard_count().to_string()),
+        "stats" => {
+            let s = *shared.stats.lock().await;
+            Ok(format!(
+                "connections {}\nops {}\ngets {}\nputs {}\nincrs {}\nctls {}\nerrors {}",
+                s.connections, s.ops, s.gets, s.puts, s.incrs, s.ctls, s.errors
+            ))
+        }
+        "ctl" => {
+            shared.stats.lock().await.ctls += 1;
+            let rest = line["ctl".len()..].trim();
+            if rest.is_empty() {
+                return Err("missing control command".into());
+            }
+            match &shared.plane {
+                Some(plane) => plane.execute(rest),
+                None => Err("no control plane".into()),
+            }
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// A minimal blocking client for the TCP store protocol — the bench
+/// driver's and tests' counterpart to `adaptive_control::SocketClient`,
+/// over TCP instead of a Unix socket.
+pub struct BlockingLineClient {
+    reader: std::io::BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl BlockingLineClient {
+    /// Connect to a [`StoreServerHandle::addr`].
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<BlockingLineClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let read_half = stream.try_clone()?;
+        Ok(BlockingLineClient {
+            reader: std::io::BufReader::new(read_half),
+            writer: stream,
+        })
+    }
+
+    /// Send one command and read the framed response: `Ok(Ok(body))`,
+    /// `Ok(Err(diagnostic))`, or a transport error.
+    pub fn send(&mut self, line: &str) -> std::io::Result<Result<String, String>> {
+        use std::io::BufRead;
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut status = String::new();
+        if self.reader.read_line(&mut status)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let status = status.trim_end().to_string();
+        if let Some(e) = status.strip_prefix("err ") {
+            // Error frames still end with the `.` terminator.
+            self.read_body()?;
+            return Ok(Err(e.to_string()));
+        }
+        if status != "ok" {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad status line {status:?}"),
+            ));
+        }
+        Ok(Ok(self.read_body()?))
+    }
+
+    fn read_body(&mut self) -> std::io::Result<String> {
+        use std::io::BufRead;
+        let mut body = Vec::new();
+        loop {
+            let mut l = String::new();
+            if self.reader.read_line(&mut l)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "truncated response frame",
+                ));
+            }
+            let l = l.trim_end_matches('\n');
+            if l == "." {
+                break;
+            }
+            body.push(l.strip_prefix('.').unwrap_or(l).to_string());
+        }
+        Ok(body.join("\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptive_control::ControlPlane;
+    use adaptive_service::{ServiceConfig, ShardedStore};
+
+    fn test_store() -> Arc<ShardedStore> {
+        Arc::new(ShardedStore::new(ServiceConfig {
+            initial_depth: 2,
+            ..ServiceConfig::default()
+        }))
+    }
+
+    #[test]
+    fn tcp_round_trips_the_data_commands() {
+        let store = test_store();
+        let server = serve_store(store, StoreServerConfig::default()).expect("bind");
+        let mut c = BlockingLineClient::connect(server.addr()).expect("connect");
+        assert_eq!(c.send("get 7").unwrap().unwrap(), "none");
+        assert_eq!(c.send("put 7 40").unwrap().unwrap(), "none");
+        assert_eq!(c.send("incr 7 2").unwrap().unwrap(), "42");
+        assert_eq!(c.send("get 7").unwrap().unwrap(), "42");
+        assert_eq!(c.send("put 9 8").unwrap().unwrap(), "none");
+        assert_eq!(c.send("total").unwrap().unwrap(), "50");
+        assert_eq!(c.send("len").unwrap().unwrap(), "2");
+        assert_eq!(c.send("shards").unwrap().unwrap(), "4");
+        let err = c.send("frobnicate").unwrap();
+        assert!(err.is_err());
+        let stats = c.send("stats").unwrap().unwrap();
+        assert!(stats.contains("gets 2"), "stats body: {stats}");
+        assert!(stats.contains("errors 1"), "stats body: {stats}");
+        assert!(server.shutdown(Duration::from_secs(2)));
+    }
+
+    #[test]
+    fn concurrent_clients_conserve_every_increment() {
+        let store = test_store();
+        let server = serve_store(Arc::clone(&store), StoreServerConfig::default()).expect("bind");
+        let addr = server.addr();
+        let clients: u32 = 4;
+        let per_client: u32 = 50;
+        let threads: Vec<_> = (0..clients)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let mut c = BlockingLineClient::connect(addr).expect("connect");
+                    for i in 0..per_client {
+                        let key = (t * 7 + i) % 5;
+                        c.send(&format!("incr {key} 1")).unwrap().unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("client thread");
+        }
+        assert_eq!(store.total(), u128::from(clients * per_client), "lost increments");
+        let stats = server.stats();
+        assert_eq!(stats.incrs, u64::from(clients * per_client));
+        assert_eq!(stats.connections, u64::from(clients));
+        assert!(server.shutdown(Duration::from_secs(2)));
+    }
+
+    #[test]
+    fn ctl_reaches_a_live_shard_lock_through_tcp() {
+        let store = test_store();
+        let hub = Arc::new(BreakerHub::default());
+        store.register_with_hub(Arc::clone(&hub));
+        let server = serve_store(
+            Arc::clone(&store),
+            StoreServerConfig {
+                plane: Some(ControlPlane::new(Arc::clone(&hub))),
+                hub: Some(Arc::clone(&hub)),
+                ..StoreServerConfig::default()
+            },
+        )
+        .expect("bind");
+        let mut c = BlockingLineClient::connect(server.addr()).expect("connect");
+        let targets = c.send("ctl targets").unwrap().unwrap();
+        assert!(targets.contains("shard-0"), "targets body: {targets}");
+        assert!(
+            targets.contains("tcp-server.stats"),
+            "server stats lock must be hub-registered: {targets}"
+        );
+        c.send("ctl retune shard-0 spin 0").unwrap().unwrap();
+        let health = c.send("ctl health shard-0").unwrap().unwrap();
+        assert!(!health.is_empty());
+        let err = c.send("ctl retune shard-0 spin soon").unwrap();
+        assert!(err.is_err(), "plane diagnostics must travel back as err frames");
+        assert!(server.shutdown(Duration::from_secs(2)));
+    }
+
+    #[test]
+    fn dot_stuffed_bodies_survive_the_tcp_frame() {
+        // `ctl snapshot` bodies are long and may contain arbitrary
+        // lines; round-trip one through the real socket.
+        let store = test_store();
+        let hub = Arc::new(BreakerHub::default());
+        store.register_with_hub(Arc::clone(&hub));
+        let server = serve_store(
+            Arc::clone(&store),
+            StoreServerConfig {
+                plane: Some(ControlPlane::new(Arc::clone(&hub))),
+                ..StoreServerConfig::default()
+            },
+        )
+        .expect("bind");
+        let mut c = BlockingLineClient::connect(server.addr()).expect("connect");
+        let snap = c.send("ctl snapshot").unwrap().unwrap();
+        assert!(snap.lines().count() > 10, "multi-line body survives framing");
+        assert!(server.shutdown(Duration::from_secs(2)));
+    }
+}

@@ -1,0 +1,831 @@
+//! A minimal hand-rolled async runtime.
+//!
+//! The workspace vendors no async executor, and the point of the async
+//! backend is the *locking* regime — "blocking" that yields a task, not
+//! a core — so the runtime here is deliberately small: an injector run
+//! queue shared by N worker threads (or serviced inline by `block_on`
+//! for the current-thread flavor), a timer heap folded into the
+//! workers' condvar waits, and the three combinators the mutex and the
+//! benchmarks need ([`yield_now`], [`sleep`], [`timeout`]).
+//!
+//! Two flavors, mirroring the shapes services actually deploy:
+//!
+//! * [`Runtime::multi_thread`] — N OS worker threads pull from one
+//!   injector queue. Wakes go back through the queue; an idle worker
+//!   parks on the condvar with a deadline at the next pending timer.
+//! * [`Runtime::current_thread`] — no worker threads; the thread inside
+//!   [`Runtime::block_on`] alternates between the root future and the
+//!   run queue. This is the flavor where synchronous spinning in a task
+//!   can *never* succeed (the lock holder shares the only thread), which
+//!   is exactly the regime the poll-vs-park adaptation has to detect.
+//!
+//! Tasks are reference-counted state machines (`Idle → Scheduled →
+//! Running → {Idle, Done}` with a `Notified` overlap state), so a wake
+//! that lands mid-poll re-schedules instead of being lost, and a wake
+//! of an already-queued task is a no-op — the standard executor
+//! contract, in ~100 lines.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::{Duration, Instant};
+
+/// Task lifecycle states (see module docs).
+const IDLE: u8 = 0;
+const SCHEDULED: u8 = 1;
+const RUNNING: u8 = 2;
+const NOTIFIED: u8 = 3;
+const DONE: u8 = 4;
+
+/// A spawned future plus its scheduling state.
+struct Task {
+    /// The future, checked out by whichever worker is polling it.
+    future: Mutex<Option<Pin<Box<dyn Future<Output = ()> + Send>>>>,
+    state: AtomicU8,
+    shared: Arc<Shared>,
+}
+
+impl Task {
+    /// Move `Scheduled → Running` and poll; afterwards either retire
+    /// (`Done`), go idle, or re-enqueue if a wake landed mid-poll.
+    fn run(self: &Arc<Task>) {
+        self.state.store(RUNNING, Ordering::Release);
+        let waker = Waker::from(Arc::clone(self));
+        let mut cx = Context::from_waker(&waker);
+        let mut slot = self
+            .future
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let Some(fut) = slot.as_mut() else {
+            // Already completed (a stale wake raced retirement).
+            self.state.store(DONE, Ordering::Release);
+            return;
+        };
+        // A panicking task must not kill the worker thread: the panic is
+        // captured by the JoinHandle wrapper future (which re-raises it
+        // at the join point), so a poll-level panic here means the task
+        // body escaped that wrapper — treat it as completion.
+        let polled =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fut.as_mut().poll(&mut cx)));
+        match polled {
+            Ok(Poll::Pending) => {
+                drop(slot);
+                // `Running → Idle` unless a wake upgraded us to
+                // `Notified`, in which case we owe ourselves a re-run.
+                if self
+                    .state
+                    .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
+                    .is_err()
+                {
+                    self.state.store(SCHEDULED, Ordering::Release);
+                    self.shared.enqueue(Arc::clone(self));
+                }
+            }
+            Ok(Poll::Ready(())) | Err(_) => {
+                *slot = None;
+                drop(slot);
+                self.state.store(DONE, Ordering::Release);
+            }
+        }
+    }
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        loop {
+            match self.state.load(Ordering::Acquire) {
+                IDLE => {
+                    if self
+                        .state
+                        .compare_exchange(IDLE, SCHEDULED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        self.shared.enqueue(Arc::clone(self));
+                        return;
+                    }
+                }
+                RUNNING => {
+                    if self
+                        .state
+                        .compare_exchange(RUNNING, NOTIFIED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        return;
+                    }
+                }
+                // Already queued, already notified, or retired.
+                _ => return,
+            }
+        }
+    }
+}
+
+/// One pending timer: fire `waker` at `deadline`. Ordered by deadline
+/// (then sequence number, so equal deadlines stay FIFO in the heap).
+struct TimerEntry {
+    deadline: Instant,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+/// State shared by every handle, worker, and task of one runtime.
+struct Shared {
+    queue: Mutex<VecDeque<Arc<Task>>>,
+    timers: Mutex<BinaryHeap<Reverse<TimerEntry>>>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    timer_seq: AtomicU64,
+}
+
+impl Shared {
+    fn enqueue(&self, task: Arc<Task>) {
+        self.queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push_back(task);
+        self.cv.notify_one();
+    }
+
+    fn pop(&self) -> Option<Arc<Task>> {
+        self.queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pop_front()
+    }
+
+    /// Wake every timer whose deadline has passed; returns the next
+    /// pending deadline, if any.
+    fn fire_due_timers(&self) -> Option<Instant> {
+        let mut due = Vec::new();
+        let next = {
+            let mut timers = self
+                .timers
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let now = Instant::now();
+            while let Some(Reverse(head)) = timers.peek() {
+                if head.deadline > now {
+                    break;
+                }
+                let Some(Reverse(entry)) = timers.pop() else {
+                    break;
+                };
+                due.push(entry.waker);
+            }
+            timers.peek().map(|Reverse(e)| e.deadline)
+        };
+        // Wake outside the timer lock: a waker may immediately try to
+        // register a new timer.
+        for waker in due {
+            waker.wake();
+        }
+        next
+    }
+
+    fn register_timer(&self, deadline: Instant, waker: Waker) {
+        let seq = self.timer_seq.fetch_add(1, Ordering::Relaxed);
+        self.timers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(Reverse(TimerEntry { deadline, seq, waker }));
+        // A worker may be parked past this deadline; re-arm its wait.
+        self.cv.notify_one();
+    }
+
+    /// One scheduler turn: fire timers, run one task if any. Returns
+    /// whether a task ran. When idle, waits on the condvar until
+    /// `deadline_cap` or the next timer, whichever is sooner — unless
+    /// `wait` is false (the current-thread driver interleaves the root
+    /// future and supplies its own waiting).
+    fn turn(&self, wait: bool) -> bool {
+        let next_timer = self.fire_due_timers();
+        if let Some(task) = self.pop() {
+            task.run();
+            return true;
+        }
+        if wait && !self.shutdown.load(Ordering::Acquire) {
+            let guard = self
+                .queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if guard.is_empty() {
+                let timeout = next_timer
+                    .map(|d| d.saturating_duration_since(Instant::now()))
+                    .unwrap_or(Duration::from_millis(50));
+                let _ = self
+                    .cv
+                    .wait_timeout(guard, timeout.min(Duration::from_millis(50)));
+            }
+        }
+        false
+    }
+}
+
+std::thread_local! {
+    static CURRENT: std::cell::RefCell<Option<Handle>> = const { std::cell::RefCell::new(None) };
+}
+
+/// Sets the thread-local current handle for a scope, restoring the
+/// previous one on drop (so nested `block_on`s unwind correctly).
+struct EnterGuard(Option<Handle>);
+
+fn enter(handle: Handle) -> EnterGuard {
+    let prev = CURRENT.with(|c| c.borrow_mut().replace(handle));
+    EnterGuard(prev)
+}
+
+impl Drop for EnterGuard {
+    fn drop(&mut self) {
+        let prev = self.0.take();
+        CURRENT.with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+/// A cloneable reference to a runtime: spawn tasks and register timers
+/// from anywhere that holds one.
+#[derive(Clone)]
+pub struct Handle {
+    shared: Arc<Shared>,
+}
+
+impl Handle {
+    /// The handle of the runtime driving the current thread.
+    ///
+    /// # Panics
+    ///
+    /// Outside a runtime (no `block_on` or worker on this thread).
+    pub fn current() -> Handle {
+        Handle::try_current().expect("not inside an asyncx runtime")
+    }
+
+    /// Like [`Handle::current`], but `None` outside a runtime.
+    pub fn try_current() -> Option<Handle> {
+        CURRENT.with(|c| c.borrow().clone())
+    }
+
+    /// Spawn a future onto the runtime; returns a [`JoinHandle`] that
+    /// resolves to the future's output (re-raising its panic, if any).
+    pub fn spawn<F>(&self, future: F) -> JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        let join = Arc::new(JoinState {
+            inner: Mutex::new(JoinInner { result: None, waker: None }),
+            done: AtomicBool::new(false),
+        });
+        let join2 = Arc::clone(&join);
+        let wrapped = async move {
+            // Catch the panic at the await points too, not just inside
+            // one poll: wrap the whole future so the payload travels to
+            // the join point instead of killing a worker.
+            let result = CatchUnwind { inner: future }.await;
+            let waker = {
+                let mut inner = join2
+                    .inner
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                inner.result = Some(result);
+                inner.waker.take()
+            };
+            join2.done.store(true, Ordering::Release);
+            if let Some(w) = waker {
+                w.wake();
+            }
+        };
+        let task = Arc::new(Task {
+            future: Mutex::new(Some(Box::pin(wrapped))),
+            state: AtomicU8::new(SCHEDULED),
+            shared: Arc::clone(&self.shared),
+        });
+        self.shared.enqueue(task);
+        JoinHandle { state: join }
+    }
+
+    /// Arrange for `waker` to be woken at `deadline` (fire-once; a
+    /// stale registration costs one spurious wake). This is the hook
+    /// the async mutex's park-timeout path uses directly, bypassing
+    /// [`Sleep`] so the deadline lives outside any future of its own.
+    pub fn register_timer_at(&self, deadline: Instant, waker: Waker) {
+        self.shared.register_timer(deadline, waker);
+    }
+}
+
+/// Spawn onto the current thread's runtime (see [`Handle::spawn`]).
+///
+/// # Panics
+///
+/// Outside a runtime.
+pub fn spawn<F>(future: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    Handle::current().spawn(future)
+}
+
+/// Catches a panic that unwinds out of any poll of `inner`.
+struct CatchUnwind<F> {
+    inner: F,
+}
+
+impl<F: Future> Future for CatchUnwind<F> {
+    type Output = std::thread::Result<F::Output>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // SAFETY: structural projection — `inner` is never moved out.
+        let inner = unsafe { self.map_unchecked_mut(|s| &mut s.inner) };
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| inner.poll(cx))) {
+            Ok(Poll::Pending) => Poll::Pending,
+            Ok(Poll::Ready(v)) => Poll::Ready(Ok(v)),
+            Err(payload) => Poll::Ready(Err(payload)),
+        }
+    }
+}
+
+struct JoinInner<T> {
+    result: Option<std::thread::Result<T>>,
+    waker: Option<Waker>,
+}
+
+struct JoinState<T> {
+    inner: Mutex<JoinInner<T>>,
+    done: AtomicBool,
+}
+
+/// Awaitable completion of a spawned task.
+pub struct JoinHandle<T> {
+    state: Arc<JoinState<T>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Whether the task has finished (without consuming the result).
+    pub fn is_finished(&self) -> bool {
+        self.state.done.load(Ordering::Acquire)
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut inner = self
+            .state
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(result) = inner.result.take() {
+            drop(inner);
+            match result {
+                Ok(v) => Poll::Ready(v),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        } else {
+            inner.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// How many worker threads a runtime drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flavor {
+    /// No workers: `block_on` services the run queue inline.
+    CurrentThread,
+    /// This many dedicated worker threads.
+    MultiThread(usize),
+}
+
+/// The runtime: a run queue, a timer heap, and zero or more workers.
+pub struct Runtime {
+    shared: Arc<Shared>,
+    flavor: Flavor,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// A runtime with `workers` dedicated worker threads (min 1).
+    pub fn multi_thread(workers: usize) -> Runtime {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            timers: Mutex::new(BinaryHeap::new()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            timer_seq: AtomicU64::new(0),
+        });
+        let threads = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("asyncx-worker-{i}"))
+                    .spawn(move || {
+                        let _enter = enter(Handle { shared: Arc::clone(&shared) });
+                        while !shared.shutdown.load(Ordering::Acquire) {
+                            shared.turn(true);
+                        }
+                    })
+                    .expect("spawn asyncx worker")
+            })
+            .collect();
+        Runtime { shared, flavor: Flavor::MultiThread(workers), workers: threads }
+    }
+
+    /// A single-threaded runtime: tasks run interleaved with the root
+    /// future on the thread that calls [`Runtime::block_on`].
+    pub fn current_thread() -> Runtime {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            timers: Mutex::new(BinaryHeap::new()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            timer_seq: AtomicU64::new(0),
+        });
+        Runtime { shared, flavor: Flavor::CurrentThread, workers: Vec::new() }
+    }
+
+    /// This runtime's flavor.
+    pub fn flavor(&self) -> Flavor {
+        self.flavor
+    }
+
+    /// A cloneable [`Handle`] for spawning from outside the runtime.
+    pub fn handle(&self) -> Handle {
+        Handle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Drive `root` to completion on the calling thread.
+    ///
+    /// Multi-thread flavor: spawned tasks run on the workers; this
+    /// thread only polls `root` and parks between its wakes.
+    /// Current-thread flavor: this thread alternates between `root` and
+    /// the run queue (and services the timer heap).
+    pub fn block_on<F: Future>(&self, root: F) -> F::Output {
+        let _enter = enter(self.handle());
+        let root_wake = Arc::new(RootWaker {
+            woken: AtomicBool::new(true),
+            thread: std::thread::current(),
+            shared: Arc::clone(&self.shared),
+        });
+        let waker = Waker::from(Arc::clone(&root_wake));
+        let mut cx = Context::from_waker(&waker);
+        let mut root = std::pin::pin!(root);
+        loop {
+            if root_wake.woken.swap(false, Ordering::AcqRel) {
+                if let Poll::Ready(v) = root.as_mut().poll(&mut cx) {
+                    return v;
+                }
+            }
+            match self.flavor {
+                Flavor::CurrentThread => {
+                    // Run one queued task; when idle, sleep until the
+                    // next timer or a wake (the condvar is notified by
+                    // enqueues and timer registrations; root wakes
+                    // notify it too via RootWaker).
+                    let ran = self.shared.turn(false);
+                    if !ran && !root_wake.woken.load(Ordering::Acquire) {
+                        let next = self.shared.fire_due_timers();
+                        let guard = self
+                            .shared
+                            .queue
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        if guard.is_empty() && !root_wake.woken.load(Ordering::Acquire) {
+                            let timeout = next
+                                .map(|d| d.saturating_duration_since(Instant::now()))
+                                .unwrap_or(Duration::from_millis(50));
+                            let _ = self
+                                .shared
+                                .cv
+                                .wait_timeout(guard, timeout.min(Duration::from_millis(50)));
+                        }
+                    }
+                }
+                Flavor::MultiThread(_) => {
+                    if !root_wake.woken.load(Ordering::Acquire) {
+                        // Bounded park: a timer registered by the root
+                        // future could otherwise be serviced late if
+                        // every worker is mid-poll.
+                        std::thread::park_timeout(Duration::from_millis(50));
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.cv.notify_all();
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+        // Retire whatever never ran so task-held resources drop.
+        self.shared
+            .queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
+        self.shared
+            .timers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
+    }
+}
+
+/// Wakes the `block_on` thread.
+struct RootWaker {
+    woken: AtomicBool,
+    thread: std::thread::Thread,
+    shared: Arc<Shared>,
+}
+
+impl Wake for RootWaker {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.woken.store(true, Ordering::Release);
+        // Current-thread block_on sleeps on the runtime condvar;
+        // multi-thread block_on parks the thread. Cover both.
+        self.shared.cv.notify_all();
+        self.thread.unpark();
+    }
+}
+
+/// Yield once: re-schedule the current task at the back of the run
+/// queue and return `Pending`. This is the async analogue of the
+/// paper's *delay* between lock probes — it costs a task switch, not a
+/// core.
+pub fn yield_now() -> YieldNow {
+    YieldNow { yielded: false }
+}
+
+/// Future of [`yield_now`].
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+/// Sleep for `duration` (timer-heap based; resolution is the workers'
+/// park granularity, ~1 ms worst case on an idle runtime).
+pub fn sleep(duration: Duration) -> Sleep {
+    sleep_until(Instant::now() + duration)
+}
+
+/// Sleep until `deadline`.
+pub fn sleep_until(deadline: Instant) -> Sleep {
+    Sleep { deadline }
+}
+
+/// Future of [`sleep`] / [`sleep_until`].
+pub struct Sleep {
+    deadline: Instant,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if Instant::now() >= self.deadline {
+            return Poll::Ready(());
+        }
+        // Re-register on every poll: timer entries are fire-once and
+        // wakers may change between polls. A stale entry costs one
+        // spurious wake, nothing more.
+        let handle = Handle::current();
+        handle.register_timer_at(self.deadline, cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+/// Error of [`timeout`]: the deadline elapsed first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Elapsed;
+
+impl std::fmt::Display for Elapsed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deadline elapsed")
+    }
+}
+
+impl std::error::Error for Elapsed {}
+
+/// Race `future` against a deadline. On timeout the future is dropped
+/// mid-wait — exactly the cancellation path the async mutex must keep
+/// safe (see `tests/proptest_async_cancel.rs`).
+pub fn timeout<F: Future>(duration: Duration, future: F) -> Timeout<F> {
+    Timeout { sleep: sleep(duration), future }
+}
+
+/// Future of [`timeout`].
+pub struct Timeout<F> {
+    sleep: Sleep,
+    future: F,
+}
+
+impl<F: Future> Future for Timeout<F> {
+    type Output = Result<F::Output, Elapsed>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // SAFETY: structural projection; neither field is moved out.
+        let this = unsafe { self.get_unchecked_mut() };
+        let future = unsafe { Pin::new_unchecked(&mut this.future) };
+        if let Poll::Ready(v) = future.poll(cx) {
+            return Poll::Ready(Ok(v));
+        }
+        match Pin::new(&mut this.sleep).poll(cx) {
+            Poll::Ready(()) => Poll::Ready(Err(Elapsed)),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn both_flavors() -> [Runtime; 2] {
+        [Runtime::current_thread(), Runtime::multi_thread(2)]
+    }
+
+    #[test]
+    fn block_on_returns_the_root_value() {
+        for rt in both_flavors() {
+            assert_eq!(rt.block_on(async { 41 + 1 }), 42);
+        }
+    }
+
+    #[test]
+    fn spawned_tasks_run_and_join() {
+        for rt in both_flavors() {
+            let n = rt.block_on(async {
+                let handles: Vec<_> = (0..8u64).map(|i| spawn(async move { i * 2 })).collect();
+                let mut sum = 0;
+                for h in handles {
+                    sum += h.await;
+                }
+                sum
+            });
+            assert_eq!(n, 56);
+        }
+    }
+
+    #[test]
+    fn yield_now_interleaves_tasks() {
+        for rt in both_flavors() {
+            let counter = Arc::new(AtomicUsize::new(0));
+            rt.block_on(async {
+                let c = Arc::clone(&counter);
+                let a = spawn(async move {
+                    for _ in 0..100 {
+                        c.fetch_add(1, Ordering::Relaxed);
+                        yield_now().await;
+                    }
+                });
+                let c = Arc::clone(&counter);
+                let b = spawn(async move {
+                    for _ in 0..100 {
+                        c.fetch_add(1, Ordering::Relaxed);
+                        yield_now().await;
+                    }
+                });
+                a.await;
+                b.await;
+            });
+            assert_eq!(counter.load(Ordering::Relaxed), 200);
+        }
+    }
+
+    #[test]
+    fn sleep_actually_sleeps() {
+        for rt in both_flavors() {
+            let t0 = Instant::now();
+            rt.block_on(async {
+                sleep(Duration::from_millis(20)).await;
+            });
+            assert!(t0.elapsed() >= Duration::from_millis(20));
+        }
+    }
+
+    #[test]
+    fn timeout_cancels_a_slow_future_and_passes_a_fast_one() {
+        for rt in both_flavors() {
+            let (slow, fast) = rt.block_on(async {
+                let slow = timeout(Duration::from_millis(10), sleep(Duration::from_secs(30))).await;
+                let fast = timeout(Duration::from_secs(30), async { 7 }).await;
+                (slow, fast)
+            });
+            assert_eq!(slow, Err(Elapsed));
+            assert_eq!(fast, Ok(7));
+        }
+    }
+
+    #[test]
+    fn task_panics_surface_at_the_join_point_not_in_the_worker() {
+        for rt in both_flavors() {
+            // The panic must not kill a worker: a second task spawned
+            // after the panicking one still runs to completion, and
+            // awaiting the panicked handle re-raises the payload.
+            let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                rt.block_on(async {
+                    let doomed = spawn(async {
+                        panic!("task body panic");
+                    });
+                    let healthy = spawn(async { 11 });
+                    assert_eq!(healthy.await, 11, "worker survived the panic");
+                    doomed.await
+                })
+            }));
+            assert!(res.is_err(), "join must re-raise the task panic");
+        }
+    }
+
+    #[test]
+    fn wake_during_poll_reschedules_instead_of_losing_the_wake() {
+        // A future that wakes itself and stays Pending exactly once: if
+        // the mid-poll wake were lost, the task would hang and the join
+        // below would never resolve.
+        struct SelfWake {
+            polls: usize,
+        }
+        impl Future for SelfWake {
+            type Output = usize;
+            fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<usize> {
+                self.polls += 1;
+                if self.polls < 3 {
+                    cx.waker().wake_by_ref();
+                    Poll::Pending
+                } else {
+                    Poll::Ready(self.polls)
+                }
+            }
+        }
+        for rt in both_flavors() {
+            let polls = rt.block_on(async { spawn(SelfWake { polls: 0 }).await });
+            assert_eq!(polls, 3);
+        }
+    }
+
+    #[test]
+    fn handle_spawns_from_outside_the_runtime() {
+        let rt = Runtime::multi_thread(1);
+        let h = rt.handle().spawn(async { "out-of-band" });
+        assert_eq!(rt.block_on(h), "out-of-band");
+    }
+
+    #[test]
+    fn nested_block_on_restores_the_outer_handle() {
+        let outer = Runtime::current_thread();
+        let got = outer.block_on(async {
+            let inner = Runtime::current_thread();
+            let v = inner.block_on(async { 5 });
+            // Back on the outer runtime: spawning must still work.
+            let h = spawn(async move { v + 1 });
+            h.await
+        });
+        assert_eq!(got, 6);
+    }
+}

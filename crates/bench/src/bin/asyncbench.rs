@@ -1,0 +1,545 @@
+//! `asyncbench` — poll-vs-park sweep for the async adaptive mutex,
+//! plus the three-backend comparison and the TCP-served store scenario.
+//!
+//! Three sections, mirroring the native `lockbench` conventions:
+//!
+//! 1. **Spin-budget ladder.** The same contention workload (tasks ×
+//!    critical-section grid, `Backend::Async`) runs once per fixed
+//!    re-poll budget {0, 1, 4, 16, 64, 256} and once under the
+//!    adaptive poll-vs-park policy. Budget 0 is *pure async wait*
+//!    (every contended acquire registers a waker and parks); large
+//!    budgets approximate pure polling (the future reschedules itself
+//!    instead of queueing). The ladder locates the crossover and the
+//!    verdicts check the adaptive policy tracks it: within 10% of the
+//!    best fixed budget (geomean across cells) and ≥ 1.3x over pure
+//!    async wait on the short-CS/low-contention cells where parking's
+//!    per-wait overhead (queue mutex, node allocation, waker wake)
+//!    dominates.
+//!
+//! 2. **Three-backend rows.** One identical spec on `Backend::Sim`
+//!    (virtual time), `Backend::Native` (OS threads) and
+//!    `Backend::Async` (tasks), so the async backend's costs sit in
+//!    the same table as the two older ones. Sim time and wall time are
+//!    different units — the rows are for shape, not cross-backend
+//!    ratios, and no verdict compares across them.
+//!
+//! 3. **TCP-served store.** The PR 9 sharded store served over real
+//!    TCP (`asyncx::serve_store`), driven by open-loop clients whose
+//!    arrival schedules come from `workloads::loadgen`. Mid-run an
+//!    operator connection retunes a hot shard through the `ctl`
+//!    command (control plane over the wire). The verdict is
+//!    conservation: after the retune, `total` must equal exactly the
+//!    number of increments sent — zero lost operations — and the
+//!    latency histograms are split at the retune instant so the
+//!    disturbance is visible.
+//!
+//! Run with `EXPERIMENT_SCALE=full cargo run --release -p bench --bin
+//! asyncbench` for committed numbers (`BENCH_async.json` at the
+//! workspace root); the default quick scale is sized for CI smoke.
+//! DESIGN.md §17 explains the poll-vs-park mapping; EXPERIMENTS.md
+//! has the reading guide.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use adaptive_control::{BreakerHub, ControlPlane};
+use adaptive_native::PolicyChoice;
+use adaptive_service::{ServiceConfig, ShardedStore};
+use asyncx::{serve_store, BlockingLineClient, StoreServerConfig};
+use bench::{wait_until_nanos, workspace_root, Scale};
+use serde::Serialize;
+use serde_json::json;
+use workloads::{
+    arrival_schedule, run_contention, Backend, ContentionPoint, ContentionSpec,
+    LatencyHistogram, ServiceLoadSpec,
+};
+
+/// Repeats per ladder cell (median throughput kept). The sim backend
+/// is deterministic and runs once.
+const REPEATS: usize = 5;
+
+/// Fixed re-poll budgets for the ladder. 0 = pure async wait.
+const BUDGETS: [u32; 6] = [0, 1, 4, 16, 64, 256];
+
+/// The adaptive poll-vs-park policy under test (maps to
+/// `AsyncPollAdapt` on the async backend: waiting ≤ threshold grows
+/// the budget by `n`, waiting above it halves the budget toward 0).
+const ADAPTIVE: PolicyChoice = PolicyChoice::Adaptive { threshold: 3, n: 16 };
+
+/// One ladder cell result.
+#[derive(Debug, Clone, Serialize)]
+struct LadderRow {
+    /// Concurrent tasks contending for the one mutex.
+    tasks: usize,
+    /// Critical-section busy work (ns); the guard additionally spans
+    /// one executor yield (see `workloads::backend::run_async_plans`).
+    cs_nanos: u64,
+    /// `budget-<n>` or `adaptive`.
+    policy: String,
+    /// The fixed budget, absent for the adaptive row.
+    budget: Option<u32>,
+    /// Median-of-repeats throughput (acquisitions/sec of wall time).
+    throughput_per_sec: f64,
+    /// Mean enter-to-acquired latency (ns) of the median run.
+    mean_latency_nanos: f64,
+    /// Median acquisition latency (ns) of the median run.
+    p50_latency_nanos: u64,
+    /// Tail acquisition latency (ns) of the median run.
+    p99_latency_nanos: u64,
+}
+
+/// Run one (tasks, cs, policy) cell `REPEATS` times on the async
+/// backend and keep the run with the median throughput.
+fn ladder_cell(tasks: usize, iters: u32, cs_nanos: u64, policy: PolicyChoice) -> ContentionPoint {
+    let spec = ContentionSpec {
+        threads: tasks,
+        iters,
+        cs_nanos,
+        think_nanos: 0,
+        policy,
+        ..ContentionSpec::default()
+    };
+    let mut runs: Vec<ContentionPoint> =
+        (0..REPEATS).map(|_| run_contention(Backend::Async, &spec)).collect();
+    runs.sort_by(|a, b| a.throughput_per_sec.total_cmp(&b.throughput_per_sec));
+    runs.swap_remove(runs.len() / 2)
+}
+
+/// The full ladder: every grid cell under every fixed budget plus the
+/// adaptive policy.
+fn run_ladder(tasks_grid: &[usize], cs_grid: &[u64], iters: u32) -> Vec<LadderRow> {
+    let mut rows = Vec::new();
+    for &tasks in tasks_grid {
+        for &cs in cs_grid {
+            for &budget in &BUDGETS {
+                let p = ladder_cell(tasks, iters, cs, PolicyChoice::FixedSpin(budget));
+                rows.push(LadderRow {
+                    tasks,
+                    cs_nanos: cs,
+                    policy: format!("budget-{budget}"),
+                    budget: Some(budget),
+                    throughput_per_sec: p.throughput_per_sec,
+                    mean_latency_nanos: p.mean_latency_nanos,
+                    p50_latency_nanos: p.p50_latency_nanos,
+                    p99_latency_nanos: p.p99_latency_nanos,
+                });
+            }
+            let p = ladder_cell(tasks, iters, cs, ADAPTIVE);
+            rows.push(LadderRow {
+                tasks,
+                cs_nanos: cs,
+                policy: "adaptive".into(),
+                budget: None,
+                throughput_per_sec: p.throughput_per_sec,
+                mean_latency_nanos: p.mean_latency_nanos,
+                p50_latency_nanos: p.p50_latency_nanos,
+                p99_latency_nanos: p.p99_latency_nanos,
+            });
+        }
+    }
+    rows
+}
+
+/// Throughput of one (tasks, cs, policy) row.
+fn ladder_tput(rows: &[LadderRow], tasks: usize, cs: u64, policy: &str) -> Option<f64> {
+    rows.iter()
+        .find(|r| r.tasks == tasks && r.cs_nanos == cs && r.policy == policy)
+        .map(|r| r.throughput_per_sec)
+}
+
+/// Dedicated adaptive-vs-pure-async-wait head-to-head for the
+/// short-CS/low-contention verdict. The ladder cells keep their window
+/// small so the whole grid stays cheap, but a 2-task zero-CS run then
+/// lasts only a few ms — scheduler noise territory. This rerun uses a
+/// window an order of magnitude longer and keeps the best of
+/// `REPEATS` (the run least disturbed by the host, the same
+/// convention `lockbench` uses for contended cells). Returns
+/// `(adaptive, pure_wait)` acquisitions/sec.
+fn head_to_head(tasks: usize, iters: u32, cs_nanos: u64) -> (f64, f64) {
+    let best = |policy: PolicyChoice| -> f64 {
+        let spec = ContentionSpec {
+            threads: tasks,
+            iters,
+            cs_nanos,
+            think_nanos: 0,
+            policy,
+            ..ContentionSpec::default()
+        };
+        (0..REPEATS)
+            .map(|_| run_contention(Backend::Async, &spec).throughput_per_sec)
+            .fold(0.0f64, f64::max)
+    };
+    (best(ADAPTIVE), best(PolicyChoice::FixedSpin(0)))
+}
+
+/// Latency percentiles of one phase of the TCP scenario.
+#[derive(Debug, Clone, Serialize)]
+struct TcpPhase {
+    phase: String,
+    ops: u64,
+    mean_latency_nanos: f64,
+    p50_latency_nanos: u64,
+    p90_latency_nanos: u64,
+    p99_latency_nanos: u64,
+    p999_latency_nanos: u64,
+}
+
+fn phase_row(phase: &str, hist: &LatencyHistogram) -> TcpPhase {
+    TcpPhase {
+        phase: phase.into(),
+        ops: hist.count(),
+        mean_latency_nanos: hist.mean(),
+        p50_latency_nanos: hist.percentile(50.0),
+        p90_latency_nanos: hist.percentile(90.0),
+        p99_latency_nanos: hist.percentile(99.0),
+        p999_latency_nanos: hist.percentile(99.9),
+    }
+}
+
+/// What the TCP scenario measured.
+struct TcpOutcome {
+    clients: usize,
+    ops_per_client: u32,
+    rate_per_client: f64,
+    expected_total: u128,
+    observed_total: Option<u128>,
+    client_errors: u64,
+    server_incrs: u64,
+    retune_at_nanos: u64,
+    control_log: Vec<(String, String)>,
+    drained: bool,
+    phases: Vec<TcpPhase>,
+}
+
+/// Serve the sharded store over TCP, drive it with open-loop clients,
+/// retune a shard mid-run through the wire-level control plane, and
+/// check conservation afterwards.
+fn run_tcp_scenario(clients: usize, ops_per_client: u32, rate_per_client: f64) -> TcpOutcome {
+    let store = Arc::new(ShardedStore::new(ServiceConfig::default()));
+    let hub = Arc::new(BreakerHub::default());
+    store.register_with_hub(Arc::clone(&hub));
+    let handle = serve_store(
+        Arc::clone(&store),
+        StoreServerConfig {
+            workers: 2,
+            plane: Some(ControlPlane::new(Arc::clone(&hub))),
+            hub: Some(Arc::clone(&hub)),
+            ..StoreServerConfig::default()
+        },
+    )
+    .expect("bind TCP store server");
+    let addr = handle.addr();
+
+    // Arrival schedules from loadgen: steady (no burst gaps), jittered
+    // pacing at `rate_per_client`, deterministic per (seed, worker).
+    let load = ServiceLoadSpec {
+        workers: clients,
+        ops_per_worker: ops_per_client,
+        rate_per_worker: rate_per_client,
+        burst_off_nanos: 0,
+        ..ServiceLoadSpec::default()
+    };
+    let schedules: Vec<Vec<u64>> = (0..clients).map(|w| arrival_schedule(&load, w)).collect();
+    let span = schedules.iter().filter_map(|s| s.last().copied()).max().unwrap_or(0);
+    // The operator strikes halfway through the offered schedule; the
+    // exact instant is published so clients classify each op's phase
+    // by its *scheduled* arrival (deterministic, not racy).
+    let retune_at = span / 2;
+
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let errors = Arc::new(AtomicU64::new(0));
+    let mut workers = Vec::new();
+    for (id, schedule) in schedules.into_iter().enumerate() {
+        let barrier = Arc::clone(&barrier);
+        let errors = Arc::clone(&errors);
+        workers.push(std::thread::spawn(move || {
+            let mut conn = BlockingLineClient::connect(addr).expect("connect client");
+            let mut before = LatencyHistogram::new();
+            let mut after = LatencyHistogram::new();
+            barrier.wait();
+            let epoch = Instant::now();
+            for (i, sched) in schedule.iter().copied().enumerate() {
+                wait_until_nanos(epoch, sched);
+                let key = ((id as u64) << 32) | ((i as u64 * 31) % 512);
+                match conn.send(&format!("incr {key} 1")) {
+                    Ok(Ok(_)) => {}
+                    _ => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                // Open-loop latency: reply time minus *scheduled*
+                // arrival, so server-side queueing counts.
+                let done = u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                let lat = done.saturating_sub(sched);
+                if sched < retune_at {
+                    before.record(lat);
+                } else {
+                    after.record(lat);
+                }
+            }
+            conn.send("quit").ok();
+            (before, after)
+        }));
+    }
+
+    // The operator: wait for the halfway mark, then retune the hottest
+    // shard live — spin budget to 0 (park-only), then a delay tweak —
+    // all through the same TCP connection the data path uses.
+    let mut operator = BlockingLineClient::connect(addr).expect("connect operator");
+    barrier.wait();
+    let epoch = Instant::now();
+    wait_until_nanos(epoch, retune_at);
+    let mut control_log = Vec::new();
+    for cmd in [
+        "ctl targets",
+        "ctl retune shard-0 spin 0",
+        "ctl retune shard-0 delay 16",
+        "ctl health shard-0",
+    ] {
+        let reply = match operator.send(cmd) {
+            Ok(Ok(body)) => body,
+            Ok(Err(diag)) => format!("err {diag}"),
+            Err(e) => format!("transport error: {e}"),
+        };
+        control_log.push((cmd.to_string(), reply));
+    }
+
+    let mut before = LatencyHistogram::new();
+    let mut after = LatencyHistogram::new();
+    for w in workers {
+        let (b, a) = w.join().expect("client thread");
+        before.merge(&b);
+        after.merge(&a);
+    }
+
+    // Conservation oracle: every accepted increment must be visible.
+    let expected_total = u128::from(ops_per_client) * clients as u128;
+    let observed_total = operator
+        .send("total")
+        .ok()
+        .and_then(Result::ok)
+        .and_then(|s| s.trim().parse::<u128>().ok());
+    operator.send("quit").ok();
+    let server_incrs = handle.stats().incrs;
+    let drained = handle.shutdown(Duration::from_secs(5));
+
+    let mut all = LatencyHistogram::new();
+    all.merge(&before);
+    all.merge(&after);
+    TcpOutcome {
+        clients,
+        ops_per_client,
+        rate_per_client,
+        expected_total,
+        observed_total,
+        client_errors: errors.load(Ordering::Relaxed),
+        server_incrs,
+        retune_at_nanos: retune_at,
+        control_log,
+        drained,
+        phases: vec![
+            phase_row("before-retune", &before),
+            phase_row("after-retune", &after),
+            phase_row("overall", &all),
+        ],
+    }
+}
+
+/// Geometric mean of `ratios` (1.0 for an empty slice).
+fn geomean(ratios: &[f64]) -> f64 {
+    if ratios.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = ratios.iter().map(|r| r.max(f64::MIN_POSITIVE).ln()).sum();
+    (log_sum / ratios.len() as f64).exp()
+}
+
+fn main() -> ExitCode {
+    let scale = bench::scale();
+    let (scale_label, tasks_grid, cs_grid, iters, tcp_ops, tcp_rate): (
+        &str,
+        &[usize],
+        &[u64],
+        u32,
+        u32,
+        f64,
+    ) = match scale {
+        // The TCP rate is sized to stay under the server's sustainable
+        // service rate (its idle read path backs off in 500µs sleeps,
+        // bounding per-connection throughput near 1.5-2k ops/s): an
+        // open-loop histogram above saturation measures the backlog
+        // ramp, not the server.
+        Scale::Quick => ("quick", &[2, 8], &[0, 5_000], 300, 400, 1_000.0),
+        Scale::Full => ("full", &[2, 4, 8, 16], &[0, 1_000, 10_000], 1_500, 2_000, 1_200.0),
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("asyncbench — scale={scale_label}, host parallelism={cores}");
+
+    // --- 1. Spin-budget ladder -------------------------------------
+    let ladder = run_ladder(tasks_grid, cs_grid, iters);
+    println!();
+    println!(
+        "{:<7} {:>9} {:<12} {:>14} {:>10} {:>10}",
+        "tasks", "cs (ns)", "policy", "acq/sec", "p50 (ns)", "p99 (ns)"
+    );
+    for r in &ladder {
+        println!(
+            "{:<7} {:>9} {:<12} {:>14.0} {:>10} {:>10}",
+            r.tasks, r.cs_nanos, r.policy, r.throughput_per_sec, r.p50_latency_nanos,
+            r.p99_latency_nanos
+        );
+    }
+
+    // Verdict 1: adaptive within 10% of the best fixed budget, as the
+    // geomean across every grid cell of adaptive/best-fixed throughput.
+    let mut vs_best = Vec::new();
+    for &tasks in tasks_grid {
+        for &cs in cs_grid {
+            let Some(adaptive) = ladder_tput(&ladder, tasks, cs, "adaptive") else { continue };
+            let best_fixed = BUDGETS
+                .iter()
+                .filter_map(|b| ladder_tput(&ladder, tasks, cs, &format!("budget-{b}")))
+                .fold(0.0f64, f64::max);
+            if best_fixed > 0.0 {
+                vs_best.push(adaptive / best_fixed);
+            }
+        }
+    }
+    let adaptive_vs_best_geomean = geomean(&vs_best);
+    let within_10pct = adaptive_vs_best_geomean >= 0.9;
+
+    // Verdict 2: adaptive ≥ 1.3x over pure async wait (budget 0) on
+    // the short-CS/low-contention cell (smallest cs, smallest tasks),
+    // remeasured head-to-head with a longer window (see `head_to_head`).
+    let short_cs = cs_grid.iter().copied().min().unwrap_or(0);
+    let low_tasks = tasks_grid.iter().copied().min().unwrap_or(2);
+    let h2h_iters = iters.saturating_mul(10);
+    let (h2h_adaptive, h2h_pure) = head_to_head(low_tasks, h2h_iters, short_cs);
+    let vs_pure_wait = if h2h_pure > 0.0 { h2h_adaptive / h2h_pure } else { 0.0 };
+    let beats_pure_wait = vs_pure_wait >= 1.3;
+
+    println!();
+    println!(
+        "adaptive vs best fixed budget: {adaptive_vs_best_geomean:.3}x geomean ({})",
+        if within_10pct { "within 10%: PASS" } else { "within 10%: FAIL" }
+    );
+    println!(
+        "adaptive vs pure async wait (cs={short_cs}ns, tasks={low_tasks}, {h2h_iters} iters/task): \
+         {h2h_adaptive:.0} vs {h2h_pure:.0} acq/sec = {vs_pure_wait:.2}x ({})",
+        if beats_pure_wait { ">=1.3x: PASS" } else { ">=1.3x: FAIL" }
+    );
+
+    // --- 2. Three-backend comparison -------------------------------
+    let spec = ContentionSpec { threads: 4, iters, cs_nanos: 1_000, think_nanos: 1_000, ..ContentionSpec::default() };
+    let three: Vec<ContentionPoint> = [Backend::Sim, Backend::Native, Backend::Async]
+        .into_iter()
+        .map(|b| run_contention(b, &spec))
+        .collect();
+    println!();
+    println!(
+        "{:<8} {:<16} {:>14} {:>10} {:>10}  (threads=4, cs=1000ns, think=1000ns)",
+        "backend", "policy", "acq/sec", "p50 (ns)", "p99 (ns)"
+    );
+    for p in &three {
+        println!(
+            "{:<8} {:<16} {:>14.0} {:>10} {:>10}",
+            p.backend, p.policy, p.throughput_per_sec, p.p50_latency_nanos, p.p99_latency_nanos
+        );
+    }
+
+    // --- 3. TCP-served store with mid-run retune -------------------
+    let tcp = run_tcp_scenario(4, tcp_ops, tcp_rate);
+    println!();
+    println!(
+        "tcp scenario: {} clients x {} ops at {:.0}/s each, retune at t={}ms",
+        tcp.clients,
+        tcp.ops_per_client,
+        tcp.rate_per_client,
+        tcp.retune_at_nanos / 1_000_000
+    );
+    for (cmd, reply) in &tcp.control_log {
+        let first = reply.lines().next().unwrap_or("");
+        println!("  operator> {cmd}  ->  {first}");
+    }
+    for p in &tcp.phases {
+        println!(
+            "  {:<14} ops={:<6} p50={:<8} p90={:<8} p99={:<8} p999={}",
+            p.phase, p.ops, p.p50_latency_nanos, p.p90_latency_nanos, p.p99_latency_nanos,
+            p.p999_latency_nanos
+        );
+    }
+    let zero_lost = tcp.observed_total == Some(tcp.expected_total) && tcp.client_errors == 0;
+    println!(
+        "  conservation: expected={} observed={:?} client_errors={} ({})",
+        tcp.expected_total,
+        tcp.observed_total,
+        tcp.client_errors,
+        if zero_lost { "zero lost ops: PASS" } else { "zero lost ops: FAIL" }
+    );
+
+    let control_log: Vec<serde_json::Value> = tcp
+        .control_log
+        .iter()
+        .map(|(cmd, reply)| json!({ "command": cmd, "reply": reply }))
+        .collect();
+    let out = json!({
+        "description": "async adaptive mutex poll-vs-park sweep: fixed re-poll-budget ladder vs the adaptive policy on Backend::Async, a sim/native/async three-backend comparison, and the sharded store served over TCP with a mid-run shard retune through the wire-level control plane (DESIGN.md §17, EXPERIMENTS.md)",
+        "scale": scale_label,
+        "host_parallelism": cores,
+        "repeats": REPEATS,
+        "ladder": {
+            "budgets": (BUDGETS.to_vec()),
+            "adaptive_policy": "poll-adapt threshold=3 step=16",
+            "iters_per_task": iters,
+            "rows": ladder,
+        },
+        "three_backend": {
+            "note": "identical spec per backend; sim reports virtual ns, native/async wall ns — compare shapes, not absolute ratios",
+            "rows": three,
+        },
+        "tcp_scenario": {
+            "clients": (tcp.clients),
+            "ops_per_client": (tcp.ops_per_client),
+            "rate_per_client": (tcp.rate_per_client),
+            "retune_at_nanos": (tcp.retune_at_nanos),
+            "expected_total": (tcp.expected_total.to_string()),
+            "observed_total": (tcp.observed_total.map(|t| t.to_string())),
+            "client_errors": (tcp.client_errors),
+            "server_incrs": (tcp.server_incrs),
+            "control_log": control_log,
+            "drained": (tcp.drained),
+            "phases": (tcp.phases),
+        },
+        "head_to_head": {
+            "note": "adaptive vs pure async wait on the short-CS/low-contention cell, 10x ladder window, best-of-repeats",
+            "tasks": low_tasks,
+            "cs_nanos": short_cs,
+            "iters_per_task": h2h_iters,
+            "adaptive_per_sec": h2h_adaptive,
+            "pure_wait_per_sec": h2h_pure,
+        },
+        "verdicts": {
+            "adaptive_vs_best_fixed_geomean": adaptive_vs_best_geomean,
+            "adaptive_within_10pct_of_best_fixed": within_10pct,
+            "adaptive_vs_pure_async_wait": vs_pure_wait,
+            "adaptive_beats_pure_async_wait_1_3x": beats_pure_wait,
+            "tcp_zero_lost_ops": zero_lost,
+        },
+    });
+    let path = workspace_root().join("BENCH_async.json");
+    let rendered = serde_json::to_string_pretty(&out).expect("serialize") + "\n";
+    if let Err(e) = std::fs::write(&path, rendered) {
+        eprintln!("failed to write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!();
+    println!("wrote {}", path.display());
+
+    if within_10pct && beats_pure_wait && zero_lost {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -29,14 +29,18 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
-use std::time::Duration;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
 
+use adaptive_control::{BreakerHub, ControlPlane};
 use adaptive_native::{LockAlgorithm, PolicyChoice};
-use adaptive_service::{ServiceConfig, ServicePolicy};
-use bench::{improvement_pct, workspace_root, Scale};
+use adaptive_service::{ServiceConfig, ServicePolicy, ShardedStore};
+use bench::{improvement_pct, wait_until_nanos, workspace_root, Scale};
 use serde::Serialize;
 use serde_json::json;
-use workloads::{run_service_load, ServiceLoadPoint, ServiceLoadSpec};
+use workloads::{
+    arrival_schedule, run_service_load, LatencyHistogram, ServiceLoadPoint, ServiceLoadSpec,
+};
 
 /// One sweep cell: a store configuration to offer the load to.
 #[derive(Clone, Copy)]
@@ -144,6 +148,194 @@ struct ServiceBench {
     rows: Vec<ServiceRow>,
     errors: Vec<String>,
     summary: serde_json::Value,
+    /// The operator playbook scenario: hot-shard retune / quarantine /
+    /// heal under live load, with tail-latency columns per phase.
+    playbook: serde_json::Value,
+}
+
+/// Tail-latency columns for one phase of the playbook scenario.
+#[derive(Serialize)]
+struct PlaybookPhase {
+    phase: &'static str,
+    ops: u64,
+    mean_latency_nanos: f64,
+    p50_latency_nanos: u64,
+    p90_latency_nanos: u64,
+    p99_latency_nanos: u64,
+    p999_latency_nanos: u64,
+}
+
+fn playbook_phase(phase: &'static str, hist: &LatencyHistogram) -> PlaybookPhase {
+    PlaybookPhase {
+        phase,
+        ops: hist.count(),
+        mean_latency_nanos: hist.mean(),
+        p50_latency_nanos: hist.percentile(50.0),
+        p90_latency_nanos: hist.percentile(90.0),
+        p99_latency_nanos: hist.percentile(99.0),
+        p999_latency_nanos: hist.percentile(99.9),
+    }
+}
+
+/// Number of phases in the playbook timeline.
+const PLAYBOOK_PHASES: usize = 4;
+
+/// Phase labels, in timeline order: baseline, after the operator
+/// retunes the hot shard to park-only, while its breaker is forced
+/// open (quarantined), and after the heal.
+const PLAYBOOK_PHASE_NAMES: [&str; PLAYBOOK_PHASES] =
+    ["closed", "retuned-park-only", "breaker-open", "healed"];
+
+/// The operator playbook (ROADMAP item 1 down-payment): an adaptive
+/// store under live open-loop load while an operator works the control
+/// plane against its hottest shard — retune to park-only at 1/4 of the
+/// schedule, force the breaker open (`quarantine`) at 1/2, `heal` at
+/// 3/4. Every op is an increment of 1, so the conservation oracle is
+/// exact: `store.total()` must equal the op count — a retune,
+/// quarantine, or heal that loses a waiter or an op shows up as a
+/// deficit, not a vibe. Latency is enter-to-complete from the
+/// *scheduled* arrival (coordinated-omission-safe) and each op lands
+/// in the histogram of the phase its scheduled instant falls in, so
+/// the tail-while-open columns are attributable to the breaker being
+/// open, not to measurement phasing.
+fn run_playbook(scale: Scale) -> serde_json::Value {
+    let (clients, ops_per_client, rate_per_client) = match scale {
+        Scale::Quick => (4usize, 6_000u32, 30_000.0),
+        Scale::Full => (4usize, 24_000u32, 60_000.0),
+    };
+    // Fixed topology (no resharding): the shard the operator names must
+    // keep that name for the whole scenario.
+    let config = ServiceConfig { initial_depth: 2, max_depth: 2, ..ServiceConfig::default() };
+    let store = Arc::new(ShardedStore::new(config));
+    let hub = Arc::new(BreakerHub::default());
+    store.register_with_hub(Arc::clone(&hub));
+    let plane = ControlPlane::new(Arc::clone(&hub));
+
+    // Open-loop schedules from loadgen, steady arrivals.
+    let load = ServiceLoadSpec {
+        workers: clients,
+        ops_per_worker: ops_per_client,
+        rate_per_worker: rate_per_client,
+        burst_off_nanos: 0,
+        ..ServiceLoadSpec::default()
+    };
+    let schedules: Vec<Vec<u64>> = (0..clients).map(|w| arrival_schedule(&load, w)).collect();
+    let span = schedules.iter().filter_map(|s| s.last().copied()).max().unwrap_or(0);
+    // Operator strike times; also the phase boundaries for histogram
+    // classification by scheduled arrival.
+    let boundaries = [span / 4, span / 2, span * 3 / 4];
+
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let mut workers = Vec::new();
+    for (id, schedule) in schedules.into_iter().enumerate() {
+        let store = Arc::clone(&store);
+        let barrier = Arc::clone(&barrier);
+        workers.push(std::thread::spawn(move || {
+            let mut hists: Vec<LatencyHistogram> =
+                (0..PLAYBOOK_PHASES).map(|_| LatencyHistogram::new()).collect();
+            barrier.wait();
+            let epoch = Instant::now();
+            for (i, sched) in schedule.iter().copied().enumerate() {
+                wait_until_nanos(epoch, sched);
+                // 60% of ops hammer one key — a clearly hot shard for
+                // the operator to find — and the rest scatter across
+                // the keyspace (deterministic, no RNG dependency).
+                let key = if i % 5 < 3 {
+                    7
+                } else {
+                    ((id as u64) << 32) | ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) % 4096)
+                };
+                store.increment(key, 1);
+                let done = u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                let phase = boundaries.iter().filter(|&&b| sched >= b).count();
+                hists[phase].record(done.saturating_sub(sched));
+            }
+            hists
+        }));
+    }
+
+    // The operator, on the control plane the hub serves.
+    let mut commands: Vec<serde_json::Value> = Vec::new();
+    let mut run = |at: u64, epoch: Instant, cmd: &str| {
+        wait_until_nanos(epoch, at);
+        let reply = plane.execute(cmd).unwrap_or_else(|e| format!("err {e}"));
+        commands.push(json!({
+            "at_nanos": (u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)),
+            "command": cmd,
+            "reply": reply,
+        }));
+    };
+    barrier.wait();
+    let epoch = Instant::now();
+    // Find the hot shard by acquisitions once the baseline phase has
+    // produced evidence (the operator reads the metrics, not the code).
+    wait_until_nanos(epoch, boundaries[0] / 2);
+    let hot = store
+        .snapshots()
+        .into_iter()
+        .max_by_key(|s| s.acquisitions)
+        .map(|s| s.name)
+        .unwrap_or_else(|| "shard-0".into());
+    run(boundaries[0], epoch, &format!("retune {hot} spin 0"));
+    run(boundaries[1], epoch, &format!("quarantine {hot}"));
+    run(boundaries[2], epoch, &format!("heal {hot}"));
+
+    let mut hists: Vec<LatencyHistogram> =
+        (0..PLAYBOOK_PHASES).map(|_| LatencyHistogram::new()).collect();
+    for w in workers {
+        let per_client = w.join().expect("playbook client");
+        for (all, one) in hists.iter_mut().zip(per_client.iter()) {
+            all.merge(one);
+        }
+    }
+    run(span, epoch, &format!("health {hot}"));
+
+    let expected = u128::from(ops_per_client) * clients as u128;
+    let observed = store.total();
+    let zero_lost = observed == expected;
+    let phases: Vec<PlaybookPhase> = PLAYBOOK_PHASE_NAMES
+        .iter()
+        .zip(hists.iter())
+        .map(|(name, h)| playbook_phase(name, h))
+        .collect();
+
+    println!();
+    println!(
+        "playbook: {clients} clients x {ops_per_client} ops at {rate_per_client:.0}/s, hot shard {hot}"
+    );
+    for c in &commands {
+        println!(
+            "  operator> {}  ->  {}",
+            c["command"].as_str().unwrap_or(""),
+            c["reply"].as_str().unwrap_or("").lines().next().unwrap_or("")
+        );
+    }
+    for p in &phases {
+        println!(
+            "  {:<18} ops={:<7} p50={:<8} p90={:<8} p99={:<8} p999={}",
+            p.phase, p.ops, p.p50_latency_nanos, p.p90_latency_nanos, p.p99_latency_nanos,
+            p.p999_latency_nanos
+        );
+    }
+    println!(
+        "  conservation: expected={expected} observed={observed} ({})",
+        if zero_lost { "zero lost ops: PASS" } else { "zero lost ops: FAIL" }
+    );
+
+    json!({
+        "description": "operator playbook: retune hot shard to park-only, force breaker open, heal — all via the control plane under live open-loop load",
+        "clients": clients,
+        "ops_per_client": ops_per_client,
+        "rate_per_client": rate_per_client,
+        "hot_shard": hot,
+        "commands": commands,
+        "phases": phases,
+        "conservation": {
+            "expected_total": (expected.to_string()),
+            "observed_total": (observed.to_string()),
+            "zero_lost_ops": zero_lost,
+        },
+    })
 }
 
 /// Static cells: every shard-count × fixed-lock-configuration
@@ -220,7 +412,7 @@ fn spec_for(cell: &Cell, workers: usize, zipf_s: f64, ops_per_worker: u32, keysp
             Duration::ZERO
         },
         wire_control: cell.wire_control,
-        seed: 0x5e21_1ce,
+        seed: 0x05e2_11ce,
     }
 }
 
@@ -331,6 +523,16 @@ fn main() -> ExitCode {
     }
 
     let summary = summarize(&rows, high_skew);
+    let playbook = match catch_unwind(AssertUnwindSafe(|| run_playbook(scale))) {
+        Ok(v) => v,
+        Err(payload) => {
+            let msg = format!("playbook scenario: {}", bench_panic_msg(payload));
+            eprintln!("error: {msg}");
+            errors.push(msg);
+            serde_json::Value::Null
+        }
+    };
+    let playbook_ok = playbook["conservation"]["zero_lost_ops"].as_bool().unwrap_or(false);
     let bench = ServiceBench {
         bench: "service",
         scale: scale_label.to_string(),
@@ -341,6 +543,7 @@ fn main() -> ExitCode {
         rows,
         errors,
         summary,
+        playbook,
     };
 
     let path = workspace_root().join("BENCH_service.json");
@@ -366,7 +569,7 @@ fn main() -> ExitCode {
             bench.errors.len()
         );
     }
-    if ok {
+    if ok && playbook_ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -180,7 +180,11 @@ pub struct Poisoned<G> {
 }
 
 impl<G> Poisoned<G> {
-    fn new(guard: G) -> Poisoned<G> {
+    /// Wrap a guard in the poisoned error. Public so runtime ports of
+    /// the adaptive mutex (e.g. the async one) surface the *same* error
+    /// type from their `lock_checked`, and callers handle poison
+    /// identically across backends.
+    pub fn new(guard: G) -> Poisoned<G> {
         Poisoned { guard }
     }
 

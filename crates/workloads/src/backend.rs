@@ -58,6 +58,12 @@ pub enum Backend {
     Sim,
     /// Real OS threads on the host (wall time).
     Native,
+    /// Tasks on an asyncx multi-thread runtime contending through the
+    /// [`asyncx::AsyncAdaptiveMutex`] (wall time). `threads` counts
+    /// *tasks*; the runtime drives them on `min(threads, host
+    /// parallelism)` workers.
+    #[cfg(feature = "async-backend")]
+    Async,
 }
 
 impl Backend {
@@ -66,6 +72,8 @@ impl Backend {
         match self {
             Backend::Sim => "sim",
             Backend::Native => "native",
+            #[cfg(feature = "async-backend")]
+            Backend::Async => "async",
         }
     }
 }
@@ -237,6 +245,8 @@ pub fn run_contention(backend: Backend, spec: &ContentionSpec) -> ContentionPoin
     let (total_nanos, samples, hist) = match backend {
         Backend::Sim => run_sim_plans(spec.policy, &plans, spec.seed),
         Backend::Native => run_native_plans(spec.policy, &plans, Duration::ZERO),
+        #[cfg(feature = "async-backend")]
+        Backend::Async => run_async_plans(spec.policy, &plans),
     };
     let s = spread_stats(&samples);
     let ops = spec.threads as u64 * u64::from(spec.iters);
@@ -372,6 +382,123 @@ pub(crate) fn run_native_plans(
         mutex.into_inner(),
         expected,
         "lost update: shared counter disagrees with threads x iters"
+    );
+    (total, samples, hist)
+}
+
+/// The async mutex configured for a [`PolicyChoice`]. Spin counts map
+/// onto poll budgets (the async `spin` attribute); the engine-zoo
+/// choices have no async twin — the async mutex has one engine — so
+/// they run the default adaptive policy, keeping every sweep row
+/// populated on all three backends.
+#[cfg(feature = "async-backend")]
+fn async_mutex_for(policy: PolicyChoice, value: u64) -> asyncx::AsyncAdaptiveMutex<u64> {
+    use asyncx::{AsyncAdaptiveMutex, AsyncPollAdapt};
+    match policy {
+        PolicyChoice::FixedSpin(k) => AsyncAdaptiveMutex::with_poll_budget(value, k),
+        PolicyChoice::PureBlocking => AsyncAdaptiveMutex::with_poll_budget(value, 0),
+        PolicyChoice::Adaptive { threshold, n } => {
+            AsyncAdaptiveMutex::with_policy(value, Box::new(AsyncPollAdapt::new(threshold, n)), 2)
+        }
+        PolicyChoice::Algorithm(_)
+        | PolicyChoice::AlgoAdaptive { .. }
+        | PolicyChoice::FairAdaptive { .. } => AsyncAdaptiveMutex::new(value),
+    }
+}
+
+/// Run per-worker plans as tasks on an asyncx multi-thread runtime
+/// through the [`asyncx::AsyncAdaptiveMutex`]. Returns total wall
+/// nanoseconds (from the start-gate release), per-task samples, and the
+/// merged acquisition-latency histogram — the same shapes as the sim
+/// and native runners, so async rows sit in the same tables.
+///
+/// One semantic difference, deliberate and load-bearing: the critical
+/// section **spans one executor yield** (guard held across an await).
+/// Async critical sections that never await are invisible to sibling
+/// tasks on the same worker — cooperative scheduling would serialize
+/// the whole workload lock-free and every policy would tie. Holding
+/// across a yield is both the realistic async usage (guards held across
+/// awaits) and the regime where poll-vs-park actually differs.
+#[cfg(feature = "async-backend")]
+pub(crate) fn run_async_plans(
+    policy: PolicyChoice,
+    plans: &[WorkerPlan],
+) -> (u64, Vec<ThreadSample>, LatencyHistogram) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let workers = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(plans.len().max(1));
+    let rt = asyncx::Runtime::multi_thread(workers);
+    let mutex = Arc::new(async_mutex_for(policy, 0u64));
+    let expected: u64 = plans.iter().map(|p| u64::from(p.iters)).sum();
+    let start = Arc::new(AtomicBool::new(false));
+    let epoch: Arc<OnceLock<Instant>> = Arc::new(OnceLock::new());
+    let (total, samples, hist) = rt.block_on(async {
+        let handles: Vec<_> = plans
+            .iter()
+            .map(|plan| {
+                let plan = *plan;
+                let mutex = Arc::clone(&mutex);
+                let start = Arc::clone(&start);
+                let epoch = Arc::clone(&epoch);
+                asyncx::spawn(async move {
+                    // Start gate: every task is spawned and polling
+                    // before the clock starts, the tasks' analogue of
+                    // the native start barrier.
+                    while !start.load(Ordering::Acquire) {
+                        asyncx::yield_now().await;
+                    }
+                    let t0 = epoch.get().copied().unwrap_or_else(Instant::now);
+                    let mut ops = 0u64;
+                    let mut latency_nanos = 0u64;
+                    let mut hist = LatencyHistogram::new();
+                    for _ in 0..plan.iters {
+                        let enter = Instant::now();
+                        let mut guard = mutex.lock().await;
+                        let waited = saturating_nanos(enter.elapsed());
+                        latency_nanos += waited;
+                        hist.record(waited);
+                        *guard += 1;
+                        plan.cs.run();
+                        // The yield that makes the hold visible to
+                        // sibling tasks (see the fn docs).
+                        asyncx::yield_now().await;
+                        drop(guard);
+                        ops += 1;
+                        plan.think.run();
+                    }
+                    let sample = ThreadSample {
+                        ops,
+                        latency_nanos,
+                        elapsed_nanos: saturating_nanos(t0.elapsed()).max(1),
+                    };
+                    (sample, hist)
+                })
+            })
+            .collect();
+        let t0 = Instant::now();
+        let _ = epoch.set(t0);
+        start.store(true, Ordering::Release);
+        let mut hist = LatencyHistogram::new();
+        let mut samples = Vec::with_capacity(handles.len());
+        for h in handles {
+            let (sample, h) = h.await;
+            hist.merge(&h);
+            samples.push(sample);
+        }
+        (saturating_nanos(t0.elapsed()), samples, hist)
+    });
+    let mutex = match Arc::try_unwrap(mutex) {
+        Ok(m) => m,
+        Err(_) => panic!("async workers still hold the mutex after join"),
+    };
+    // Always-on, exactly like the native runner: perf sweeps run
+    // --release, where a silent lost update would otherwise pass.
+    assert_eq!(
+        mutex.into_inner(),
+        expected,
+        "lost update: shared counter disagrees with tasks x iters"
     );
     (total, samples, hist)
 }
@@ -566,9 +693,7 @@ mod tests {
         for backend in [Backend::Sim, Backend::Native] {
             let (_, samples, hist) = match backend {
                 Backend::Sim => run_sim_plans(spec.policy, &vec![plan; spec.threads], spec.seed),
-                Backend::Native => {
-                    run_native_plans(spec.policy, &vec![plan; spec.threads], Duration::ZERO)
-                }
+                _ => run_native_plans(spec.policy, &vec![plan; spec.threads], Duration::ZERO),
             };
             assert_eq!(samples.len(), spec.threads);
             let total_ops: u64 = samples.iter().map(|s| s.ops).sum();
@@ -631,6 +756,38 @@ mod tests {
             let p = run_contention(Backend::Sim, &quick_spec(policy));
             assert!(p.total_nanos > 0, "{}", p.policy);
         }
+    }
+
+    #[cfg(feature = "async-backend")]
+    #[test]
+    fn async_backend_runs_the_same_spec_and_conserves_ops() {
+        for policy in [
+            PolicyChoice::FixedSpin(16),
+            PolicyChoice::PureBlocking,
+            PolicyChoice::Adaptive { threshold: 2, n: 32 },
+            PolicyChoice::Algorithm(adaptive_native::LockAlgorithm::Ticket),
+        ] {
+            let p = run_contention(Backend::Async, &quick_spec(policy));
+            assert_eq!(p.backend, "async", "{}", p.policy);
+            assert!(p.total_nanos > 0, "{}", p.policy);
+            assert!(p.throughput_per_sec > 0.0, "{}", p.policy);
+            assert!(p.fairness_index > 0.0 && p.fairness_index <= 1.0 + 1e-9, "{}", p.policy);
+            assert!(p.p50_latency_nanos <= p.p99_latency_nanos, "{}", p.policy);
+        }
+    }
+
+    #[cfg(feature = "async-backend")]
+    #[test]
+    fn async_per_task_samples_account_for_every_op() {
+        let spec = quick_spec(PolicyChoice::Adaptive { threshold: 2, n: 32 });
+        let plan =
+            WorkerPlan { iters: spec.iters, cs: Work::Nanos(spec.cs_nanos), think: Work::Nanos(0) };
+        let (_, samples, hist) = run_async_plans(spec.policy, &vec![plan; spec.threads]);
+        assert_eq!(samples.len(), spec.threads);
+        let total_ops: u64 = samples.iter().map(|s| s.ops).sum();
+        assert_eq!(total_ops, spec.threads as u64 * u64::from(spec.iters));
+        assert_eq!(hist.count(), total_ops);
+        assert!(samples.iter().all(|s| s.elapsed_nanos > 0));
     }
 
     #[test]

@@ -198,6 +198,8 @@ pub fn run_fairness(backend: Backend, spec: &FairnessSpec) -> FairnessPoint {
     let (total_nanos, samples, hist) = match backend {
         Backend::Sim => run_sim_plans(spec.policy, &plans, spec.seed),
         Backend::Native => run_native_plans(spec.policy, &plans, std::time::Duration::ZERO),
+        #[cfg(feature = "async-backend")]
+        Backend::Async => crate::backend::run_async_plans(spec.policy, &plans),
     };
     let s = spread_stats(&samples);
     FairnessPoint {
@@ -296,6 +298,17 @@ mod tests {
             let p = run_fairness(Backend::Native, &quick_spec(policy));
             assert_eq!(p.per_thread_ops.iter().sum::<u64>(), 4 * 15, "{}", p.policy);
         }
+    }
+
+    #[cfg(feature = "async-backend")]
+    #[test]
+    fn fairness_runs_on_the_async_backend() {
+        let spec = quick_spec(PolicyChoice::Adaptive { threshold: 2, n: 32 });
+        let p = run_fairness(Backend::Async, &spec);
+        assert_eq!(p.backend, "async");
+        assert_eq!(p.per_thread_ops.iter().sum::<u64>(), 4 * 15);
+        assert!(p.fairness_index > 0.0 && p.fairness_index <= 1.0 + 1e-9);
+        assert!(p.total_nanos > 0);
     }
 
     #[test]

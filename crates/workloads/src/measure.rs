@@ -389,8 +389,8 @@ mod tests {
             h.percentile(99.9),
         );
         assert!(p50 <= p90 && p90 <= p99 && p99 <= p999);
-        assert!(p50 >= 100 && p50 < 200, "p50 {p50} should sit at ~100ns");
-        assert!(p99 >= 10_000 && p99 < 12_000, "p99 {p99} should sit at ~10µs");
+        assert!((100..200).contains(&p50), "p50 {p50} should sit at ~100ns");
+        assert!((10_000..12_000).contains(&p99), "p99 {p99} should sit at ~10µs");
         assert_eq!(p999, 1_000_000);
         let mean = h.mean();
         assert!((mean - 10_990.0).abs() < 1.0, "mean {mean}");

@@ -27,7 +27,12 @@
 //!   snapshots;
 //! * [`service`] — the sharded adaptive KV/counter store: every shard
 //!   guarded by its own `AdaptiveMutex`, hot-shard write batching via
-//!   flat combining, and contention-triggered resharding.
+//!   flat combining, and contention-triggered resharding;
+//! * [`asyncx`] (feature `async`, default-on) — the async layer: a
+//!   small task runtime, an `AsyncAdaptiveMutex` that adapts between
+//!   re-polling and parking with the same feedback loop and
+//!   control-plane surface as the native mutex, and the sharded store
+//!   served over TCP.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every table and figure.
@@ -54,6 +59,8 @@ pub use adaptive_core as model;
 pub use adaptive_locks as locks;
 pub use adaptive_native as native;
 pub use adaptive_service as service;
+#[cfg(feature = "async")]
+pub use asyncx;
 pub use butterfly_sim as sim;
 pub use cthreads;
 pub use thread_monitor as monitor;

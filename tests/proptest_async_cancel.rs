@@ -1,0 +1,239 @@
+//! Property tests of async cancellation safety: dropping a `lock()`
+//! future mid-wait — the exact thing `asyncx::timeout` does on expiry —
+//! must never lose a waker (stranding a parked neighbour), never leak a
+//! waiter-count, and never break counter conservation, under any mix of
+//! poll-vs-park policy, runtime flavor, task count, and cancel timing.
+//!
+//! The stats ledger is asserted *exactly*, not as an inequality:
+//! `acquisitions` increments once per guard actually handed to a
+//! caller, so it must equal the tasks' own success count, and every
+//! timed-out attempt must surface as exactly one `cancellations` or
+//! `cancelled_grants` tick (the timeout future polls the lock future
+//! before its timer, so an `Err(Elapsed)` always drops a started wait).
+
+#![cfg(feature = "async")]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use adaptive_objects::asyncx::{self, AsyncAdaptiveMutex, Runtime};
+use proptest::prelude::*;
+
+/// Per-op cancel plan: `None` is a plain `lock().await`; `Some(n)` races
+/// the lock future against an `n`-nanosecond deadline and drops it on
+/// expiry. Precomputed so the async workers stay deterministic.
+fn cancel_plans(
+    seed: u64,
+    tasks: usize,
+    iters: u64,
+    one_in: u64,
+    max_timeout_nanos: u64,
+) -> Vec<Vec<Option<u64>>> {
+    let mut x = seed | 1;
+    let mut step = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    (0..tasks)
+        .map(|_| {
+            (0..iters)
+                .map(|_| {
+                    let r = step();
+                    (r % one_in == 0).then(|| 1 + r % max_timeout_nanos)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Run `plans` against `mutex` on `rt`; returns (succeeded, timed_out)
+/// summed over all tasks. Each success holds the guard across one
+/// executor yield, the same critical-section shape as
+/// `workloads::run_async_plans`, so waits genuinely park.
+fn run_cancel_workload(
+    rt: &Runtime,
+    mutex: &Arc<AsyncAdaptiveMutex<u64>>,
+    plans: Vec<Vec<Option<u64>>>,
+) -> (u64, u64) {
+    let tasks = plans.len();
+    let arrived = Arc::new(AtomicUsize::new(0));
+    rt.block_on(async {
+        let handles: Vec<_> = plans
+            .into_iter()
+            .map(|plan| {
+                let mutex = Arc::clone(mutex);
+                let arrived = Arc::clone(&arrived);
+                asyncx::spawn(async move {
+                    // Start gate: hold every task at the line so the
+                    // cancel timings race real contention, not a
+                    // serial warm-up.
+                    arrived.fetch_add(1, Ordering::AcqRel);
+                    while arrived.load(Ordering::Acquire) < tasks {
+                        asyncx::yield_now().await;
+                    }
+                    let mut done = 0u64;
+                    let mut timed_out = 0u64;
+                    for op in plan {
+                        match op {
+                            Some(nanos) => {
+                                let deadline = Duration::from_nanos(nanos);
+                                match asyncx::timeout(deadline, mutex.lock()).await {
+                                    Ok(mut guard) => {
+                                        *guard += 1;
+                                        asyncx::yield_now().await;
+                                        drop(guard);
+                                        done += 1;
+                                    }
+                                    Err(asyncx::Elapsed) => timed_out += 1,
+                                }
+                            }
+                            None => {
+                                let mut guard = mutex.lock().await;
+                                *guard += 1;
+                                asyncx::yield_now().await;
+                                drop(guard);
+                                done += 1;
+                            }
+                        }
+                    }
+                    (done, timed_out)
+                })
+            })
+            .collect();
+        let mut total = (0u64, 0u64);
+        for h in handles {
+            // A lost waker would strand a parked task and hang this
+            // join; completion of every handle IS the no-stranded-
+            // waiter property.
+            let (done, timed_out) = h.await;
+            total.0 += done;
+            total.1 += timed_out;
+        }
+        total
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        ..ProptestConfig::default()
+    })]
+
+    /// For any seed, task count, cancel rate, deadline range, waiting
+    /// policy, and runtime flavor: racing `lock()` futures against
+    /// deadlines and dropping the losers leaves no queued waiter, no
+    /// waiter-count leak, an unlocked mutex, an exactly-conserved
+    /// counter, and a stats ledger that accounts for every attempt.
+    #[test]
+    fn cancelled_lock_futures_never_strand_or_lose_ops(
+        seed in any::<u64>(),
+        tasks in 2usize..5,
+        iters in 8u64..40,
+        one_in in 2u64..6,
+        max_timeout_nanos in 1_000u64..200_000,
+        policy in 0u8..3,
+        flavor in 0u8..2,
+    ) {
+        let mutex = Arc::new(match policy {
+            // Pure park: every contended wait registers a waker, the
+            // hardest path for cancellation.
+            0 => AsyncAdaptiveMutex::with_poll_budget(0u64, 0),
+            // Bounded re-poll: cancellations land in the poll phase.
+            1 => AsyncAdaptiveMutex::with_poll_budget(0u64, 8),
+            // The adaptive default: policy may retune mid-run.
+            _ => AsyncAdaptiveMutex::new(0u64),
+        });
+        let rt = match flavor {
+            0 => Runtime::multi_thread(2),
+            _ => Runtime::current_thread(),
+        };
+        let plans = cancel_plans(seed, tasks, iters, one_in, max_timeout_nanos);
+        let expected_attempts: u64 = plans.iter().map(|p| p.len() as u64).sum();
+
+        let (done, timed_out) = run_cancel_workload(&rt, &mutex, plans);
+        prop_assert_eq!(done + timed_out, expected_attempts);
+
+        // No waiter survives the workload, parked or mid-poll.
+        prop_assert_eq!(mutex.waiting_now(), 0);
+        prop_assert!(!mutex.has_queued_waiters());
+        prop_assert!(!mutex.is_locked());
+        prop_assert!(!mutex.is_poisoned());
+
+        // Exact ledger: one acquisition per guard handed out, one
+        // cancellation (or cancelled grant, if the drop raced a
+        // handoff) per timed-out attempt — nothing lost, nothing
+        // double-counted.
+        let stats = mutex.stats();
+        prop_assert_eq!(stats.acquisitions, done);
+        prop_assert_eq!(stats.cancellations + stats.cancelled_grants, timed_out);
+
+        // Counter conservation: every success incremented exactly once,
+        // cancelled attempts exactly zero times.
+        let mutex = Arc::try_unwrap(mutex).map_err(|_| ()).expect("all tasks joined");
+        prop_assert_eq!(mutex.into_inner(), done);
+    }
+}
+
+/// Deterministic waker-handoff check: while one task holds the lock
+/// across several yields, a doomed waiter with a too-short deadline
+/// parks behind it and cancels; the patient waiters behind the
+/// cancelled node must still be granted the lock. If pruning the
+/// abandoned node dropped a live waker, this test would hang rather
+/// than fail.
+#[test]
+fn cancelling_a_parked_waiter_does_not_strand_its_neighbours() {
+    for flavor in ["multi", "current"] {
+        let rt = match flavor {
+            "multi" => Runtime::multi_thread(2),
+            _ => Runtime::current_thread(),
+        };
+        // Pure park so every waiter is a queue node, never a re-poller.
+        let mutex = Arc::new(AsyncAdaptiveMutex::with_poll_budget(0u64, 0));
+        let total = rt.block_on(async {
+            let holder = {
+                let mutex = Arc::clone(&mutex);
+                asyncx::spawn(async move {
+                    let mut guard = mutex.lock().await;
+                    *guard += 1;
+                    for _ in 0..64 {
+                        asyncx::yield_now().await;
+                    }
+                })
+            };
+            let doomed = {
+                let mutex = Arc::clone(&mutex);
+                asyncx::spawn(async move {
+                    asyncx::timeout(Duration::from_nanos(1), mutex.lock())
+                        .await
+                        .is_err()
+                })
+            };
+            let patient: Vec<_> = (0..3)
+                .map(|_| {
+                    let mutex = Arc::clone(&mutex);
+                    asyncx::spawn(async move {
+                        let mut guard = mutex.lock().await;
+                        *guard += 1;
+                    })
+                })
+                .collect();
+            assert!(doomed.await, "1ns deadline must expire while parked");
+            holder.await;
+            for p in patient {
+                p.await;
+            }
+            42u32
+        });
+        assert_eq!(total, 42, "{flavor}: all waiters joined");
+        assert_eq!(mutex.waiting_now(), 0, "{flavor}");
+        assert!(!mutex.has_queued_waiters(), "{flavor}");
+        assert_eq!(
+            Arc::try_unwrap(mutex).map_err(|_| ()).expect("joined").into_inner(),
+            4,
+            "{flavor}: holder plus three patient waiters"
+        );
+    }
+}
